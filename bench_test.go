@@ -1,0 +1,331 @@
+package repro
+
+// The repository benchmark suite: one benchmark per evaluation table and
+// figure (each regenerates a scaled-down instance of the experiment and
+// reports its headline metric), plus micro-benchmarks for the hot paths
+// whose costs the analysis argues about (packet codecs, cache updates,
+// switch forwarding, the real ECDSA operations behind S-ARP/TARP).
+//
+// Run:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable3 -benchtime=1x   # one full experiment
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/attack"
+	"repro/internal/ethaddr"
+	"repro/internal/eval"
+	"repro/internal/frame"
+	"repro/internal/labnet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// --- experiment benchmarks: one per table and figure ---
+
+func BenchmarkTable1PropertyMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.Table1PropertyMatrix()
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2PolicyMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.Table2PolicyMatrix()
+		if len(t.Rows) != 4 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable3Detection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.Table3Detection(2)
+		if len(t.Rows) != len(eval.DetectionSchemes()) {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable4Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table4Overhead(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.Table5Ablation(1)
+		if len(t.Rows) != 5 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable6EvasiveAttacker(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.Table6EvasiveAttacker(1)
+		if len(t.Rows) != 6 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable7PortStealing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.Table7PortStealing(1)
+		if len(t.Rows) != 5 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkFigure6WindowAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := eval.Figure6WindowAblation(4)
+		if len(f.Series) != 3 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
+func BenchmarkFigure7DefenseWar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := eval.Figure7DefenseWar(30)
+		if len(f.Series) != 2 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
+func BenchmarkFigure1LatencyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := eval.Figure1LatencyCDF(2)
+		if len(f.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure2RaceWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := eval.Figure2RaceWindow(4)
+		if len(f.Series) != 2 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
+func BenchmarkFigure3Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := eval.Figure3Scaling([]int{4, 8}, 20*time.Second)
+		if len(f.Series) != 4 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
+func BenchmarkFigure4Churn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := eval.Figure4ChurnFalsePositives(1)
+		if len(f.Series) != 3 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
+func BenchmarkFigure5CamFlood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := eval.Figure5CamFlood([]float64{0, 1000}, 5*time.Second)
+		if len(f.Series) != 2 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
+// --- micro-benchmarks: the costs the analysis prices ---
+
+func BenchmarkARPEncode(b *testing.B) {
+	p := arppkt.NewRequest(
+		ethaddr.MustParseMAC("02:42:ac:00:00:01"),
+		ethaddr.MustParseIPv4("10.0.0.1"),
+		ethaddr.MustParseIPv4("10.0.0.2"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(p.Encode()) != arppkt.PacketLen {
+			b.Fatal("bad encode")
+		}
+	}
+}
+
+func BenchmarkARPDecode(b *testing.B) {
+	wire := arppkt.NewReply(
+		ethaddr.MustParseMAC("02:42:ac:00:00:01"),
+		ethaddr.MustParseIPv4("10.0.0.1"),
+		ethaddr.MustParseMAC("02:42:ac:00:00:02"),
+		ethaddr.MustParseIPv4("10.0.0.2")).Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := arppkt.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	f := &frame.Frame{
+		Dst:     ethaddr.BroadcastMAC,
+		Src:     ethaddr.MustParseMAC("02:42:ac:00:00:01"),
+		Type:    frame.TypeIPv4,
+		Payload: make([]byte, 512),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := f.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := frame.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheUpdate(b *testing.B) {
+	s := sim.NewScheduler(1)
+	c := stack.NewCache(s, stack.PolicyNaive, time.Minute)
+	p := arppkt.NewReply(
+		ethaddr.MustParseMAC("02:42:ac:00:00:01"),
+		ethaddr.MustParseIPv4("10.0.0.1"),
+		ethaddr.MustParseMAC("02:42:ac:00:00:02"),
+		ethaddr.MustParseIPv4("10.0.0.2"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Update(p, false)
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := sim.NewScheduler(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i), func() {})
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSwitchForward(b *testing.B) {
+	// One learned unicast forwarding decision per iteration, end to end
+	// through the event queue.
+	s := sim.NewScheduler(1)
+	sw := netsim.NewSwitch(s)
+	gen := ethaddr.NewGen(1)
+	a := netsim.NewNIC(s, gen.SeqMAC())
+	c := netsim.NewNIC(s, gen.SeqMAC())
+	sw.AddPort().Attach(a)
+	sw.AddPort().Attach(c)
+	got := 0
+	c.SetHandler(func(*frame.Frame) { got++ })
+	// Teach the switch where c lives.
+	c.Send(&frame.Frame{Dst: ethaddr.BroadcastMAC, Src: c.MAC(), Type: frame.TypeIPv4})
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	f := &frame.Frame{Dst: c.MAC(), Src: a.MAC(), Type: frame.TypeIPv4, Payload: make([]byte, 64)}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Send(f)
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if got < b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+func BenchmarkEndToEndResolution(b *testing.B) {
+	// A full cold ARP resolution through the simulated LAN per iteration.
+	l := labnet.New(labnet.Config{Hosts: 4, WithAttacker: false, WithMonitor: false})
+	gw, victim := l.Gateway(), l.Victim()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim.Cache().Delete(gw.IP())
+		ok := false
+		victim.Resolve(gw.IP(), func(_ ethaddr.MAC, good bool) { ok = good })
+		if err := l.Sched.RunUntil(l.Sched.Now() + time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("resolution failed")
+		}
+	}
+}
+
+func BenchmarkPoisoningAttack(b *testing.B) {
+	// One gratuitous poisoning delivered to three victims per iteration.
+	l := labnet.New(labnet.Config{Hosts: 4, WithAttacker: true, WithMonitor: false})
+	gw := l.Gateway()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(),
+			l.Victim().MAC(), l.Victim().IP())
+		if err := l.Sched.RunUntil(l.Sched.Now() + time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECDSASign(b *testing.B) {
+	// The per-reply cost S-ARP charges the sender.
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("arp reply payload"))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ecdsa.SignASN1(rand.Reader, priv, digest[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECDSAVerify(b *testing.B) {
+	// The per-reply cost S-ARP and TARP charge the receiver.
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("arp reply payload"))
+	sig, err := ecdsa.SignASN1(rand.Reader, priv, digest[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !ecdsa.VerifyASN1(&priv.PublicKey, digest[:], sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command arpattack runs one ARP cache poisoning attack variant against a
+// simulated LAN and narrates the outcome: whose cache ended up where, how
+// much traffic the attacker intercepted, and what the wire looked like.
+//
+// Usage:
+//
+//	arpattack -variant unsolicited-reply -policy naive
+//	arpattack -variant reply-race -policy solicited-only
+//	arpattack -variant mitm -policy naive     # full relay eavesdropping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/ethaddr"
+	"repro/internal/labnet"
+	"repro/internal/schemes/kernelpolicy"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "arpattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("arpattack", flag.ContinueOnError)
+	variant := fs.String("variant", "unsolicited-reply",
+		"gratuitous | unsolicited-reply | request-spoof | reply-race | mitm | blackhole | port-steal | scan")
+	policy := fs.String("policy", "naive", "victim cache policy: naive | reply-only | no-overwrite | solicited-only")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	showTrace := fs.Bool("trace", false, "dump the captured ARP trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	prof := kernelpolicy.ByName(*policy)
+	l := labnet.New(labnet.Config{
+		Seed:         *seed,
+		Policy:       prof.Policy,
+		WithAttacker: true,
+		WithMonitor:  true,
+	})
+	cap := trace.NewCapture(0)
+	l.Switch.AddTap(cap.Tap())
+
+	gw, victim := l.Gateway(), l.Victim()
+	fmt.Fprintf(w, "LAN %s: gateway %s (%s), victim %s (%s), attacker %s (%s)\n",
+		l.Subnet, gw.IP(), gw.MAC(), victim.IP(), victim.MAC(), l.Attacker.IP(), l.Attacker.MAC())
+	fmt.Fprintf(w, "victim cache policy: %s — %s\n\n", prof.Name, prof.Description)
+
+	delivered := 0
+	gw.HandleUDP(80, func(_ ethaddr.IPv4, _ uint16, _ []byte) { delivered++ })
+
+	switch *variant {
+	case "gratuitous", "unsolicited-reply", "request-spoof":
+		var v attack.Variant
+		for _, cand := range attack.Variants() {
+			if cand.String() == *variant {
+				v = cand
+			}
+		}
+		l.Attacker.Poison(v, gw.IP(), l.Attacker.MAC(), victim.MAC(), victim.IP())
+	case "reply-race":
+		l.Attacker.ArmReplyRace(gw.IP(), victim.IP(), 0)
+		victim.Resolve(gw.IP(), nil)
+	case "mitm":
+		l.Attacker.PoisonPeriodically(2*time.Second,
+			victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		l.Sched.Every(500*time.Millisecond, func() {
+			victim.SendUDP(gw.IP(), 2000, 80, []byte("session-cookie=SECRET"))
+		})
+	case "blackhole":
+		l.Attacker.Poison(attack.VariantUnsolicitedReply, gw.IP(), l.Attacker.MAC(),
+			victim.MAC(), victim.IP())
+		l.Attacker.BlackholeTraffic(gw.IP())
+		l.Sched.Every(500*time.Millisecond, func() {
+			victim.SendUDP(gw.IP(), 2000, 80, []byte("ping"))
+		})
+	case "port-steal":
+		// Teach the switch the victim's true port first, then steal it.
+		gw.Resolve(victim.IP(), nil)
+		l.Sched.At(time.Second, func() {
+			l.Attacker.StealPort(victim.MAC(), victim.IP(), 100*time.Millisecond, true)
+		})
+		l.Sched.Every(500*time.Millisecond, func() {
+			gw.SendUDP(victim.IP(), 2000, 80, []byte("downlink to the victim"))
+		})
+	case "scan":
+		l.Attacker.Scan(l.Subnet, 1, 254, 20*time.Millisecond)
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+
+	if err := l.Run(10 * time.Second); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "after 10s of simulated time:\n")
+	if mac, ok := victim.Cache().Lookup(gw.IP()); ok {
+		verdict := "GENUINE"
+		if mac == l.Attacker.MAC() {
+			verdict = "POISONED"
+		}
+		fmt.Fprintf(w, "  victim's binding for the gateway: %s  [%s]\n", mac, verdict)
+	} else {
+		fmt.Fprintf(w, "  victim has no binding for the gateway\n")
+	}
+	st := l.Attacker.Stats()
+	fmt.Fprintf(w, "  attacker: %d forged packets, %d frames relayed, %d dropped, %d payload bytes sniffed\n",
+		st.Forged, st.Relayed, st.Dropped, st.Sniffed)
+	if *variant == "mitm" || *variant == "blackhole" {
+		fmt.Fprintf(w, "  victim→gateway datagrams delivered: %d\n", delivered)
+	}
+	cs := cap.Stats()
+	fmt.Fprintf(w, "  wire: %d frames (%d ARP: %v, %d gratuitous)\n",
+		cs.Frames, cs.ByType["ARP"], cs.ARPOps, cs.Gratuitous)
+
+	if *showTrace {
+		fmt.Fprintln(w, "\ncaptured ARP trace:")
+		for _, r := range cap.ARPOnly() {
+			fmt.Fprintf(w, "  %12v port%d %s\n", r.At, r.Port, r.Info)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Command arpbench regenerates every table and figure of the evaluation
+// (see EXPERIMENTS.md) from the simulator.
+//
+// Usage:
+//
+//	arpbench                  # everything, quick trial counts
+//	arpbench -table 3         # one table
+//	arpbench -figure 2        # one figure
+//	arpbench -trials 20       # more trials per experiment
+//	arpbench -csv             # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/eval"
+)
+
+// printRecommendation renders the analysis ranking with its rationale.
+func printRecommendation(w io.Writer, envName string) error {
+	var env analysis.Environment
+	found := false
+	for _, cand := range analysis.StandardEnvironments() {
+		if cand.Name == envName {
+			env, found = cand, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown environment %q", envName)
+	}
+	fmt.Fprintf(w, "scheme ranking for %q (managed=%v dhcp=%v all-hosts=%v prevention=%v)\n\n",
+		env.Name, env.Managed, env.DynamicAddressing, env.CanTouchAllHosts, env.WantPrevention)
+	for rank, rec := range analysis.Recommend(env) {
+		fmt.Fprintf(w, "%2d. %-16s score %+d  [%s, %s]\n", rank+1, rec.Scheme.Name,
+			rec.Score, rec.Scheme.Role, rec.Scheme.Residence)
+		for _, why := range rec.Why {
+			if why != "" {
+				fmt.Fprintf(w, "      - %s\n", why)
+			}
+		}
+		fmt.Fprintf(w, "      %s\n", rec.Scheme.Notes)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "arpbench:", err)
+		os.Exit(1)
+	}
+}
+
+// renderable is the common surface of tables and figures.
+type renderable interface {
+	Render(io.Writer) error
+	CSV(io.Writer) error
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("arpbench", flag.ContinueOnError)
+	table := fs.Int("table", 0, "render only this table (1-7)")
+	figure := fs.Int("figure", 0, "render only this figure (1-7)")
+	trials := fs.Int("trials", 5, "trials per stochastic experiment")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	recommend := fs.String("recommend", "", "print the ranked schemes and scoring rationale for an environment: soho | enterprise | open-wifi | lab-static")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *recommend != "" {
+		return printRecommendation(w, *recommend)
+	}
+
+	emit := func(r renderable) error {
+		if *csv {
+			return r.CSV(w)
+		}
+		if err := r.Render(w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+
+	tables := map[int]func() (renderable, error){
+		1: func() (renderable, error) { return eval.Table1PropertyMatrix(), nil },
+		2: func() (renderable, error) { return eval.Table2PolicyMatrix(), nil },
+		3: func() (renderable, error) { return eval.Table3Detection(*trials), nil },
+		4: func() (renderable, error) {
+			t, err := eval.Table4Overhead(*trials * 4)
+			return t, err
+		},
+		5: func() (renderable, error) { return eval.Table5Ablation(*trials), nil },
+		6: func() (renderable, error) { return eval.Table6EvasiveAttacker(*trials), nil },
+		7: func() (renderable, error) { return eval.Table7PortStealing(*trials), nil },
+	}
+	figures := map[int]func() (renderable, error){
+		1: func() (renderable, error) { return eval.Figure1LatencyCDF(*trials * 4), nil },
+		2: func() (renderable, error) { return eval.Figure2RaceWindow(*trials * 8), nil },
+		3: func() (renderable, error) {
+			return eval.Figure3Scaling([]int{4, 8, 16, 32, 64}, time.Minute), nil
+		},
+		4: func() (renderable, error) { return eval.Figure4ChurnFalsePositives(*trials), nil },
+		5: func() (renderable, error) {
+			return eval.Figure5CamFlood([]float64{0, 100, 500, 1000, 2000, 5000}, 20*time.Second), nil
+		},
+		6: func() (renderable, error) { return eval.Figure6WindowAblation(*trials * 4), nil },
+		7: func() (renderable, error) { return eval.Figure7DefenseWar(*trials * 30), nil },
+	}
+
+	runOne := func(builders map[int]func() (renderable, error), id int) error {
+		build, ok := builders[id]
+		if !ok {
+			return fmt.Errorf("no such experiment id %d", id)
+		}
+		r, err := build()
+		if err != nil {
+			return err
+		}
+		return emit(r)
+	}
+
+	switch {
+	case *table != 0:
+		return runOne(tables, *table)
+	case *figure != 0:
+		return runOne(figures, *figure)
+	default:
+		// Table 1b rides along with Table 1 in the full run.
+		if err := runOne(tables, 1); err != nil {
+			return err
+		}
+		if err := emit(eval.Table1Recommendations()); err != nil {
+			return err
+		}
+		for id := 2; id <= 7; id++ {
+			if err := runOne(tables, id); err != nil {
+				return err
+			}
+		}
+		for id := 1; id <= 7; id++ {
+			if err := runOne(figures, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSingleTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-table", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1:") {
+		t.Fatalf("missing header:\n%s", buf.String())
+	}
+}
+
+func TestSingleFigureCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-figure", "2", "-trials", "1", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "series,attacker_delay_ms,poisoning_probability") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "solicited-only,") {
+		t.Fatal("csv rows missing")
+	}
+}
+
+func TestStochasticTableSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-table", "5", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "host protection") {
+		t.Fatalf("ablation rows missing:\n%s", buf.String())
+	}
+}
+
+func TestRecommendFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-recommend", "enterprise"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "scheme ranking for \"enterprise\"") ||
+		!strings.Contains(out, "1. ") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if err := run(&buf, []string{"-recommend", "nope"}); err == nil {
+		t.Fatal("unknown environment accepted")
+	}
+}
+
+func TestUnknownIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-table", "9"}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := run(&buf, []string{"-figure", "9"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Command arpguard deploys a chosen defense scheme on a simulated LAN,
+// replays a poisoning scenario against it, and reports what the scheme saw
+// and stopped.
+//
+// Usage:
+//
+//	arpguard -scheme hybrid-guard -attack mitm
+//	arpguard -scheme dai -attack gratuitous
+//	arpguard -scheme s-arp -attack unsolicited-reply
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+	"repro/internal/schemes/activeprobe"
+	"repro/internal/schemes/arpwatch"
+	"repro/internal/schemes/dai"
+	"repro/internal/schemes/flooddetect"
+	"repro/internal/schemes/snortlike"
+	"repro/internal/schemes/middleware"
+	"repro/internal/schemes/sarp"
+	"repro/internal/schemes/staticarp"
+	"repro/internal/schemes/tarp"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "arpguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("arpguard", flag.ContinueOnError)
+	scheme := fs.String("scheme", "hybrid-guard",
+		"arpwatch | active-probe | middleware | static-arp | dai | s-arp | tarp | flood-detect | snort-like | hybrid-guard")
+	atk := fs.String("attack", "mitm", "gratuitous | unsolicited-reply | request-spoof | mitm | scan")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	l := labnet.New(labnet.Config{Seed: *seed, Hosts: 6, WithAttacker: true, WithMonitor: true})
+	gw, victim := l.Gateway(), l.Victim()
+	sink := schemes.NewSink()
+	var guard *core.Guard
+
+	switch *scheme {
+	case "arpwatch":
+		watcher := arpwatch.New(l.Sched, sink)
+		watcher.Seed(gw.IP(), gw.MAC())
+		l.Switch.AddTap(watcher.Observe)
+	case "active-probe":
+		p := activeprobe.New(l.Sched, sink, l.Monitor)
+		p.Seed(gw.IP(), gw.MAC())
+		l.Switch.AddTap(p.Observe)
+	case "middleware":
+		middleware.New(l.Sched, sink, victim)
+	case "static-arp":
+		dir := make(staticarp.Directory)
+		for _, h := range l.Hosts {
+			dir[h.IP()] = h.MAC()
+		}
+		prov := staticarp.NewProvisioner(dir)
+		for _, h := range l.Hosts {
+			prov.Enroll(h)
+		}
+	case "dai":
+		table := dai.NewBindingTable()
+		for _, h := range l.Hosts {
+			table.AddStatic(h.IP(), h.MAC())
+		}
+		table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
+		insp := dai.New(l.Sched, sink, table)
+		l.Switch.SetFilter(insp.Filter())
+	case "s-arp":
+		akd := sarp.NewAKD()
+		for _, h := range append(l.Hosts, l.Monitor) {
+			if _, err := sarp.NewNode(l.Sched, sink, h, akd); err != nil {
+				return err
+			}
+		}
+	case "tarp":
+		lta, err := tarp.NewLTA(l.Sched, time.Hour)
+		if err != nil {
+			return err
+		}
+		for _, h := range append(l.Hosts, l.Monitor) {
+			if _, err := tarp.NewNode(l.Sched, sink, h, lta); err != nil {
+				return err
+			}
+		}
+	case "flood-detect":
+		det := flooddetect.New(l.Sched, sink)
+		l.Switch.AddTap(det.Observe)
+	case "snort-like":
+		p := snortlike.New(l.Sched, sink,
+			snortlike.WithBinding(gw.IP(), gw.MAC()))
+		l.Switch.AddTap(p.Observe)
+	case "hybrid-guard":
+		guard = core.New(l.Sched, l.Monitor,
+			core.WithSeedBinding(gw.IP(), gw.MAC()),
+			core.WithAlertHandler(sink.Report))
+		guard.ProtectHost(victim)
+		l.Switch.AddTap(guard.Tap())
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+
+	fmt.Fprintf(w, "scheme %s vs attack %s (victims run the naive cache policy)\n\n", *scheme, *atk)
+
+	switch *atk {
+	case "gratuitous", "unsolicited-reply", "request-spoof":
+		var v attack.Variant
+		for _, cand := range attack.Variants() {
+			if cand.String() == *atk {
+				v = cand
+			}
+		}
+		l.Attacker.Poison(v, gw.IP(), l.Attacker.MAC(), victim.MAC(), victim.IP())
+		// Crypto LANs ignore plain ARP; also fire a forged secured reply
+		// so those schemes have something to reject.
+		if *scheme == "s-arp" {
+			m := &sarp.Message{
+				ARP:       forgedReply(l),
+				Timestamp: l.Sched.Now(),
+				Sig:       []byte("forged"),
+			}
+			l.Attacker.NIC().Send(&frame.Frame{
+				Dst: victim.MAC(), Src: l.Attacker.MAC(),
+				Type: frame.TypeSARP, Payload: m.Encode(),
+			})
+		}
+		if *scheme == "tarp" {
+			m := &tarp.Message{ARP: forgedReply(l)}
+			l.Attacker.NIC().Send(&frame.Frame{
+				Dst: victim.MAC(), Src: l.Attacker.MAC(),
+				Type: frame.TypeTARP, Payload: m.Encode(),
+			})
+		}
+	case "mitm":
+		l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+	case "scan":
+		l.Attacker.Scan(l.Subnet, 1, 120, 20*time.Millisecond)
+	default:
+		return fmt.Errorf("unknown attack %q", *atk)
+	}
+
+	if err := l.Run(15 * time.Second); err != nil {
+		return err
+	}
+
+	if mac, ok := victim.Cache().Lookup(gw.IP()); ok && mac == l.Attacker.MAC() {
+		fmt.Fprintf(w, "victim cache: POISONED (gateway → %s)\n", mac)
+	} else {
+		fmt.Fprintf(w, "victim cache: clean\n")
+	}
+	fmt.Fprintf(w, "alerts: %d\n", sink.Len())
+	for _, a := range sink.Alerts() {
+		fmt.Fprintf(w, "  %s\n", a)
+	}
+	if guard != nil {
+		for _, inc := range guard.Incidents() {
+			fmt.Fprintf(w, "incident: ip=%s suspect=%s alerts=%d confirmed=%v window=[%v..%v]\n",
+				inc.IP, inc.Suspect, inc.Alerts, inc.Confirmed, inc.FirstAt, inc.LastAt)
+		}
+	}
+	return nil
+}
+
+// forgedReply builds the attacker's claim "gateway is-at attacker".
+func forgedReply(l *labnet.LAN) *arppkt.Packet {
+	return arppkt.NewReply(l.Attacker.MAC(), l.Gateway().IP(), l.Victim().MAC(), l.Victim().IP())
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEverySchemeAgainstGratuitous(t *testing.T) {
+	// Which schemes keep the victim clean, and which only alert, is the
+	// analysis' core claim set; this pins each CLI path to it.
+	tests := []struct {
+		scheme    string
+		wantClean bool
+		wantAlert bool
+	}{
+		{"arpwatch", false, true}, // detects, cannot prevent
+		{"active-probe", false, true},
+		// middleware never adopts a broadcast binding it has no use for:
+		// silent prevention, no page (directed replies do alert — see the
+		// mitm test below and the middleware package tests).
+		{"middleware", true, false},
+		{"static-arp", true, false}, // prevents silently
+		{"dai", true, true},
+		{"s-arp", true, true}, // plain ARP ignored; forged secured reply alerts
+		{"tarp", true, true},
+		{"hybrid-guard", true, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.scheme, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, []string{"-scheme", tt.scheme, "-attack", "gratuitous"}); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			clean := strings.Contains(out, "victim cache: clean")
+			if clean != tt.wantClean {
+				t.Fatalf("%s clean=%v, want %v:\n%s", tt.scheme, clean, tt.wantClean, out)
+			}
+			alerted := !strings.Contains(out, "alerts: 0")
+			if alerted != tt.wantAlert {
+				t.Fatalf("%s alerted=%v, want %v:\n%s", tt.scheme, alerted, tt.wantAlert, out)
+			}
+		})
+	}
+}
+
+func TestHybridGuardAgainstMITM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scheme", "hybrid-guard", "-attack", "mitm"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "victim cache: clean") {
+		t.Fatalf("protected victim poisoned:\n%s", out)
+	}
+	if !strings.Contains(out, "confirmed=true") {
+		t.Fatalf("incident not confirmed:\n%s", out)
+	}
+}
+
+func TestFloodDetectAgainstScan(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scheme", "flood-detect", "-attack", "scan"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "arp scan") {
+		t.Fatalf("scan not named:\n%s", out)
+	}
+	if !strings.Contains(out, "victim cache: clean") {
+		t.Fatalf("a scan poisons nothing:\n%s", out)
+	}
+}
+
+func TestUnknownSchemeAndAttack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scheme", "nonsense"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if err := run(&buf, []string{"-attack", "nonsense"}); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Command arpscenario runs a JSON-described attack/defense experiment and
+// prints the outcome — the no-code front end to the framework.
+//
+// Usage:
+//
+//	arpscenario scenarios/soho-guard.json
+//	arpscenario -json scenarios/enterprise-dai.json   # structured output
+//	cat my.json | arpscenario -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "arpscenario:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("arpscenario", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: arpscenario [-json] <scenario.json | ->")
+	}
+
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("open scenario: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	spec, err := scenario.Load(in)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	return res.Render(w)
+}

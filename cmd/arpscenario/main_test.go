@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func repoScenario(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "scenarios", name)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("missing bundled scenario: %v", err)
+	}
+	return path
+}
+
+func TestBundledScenariosRun(t *testing.T) {
+	for _, name := range []string{"soho-guard.json", "enterprise-dai.json", "hardened-access.json", "signature-nids.json"} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, []string{repoScenario(t, name)}); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "scenario finished") {
+				t.Fatalf("output:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-json", repoScenario(t, "enterprise-dai.json")}); err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("not json: %v\n%s", err, buf.String())
+	}
+	if res["poisonedHosts"].(float64) != 0 {
+		t.Fatalf("DAI scenario should prevent: %v", res["poisonedHosts"])
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil); err == nil {
+		t.Fatal("missing arg accepted")
+	}
+	if err := run(&buf, []string{"/nonexistent.json"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-hosts", "4", "-duration", "5s"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"gateway", "host1", "workload:", "switch:", "wire:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "delivered, 0 responded") {
+		t.Fatal("workload produced no responses")
+	}
+}
+
+func TestRunWithDHCP(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-hosts", "4", "-duration", "5s", "-dhcp"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DHCP: 3 leases active") {
+		t.Fatalf("dhcp summary missing:\n%s", buf.String())
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-duration", "2s", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "capture written") {
+		t.Fatal("json confirmation missing")
+	}
+}
+
+func TestRunWritesPCAP(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.pcap")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-duration", "2s", "-pcap", path}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 24 || blob[0] != 0xd4 || blob[1] != 0xc3 {
+		t.Fatalf("not a little-endian pcap: % x", blob[:4])
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is an executable reproduction of "An Analysis on the
+// Schemes for Detecting and Preventing ARP Cache Poisoning Attacks"
+// (Abad & Bonilla, ICDCSW 2007): a deterministic L2 network simulator, the
+// ARP cache poisoning attack in every operational variant, from-scratch
+// implementations of every defense scheme class the paper analyzes, and an
+// evaluation harness that regenerates the comparison tables and figures.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the evaluation. The root package holds the
+// repository-level benchmark suite (bench_test.go); the library lives
+// under internal/.
+package repro

@@ -1,0 +1,357 @@
+// Package analysis encodes the paper's primary contribution — the
+// systematic comparison of ARP cache poisoning countermeasures — as an
+// executable model: a taxonomy of schemes, a property matrix over the
+// attack-coverage and cost axes the analysis argues about, and a
+// recommendation engine that scores schemes against deployment
+// environments. Table 1 of the evaluation is rendered directly from this
+// package, and the quantitative experiments exist to validate the matrix's
+// qualitative claims.
+package analysis
+
+import "sort"
+
+// Role classifies what a scheme does about an attack.
+type Role int
+
+// Roles.
+const (
+	// RoleDetection raises alerts; a human or IPS must react.
+	RoleDetection Role = iota + 1
+	// RolePrevention stops the poisoning from taking effect at all.
+	RolePrevention
+	// RoleMitigation narrows the attack surface without addressing ARP
+	// forgery itself.
+	RoleMitigation
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleDetection:
+		return "detection"
+	case RolePrevention:
+		return "prevention"
+	case RoleMitigation:
+		return "mitigation"
+	default:
+		return "unknown"
+	}
+}
+
+// Residence classifies where a scheme is deployed.
+type Residence int
+
+// Residences.
+const (
+	ResidenceHost Residence = iota + 1
+	ResidenceNetwork
+	ResidenceInfrastructure
+	ResidenceProtocol
+)
+
+// String returns the residence name.
+func (r Residence) String() string {
+	switch r {
+	case ResidenceHost:
+		return "host"
+	case ResidenceNetwork:
+		return "network"
+	case ResidenceInfrastructure:
+		return "infrastructure"
+	case ResidenceProtocol:
+		return "protocol"
+	default:
+		return "unknown"
+	}
+}
+
+// Coverage grades how well a scheme handles one attack variant or axis.
+type Coverage int
+
+// Coverage grades.
+const (
+	CoverageNone Coverage = iota + 1
+	CoveragePartial
+	CoverageFull
+)
+
+// String returns the symbol used in the rendered matrix.
+func (c Coverage) String() string {
+	switch c {
+	case CoverageNone:
+		return "✗"
+	case CoveragePartial:
+		return "◐"
+	case CoverageFull:
+		return "✓"
+	default:
+		return "?"
+	}
+}
+
+// Cost grades a scheme's burden on one cost axis.
+type Cost int
+
+// Cost grades.
+const (
+	CostNone Cost = iota + 1
+	CostLow
+	CostMedium
+	CostHigh
+)
+
+// String returns the label used in the rendered matrix.
+func (c Cost) String() string {
+	switch c {
+	case CostNone:
+		return "none"
+	case CostLow:
+		return "low"
+	case CostMedium:
+		return "med"
+	case CostHigh:
+		return "high"
+	default:
+		return "?"
+	}
+}
+
+// Properties is one row of the comparison matrix: the qualitative judgment
+// the paper's analysis renders for one scheme.
+type Properties struct {
+	Name      string
+	Role      Role
+	Residence Residence
+
+	// Attack coverage: does the deployed scheme catch/stop each variant?
+	VsGratuitous  Coverage
+	VsUnsolicited Coverage
+	VsRequestSpoof Coverage
+	VsReplyRace   Coverage
+
+	// FalsePositives grades exposure to benign-churn false alarms
+	// (detection schemes) or to blocking legitimate traffic (prevention).
+	FalsePositives Cost
+	// TrafficCost grades added control-plane traffic.
+	TrafficCost Cost
+	// ComputeCost grades added per-packet computation (crypto).
+	ComputeCost Cost
+	// DeployCost grades the administrative/infrastructure burden.
+	DeployCost Cost
+	// Incremental reports whether the scheme protects partially deployed
+	// populations (per-host adoption) rather than all-or-nothing.
+	Incremental bool
+	// DHCPCompatible reports whether dynamic addressing keeps working
+	// without extra integration.
+	DHCPCompatible bool
+	// Notes carries the analysis' one-line judgment.
+	Notes string
+}
+
+// DetectsAll reports whether every variant has at least partial coverage.
+func (p Properties) DetectsAll() bool {
+	return p.VsGratuitous >= CoveragePartial && p.VsUnsolicited >= CoveragePartial &&
+		p.VsRequestSpoof >= CoveragePartial && p.VsReplyRace >= CoveragePartial
+}
+
+// Matrix returns the full comparison the paper's analysis develops, one row
+// per scheme implemented in internal/schemes. The quantitative experiments
+// in EXPERIMENTS.md validate each cell empirically.
+func Matrix() []Properties {
+	return []Properties{
+		{
+			Name: "static-arp", Role: RolePrevention, Residence: ResidenceHost,
+			VsGratuitous: CoverageFull, VsUnsolicited: CoverageFull,
+			VsRequestSpoof: CoverageFull, VsReplyRace: CoverageFull,
+			FalsePositives: CostHigh, TrafficCost: CostNone, ComputeCost: CostNone,
+			DeployCost: CostHigh, Incremental: true, DHCPCompatible: false,
+			Notes: "perfect coverage, unmanageable under churn; O(hosts) updates per readdressing",
+		},
+		{
+			Name: "kernel-policy", Role: RolePrevention, Residence: ResidenceHost,
+			VsGratuitous: CoverageFull, VsUnsolicited: CoverageFull,
+			VsRequestSpoof: CoverageFull, VsReplyRace: CoverageNone,
+			FalsePositives: CostLow, TrafficCost: CostNone, ComputeCost: CostNone,
+			DeployCost: CostMedium, Incremental: true, DHCPCompatible: true,
+			Notes: "solicited-only patch stops pushes but not the reply race; needs OS change",
+		},
+		{
+			Name: "arpwatch", Role: RoleDetection, Residence: ResidenceNetwork,
+			VsGratuitous: CoveragePartial, VsUnsolicited: CoveragePartial,
+			VsRequestSpoof: CoveragePartial, VsReplyRace: CoveragePartial,
+			FalsePositives: CostHigh, TrafficCost: CostNone, ComputeCost: CostLow,
+			DeployCost: CostLow, Incremental: true, DHCPCompatible: false,
+			Notes: "detects flip-flops only for previously seen bindings; DHCP churn raises false alarms",
+		},
+		{
+			Name: "active-probe", Role: RoleDetection, Residence: ResidenceNetwork,
+			VsGratuitous: CoverageFull, VsUnsolicited: CoverageFull,
+			VsRequestSpoof: CoverageFull, VsReplyRace: CoveragePartial,
+			FalsePositives: CostLow, TrafficCost: CostLow, ComputeCost: CostLow,
+			DeployCost: CostLow, Incremental: true, DHCPCompatible: true,
+			Notes: "probing separates churn from forgery; blind if the genuine owner is silenced first",
+		},
+		{
+			Name: "middleware", Role: RolePrevention, Residence: ResidenceHost,
+			VsGratuitous: CoverageFull, VsUnsolicited: CoverageFull,
+			VsRequestSpoof: CoverageFull, VsReplyRace: CoverageFull,
+			FalsePositives: CostLow, TrafficCost: CostLow, ComputeCost: CostLow,
+			DeployCost: CostMedium, Incremental: true, DHCPCompatible: true,
+			Notes: "quarantine-and-verify defeats every push and the race; adds verification latency",
+		},
+		{
+			Name: "s-arp", Role: RolePrevention, Residence: ResidenceProtocol,
+			VsGratuitous: CoverageFull, VsUnsolicited: CoverageFull,
+			VsRequestSpoof: CoverageFull, VsReplyRace: CoverageFull,
+			FalsePositives: CostNone, TrafficCost: CostMedium, ComputeCost: CostHigh,
+			DeployCost: CostHigh, Incremental: false, DHCPCompatible: false,
+			Notes: "cryptographically sound; per-reply signatures, key distribution, every host must convert",
+		},
+		{
+			Name: "tarp", Role: RolePrevention, Residence: ResidenceProtocol,
+			VsGratuitous: CoverageFull, VsUnsolicited: CoverageFull,
+			VsRequestSpoof: CoverageFull, VsReplyRace: CoverageFull,
+			FalsePositives: CostNone, TrafficCost: CostMedium, ComputeCost: CostMedium,
+			DeployCost: CostHigh, Incremental: false, DHCPCompatible: false,
+			Notes: "tickets amortize signing to issue time; replay can only reassert the truth",
+		},
+		{
+			Name: "dai", Role: RolePrevention, Residence: ResidenceInfrastructure,
+			VsGratuitous: CoverageFull, VsUnsolicited: CoverageFull,
+			VsRequestSpoof: CoverageFull, VsReplyRace: CoverageFull,
+			FalsePositives: CostLow, TrafficCost: CostNone, ComputeCost: CostLow,
+			DeployCost: CostHigh, Incremental: false, DHCPCompatible: true,
+			Notes: "drops forgeries in the forwarding plane; needs capable switches, DHCP snooping, correct trust config",
+		},
+		{
+			Name: "port-security", Role: RoleMitigation, Residence: ResidenceInfrastructure,
+			VsGratuitous: CoverageNone, VsUnsolicited: CoverageNone,
+			VsRequestSpoof: CoverageNone, VsReplyRace: CoverageNone,
+			FalsePositives: CostLow, TrafficCost: CostNone, ComputeCost: CostNone,
+			DeployCost: CostMedium, Incremental: false, DHCPCompatible: true,
+			Notes: "stops MAC flooding and port stealing, not ARP forgery from a legitimate station address",
+		},
+		{
+			Name: "snort-like", Role: RoleDetection, Residence: ResidenceNetwork,
+			VsGratuitous: CoveragePartial, VsUnsolicited: CoveragePartial,
+			VsRequestSpoof: CoveragePartial, VsReplyRace: CoveragePartial,
+			FalsePositives: CostLow, TrafficCost: CostNone, ComputeCost: CostLow,
+			DeployCost: CostMedium, Incremental: true, DHCPCompatible: false,
+			Notes: "stateless signatures catch sloppy forgers and configured-binding violations; a careful forger off the configured list sails through",
+		},
+		{
+			Name: "flood-detect", Role: RoleDetection, Residence: ResidenceNetwork,
+			VsGratuitous: CoverageNone, VsUnsolicited: CoverageNone,
+			VsRequestSpoof: CoverageNone, VsReplyRace: CoverageNone,
+			FalsePositives: CostMedium, TrafficCost: CostNone, ComputeCost: CostLow,
+			DeployCost: CostLow, Incremental: true, DHCPCompatible: true,
+			Notes: "rate anomalies flag the noisy campaigns (floods, scans); quiet targeted poisoning sails past",
+		},
+		{
+			Name: "address-defense", Role: RoleMitigation, Residence: ResidenceHost,
+			VsGratuitous: CoveragePartial, VsUnsolicited: CoveragePartial,
+			VsRequestSpoof: CoveragePartial, VsReplyRace: CoverageNone,
+			FalsePositives: CostLow, TrafficCost: CostLow, ComputeCost: CostNone,
+			DeployCost: CostLow, Incremental: true, DHCPCompatible: true,
+			Notes: "RFC 5227 reassertion repairs peers after each poison push; a persistent attacker wins the duty cycle",
+		},
+	}
+}
+
+// ByName returns the matrix row for a scheme.
+func ByName(name string) (Properties, bool) {
+	for _, p := range Matrix() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Properties{}, false
+}
+
+// Environment describes a deployment the recommendation engine scores for,
+// weighting the analysis axes the way that environment's operator would.
+type Environment struct {
+	Name string
+	// Managed reports whether the operator controls switch infrastructure.
+	Managed bool
+	// DynamicAddressing reports whether DHCP churn is routine.
+	DynamicAddressing bool
+	// CanTouchAllHosts reports whether every host's software can be
+	// changed (rules out protocol replacement on open networks).
+	CanTouchAllHosts bool
+	// WantPrevention weights prevention over detection.
+	WantPrevention bool
+}
+
+// StandardEnvironments are the deployment profiles the analysis discusses.
+func StandardEnvironments() []Environment {
+	return []Environment{
+		{Name: "soho", Managed: false, DynamicAddressing: true, CanTouchAllHosts: false, WantPrevention: false},
+		{Name: "enterprise", Managed: true, DynamicAddressing: true, CanTouchAllHosts: true, WantPrevention: true},
+		{Name: "open-wifi", Managed: true, DynamicAddressing: true, CanTouchAllHosts: false, WantPrevention: true},
+		{Name: "lab-static", Managed: false, DynamicAddressing: false, CanTouchAllHosts: true, WantPrevention: true},
+	}
+}
+
+// Recommendation is one scored scheme for an environment.
+type Recommendation struct {
+	Scheme Properties
+	Score  int
+	Why    []string
+}
+
+// Recommend ranks the matrix for env, highest score first. The scoring
+// encodes the analysis' comparative argument: coverage earns points, costs
+// and unmet deployment prerequisites subtract them.
+func Recommend(env Environment) []Recommendation {
+	recs := make([]Recommendation, 0, len(Matrix()))
+	for _, p := range Matrix() {
+		r := Recommendation{Scheme: p}
+		add := func(points int, why string) {
+			r.Score += points
+			r.Why = append(r.Why, why)
+		}
+
+		for _, c := range []Coverage{p.VsGratuitous, p.VsUnsolicited, p.VsRequestSpoof, p.VsReplyRace} {
+			switch c {
+			case CoverageFull:
+				add(3, "")
+			case CoveragePartial:
+				add(1, "")
+			case CoverageNone:
+			}
+		}
+		r.Why = r.Why[:0] // coverage points need no narration
+
+		if env.WantPrevention && p.Role == RolePrevention {
+			add(4, "prevention wanted and provided")
+		}
+		if !env.Managed && p.Residence == ResidenceInfrastructure {
+			add(-8, "needs managed infrastructure the environment lacks")
+		}
+		if !env.CanTouchAllHosts && !p.Incremental {
+			add(-8, "all-or-nothing deployment impossible here")
+		}
+		if env.DynamicAddressing && !p.DHCPCompatible {
+			add(-5, "dynamic addressing breaks or floods this scheme")
+		}
+		switch p.DeployCost {
+		case CostHigh:
+			add(-3, "high deployment cost")
+		case CostMedium:
+			add(-1, "moderate deployment cost")
+		}
+		switch p.ComputeCost {
+		case CostHigh:
+			add(-2, "heavy per-packet computation")
+		case CostMedium:
+			add(-1, "moderate per-packet computation")
+		}
+		if p.FalsePositives == CostHigh {
+			add(-3, "high false-positive burden")
+		}
+		recs = append(recs, r)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Score > recs[j].Score })
+	return recs
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import "testing"
+
+func TestMatrixComplete(t *testing.T) {
+	rows := Matrix()
+	if len(rows) != 12 {
+		t.Fatalf("matrix rows = %d, want 12 scheme classes", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, p := range rows {
+		if p.Name == "" || p.Notes == "" {
+			t.Fatalf("incomplete row %+v", p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate row %q", p.Name)
+		}
+		seen[p.Name] = true
+		for _, c := range []Coverage{p.VsGratuitous, p.VsUnsolicited, p.VsRequestSpoof, p.VsReplyRace} {
+			if c < CoverageNone || c > CoverageFull {
+				t.Fatalf("row %q has unset coverage", p.Name)
+			}
+		}
+		for _, c := range []Cost{p.FalsePositives, p.TrafficCost, p.ComputeCost, p.DeployCost} {
+			if c < CostNone || c > CostHigh {
+				t.Fatalf("row %q has unset cost", p.Name)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("s-arp")
+	if !ok || p.Residence != ResidenceProtocol {
+		t.Fatalf("ByName(s-arp) = %+v %v", p, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown scheme found")
+	}
+}
+
+// TestMatrixEncodesTheAnalysisClaims pins the qualitative claims the
+// quantitative experiments validate. If an experiment contradicts one of
+// these, either the implementation or the matrix must change — never both
+// silently.
+func TestMatrixEncodesTheAnalysisClaims(t *testing.T) {
+	get := func(name string) Properties {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing row %q", name)
+		}
+		return p
+	}
+
+	// Crypto and DAI prevent everything.
+	for _, name := range []string{"s-arp", "tarp", "dai", "static-arp", "middleware"} {
+		if p := get(name); !p.DetectsAll() || p.Role == RoleDetection && name != "middleware" {
+			t.Errorf("%s should fully cover all variants", name)
+		}
+	}
+	// The kernel patch cannot stop the reply race.
+	if get("kernel-policy").VsReplyRace != CoverageNone {
+		t.Error("kernel-policy must not claim reply-race coverage")
+	}
+	// Port security does not address poisoning at all.
+	if get("port-security").DetectsAll() {
+		t.Error("port-security must not claim poisoning coverage")
+	}
+	// Passive monitoring has the churn false-positive burden; probing does not.
+	if get("arpwatch").FalsePositives != CostHigh {
+		t.Error("arpwatch FP burden should be high")
+	}
+	if get("active-probe").FalsePositives == CostHigh {
+		t.Error("active-probe FP burden should beat arpwatch")
+	}
+	// S-ARP computes more than TARP computes more than plain schemes.
+	if !(get("s-arp").ComputeCost > get("tarp").ComputeCost) {
+		t.Error("S-ARP must cost more compute than TARP")
+	}
+	// Protocol replacements are all-or-nothing and DHCP-hostile.
+	for _, name := range []string{"s-arp", "tarp"} {
+		p := get(name)
+		if p.Incremental || p.DHCPCompatible {
+			t.Errorf("%s should be all-or-nothing and DHCP-incompatible", name)
+		}
+	}
+}
+
+func TestRecommendationsMatchTheAnalysisConclusions(t *testing.T) {
+	top := func(envName string) string {
+		for _, env := range StandardEnvironments() {
+			if env.Name == envName {
+				return Recommend(env)[0].Scheme.Name
+			}
+		}
+		t.Fatalf("no environment %q", envName)
+		return ""
+	}
+
+	// Enterprise with managed switches: DAI or middleware leads; port
+	// security never does.
+	if got := top("enterprise"); got != "dai" && got != "middleware" {
+		t.Errorf("enterprise top = %s", got)
+	}
+	// SOHO (no managed gear, DHCP, can't touch every host): host-deployable
+	// detection/validation leads; infrastructure and protocol schemes sink.
+	if got := top("soho"); got != "middleware" && got != "active-probe" {
+		t.Errorf("soho top = %s", got)
+	}
+	// Static lab: static ARP or crypto become viable.
+	got := top("lab-static")
+	if got == "port-security" || got == "arpwatch" {
+		t.Errorf("lab-static top = %s", got)
+	}
+}
+
+func TestRecommendOrdersDescending(t *testing.T) {
+	for _, env := range StandardEnvironments() {
+		recs := Recommend(env)
+		if len(recs) != len(Matrix()) {
+			t.Fatalf("%s: %d recommendations", env.Name, len(recs))
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i-1].Score < recs[i].Score {
+				t.Fatalf("%s: not sorted at %d", env.Name, i)
+			}
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if RoleDetection.String() != "detection" || RolePrevention.String() != "prevention" || RoleMitigation.String() != "mitigation" {
+		t.Error("role names")
+	}
+	if ResidenceHost.String() != "host" || ResidenceProtocol.String() != "protocol" {
+		t.Error("residence names")
+	}
+	if CoverageFull.String() != "✓" || CoverageNone.String() != "✗" || CoveragePartial.String() != "◐" {
+		t.Error("coverage symbols")
+	}
+	if CostHigh.String() != "high" || CostNone.String() != "none" {
+		t.Error("cost labels")
+	}
+	if Role(0).String() != "unknown" || Residence(0).String() != "unknown" || Coverage(0).String() != "?" || Cost(0).String() != "?" {
+		t.Error("zero values")
+	}
+}

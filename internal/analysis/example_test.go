@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// ExampleRecommend ranks the schemes for an unmanaged home network.
+func ExampleRecommend() {
+	env := analysis.Environment{
+		Name:              "home",
+		Managed:           false, // consumer switch, no DAI possible
+		DynamicAddressing: true,  // DHCP everywhere
+		CanTouchAllHosts:  false, // guests, IoT junk
+		WantPrevention:    false, // detection suffices
+	}
+	recs := analysis.Recommend(env)
+	fmt.Println("best:", recs[0].Scheme.Name)
+	fmt.Println("worst:", recs[len(recs)-1].Scheme.Name)
+	// Output:
+	// best: middleware
+	// worst: port-security
+}

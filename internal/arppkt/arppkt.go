@@ -1,0 +1,203 @@
+// Package arppkt implements the Address Resolution Protocol packet format
+// (RFC 826) for Ethernet/IPv4, together with the semantic classification the
+// detection schemes rely on (gratuitous ARP, ARP probe, announcement,
+// unsolicited reply).
+//
+// The ARP header is encoded exactly as on the wire: 28 octets for the
+// Ethernet/IPv4 case. Keeping the wire format faithful matters because the
+// paper's analysis contrasts the per-packet overhead of ARP against its
+// cryptographically extended descendants (S-ARP, TARP), which embed a
+// standard ARP packet and append authentication data.
+package arppkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ethaddr"
+)
+
+// Op is the ARP operation code.
+type Op uint16
+
+// Operation codes from RFC 826.
+const (
+	OpRequest Op = 1
+	OpReply   Op = 2
+)
+
+// String returns the conventional name of the operation.
+func (o Op) String() string {
+	switch o {
+	case OpRequest:
+		return "request"
+	case OpReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("op(%d)", uint16(o))
+	}
+}
+
+// Fixed header constants for the Ethernet/IPv4 ARP variant.
+const (
+	HTypeEthernet = 1
+	PTypeIPv4     = 0x0800
+	HLenEthernet  = 6
+	PLenIPv4      = 4
+
+	// PacketLen is the wire size of an Ethernet/IPv4 ARP packet.
+	PacketLen = 28
+)
+
+// Errors returned by Decode and Validate.
+var (
+	ErrTruncated   = errors.New("arp packet truncated")
+	ErrNotEthernet = errors.New("arp hardware type is not ethernet")
+	ErrNotIPv4     = errors.New("arp protocol type is not ipv4")
+	ErrBadOp       = errors.New("arp operation is neither request nor reply")
+)
+
+// Packet is a decoded Ethernet/IPv4 ARP packet.
+//
+// Field names follow RFC 826: the Sender fields describe the station the
+// packet claims to speak for — they are what poisoners forge — and the
+// Target fields describe the station being asked about (request) or spoken
+// to (reply).
+type Packet struct {
+	Op        Op
+	SenderMAC ethaddr.MAC
+	SenderIP  ethaddr.IPv4
+	TargetMAC ethaddr.MAC
+	TargetIP  ethaddr.IPv4
+}
+
+// NewRequest builds a who-has request: "who has targetIP? tell
+// senderIP/senderMAC". The target hardware field is zero per convention.
+func NewRequest(senderMAC ethaddr.MAC, senderIP, targetIP ethaddr.IPv4) *Packet {
+	return &Packet{
+		Op:        OpRequest,
+		SenderMAC: senderMAC,
+		SenderIP:  senderIP,
+		TargetIP:  targetIP,
+	}
+}
+
+// NewReply builds an is-at reply: "senderIP is at senderMAC", addressed to
+// target.
+func NewReply(senderMAC ethaddr.MAC, senderIP ethaddr.IPv4, targetMAC ethaddr.MAC, targetIP ethaddr.IPv4) *Packet {
+	return &Packet{
+		Op:        OpReply,
+		SenderMAC: senderMAC,
+		SenderIP:  senderIP,
+		TargetMAC: targetMAC,
+		TargetIP:  targetIP,
+	}
+}
+
+// NewGratuitousRequest builds the broadcast announcement form in which
+// sender and target protocol addresses are equal. Legitimate hosts emit
+// these on address changes; poisoners abuse them to seed caches.
+func NewGratuitousRequest(mac ethaddr.MAC, ip ethaddr.IPv4) *Packet {
+	return &Packet{Op: OpRequest, SenderMAC: mac, SenderIP: ip, TargetIP: ip}
+}
+
+// NewGratuitousReply builds the reply-form gratuitous announcement
+// (sender==target IP, broadcast-addressed reply). Some stacks only update on
+// replies, so attack tools emit this form too.
+func NewGratuitousReply(mac ethaddr.MAC, ip ethaddr.IPv4) *Packet {
+	return &Packet{Op: OpReply, SenderMAC: mac, SenderIP: ip, TargetMAC: ethaddr.BroadcastMAC, TargetIP: ip}
+}
+
+// NewProbe builds an RFC 5227 address probe: a request with an all-zero
+// sender protocol address. Duplicate-address detection and the active
+// verification schemes send these because they cannot poison caches.
+func NewProbe(mac ethaddr.MAC, targetIP ethaddr.IPv4) *Packet {
+	return &Packet{Op: OpRequest, SenderMAC: mac, TargetIP: targetIP}
+}
+
+// IsGratuitous reports whether the packet is a gratuitous announcement:
+// sender and target protocol addresses are equal and non-zero.
+func (p *Packet) IsGratuitous() bool {
+	return p.SenderIP == p.TargetIP && !p.SenderIP.IsZero()
+}
+
+// IsProbe reports whether the packet is an RFC 5227 address probe.
+func (p *Packet) IsProbe() bool {
+	return p.Op == OpRequest && p.SenderIP.IsZero() && !p.TargetIP.IsZero()
+}
+
+// Binding returns the sender IP→MAC association the packet asserts. All the
+// cache-poisoning schemes fight over whether this assertion may be believed.
+func (p *Packet) Binding() (ethaddr.IPv4, ethaddr.MAC) {
+	return p.SenderIP, p.SenderMAC
+}
+
+// String renders a compact tcpdump-like summary.
+func (p *Packet) String() string {
+	switch {
+	case p.IsProbe():
+		return fmt.Sprintf("arp probe who-has %s (from %s)", p.TargetIP, p.SenderMAC)
+	case p.IsGratuitous() && p.Op == OpRequest:
+		return fmt.Sprintf("arp gratuitous-request %s is-at %s", p.SenderIP, p.SenderMAC)
+	case p.IsGratuitous():
+		return fmt.Sprintf("arp gratuitous-reply %s is-at %s", p.SenderIP, p.SenderMAC)
+	case p.Op == OpRequest:
+		return fmt.Sprintf("arp who-has %s tell %s (%s)", p.TargetIP, p.SenderIP, p.SenderMAC)
+	default:
+		return fmt.Sprintf("arp reply %s is-at %s (to %s)", p.SenderIP, p.SenderMAC, p.TargetIP)
+	}
+}
+
+// Encode serializes the packet into RFC 826 wire format.
+func (p *Packet) Encode() []byte {
+	buf := make([]byte, PacketLen)
+	binary.BigEndian.PutUint16(buf[0:2], HTypeEthernet)
+	binary.BigEndian.PutUint16(buf[2:4], PTypeIPv4)
+	buf[4] = HLenEthernet
+	buf[5] = PLenIPv4
+	binary.BigEndian.PutUint16(buf[6:8], uint16(p.Op))
+	copy(buf[8:14], p.SenderMAC[:])
+	copy(buf[14:18], p.SenderIP[:])
+	copy(buf[18:24], p.TargetMAC[:])
+	copy(buf[24:28], p.TargetIP[:])
+	return buf
+}
+
+// Decode parses a wire-format ARP packet, tolerating trailing Ethernet
+// padding, and rejects non-Ethernet/IPv4 variants.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < PacketLen {
+		return nil, fmt.Errorf("%w: %d octets", ErrTruncated, len(buf))
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != HTypeEthernet || buf[4] != HLenEthernet {
+		return nil, ErrNotEthernet
+	}
+	if binary.BigEndian.Uint16(buf[2:4]) != PTypeIPv4 || buf[5] != PLenIPv4 {
+		return nil, ErrNotIPv4
+	}
+	p := &Packet{Op: Op(binary.BigEndian.Uint16(buf[6:8]))}
+	copy(p.SenderMAC[:], buf[8:14])
+	copy(p.SenderIP[:], buf[14:18])
+	copy(p.TargetMAC[:], buf[18:24])
+	copy(p.TargetIP[:], buf[24:28])
+	return p, nil
+}
+
+// Validate performs the semantic checks an inspection point (for example
+// Dynamic ARP Inspection) applies before trusting field contents.
+func (p *Packet) Validate() error {
+	if p.Op != OpRequest && p.Op != OpReply {
+		return fmt.Errorf("%w: %d", ErrBadOp, uint16(p.Op))
+	}
+	if p.SenderMAC.IsMulticast() {
+		return fmt.Errorf("sender hardware address %s is a group address", p.SenderMAC)
+	}
+	if p.SenderIP.IsMulticast() || p.SenderIP.IsBroadcast() {
+		return fmt.Errorf("sender protocol address %s is not a station address", p.SenderIP)
+	}
+	if p.Op == OpReply && p.SenderMAC.IsZero() {
+		return errors.New("reply with zero sender hardware address")
+	}
+	return nil
+}

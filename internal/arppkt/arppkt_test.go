@@ -1,0 +1,180 @@
+package arppkt
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ethaddr"
+)
+
+var (
+	macA = ethaddr.MustParseMAC("02:42:ac:00:00:01")
+	macB = ethaddr.MustParseMAC("02:42:ac:00:00:02")
+	ipA  = ethaddr.MustParseIPv4("192.168.88.10")
+	ipB  = ethaddr.MustParseIPv4("192.168.88.20")
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		p    *Packet
+	}{
+		{name: "request", p: NewRequest(macA, ipA, ipB)},
+		{name: "reply", p: NewReply(macB, ipB, macA, ipA)},
+		{name: "gratuitous request", p: NewGratuitousRequest(macA, ipA)},
+		{name: "gratuitous reply", p: NewGratuitousReply(macA, ipA)},
+		{name: "probe", p: NewProbe(macA, ipB)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			wire := tt.p.Encode()
+			if len(wire) != PacketLen {
+				t.Fatalf("wire len = %d, want %d", len(wire), PacketLen)
+			}
+			got, err := Decode(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *got != *tt.p {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tt.p)
+			}
+		})
+	}
+}
+
+func TestDecodeToleratesPadding(t *testing.T) {
+	wire := NewRequest(macA, ipA, ipB).Encode()
+	padded := append(wire, make([]byte, 18)...) // ethernet min-frame padding
+	got, err := Decode(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TargetIP != ipB {
+		t.Fatalf("decode with padding lost fields: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Decode(make([]byte, PacketLen-1)); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("non-ethernet", func(t *testing.T) {
+		wire := NewRequest(macA, ipA, ipB).Encode()
+		wire[1] = 6 // IEEE 802
+		if _, err := Decode(wire); !errors.Is(err, ErrNotEthernet) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("non-ipv4", func(t *testing.T) {
+		wire := NewRequest(macA, ipA, ipB).Encode()
+		wire[2], wire[3] = 0x86, 0xdd // IPv6
+		if _, err := Decode(wire); !errors.Is(err, ErrNotIPv4) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestClassification(t *testing.T) {
+	tests := []struct {
+		name       string
+		p          *Packet
+		gratuitous bool
+		probe      bool
+	}{
+		{name: "plain request", p: NewRequest(macA, ipA, ipB)},
+		{name: "plain reply", p: NewReply(macB, ipB, macA, ipA)},
+		{name: "gratuitous request", p: NewGratuitousRequest(macA, ipA), gratuitous: true},
+		{name: "gratuitous reply", p: NewGratuitousReply(macA, ipA), gratuitous: true},
+		{name: "probe", p: NewProbe(macA, ipB), probe: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.IsGratuitous(); got != tt.gratuitous {
+				t.Errorf("IsGratuitous = %v, want %v", got, tt.gratuitous)
+			}
+			if got := tt.p.IsProbe(); got != tt.probe {
+				t.Errorf("IsProbe = %v, want %v", got, tt.probe)
+			}
+		})
+	}
+}
+
+func TestBinding(t *testing.T) {
+	p := NewReply(macB, ipB, macA, ipA)
+	ip, mac := p.Binding()
+	if ip != ipB || mac != macB {
+		t.Fatalf("Binding = %v %v", ip, mac)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Packet)
+		wantErr bool
+	}{
+		{name: "valid request", mutate: func(*Packet) {}},
+		{name: "bad op", mutate: func(p *Packet) { p.Op = 9 }, wantErr: true},
+		{name: "multicast sender mac", mutate: func(p *Packet) { p.SenderMAC = ethaddr.BroadcastMAC }, wantErr: true},
+		{name: "broadcast sender ip", mutate: func(p *Packet) { p.SenderIP = ethaddr.BroadcastIPv4 }, wantErr: true},
+		{name: "multicast sender ip", mutate: func(p *Packet) { p.SenderIP = ethaddr.MustParseIPv4("224.0.0.1") }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := NewRequest(macA, ipA, ipB)
+			tt.mutate(p)
+			err := p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateZeroMACReply(t *testing.T) {
+	p := NewReply(ethaddr.ZeroMAC, ipA, macB, ipB)
+	if err := p.Validate(); err == nil {
+		t.Fatal("reply with zero sender MAC should fail validation")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRequest.String() != "request" || OpReply.String() != "reply" {
+		t.Fatal("op names")
+	}
+	if Op(7).String() != "op(7)" {
+		t.Fatal("unknown op formatting")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	// Smoke-test the human-readable renderings used in example output.
+	for _, p := range []*Packet{
+		NewRequest(macA, ipA, ipB),
+		NewReply(macB, ipB, macA, ipA),
+		NewGratuitousRequest(macA, ipA),
+		NewGratuitousReply(macA, ipA),
+		NewProbe(macA, ipB),
+	} {
+		if p.String() == "" {
+			t.Fatalf("empty String for %+v", p)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(op bool, sm, tm ethaddr.MAC, si, ti ethaddr.IPv4) bool {
+		p := &Packet{Op: OpRequest, SenderMAC: sm, SenderIP: si, TargetMAC: tm, TargetIP: ti}
+		if op {
+			p.Op = OpReply
+		}
+		got, err := Decode(p.Encode())
+		return err == nil && *got == *p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package arppkt_test
+
+import (
+	"fmt"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+)
+
+// ExampleDecode parses a wire-format packet and classifies it.
+func ExampleDecode() {
+	mac := ethaddr.MustParseMAC("02:42:ac:00:00:01")
+	ip := ethaddr.MustParseIPv4("192.168.88.10")
+	wire := arppkt.NewGratuitousRequest(mac, ip).Encode()
+
+	p, err := arppkt.Decode(wire)
+	if err != nil {
+		fmt.Println("decode:", err)
+		return
+	}
+	fmt.Println(p)
+	fmt.Println("gratuitous:", p.IsGratuitous())
+	// Output:
+	// arp gratuitous-request 192.168.88.10 is-at 02:42:ac:00:00:01
+	// gratuitous: true
+}
+
+// ExamplePacket_Binding extracts the IP→MAC assertion every poisoning
+// scheme fights over.
+func ExamplePacket_Binding() {
+	reply := arppkt.NewReply(
+		ethaddr.MustParseMAC("02:42:ac:00:00:66"), // the claimant
+		ethaddr.MustParseIPv4("192.168.88.254"),   // the claimed address
+		ethaddr.MustParseMAC("02:42:ac:00:00:01"),
+		ethaddr.MustParseIPv4("192.168.88.10"),
+	)
+	ip, mac := reply.Binding()
+	fmt.Printf("%s is-at %s\n", ip, mac)
+	// Output:
+	// 192.168.88.254 is-at 02:42:ac:00:00:66
+}

@@ -1,0 +1,50 @@
+package arppkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsOnGarbage: arbitrary byte soup must produce either
+// a packet or an error, never a panic — decoders sit directly on the
+// attacker-controlled wire.
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	f := func(buf []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		p, err := Decode(buf)
+		if err == nil && p == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidateNeverPanics: Validate must be total over decodable packets.
+func TestValidateNeverPanics(t *testing.T) {
+	f := func(buf []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		p, err := Decode(buf)
+		if err != nil {
+			return true
+		}
+		_ = p.Validate()
+		_ = p.String()
+		_ = p.IsGratuitous()
+		_ = p.IsProbe()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,419 @@
+// Package attack implements the ARP cache poisoning attack in every
+// operational variant the paper's threat model covers, plus the man-in-the-
+// middle relay and denial-of-service payloads that poisoning enables, and
+// the cache/CAM flooding attacks that share its detection surface.
+//
+// An Attacker owns a NIC directly (not a Host): real attack tools bypass the
+// OS stack and inject raw frames, and so does this one. Every forged packet
+// is a byte-faithful ARP message — the schemes under evaluation see exactly
+// what they would see on a real wire.
+package attack
+
+import (
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/ipv4pkt"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Variant names a poisoning delivery technique. The policy-matrix
+// experiment sweeps all of them against each cache policy.
+type Variant int
+
+// Poisoning variants.
+const (
+	// VariantGratuitous broadcasts a forged gratuitous ARP claiming the
+	// spoofed IP.
+	VariantGratuitous Variant = iota + 1
+
+	// VariantUnsolicitedReply unicasts a forged reply to the victim with no
+	// preceding request.
+	VariantUnsolicitedReply
+
+	// VariantRequestSpoof unicasts a forged *request* whose sender fields
+	// carry the poison; caches that learn from requests accept it.
+	VariantRequestSpoof
+
+	// VariantReplyRace answers the victim's genuine request faster than
+	// the real owner, so even solicited-only caches accept the forgery.
+	VariantReplyRace
+)
+
+// String returns the variant name used in reports.
+func (v Variant) String() string {
+	switch v {
+	case VariantGratuitous:
+		return "gratuitous"
+	case VariantUnsolicitedReply:
+		return "unsolicited-reply"
+	case VariantRequestSpoof:
+		return "request-spoof"
+	case VariantReplyRace:
+		return "reply-race"
+	default:
+		return "unknown"
+	}
+}
+
+// Variants lists all poisoning variants in sweep order.
+func Variants() []Variant {
+	return []Variant{VariantGratuitous, VariantUnsolicitedReply, VariantRequestSpoof, VariantReplyRace}
+}
+
+// Stats counts attacker activity.
+type Stats struct {
+	Forged    uint64 // poisoning packets sent
+	Relayed   uint64 // MITM frames forwarded
+	Dropped   uint64 // frames blackholed
+	Sniffed   uint64 // payload bytes observed via MITM
+	RacesWon  uint64 // reply-race triggers fired (a request was answered)
+}
+
+// Attacker is a station under adversary control.
+type Attacker struct {
+	sched *sim.Scheduler
+	nic   *netsim.NIC
+	ip    ethaddr.IPv4 // the attacker's own (legitimate) address
+	stats Stats
+
+	onFrame      []func(*frame.Frame)
+	repoison     *sim.Timer
+	racing       map[ethaddr.IPv4]raceSpec
+	relaying     map[relayKey]relaySpec
+	blackhole    map[ethaddr.IPv4]bool
+	impersonated map[ethaddr.IPv4]bool
+	stealing     map[ethaddr.MAC]stealSpec
+}
+
+type stealSpec struct {
+	victimIP ethaddr.IPv4
+	restore  bool
+}
+
+type raceSpec struct {
+	victimIP ethaddr.IPv4 // only race requests from this victim (zero = any)
+	delay    time.Duration
+}
+
+type relayKey struct {
+	srcIP, dstIP ethaddr.IPv4
+}
+
+type relaySpec struct {
+	dstMAC ethaddr.MAC
+}
+
+// New creates an attacker on nic with its own legitimate address ip. The
+// NIC is put in promiscuous mode — attack tools always sniff.
+func New(s *sim.Scheduler, nic *netsim.NIC, ip ethaddr.IPv4) *Attacker {
+	a := &Attacker{
+		sched:        s,
+		nic:          nic,
+		ip:           ip,
+		racing:       make(map[ethaddr.IPv4]raceSpec),
+		relaying:     make(map[relayKey]relaySpec),
+		blackhole:    make(map[ethaddr.IPv4]bool),
+		impersonated: make(map[ethaddr.IPv4]bool),
+		stealing:     make(map[ethaddr.MAC]stealSpec),
+	}
+	nic.SetPromiscuous(true)
+	nic.SetHandler(a.handleFrame)
+	return a
+}
+
+// MAC returns the attacker's hardware address.
+func (a *Attacker) MAC() ethaddr.MAC { return a.nic.MAC() }
+
+// NIC exposes the attacker's interface for raw frame injection by tests and
+// custom attack payloads.
+func (a *Attacker) NIC() *netsim.NIC { return a.nic }
+
+// IP returns the attacker's legitimate protocol address.
+func (a *Attacker) IP() ethaddr.IPv4 { return a.ip }
+
+// Stats returns a copy of the attacker counters.
+func (a *Attacker) Stats() Stats { return a.stats }
+
+// OnFrame registers an additional sniffer callback.
+func (a *Attacker) OnFrame(fn func(*frame.Frame)) { a.onFrame = append(a.onFrame, fn) }
+
+// send transmits a raw frame.
+func (a *Attacker) send(f *frame.Frame) { a.nic.Send(f) }
+
+// sendARP wraps and transmits a forged ARP packet.
+func (a *Attacker) sendARP(p *arppkt.Packet, dstMAC, srcMAC ethaddr.MAC) {
+	a.stats.Forged++
+	a.send(&frame.Frame{Dst: dstMAC, Src: srcMAC, Type: frame.TypeARP, Payload: p.Encode()})
+}
+
+// Poison delivers one poisoning packet asserting "spoofedIP is-at asMAC"
+// using the given variant. For unicast variants, victimMAC/victimIP address
+// the target; the gratuitous variant broadcasts and ignores them. The
+// reply-race variant arms a trigger instead of sending immediately — see
+// ArmReplyRace.
+func (a *Attacker) Poison(v Variant, spoofedIP ethaddr.IPv4, asMAC ethaddr.MAC, victimMAC ethaddr.MAC, victimIP ethaddr.IPv4) {
+	switch v {
+	case VariantGratuitous:
+		p := arppkt.NewGratuitousRequest(asMAC, spoofedIP)
+		a.sendARP(p, ethaddr.BroadcastMAC, asMAC)
+	case VariantUnsolicitedReply:
+		p := arppkt.NewReply(asMAC, spoofedIP, victimMAC, victimIP)
+		a.sendARP(p, victimMAC, asMAC)
+	case VariantRequestSpoof:
+		// A request "who-has victimIP" whose sender fields are poisoned.
+		p := arppkt.NewRequest(asMAC, spoofedIP, victimIP)
+		a.sendARP(p, victimMAC, asMAC)
+	case VariantReplyRace:
+		a.ArmReplyRace(spoofedIP, victimIP, 0)
+	}
+}
+
+// ArmReplyRace waits for an ARP request asking for spoofedIP (from victimIP,
+// or any requester if victimIP is zero) and answers it with a forged reply
+// after delay. Negative delays are clamped to zero — the simulator cannot
+// send into the past, but a zero delay beats the genuine owner whenever the
+// attacker is nearer in latency, which the race experiment sweeps.
+func (a *Attacker) ArmReplyRace(spoofedIP, victimIP ethaddr.IPv4, delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	a.racing[spoofedIP] = raceSpec{victimIP: victimIP, delay: delay}
+}
+
+// DisarmReplyRace removes a race trigger.
+func (a *Attacker) DisarmReplyRace(spoofedIP ethaddr.IPv4) { delete(a.racing, spoofedIP) }
+
+// PoisonPeriodically re-sends a pair of unsolicited-reply poisons every
+// period, the standard tool behaviour that defeats cache expiry: victim
+// learns "peerIP is-at attacker", peer learns "victimIP is-at attacker".
+// That bidirectional poisoning is what enables full-duplex MITM.
+func (a *Attacker) PoisonPeriodically(period time.Duration,
+	victimMAC ethaddr.MAC, victimIP ethaddr.IPv4,
+	peerMAC ethaddr.MAC, peerIP ethaddr.IPv4) {
+	poison := func() {
+		a.Poison(VariantUnsolicitedReply, peerIP, a.MAC(), victimMAC, victimIP)
+		a.Poison(VariantUnsolicitedReply, victimIP, a.MAC(), peerMAC, peerIP)
+	}
+	poison()
+	a.repoison = a.sched.Every(period, poison)
+}
+
+// StopPoisoning halts periodic re-poisoning.
+func (a *Attacker) StopPoisoning() {
+	if a.repoison != nil {
+		a.repoison.Stop()
+	}
+}
+
+// RelayBetween installs full-duplex forwarding so intercepted IP traffic
+// between the two stations still arrives: frames captured for victim→peer
+// are re-sent to the peer's true MAC and vice versa. Combined with
+// PoisonPeriodically this is the complete eavesdropping MITM.
+func (a *Attacker) RelayBetween(victimMAC ethaddr.MAC, victimIP ethaddr.IPv4, peerMAC ethaddr.MAC, peerIP ethaddr.IPv4) {
+	a.relaying[relayKey{srcIP: victimIP, dstIP: peerIP}] = relaySpec{dstMAC: peerMAC}
+	a.relaying[relayKey{srcIP: peerIP, dstIP: victimIP}] = relaySpec{dstMAC: victimMAC}
+}
+
+// BlackholeTraffic makes the attacker silently drop intercepted IP packets
+// destined to dstIP instead of relaying — the DoS payload.
+func (a *Attacker) BlackholeTraffic(dstIP ethaddr.IPv4) { a.blackhole[dstIP] = true }
+
+// FloodCache broadcasts n gratuitous announcements binding random IPs in
+// the subnet to random MACs: ARP cache flooding. Packets are spaced by gap.
+func (a *Attacker) FloodCache(gen *ethaddr.Gen, subnet ethaddr.Subnet, n int, gap time.Duration) {
+	for i := 0; i < n; i++ {
+		i := i
+		a.sched.After(time.Duration(i)*gap, func() {
+			mac := gen.RandMAC()
+			ip := gen.RandIPv4(subnet)
+			p := arppkt.NewGratuitousRequest(mac, ip)
+			a.sendARP(p, ethaddr.BroadcastMAC, mac)
+		})
+	}
+}
+
+// StealPort mounts the port-stealing attack: frames forged with the
+// victim's source MAC re-teach the switch CAM that the victim lives on the
+// attacker's port, diverting the victim's inbound unicast here — no ARP
+// forgery at all, which is why ARP-layer schemes are blind to it. With
+// restore enabled, each interception is followed by an ARP request that
+// lets the victim's genuine reply re-teach the switch, the stolen frame is
+// replayed to the victim, and the port is stolen again — preserving
+// connectivity the way the classic tools do.
+func (a *Attacker) StealPort(victimMAC ethaddr.MAC, victimIP ethaddr.IPv4, period time.Duration, restore bool) *sim.Timer {
+	a.stealing[victimMAC] = stealSpec{victimIP: victimIP, restore: restore}
+	steal := func() {
+		if _, active := a.stealing[victimMAC]; !active {
+			return
+		}
+		a.stats.Forged++
+		// Any frame with the victim's source address steals the CAM slot;
+		// self-addressed keeps it off other stations' wires.
+		a.send(&frame.Frame{Dst: a.MAC(), Src: victimMAC, Type: frame.TypeIPv4})
+	}
+	steal()
+	return a.sched.Every(period, steal)
+}
+
+// StopStealing withdraws a port-steal target.
+func (a *Attacker) StopStealing(victimMAC ethaddr.MAC) { delete(a.stealing, victimMAC) }
+
+// Scan broadcasts who-has requests for the host addresses first..last of
+// the subnet, spaced by gap — the reconnaissance sweep attackers run to
+// enumerate victims before poisoning. The requests use the attacker's
+// genuine identity (scans that spoof get no answers back).
+func (a *Attacker) Scan(subnet ethaddr.Subnet, first, last int, gap time.Duration) {
+	for i := first; i <= last; i++ {
+		i := i
+		a.sched.After(time.Duration(i-first)*gap, func() {
+			p := arppkt.NewRequest(a.MAC(), a.ip, subnet.Host(i))
+			a.sendARP(p, ethaddr.BroadcastMAC, a.MAC())
+		})
+	}
+}
+
+// FloodCAM transmits n minimum-size frames with random source MACs, the
+// macof attack that fills a switch CAM table and forces fail-open flooding.
+func (a *Attacker) FloodCAM(gen *ethaddr.Gen, n int, gap time.Duration) {
+	for i := 0; i < n; i++ {
+		i := i
+		a.sched.After(time.Duration(i)*gap, func() {
+			a.stats.Forged++
+			a.send(&frame.Frame{
+				Dst:     gen.RandMAC(),
+				Src:     gen.RandMAC(),
+				Type:    frame.TypeIPv4,
+				Payload: nil,
+			})
+		})
+	}
+}
+
+// handleFrame is the attacker's promiscuous receive path: race triggers,
+// MITM relay, blackholing, sniff accounting.
+func (a *Attacker) handleFrame(f *frame.Frame) {
+	for _, fn := range a.onFrame {
+		fn(f)
+	}
+	switch f.Type {
+	case frame.TypeARP:
+		a.handleARP(f)
+	case frame.TypeIPv4:
+		a.handleIPv4(f)
+	}
+}
+
+// Impersonate makes the attacker fully assume an address: it answers ARP
+// requests AND verification probes for ip with its own MAC. This is the
+// evasive posture the analysis warns about — against an absent genuine
+// owner, active verification sees a single consistent (forged) answer and
+// clears it. Combine with an offline victim for the full blind spot.
+func (a *Attacker) Impersonate(ip ethaddr.IPv4) { a.impersonated[ip] = true }
+
+// StopImpersonating withdraws an assumed address.
+func (a *Attacker) StopImpersonating(ip ethaddr.IPv4) { delete(a.impersonated, ip) }
+
+// handleARP fires armed reply races and answers for impersonated addresses.
+func (a *Attacker) handleARP(f *frame.Frame) {
+	p, err := arppkt.Decode(f.Payload)
+	if err != nil || p.Op != arppkt.OpRequest || p.IsGratuitous() {
+		return
+	}
+	if a.impersonated[p.TargetIP] {
+		reply := arppkt.NewReply(a.MAC(), p.TargetIP, p.SenderMAC, p.SenderIP)
+		if p.IsProbe() {
+			reply.TargetIP = ethaddr.ZeroIPv4 // probe answers echo the zero sender
+		}
+		a.sendARP(reply, p.SenderMAC, a.MAC())
+		return
+	}
+	if p.IsProbe() {
+		return
+	}
+	spec, armed := a.racing[p.TargetIP]
+	if !armed {
+		return
+	}
+	if !spec.victimIP.IsZero() && p.SenderIP != spec.victimIP {
+		return
+	}
+	forged := arppkt.NewReply(a.MAC(), p.TargetIP, p.SenderMAC, p.SenderIP)
+	victimMAC := p.SenderMAC
+	a.stats.RacesWon++
+	// Two shots, as real tools fire: the first wins first-answer policies
+	// (solicited-only, no-overwrite), the second wins last-writer policies
+	// (anything that accepts unsolicited overwrites) even when the genuine
+	// reply lands in between.
+	a.sched.After(spec.delay, func() {
+		a.sendARP(forged, victimMAC, a.MAC())
+	})
+	a.sched.After(spec.delay+15*time.Millisecond, func() {
+		a.sendARP(forged, victimMAC, a.MAC())
+	})
+}
+
+// handleIPv4 relays or blackholes intercepted traffic. Only frames actually
+// addressed to the attacker's MAC are intercepted traffic; promiscuously
+// overheard frames are merely sniffed. Frames captured through a stolen
+// CAM slot arrive bearing the victim's destination MAC.
+func (a *Attacker) handleIPv4(f *frame.Frame) {
+	pkt, err := ipv4pkt.Decode(f.Payload)
+	if err != nil {
+		return
+	}
+	if spec, stolen := a.stealing[f.Dst]; stolen {
+		a.handleStolen(f, pkt, spec)
+		return
+	}
+	if f.Dst != a.MAC() {
+		return // overheard, not intercepted
+	}
+	if pkt.Dst == a.ip {
+		return // genuinely ours
+	}
+	a.stats.Sniffed += uint64(len(pkt.Payload))
+	if a.blackhole[pkt.Dst] {
+		a.stats.Dropped++
+		return
+	}
+	if spec, ok := a.relaying[relayKey{srcIP: pkt.Src, dstIP: pkt.Dst}]; ok {
+		a.stats.Relayed++
+		out := f.Clone()
+		out.Dst = spec.dstMAC
+		out.Src = a.MAC()
+		a.send(out)
+	}
+}
+
+// handleStolen processes one frame diverted by a stolen CAM slot: sniff
+// it, then (with restore enabled) hand the port back to the victim via a
+// provoked genuine reply, replay the frame, and re-steal.
+func (a *Attacker) handleStolen(f *frame.Frame, pkt *ipv4pkt.Packet, spec stealSpec) {
+	a.stats.Sniffed += uint64(len(pkt.Payload))
+	if !spec.restore {
+		a.stats.Dropped++
+		return
+	}
+	victimMAC := f.Dst
+	// Suspend stealing for this cycle so our own replay is not
+	// re-intercepted if it loops back before the CAM is restored.
+	delete(a.stealing, victimMAC)
+	// Provoke the victim into answering: its genuine reply re-teaches the
+	// switch where it really lives.
+	req := arppkt.NewRequest(a.MAC(), a.ip, spec.victimIP)
+	a.sendARP(req, ethaddr.BroadcastMAC, a.MAC())
+	held := f.Clone()
+	a.sched.After(2*time.Millisecond, func() {
+		a.stats.Relayed++
+		a.send(held)
+	})
+	a.sched.After(4*time.Millisecond, func() {
+		a.stealing[victimMAC] = spec
+		a.stats.Forged++
+		a.send(&frame.Frame{Dst: a.MAC(), Src: victimMAC, Type: frame.TypeIPv4})
+	})
+}

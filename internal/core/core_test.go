@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+)
+
+// guardLAN deploys a Guard on the workbench with the gateway seeded.
+func guardLAN(opts ...Option) (*labnet.LAN, *Guard) {
+	l := labnet.Default()
+	opts = append(opts, WithSeedBinding(l.Gateway().IP(), l.Gateway().MAC()))
+	g := New(l.Sched, l.Monitor, opts...)
+	l.Switch.AddTap(g.Tap())
+	return l, g
+}
+
+func TestDetectsAndConfirmsMITM(t *testing.T) {
+	l, g := guardLAN()
+	gw := l.Gateway()
+	l.Attacker.PoisonPeriodically(time.Second, l.Victim().MAC(), l.Victim().IP(), gw.MAC(), gw.IP())
+	l.Sched.At(10*time.Second, func() { l.Attacker.StopPoisoning(); l.Sched.Stop() })
+	_ = l.Run(time.Minute)
+
+	inc, ok := g.IncidentFor(gw.IP())
+	if !ok {
+		t.Fatal("no incident for the poisoned gateway IP")
+	}
+	if !inc.Confirmed {
+		t.Fatalf("incident not confirmed by active verification: %+v", inc)
+	}
+	if inc.Suspect != l.Attacker.MAC() {
+		t.Fatalf("suspect = %v", inc.Suspect)
+	}
+	if g.ConfirmedCount() < 1 {
+		t.Fatal("ConfirmedCount")
+	}
+}
+
+func TestIncidentAggregationDampsAlertFlood(t *testing.T) {
+	l, g := guardLAN()
+	gw := l.Gateway()
+	// 30 seconds of 1 Hz re-poisoning: one incident, not thirty pages.
+	l.Attacker.PoisonPeriodically(time.Second, l.Victim().MAC(), l.Victim().IP(), gw.MAC(), gw.IP())
+	l.Sched.At(30*time.Second, func() { l.Attacker.StopPoisoning(); l.Sched.Stop() })
+	_ = l.Run(time.Minute)
+
+	incidents := g.Incidents()
+	var gwIncidents int
+	for _, inc := range incidents {
+		if inc.IP == gw.IP() {
+			gwIncidents++
+			if inc.Alerts < 2 {
+				t.Fatalf("incident should fold multiple alerts: %+v", inc)
+			}
+			if inc.LastAt <= inc.FirstAt {
+				t.Fatalf("incident time range: %+v", inc)
+			}
+		}
+	}
+	if gwIncidents != 1 {
+		t.Fatalf("gateway incidents = %d, want 1 aggregated", gwIncidents)
+	}
+}
+
+func TestPassiveOnlyAblationMissesVerification(t *testing.T) {
+	l, g := guardLAN(WithoutActive())
+	gw := l.Gateway()
+	l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	inc, ok := g.IncidentFor(gw.IP())
+	if !ok {
+		t.Fatal("passive layer missed the flip-flop")
+	}
+	if inc.Confirmed {
+		t.Fatal("nothing should be confirmed without the active layer")
+	}
+}
+
+func TestActiveOnlyAblationStillConfirms(t *testing.T) {
+	l, g := guardLAN(WithoutPassive())
+	gw := l.Gateway()
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	inc, ok := g.IncidentFor(gw.IP())
+	if !ok || !inc.Confirmed {
+		t.Fatalf("active-only guard failed: %+v ok=%v", inc, ok)
+	}
+}
+
+func TestProtectHostPreventsCommit(t *testing.T) {
+	l, g := guardLAN()
+	g.ProtectHost(l.Victim())
+	gw := l.Gateway()
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mac, ok := l.Victim().Cache().Lookup(gw.IP()); ok && mac == l.Attacker.MAC() {
+		t.Fatal("protected host was poisoned")
+	}
+	inc, ok := g.IncidentFor(gw.IP())
+	if !ok || !inc.Confirmed {
+		t.Fatal("prevention should still produce a confirmed incident")
+	}
+}
+
+func TestCleanLANRaisesNothing(t *testing.T) {
+	l, g := guardLAN()
+	l.SeedMutualCaches()
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.Incidents()); n != 0 {
+		t.Fatalf("clean LAN produced %d incidents: %v", n, g.Sink().Alerts())
+	}
+}
+
+func TestAlertHandlerFires(t *testing.T) {
+	var live []schemes.Alert
+	l, _ := guardLAN(WithAlertHandler(func(a schemes.Alert) { live = append(live, a) }))
+	l.Attacker.Poison(attack.VariantGratuitous, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 {
+		t.Fatal("handler never fired")
+	}
+}
+
+func TestIncidentsAreCopies(t *testing.T) {
+	l, g := guardLAN()
+	l.Attacker.Poison(attack.VariantGratuitous, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	incs := g.Incidents()
+	if len(incs) == 0 {
+		t.Fatal("no incidents")
+	}
+	incs[0].Kinds[schemes.AlertFlood] = 99
+	fresh, _ := g.IncidentFor(incs[0].IP)
+	if fresh.Kinds[schemes.AlertFlood] == 99 {
+		t.Fatal("Incidents aliases internal maps")
+	}
+}

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/labnet"
+)
+
+// ExampleGuard shows the three-call deployment: build a LAN, tap it with a
+// Guard, read incidents.
+func ExampleGuard() {
+	lan := labnet.Default()
+	gateway := lan.Gateway()
+
+	guard := core.New(lan.Sched, lan.Monitor,
+		core.WithSeedBinding(gateway.IP(), gateway.MAC()))
+	lan.Switch.AddTap(guard.Tap())
+
+	// An attacker claims the gateway's address.
+	lan.Attacker.Poison(attack.VariantGratuitous,
+		gateway.IP(), lan.Attacker.MAC(), lan.Victim().MAC(), lan.Victim().IP())
+	if err := lan.Run(5 * time.Second); err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+
+	inc, ok := guard.IncidentFor(gateway.IP())
+	fmt.Printf("incident found: %v\n", ok)
+	fmt.Printf("confirmed by probing: %v\n", inc.Confirmed)
+	fmt.Printf("suspect is the attacker: %v\n", inc.Suspect == lan.Attacker.MAC())
+	// Output:
+	// incident found: true
+	// confirmed by probing: true
+	// suspect is the attacker: true
+}
+
+// ExampleGuard_ProtectHost adds inline prevention on a host you control:
+// the forged binding is quarantined, contradicted, and never committed.
+func ExampleGuard_ProtectHost() {
+	lan := labnet.Default()
+	gateway, victim := lan.Gateway(), lan.Victim()
+
+	guard := core.New(lan.Sched, lan.Monitor,
+		core.WithSeedBinding(gateway.IP(), gateway.MAC()))
+	lan.Switch.AddTap(guard.Tap())
+	guard.ProtectHost(victim)
+
+	lan.Attacker.Poison(attack.VariantUnsolicitedReply,
+		gateway.IP(), lan.Attacker.MAC(), victim.MAC(), victim.IP())
+	if err := lan.Run(5 * time.Second); err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+
+	mac, ok := victim.Cache().Lookup(gateway.IP())
+	fmt.Printf("victim poisoned: %v\n", ok && mac == lan.Attacker.MAC())
+	// Output:
+	// victim poisoned: false
+}

@@ -1,0 +1,135 @@
+package dhcp
+
+import (
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// ClientState is the DORA progression of a client.
+type ClientState int
+
+// Client states.
+const (
+	StateInit ClientState = iota + 1
+	StateSelecting
+	StateRequesting
+	StateBound
+)
+
+// Client runs the DISCOVER/OFFER/REQUEST/ACK exchange for a host and
+// installs the acquired address.
+type Client struct {
+	host    *stack.Host
+	sched   *sim.Scheduler
+	state   ClientState
+	xid     uint32
+	lease   Lease
+	onBound func(Lease)
+	timeout *sim.Timer
+}
+
+// NewClient attaches a DHCP client to host. onBound (optional) fires every
+// time an address is acquired.
+func NewClient(s *sim.Scheduler, host *stack.Host, onBound func(Lease)) *Client {
+	c := &Client{host: host, sched: s, state: StateInit, onBound: onBound}
+	host.HandleUDP(ClientPort, c.handle)
+	return c
+}
+
+// State returns the client's DORA state.
+func (c *Client) State() ClientState { return c.state }
+
+// Lease returns the current lease (zero before the first bind).
+func (c *Client) Lease() Lease { return c.lease }
+
+// Acquire starts (or restarts) the DORA exchange. If no offer arrives within
+// the timeout the client retries discovery — the visible symptom of a
+// starvation attack.
+func (c *Client) Acquire() {
+	c.state = StateSelecting
+	c.xid = c.sched.Rand().Uint32()
+	m := &Message{Type: Discover, XID: c.xid, ClientMAC: c.host.MAC()}
+	c.broadcast(m)
+	c.armRetry()
+}
+
+// ReleaseAddress sends a RELEASE and forgets the lease.
+func (c *Client) ReleaseAddress() {
+	if c.state != StateBound {
+		return
+	}
+	m := &Message{Type: Release, XID: c.xid, ClientMAC: c.host.MAC(), ClientIP: c.lease.IP}
+	c.broadcast(m)
+	c.state = StateInit
+	c.host.SetIP(ethaddr.ZeroIPv4)
+}
+
+// armRetry restarts discovery if the exchange stalls.
+func (c *Client) armRetry() {
+	if c.timeout != nil {
+		c.timeout.Stop()
+	}
+	c.timeout = c.sched.After(4*time.Second, func() {
+		if c.state == StateSelecting || c.state == StateRequesting {
+			c.Acquire()
+		}
+	})
+}
+
+// handle processes one server message.
+func (c *Client) handle(src ethaddr.IPv4, srcPort uint16, payload []byte) {
+	m, err := Decode(payload)
+	if err != nil || m.XID != c.xid || m.ClientMAC != c.host.MAC() {
+		return
+	}
+	switch m.Type {
+	case Offer:
+		if c.state != StateSelecting {
+			return
+		}
+		c.state = StateRequesting
+		req := &Message{
+			Type:        Request,
+			XID:         c.xid,
+			ClientMAC:   c.host.MAC(),
+			RequestedIP: m.YourIP,
+			ServerID:    m.ServerID,
+		}
+		c.broadcast(req)
+		c.armRetry()
+	case Ack:
+		if c.state != StateRequesting {
+			return
+		}
+		if c.timeout != nil {
+			c.timeout.Stop()
+		}
+		c.state = StateBound
+		c.lease = Lease{
+			IP:      m.YourIP,
+			MAC:     c.host.MAC(),
+			Expires: c.sched.Now() + time.Duration(m.LeaseSecs)*time.Second,
+		}
+		c.host.SetIP(m.YourIP)
+		if c.onBound != nil {
+			c.onBound(c.lease)
+		}
+	case Nak:
+		// A NAK matters only mid-transaction; once bound, a late NAK from
+		// a losing server must not unseat the committed lease.
+		if c.state != StateRequesting {
+			return
+		}
+		c.state = StateInit
+		c.Acquire()
+	}
+}
+
+// broadcast sends a client message as an Ethernet broadcast from the
+// unspecified address.
+func (c *Client) broadcast(m *Message) {
+	c.host.SendUDPTo(ethaddr.BroadcastMAC, ethaddr.BroadcastIPv4, ClientPort, ServerPort, m.Encode())
+}

@@ -1,0 +1,187 @@
+// Package dhcp implements a minimal but wire-faithful DHCP (RFC 2131)
+// server and client over the simulated stack. The framework needs it for
+// two reasons drawn from the paper's analysis: Dynamic ARP Inspection
+// derives its trusted IP↔MAC binding table from DHCP snooping, and dynamic
+// address churn is the main source of false positives for passive ARP
+// monitors, so the evaluation must be able to generate it realistically.
+package dhcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ethaddr"
+)
+
+// UDP ports used by the protocol.
+const (
+	ServerPort = 67
+	ClientPort = 68
+)
+
+// MsgType is the DHCP message type (option 53).
+type MsgType uint8
+
+// Message types used by the framework.
+const (
+	Discover MsgType = 1
+	Offer    MsgType = 2
+	Request  MsgType = 3
+	Ack      MsgType = 5
+	Nak      MsgType = 6
+	Release  MsgType = 7
+)
+
+// String returns the conventional message-type name.
+func (t MsgType) String() string {
+	switch t {
+	case Discover:
+		return "DISCOVER"
+	case Offer:
+		return "OFFER"
+	case Request:
+		return "REQUEST"
+	case Ack:
+		return "ACK"
+	case Nak:
+		return "NAK"
+	case Release:
+		return "RELEASE"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// BOOTP operation codes.
+const (
+	opRequest = 1
+	opReply   = 2
+)
+
+// Option codes used by the framework.
+const (
+	optSubnetMask  = 1
+	optRouter      = 3
+	optRequestedIP = 50
+	optLeaseTime   = 51
+	optMsgType     = 53
+	optServerID    = 54
+	optEnd         = 255
+)
+
+// headerLen is the fixed BOOTP header size preceding the magic cookie.
+const headerLen = 236
+
+var magicCookie = [4]byte{99, 130, 83, 99}
+
+// Errors returned by Decode.
+var (
+	ErrTruncated = errors.New("dhcp message truncated")
+	ErrBadMagic  = errors.New("dhcp magic cookie missing")
+)
+
+// Message is a decoded DHCP message, carrying only the fields the framework
+// uses; unknown options are ignored on decode.
+type Message struct {
+	Type        MsgType
+	XID         uint32
+	ClientMAC   ethaddr.MAC
+	ClientIP    ethaddr.IPv4 // ciaddr
+	YourIP      ethaddr.IPv4 // yiaddr
+	ServerID    ethaddr.IPv4
+	RequestedIP ethaddr.IPv4
+	Router      ethaddr.IPv4
+	SubnetMask  ethaddr.IPv4
+	LeaseSecs   uint32
+}
+
+// Encode serializes the message in BOOTP/DHCP wire format.
+func (m *Message) Encode() []byte {
+	buf := make([]byte, headerLen, headerLen+64)
+	op := byte(opRequest)
+	if m.Type == Offer || m.Type == Ack || m.Type == Nak {
+		op = opReply
+	}
+	buf[0] = op
+	buf[1] = 1 // htype ethernet
+	buf[2] = 6 // hlen
+	binary.BigEndian.PutUint32(buf[4:8], m.XID)
+	copy(buf[12:16], m.ClientIP[:])
+	copy(buf[16:20], m.YourIP[:])
+	copy(buf[28:34], m.ClientMAC[:])
+	buf = append(buf, magicCookie[:]...)
+	buf = append(buf, optMsgType, 1, byte(m.Type))
+	appendIPOpt := func(code byte, ip ethaddr.IPv4) {
+		if !ip.IsZero() {
+			buf = append(buf, code, 4)
+			buf = append(buf, ip[:]...)
+		}
+	}
+	appendIPOpt(optServerID, m.ServerID)
+	appendIPOpt(optRequestedIP, m.RequestedIP)
+	appendIPOpt(optRouter, m.Router)
+	appendIPOpt(optSubnetMask, m.SubnetMask)
+	if m.LeaseSecs > 0 {
+		buf = append(buf, optLeaseTime, 4)
+		buf = binary.BigEndian.AppendUint32(buf, m.LeaseSecs)
+	}
+	buf = append(buf, optEnd)
+	return buf
+}
+
+// Decode parses a wire-format DHCP message.
+func Decode(buf []byte) (*Message, error) {
+	if len(buf) < headerLen+4 {
+		return nil, fmt.Errorf("%w: %d octets", ErrTruncated, len(buf))
+	}
+	if [4]byte(buf[headerLen:headerLen+4]) != magicCookie {
+		return nil, ErrBadMagic
+	}
+	m := &Message{XID: binary.BigEndian.Uint32(buf[4:8])}
+	copy(m.ClientIP[:], buf[12:16])
+	copy(m.YourIP[:], buf[16:20])
+	copy(m.ClientMAC[:], buf[28:34])
+	opts := buf[headerLen+4:]
+	for len(opts) > 0 {
+		code := opts[0]
+		if code == optEnd {
+			break
+		}
+		if code == 0 { // pad
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 {
+			return nil, fmt.Errorf("%w: option header", ErrTruncated)
+		}
+		length := int(opts[1])
+		if len(opts) < 2+length {
+			return nil, fmt.Errorf("%w: option %d body", ErrTruncated, code)
+		}
+		body := opts[2 : 2+length]
+		switch code {
+		case optMsgType:
+			if length >= 1 {
+				m.Type = MsgType(body[0])
+			}
+		case optServerID:
+			copy(m.ServerID[:], body)
+		case optRequestedIP:
+			copy(m.RequestedIP[:], body)
+		case optRouter:
+			copy(m.Router[:], body)
+		case optSubnetMask:
+			copy(m.SubnetMask[:], body)
+		case optLeaseTime:
+			if length >= 4 {
+				m.LeaseSecs = binary.BigEndian.Uint32(body)
+			}
+		}
+		opts = opts[2+length:]
+	}
+	if m.Type == 0 {
+		return nil, errors.New("dhcp message missing type option")
+	}
+	return m, nil
+}

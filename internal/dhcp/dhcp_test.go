@@ -1,0 +1,264 @@
+package dhcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:        Offer,
+		XID:         0xdeadbeef,
+		ClientMAC:   ethaddr.MustParseMAC("02:42:ac:00:00:01"),
+		ClientIP:    ethaddr.MustParseIPv4("10.0.0.5"),
+		YourIP:      ethaddr.MustParseIPv4("10.0.0.50"),
+		ServerID:    ethaddr.MustParseIPv4("10.0.0.1"),
+		RequestedIP: ethaddr.MustParseIPv4("10.0.0.50"),
+		Router:      ethaddr.MustParseIPv4("10.0.0.254"),
+		SubnetMask:  ethaddr.MustParseIPv4("255.255.255.0"),
+		LeaseSecs:   600,
+	}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 100)); err == nil {
+		t.Fatal("short message accepted")
+	}
+	wire := (&Message{Type: Discover, XID: 1}).Encode()
+	wire[236] = 0 // break magic
+	if _, err := Decode(wire); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Missing type option.
+	noType := make([]byte, 240)
+	copy(noType[236:], magicCookie[:])
+	if _, err := Decode(noType); err == nil {
+		t.Fatal("typeless message accepted")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	names := map[MsgType]string{
+		Discover: "DISCOVER", Offer: "OFFER", Request: "REQUEST",
+		Ack: "ACK", Nak: "NAK", Release: "RELEASE", MsgType(9): "type(9)",
+	}
+	for mt, want := range names {
+		if got := mt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", mt, got, want)
+		}
+	}
+}
+
+// testNet wires a server host and n client hosts on one switch.
+type testNet struct {
+	s       *sim.Scheduler
+	sw      *netsim.Switch
+	server  *Server
+	srvHost *stack.Host
+	clients []*Client
+	hosts   []*stack.Host
+}
+
+func newTestNet(t *testing.T, nClients, poolSize int, opts ...ServerOption) *testNet {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	sw := netsim.NewSwitch(s)
+	subnet := ethaddr.MustParseSubnet("10.0.0.0/24")
+	gen := ethaddr.NewGen(11)
+
+	srvNIC := netsim.NewNIC(s, gen.SeqMAC())
+	sw.AddPort().Attach(srvNIC)
+	srvHost := stack.NewHost(s, "dhcp-server", srvNIC, subnet.Host(1))
+	server := NewServer(s, srvHost, subnet, subnet.Host(254), 100, poolSize, opts...)
+
+	tn := &testNet{s: s, sw: sw, server: server, srvHost: srvHost}
+	for i := 0; i < nClients; i++ {
+		nic := netsim.NewNIC(s, gen.SeqMAC())
+		sw.AddPort().Attach(nic)
+		h := stack.NewHost(s, "client", nic, ethaddr.ZeroIPv4)
+		tn.hosts = append(tn.hosts, h)
+		tn.clients = append(tn.clients, NewClient(s, h, nil))
+	}
+	return tn
+}
+
+func TestDORAAssignsAddress(t *testing.T) {
+	tn := newTestNet(t, 1, 10)
+	tn.clients[0].Acquire()
+	if err := tn.s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c := tn.clients[0]
+	if c.State() != StateBound {
+		t.Fatalf("state = %v", c.State())
+	}
+	want := ethaddr.MustParseIPv4("10.0.0.100")
+	if c.Lease().IP != want {
+		t.Fatalf("lease IP = %v, want %v", c.Lease().IP, want)
+	}
+	if tn.hosts[0].IP() != want {
+		t.Fatal("host IP not installed")
+	}
+	st := tn.server.Stats()
+	if st.Discovers != 1 || st.Offers != 1 || st.Requests != 1 || st.Acks != 1 {
+		t.Fatalf("server stats: %+v", st)
+	}
+}
+
+func TestDistinctAddressesPerClient(t *testing.T) {
+	tn := newTestNet(t, 5, 10)
+	for _, c := range tn.clients {
+		c.Acquire()
+	}
+	if err := tn.s.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[ethaddr.IPv4]bool)
+	for i, c := range tn.clients {
+		if c.State() != StateBound {
+			t.Fatalf("client %d not bound", i)
+		}
+		if seen[c.Lease().IP] {
+			t.Fatalf("duplicate address %v", c.Lease().IP)
+		}
+		seen[c.Lease().IP] = true
+	}
+	if tn.server.FreeCount() != 5 {
+		t.Fatalf("FreeCount = %d", tn.server.FreeCount())
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	tn := newTestNet(t, 3, 2)
+	for _, c := range tn.clients {
+		c.Acquire()
+	}
+	// Run briefly: two bind, one starves (and keeps retrying).
+	if err := tn.s.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	bound := 0
+	for _, c := range tn.clients {
+		if c.State() == StateBound {
+			bound++
+		}
+	}
+	if bound != 2 {
+		t.Fatalf("bound = %d, want 2", bound)
+	}
+	if tn.server.Stats().PoolExhausted == 0 {
+		t.Fatal("exhaustion not recorded")
+	}
+}
+
+func TestOnLeaseCallbackFeedsSnooping(t *testing.T) {
+	var leases []Lease
+	tn := newTestNet(t, 2, 10, WithOnLease(func(l Lease) { leases = append(leases, l) }))
+	for _, c := range tn.clients {
+		c.Acquire()
+	}
+	if err := tn.s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 2 {
+		t.Fatalf("lease callbacks = %d", len(leases))
+	}
+	for _, l := range leases {
+		if l.IP.IsZero() || !l.MAC.IsUnicast() {
+			t.Fatalf("bad lease %+v", l)
+		}
+	}
+}
+
+func TestReleaseReturnsAddressAndChurnsIt(t *testing.T) {
+	var released []Lease
+	tn := newTestNet(t, 2, 1, WithOnRelease(func(l Lease) { released = append(released, l) }))
+	c0, c1 := tn.clients[0], tn.clients[1]
+
+	c0.Acquire()
+	if err := tn.s.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c0.State() != StateBound {
+		t.Fatal("c0 not bound")
+	}
+	ip := c0.Lease().IP
+
+	// Release, then the second client acquires the same address with a
+	// different MAC — the churn event that trips passive monitors.
+	c0.ReleaseAddress()
+	tn.s.After(time.Second, c1.Acquire)
+	if err := tn.s.RunUntil(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(released) != 1 {
+		t.Fatalf("release callbacks = %d", len(released))
+	}
+	if c1.State() != StateBound || c1.Lease().IP != ip {
+		t.Fatalf("c1 lease = %+v, want reuse of %v", c1.Lease(), ip)
+	}
+	if c0.Lease().MAC == c1.Lease().MAC {
+		t.Fatal("test requires distinct MACs")
+	}
+}
+
+func TestLeaseExpiryFreesAddress(t *testing.T) {
+	tn := newTestNet(t, 1, 1, WithLeaseTime(5*time.Second))
+	tn.clients[0].Acquire()
+	if err := tn.s.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tn.server.FreeCount() != 0 {
+		t.Fatal("address should be leased")
+	}
+	if err := tn.s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tn.server.FreeCount() != 1 {
+		t.Fatal("expired lease not reclaimed")
+	}
+}
+
+func TestRenewKeepsSameAddress(t *testing.T) {
+	tn := newTestNet(t, 1, 5)
+	c := tn.clients[0]
+	c.Acquire()
+	if err := tn.s.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Lease().IP
+	c.Acquire() // re-DORA, same MAC
+	if err := tn.s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Lease().IP != first {
+		t.Fatalf("renewal moved address: %v → %v", first, c.Lease().IP)
+	}
+}
+
+func TestStarvationRetryBehaviour(t *testing.T) {
+	// A starving client must keep emitting DISCOVERs.
+	tn := newTestNet(t, 1, 0)
+	tn.clients[0].Acquire()
+	if err := tn.s.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tn.server.Stats().Discovers < 3 {
+		t.Fatalf("discovers = %d, want retries", tn.server.Stats().Discovers)
+	}
+	if tn.clients[0].State() == StateBound {
+		t.Fatal("client bound with empty pool")
+	}
+}

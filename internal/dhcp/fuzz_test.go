@@ -1,0 +1,43 @@
+package dhcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsOnGarbage: the DHCP decoder parses frames any LAN
+// station can send; it must be total.
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	f := func(buf []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Decode(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeNeverPanicsOnMutatedValid: bit-flipped valid messages must not
+// panic either (option-walk edge cases live here).
+func TestDecodeNeverPanicsOnMutatedValid(t *testing.T) {
+	base := (&Message{Type: Ack, XID: 7, LeaseSecs: 600}).Encode()
+	f := func(pos uint16, val byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		mutated := append([]byte(nil), base...)
+		mutated[int(pos)%len(mutated)] = val
+		_, _ = Decode(mutated)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+package dhcp
+
+import (
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// Lease records one address assignment.
+type Lease struct {
+	IP      ethaddr.IPv4
+	MAC     ethaddr.MAC
+	Expires time.Duration
+}
+
+// ServerStats counts protocol activity and the pool state the starvation
+// experiments watch.
+type ServerStats struct {
+	Discovers, Offers, Requests, Acks, Naks, Releases uint64
+	PoolExhausted                                     uint64 // discovers refused for lack of addresses
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLeaseTime sets the lease duration granted to clients (default 10min).
+func WithLeaseTime(d time.Duration) ServerOption {
+	return func(sv *Server) { sv.leaseTime = d }
+}
+
+// WithOnLease registers a callback fired on every ACK; DHCP snooping tables
+// are built from exactly this stream.
+func WithOnLease(fn func(Lease)) ServerOption {
+	return func(sv *Server) { sv.onLease = fn }
+}
+
+// WithOnRelease registers a callback fired when a client releases or a
+// lease expires.
+func WithOnRelease(fn func(Lease)) ServerOption {
+	return func(sv *Server) { sv.onRelease = fn }
+}
+
+// Server is a DHCP server bound to a host. Addresses are handed out from a
+// contiguous pool inside the subnet; freed addresses are reused
+// first-returned-first, which maximizes IP↔MAC churn — deliberately, since
+// that churn is what stresses passive detection schemes.
+type Server struct {
+	host      *stack.Host
+	sched     *sim.Scheduler
+	subnet    ethaddr.Subnet
+	router    ethaddr.IPv4
+	leaseTime time.Duration
+	onLease   func(Lease)
+	onRelease func(Lease)
+
+	free     []ethaddr.IPv4 // allocation queue
+	byMAC    map[ethaddr.MAC]Lease
+	byIP     map[ethaddr.IPv4]Lease
+	offered  map[ethaddr.MAC]ethaddr.IPv4
+	stats    ServerStats
+}
+
+// NewServer creates a server on host handing out poolSize addresses starting
+// at the subnet's firstHost index.
+func NewServer(s *sim.Scheduler, host *stack.Host, subnet ethaddr.Subnet, router ethaddr.IPv4, firstHost, poolSize int, opts ...ServerOption) *Server {
+	sv := &Server{
+		host:      host,
+		sched:     s,
+		subnet:    subnet,
+		router:    router,
+		leaseTime: 10 * time.Minute,
+		byMAC:     make(map[ethaddr.MAC]Lease),
+		byIP:      make(map[ethaddr.IPv4]Lease),
+		offered:   make(map[ethaddr.MAC]ethaddr.IPv4),
+	}
+	for _, opt := range opts {
+		opt(sv)
+	}
+	sv.free = make([]ethaddr.IPv4, 0, poolSize)
+	for i := 0; i < poolSize; i++ {
+		sv.free = append(sv.free, subnet.Host(firstHost+i))
+	}
+	host.HandleUDP(ServerPort, sv.handle)
+	return sv
+}
+
+// Stats returns a copy of the counters.
+func (sv *Server) Stats() ServerStats { return sv.stats }
+
+// FreeCount returns the number of unallocated pool addresses.
+func (sv *Server) FreeCount() int { return len(sv.free) }
+
+// Leases returns a snapshot of active leases.
+func (sv *Server) Leases() []Lease {
+	out := make([]Lease, 0, len(sv.byMAC))
+	now := sv.sched.Now()
+	for _, l := range sv.byMAC {
+		if l.Expires > now {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// handle processes one client message.
+func (sv *Server) handle(src ethaddr.IPv4, srcPort uint16, payload []byte) {
+	m, err := Decode(payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case Discover:
+		sv.handleDiscover(m)
+	case Request:
+		sv.handleRequest(m)
+	case Release:
+		sv.handleRelease(m)
+	}
+}
+
+// handleDiscover offers an address, preferring the client's existing lease.
+func (sv *Server) handleDiscover(m *Message) {
+	sv.stats.Discovers++
+	ip, ok := sv.pickAddress(m.ClientMAC)
+	if !ok {
+		sv.stats.PoolExhausted++
+		return // silence: the client will retry and eventually starve
+	}
+	sv.offered[m.ClientMAC] = ip
+	sv.stats.Offers++
+	sv.reply(m, Offer, ip)
+}
+
+// handleRequest acknowledges a valid request or NAKs a stale one.
+func (sv *Server) handleRequest(m *Message) {
+	sv.stats.Requests++
+	want := m.RequestedIP
+	if want.IsZero() {
+		want = m.ClientIP
+	}
+	offered, wasOffered := sv.offered[m.ClientMAC]
+	existing, hasLease := sv.byMAC[m.ClientMAC]
+	valid := (wasOffered && offered == want) ||
+		(hasLease && existing.IP == want && existing.Expires > sv.sched.Now())
+	if !valid {
+		sv.stats.Naks++
+		sv.reply(m, Nak, ethaddr.ZeroIPv4)
+		return
+	}
+	delete(sv.offered, m.ClientMAC)
+	sv.commit(m.ClientMAC, want)
+	sv.stats.Acks++
+	sv.reply(m, Ack, want)
+}
+
+// handleRelease returns the address to the pool.
+func (sv *Server) handleRelease(m *Message) {
+	sv.stats.Releases++
+	l, ok := sv.byMAC[m.ClientMAC]
+	if !ok {
+		return
+	}
+	sv.evict(l)
+}
+
+// pickAddress chooses an address for mac: its current lease, its standing
+// offer, or the next free address.
+func (sv *Server) pickAddress(mac ethaddr.MAC) (ethaddr.IPv4, bool) {
+	if l, ok := sv.byMAC[mac]; ok && l.Expires > sv.sched.Now() {
+		return l.IP, true
+	}
+	if ip, ok := sv.offered[mac]; ok {
+		return ip, true
+	}
+	if len(sv.free) == 0 {
+		return ethaddr.IPv4{}, false
+	}
+	ip := sv.free[0]
+	sv.free = sv.free[1:]
+	return ip, true
+}
+
+// commit installs or renews a lease and arms its expiry.
+func (sv *Server) commit(mac ethaddr.MAC, ip ethaddr.IPv4) {
+	if old, ok := sv.byMAC[mac]; ok && old.IP != ip {
+		sv.evict(old)
+	}
+	l := Lease{IP: ip, MAC: mac, Expires: sv.sched.Now() + sv.leaseTime}
+	sv.byMAC[mac] = l
+	sv.byIP[ip] = l
+	if sv.onLease != nil {
+		sv.onLease(l)
+	}
+	sv.sched.At(l.Expires, func() {
+		cur, ok := sv.byMAC[mac]
+		if ok && cur.IP == ip && cur.Expires <= sv.sched.Now() {
+			sv.evict(cur)
+		}
+	})
+}
+
+// evict frees a lease and returns its address to the back of the queue.
+func (sv *Server) evict(l Lease) {
+	delete(sv.byMAC, l.MAC)
+	delete(sv.byIP, l.IP)
+	sv.free = append(sv.free, l.IP)
+	if sv.onRelease != nil {
+		sv.onRelease(l)
+	}
+}
+
+// reply sends a server message to the client as a broadcast frame (the
+// client has no routable address yet).
+func (sv *Server) reply(m *Message, t MsgType, ip ethaddr.IPv4) {
+	out := &Message{
+		Type:       t,
+		XID:        m.XID,
+		ClientMAC:  m.ClientMAC,
+		YourIP:     ip,
+		ServerID:   sv.host.IP(),
+		Router:     sv.router,
+		SubnetMask: ethaddr.IPv4{255, 255, 255, 0},
+		LeaseSecs:  uint32(sv.leaseTime / time.Second),
+	}
+	sv.host.SendUDPTo(m.ClientMAC, ethaddr.BroadcastIPv4, ServerPort, ClientPort, out.Encode())
+}

@@ -1,0 +1,50 @@
+package ethaddr
+
+import "math/rand"
+
+// Gen deterministically produces unique MAC and IPv4 addresses for scenario
+// construction and for attack tools that need streams of random addresses.
+// It is not safe for concurrent use; simulations are single-threaded.
+type Gen struct {
+	rng  *rand.Rand
+	next uint32 // sequential station counter
+	oui  [3]byte
+}
+
+// NewGen returns a generator seeded for reproducibility. The default OUI is a
+// locally-administered prefix so generated addresses never collide with the
+// well-known constants.
+func NewGen(seed int64) *Gen {
+	return &Gen{
+		rng: rand.New(rand.NewSource(seed)),
+		oui: [3]byte{0x02, 0x42, 0xac},
+	}
+}
+
+// SeqMAC returns the next sequential station MAC (stable across runs).
+func (g *Gen) SeqMAC() MAC {
+	g.next++
+	n := g.next
+	return MAC{g.oui[0], g.oui[1], g.oui[2], byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// RandMAC returns a random unicast locally-administered MAC, the kind
+// flooding tools such as macof emit.
+func (g *Gen) RandMAC() MAC {
+	var m MAC
+	for i := range m {
+		m[i] = byte(g.rng.Intn(256))
+	}
+	m[0] = (m[0] | 0x02) &^ 0x01 // locally administered, unicast
+	return m
+}
+
+// RandIPv4 returns a uniformly random address inside the subnet, excluding
+// the network and broadcast addresses.
+func (g *Gen) RandIPv4(n Subnet) IPv4 {
+	hosts := 1
+	if n.Bits < 31 {
+		hosts = (1 << (32 - n.Bits)) - 2
+	}
+	return n.Host(1 + g.rng.Intn(hosts))
+}

@@ -1,0 +1,275 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ethaddr"
+	"repro/internal/labnet"
+	"repro/internal/netsim"
+	"repro/internal/schemes"
+	"repro/internal/schemes/activeprobe"
+	"repro/internal/schemes/arpwatch"
+	"repro/internal/schemes/middleware"
+	"repro/internal/schemes/snortlike"
+	"repro/internal/stack"
+	"repro/internal/stats"
+)
+
+// DetectionSchemes lists the detection deployments Table 3 and Figure 1
+// compare.
+func DetectionSchemes() []string {
+	return []string{"arpwatch", "snort-like", "active-probe", "middleware", "hybrid-guard"}
+}
+
+// trialResult is one detection trial's outcome.
+type trialResult struct {
+	detected  bool
+	latency   time.Duration // first attack alert − attack start
+	fpAlerts  int           // alerts attributable to benign churn
+	churns    int
+}
+
+// detectionTrialConfig parameterizes one trial.
+type detectionTrialConfig struct {
+	scheme   string
+	seed     int64
+	hosts    int
+	churns   int           // benign readdressing events before/after attack
+	attackAt time.Duration // MITM start
+	horizon  time.Duration
+}
+
+// runDetectionTrial runs one seeded scenario: benign churn plus a periodic
+// gateway-poisoning MITM, one detection scheme deployed, and returns what
+// the scheme reported.
+func runDetectionTrial(cfg detectionTrialConfig) trialResult {
+	l := labnet.New(labnet.Config{
+		Seed:         cfg.seed,
+		Hosts:        cfg.hosts,
+		WithAttacker: true,
+		WithMonitor:  true,
+		LinkJitter:   200 * time.Microsecond,
+	})
+	sink := schemes.NewSink()
+	gw, victim := l.Gateway(), l.Victim()
+	// Randomize the attack's phase relative to probe windows and refresh
+	// timers so latency distributions have genuine spread.
+	attackAt := cfg.attackAt + time.Duration(l.Sched.Rand().Int63n(int64(5*time.Second)))
+	if cfg.attackAt > cfg.horizon { // churn-only trials keep "never"
+		attackAt = cfg.attackAt
+	}
+
+	// Deploy the scheme under test.
+	switch cfg.scheme {
+	case "arpwatch":
+		w := arpwatch.New(l.Sched, sink)
+		l.Switch.AddTap(w.Observe)
+	case "snort-like":
+		// The operator configured the critical bindings (gateway, victim
+		// workstation) — the precondition for signature coverage.
+		p := snortlike.New(l.Sched, sink,
+			snortlike.WithBinding(gw.IP(), gw.MAC()),
+			snortlike.WithBinding(victim.IP(), victim.MAC()))
+		l.Switch.AddTap(p.Observe)
+	case "active-probe":
+		p := activeprobe.New(l.Sched, sink, l.Monitor)
+		l.Switch.AddTap(p.Observe)
+	case "middleware":
+		middleware.New(l.Sched, sink, victim)
+	case "hybrid-guard":
+		g := core.New(l.Sched, l.Monitor, core.WithAlertHandler(sink.Report))
+		l.Switch.AddTap(g.Tap())
+	}
+
+	// Background: every host re-announces periodically so passive schemes
+	// keep observing bindings (standing in for normal ARP refresh traffic).
+	for _, h := range l.Hosts {
+		h := h
+		l.Sched.Every(15*time.Second, h.SendGratuitous)
+	}
+	l.SeedMutualCaches()
+
+	// Benign churn: replacement stations take over existing addresses at
+	// seeded random instants. Targets are distinct — two replacements
+	// claiming one IP would be a genuine conflict, not benign churn.
+	churned := make(map[ethaddr.IPv4]bool)
+	churnable := append([]*stack.Host(nil), l.Hosts[2:]...) // never the gateway or the victim
+	l.Sched.Rand().Shuffle(len(churnable), func(i, j int) {
+		churnable[i], churnable[j] = churnable[j], churnable[i]
+	})
+	churns := cfg.churns
+	if churns > len(churnable) {
+		churns = len(churnable)
+	}
+	for i := 0; i < churns; i++ {
+		// Churn starts after the cache-seeding transient: a replacement
+		// arriving mid-resolution would race the departing host's own
+		// replies, which is a conflict, not clean churn.
+		at := 10*time.Second + time.Duration(l.Sched.Rand().Int63n(int64(cfg.horizon-20*time.Second)))
+		target := churnable[i]
+		l.Sched.At(at, func() {
+			replaceStation(l, target)
+			churned[target.IP()] = true
+		})
+	}
+
+	// The attack: periodic bidirectional gateway poisoning with relay.
+	l.Sched.At(attackAt, func() {
+		l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+	})
+
+	_ = l.Run(cfg.horizon)
+
+	res := trialResult{churns: churns}
+	for _, a := range sink.Alerts() {
+		switch {
+		case (a.IP == gw.IP() || a.IP == victim.IP()) && a.At >= attackAt:
+			if !res.detected {
+				res.detected = true
+				res.latency = a.At - attackAt
+			}
+		case churned[a.IP]:
+			res.fpAlerts++
+		}
+	}
+	return res
+}
+
+// replaceStation swaps a host for a new station with the same IP but a new
+// MAC — the observable effect of a device swap or DHCP reassignment.
+func replaceStation(l *labnet.LAN, old *stack.Host) {
+	old.NIC().SetUp(false)
+	nic := netsim.NewNIC(l.Sched, l.Gen.SeqMAC())
+	l.Switch.AddPort().Attach(nic)
+	replacement := stack.NewHost(l.Sched, old.Name()+"-new", nic, old.IP())
+	replacement.SendGratuitous()
+}
+
+// Table3Detection measures detection quality per scheme over `trials`
+// seeded scenarios: true-positive rate, false positives per churn event,
+// and detection-latency quantiles.
+//
+// Expected shape: arpwatch detects (the binding was known) but pays ~1 FP
+// per churn event; the probing schemes keep FPs near zero; middleware and
+// the hybrid guard detect with probe-window latency.
+func Table3Detection(trials int) *Table {
+	t := &Table{
+		ID:      "Table 3",
+		Title:   fmt.Sprintf("Detection quality under churn + MITM (%d trials, 8 hosts, 4 churn events)", trials),
+		Columns: []string{"scheme", "TPR", "FP/churn", "latency p50", "latency p95"},
+		Notes: []string{
+			"TPR: trials with ≥1 alert naming the attacked binding after attack start",
+			"FP/churn: alerts naming benignly readdressed IPs, per churn event",
+		},
+	}
+	for _, scheme := range DetectionSchemes() {
+		var detected, fps, churns int
+		var latencies []float64
+		for seed := int64(1); seed <= int64(trials); seed++ {
+			res := runDetectionTrial(detectionTrialConfig{
+				scheme:   scheme,
+				seed:     seed,
+				hosts:    8,
+				churns:   4,
+				attackAt: 60 * time.Second,
+				horizon:  120 * time.Second,
+			})
+			if res.detected {
+				detected++
+				latencies = append(latencies, res.latency.Seconds()*1000)
+			}
+			fps += res.fpAlerts
+			churns += res.churns
+		}
+		tpr := stats.NewProportion(detected, trials)
+		fpPerChurn := 0.0
+		if churns > 0 {
+			fpPerChurn = float64(fps) / float64(churns)
+		}
+		t.AddRow(scheme,
+			fmt.Sprintf("%.2f", tpr.P),
+			fmt.Sprintf("%.2f", fpPerChurn),
+			fmt.Sprintf("%.1fms", stats.Quantile(latencies, 0.5)),
+			fmt.Sprintf("%.1fms", stats.Quantile(latencies, 0.95)),
+		)
+	}
+	return t
+}
+
+// Figure1LatencyCDF collects detection latencies per scheme across trials
+// and renders their empirical CDFs.
+func Figure1LatencyCDF(trials int) *Figure {
+	f := &Figure{
+		ID:     "Figure 1",
+		Title:  fmt.Sprintf("Detection latency CDF per scheme (%d trials)", trials),
+		XLabel: "latency_ms",
+		YLabel: "P(latency ≤ x)",
+		XFmt:   "%.2f",
+		YFmt:   "%.3f",
+	}
+	for _, scheme := range DetectionSchemes() {
+		var latencies []float64
+		for seed := int64(1); seed <= int64(trials); seed++ {
+			res := runDetectionTrial(detectionTrialConfig{
+				scheme:   scheme,
+				seed:     seed + 1000, // distinct seed space from Table 3
+				hosts:    8,
+				churns:   2,
+				attackAt: 60 * time.Second,
+				horizon:  120 * time.Second,
+			})
+			if res.detected {
+				latencies = append(latencies, res.latency.Seconds()*1000)
+			}
+		}
+		for _, pt := range stats.CDF(latencies) {
+			f.AddPoint(scheme, pt.X, pt.P)
+		}
+	}
+	return f
+}
+
+// Figure4ChurnFalsePositives sweeps the benign churn rate and reports false
+// positives per hour for the passive monitor versus the verifying schemes.
+//
+// Expected shape: arpwatch FPs grow linearly with churn; active-probe and
+// the hybrid guard stay flat near zero because the new owner confirms its
+// own binding.
+func Figure4ChurnFalsePositives(trialsPerPoint int) *Figure {
+	f := &Figure{
+		ID:     "Figure 4",
+		Title:  "False positives vs binding churn rate (no attack present)",
+		XLabel: "churn_events_per_hour",
+		YLabel: "false_alerts_per_hour",
+		XFmt:   "%.0f",
+		YFmt:   "%.2f",
+	}
+	horizon := 10 * time.Minute
+	for _, scheme := range []string{"arpwatch", "active-probe", "hybrid-guard"} {
+		for _, churnsPerRun := range []int{0, 1, 2, 4, 8, 16} {
+			totalFPs := 0
+			hosts := churnsPerRun + 4
+			if hosts < 8 {
+				hosts = 8
+			}
+			for seed := int64(1); seed <= int64(trialsPerPoint); seed++ {
+				res := runDetectionTrial(detectionTrialConfig{
+					scheme:   scheme,
+					seed:     seed + 5000,
+					hosts:    hosts,
+					churns:   churnsPerRun,
+					attackAt: horizon + time.Hour, // never: churn only
+					horizon:  horizon,
+				})
+				totalFPs += res.fpAlerts
+			}
+			perHourChurn := float64(churnsPerRun) / horizon.Hours()
+			perHourFP := float64(totalFPs) / float64(trialsPerPoint) / horizon.Hours()
+			f.AddPoint(scheme, perHourChurn, perHourFP)
+		}
+	}
+	return f
+}

@@ -1,0 +1,163 @@
+// Package eval implements the evaluation harness: one function per table
+// and figure in EXPERIMENTS.md, each assembling scenarios from labnet,
+// running them on the deterministic simulator, and returning a rendered
+// report. cmd/arpbench and the benchmark suite both drive this package.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes an aligned ASCII table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = runeLen(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && runeLen(cell) > widths[i] {
+				widths[i] = runeLen(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-runeLen(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// runeLen counts display runes (the coverage symbols are multi-byte).
+func runeLen(s string) int { return len([]rune(s)) }
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a rendered experiment figure: series of points, printed as
+// aligned columns (the "figure" of a terminal harness) and exportable as
+// CSV for external plotting.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	XFmt   string // format verb for X values (default %g)
+	YFmt   string // format verb for Y values (default %g)
+	Series []Series
+	Notes  []string
+}
+
+// AddPoint appends a sample to the named series, creating it on first use.
+func (f *Figure) AddPoint(series string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			f.Series[i].Points = append(f.Series[i].Points, Point{X: x, Y: y})
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: series, Points: []Point{{X: x, Y: y}}})
+}
+
+// fmtOr returns the format or a default.
+func fmtOr(f, def string) string {
+	if f == "" {
+		return def
+	}
+	return f
+}
+
+// Render writes the figure as one aligned column block per series.
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "x = %s, y = %s\n", f.XLabel, f.YLabel)
+	xf, yf := fmtOr(f.XFmt, "%g"), fmtOr(f.YFmt, "%g")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "-- series %s\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "   "+xf+"\t"+yf+"\n", p.X, p.Y)
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes long-format rows: series,x,y.
+func (f *Figure) CSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,%s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%g,%g\n", s.Name, p.X, p.Y)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

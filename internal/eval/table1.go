@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// Table1PropertyMatrix renders the paper's central qualitative comparison:
+// one row per scheme, graded on attack coverage and cost axes. The rest of
+// the evaluation validates these cells empirically.
+func Table1PropertyMatrix() *Table {
+	t := &Table{
+		ID:    "Table 1",
+		Title: "Scheme property matrix (coverage per attack variant; cost grades)",
+		Columns: []string{
+			"scheme", "role", "where",
+			"gratuit.", "unsolic.", "req-spoof", "race",
+			"FPs", "traffic", "compute", "deploy", "incr", "dhcp",
+		},
+	}
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, p := range analysis.Matrix() {
+		t.AddRow(
+			p.Name, p.Role, p.Residence,
+			p.VsGratuitous, p.VsUnsolicited, p.VsRequestSpoof, p.VsReplyRace,
+			p.FalsePositives, p.TrafficCost, p.ComputeCost, p.DeployCost,
+			yn(p.Incremental), yn(p.DHCPCompatible),
+		)
+	}
+	for _, p := range analysis.Matrix() {
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", p.Name, p.Notes))
+	}
+	return t
+}
+
+// Table1Recommendations renders the environment-scored rankings.
+func Table1Recommendations() *Table {
+	t := &Table{
+		ID:      "Table 1b",
+		Title:   "Scheme ranking per deployment environment (analysis scores)",
+		Columns: []string{"environment", "1st", "2nd", "3rd", "last"},
+	}
+	for _, env := range analysis.StandardEnvironments() {
+		recs := analysis.Recommend(env)
+		cell := func(r analysis.Recommendation) string {
+			return fmt.Sprintf("%s(%+d)", r.Scheme.Name, r.Score)
+		}
+		t.AddRow(env.Name, cell(recs[0]), cell(recs[1]), cell(recs[2]), cell(recs[len(recs)-1]))
+	}
+	return t
+}

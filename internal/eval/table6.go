@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/core"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+	"repro/internal/schemes/activeprobe"
+	"repro/internal/schemes/arpwatch"
+	"repro/internal/schemes/dai"
+	"repro/internal/schemes/middleware"
+	"repro/internal/schemes/sarp"
+)
+
+// Table6EvasiveAttacker runs the strongest attacker posture the analysis
+// discusses — wait for the genuine owner to go offline, then fully
+// impersonate it, answering requests *and* verification probes — against
+// each scheme, and reports who gets deceived.
+//
+// Expected shape (the analysis' inversion): active verification, the
+// precision champion of Table 3, is *cleanly evaded* (the probe sees one
+// consistent answer), and host middleware commits the forgery for the same
+// reason; the passive monitor still flags the binding change it can't
+// explain; DAI and the cryptographic schemes remain immune because their
+// ground truth is not "who answers on the wire".
+func Table6EvasiveAttacker(trials int) *Table {
+	t := &Table{
+		ID:      "Table 6",
+		Title:   fmt.Sprintf("Evasive impersonation (owner offline, attacker answers probes; %d trials)", trials),
+		Columns: []string{"scheme", "victim deceived", "attack flagged"},
+		Notes: []string{
+			"deceived: the victim's traffic for the offline owner's address goes to the attacker",
+			"flagged: the scheme raised at least one actionable alert naming the address",
+			"active verification is evaded by design here — the blind spot the hybrid inherits",
+		},
+	}
+	for _, scheme := range []string{"arpwatch", "active-probe", "middleware", "hybrid-guard", "dai", "s-arp"} {
+		var deceived, flagged int
+		for seed := int64(1); seed <= int64(trials); seed++ {
+			d, f := runEvasiveTrial(scheme, seed)
+			if d {
+				deceived++
+			}
+			if f {
+				flagged++
+			}
+		}
+		frac := func(k int) string { return fmt.Sprintf("%d/%d", k, trials) }
+		t.AddRow(scheme, frac(deceived), frac(flagged))
+	}
+	return t
+}
+
+// runEvasiveTrial runs one impersonation scenario under one scheme and
+// reports (victim deceived, attack flagged).
+func runEvasiveTrial(scheme string, seed int64) (bool, bool) {
+	l := labnet.New(labnet.Config{Seed: seed, Hosts: 6, WithAttacker: true, WithMonitor: true})
+	gw, victim := l.Gateway(), l.Victim()
+	sink := schemes.NewSink()
+	var guard *core.Guard
+	var sarpVictim *sarp.Node
+
+	switch scheme {
+	case "arpwatch":
+		w := arpwatch.New(l.Sched, sink)
+		w.Seed(gw.IP(), gw.MAC())
+		l.Switch.AddTap(w.Observe)
+	case "active-probe":
+		p := activeprobe.New(l.Sched, sink, l.Monitor)
+		p.Seed(gw.IP(), gw.MAC())
+		l.Switch.AddTap(p.Observe)
+	case "middleware":
+		middleware.New(l.Sched, sink, victim)
+	case "hybrid-guard":
+		guard = core.New(l.Sched, l.Monitor, core.WithSeedBinding(gw.IP(), gw.MAC()))
+		l.Switch.AddTap(guard.Tap())
+	case "dai":
+		table := dai.NewBindingTable()
+		for _, h := range l.Hosts {
+			table.AddStatic(h.IP(), h.MAC())
+		}
+		table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
+		table.AddStatic(l.Attacker.IP(), l.Attacker.MAC())
+		insp := dai.New(l.Sched, sink, table)
+		l.Switch.SetFilter(insp.Filter())
+	case "s-arp":
+		akd := sarp.NewAKD()
+		for _, h := range l.Hosts {
+			n, err := sarp.NewNode(l.Sched, sink, h, akd)
+			if err != nil {
+				panic(err)
+			}
+			if h == victim {
+				sarpVictim = n
+			}
+		}
+	}
+
+	// Victim establishes the genuine binding, then the owner goes dark and
+	// the attacker assumes the address.
+	victim.Resolve(gw.IP(), nil)
+	l.Sched.At(10*time.Second, func() {
+		gw.NIC().SetUp(false)
+		l.Attacker.Impersonate(gw.IP())
+		// The takeover announcement (the impersonator must advertise to
+		// capture caches before anyone re-asks).
+		gratuitous := forgedGratuitous(l)
+		l.Attacker.NIC().Send(gratuitous)
+	})
+	// Past the 60s cache TTL, the victim re-resolves and talks.
+	l.Sched.At(80*time.Second, func() {
+		if scheme == "s-arp" {
+			sarpVictim.Resolve(gw.IP(), nil)
+			return
+		}
+		victim.Resolve(gw.IP(), nil)
+	})
+	_ = l.Run(2 * time.Minute)
+
+	mac, ok := victim.Cache().Lookup(gw.IP())
+	deceived := ok && mac == l.Attacker.MAC()
+
+	flagged := false
+	if guard != nil {
+		for _, inc := range guard.ActionableIncidents() {
+			if inc.IP == gw.IP() {
+				flagged = true
+			}
+		}
+	} else {
+		for _, a := range sink.Alerts() {
+			if a.IP == gw.IP() {
+				flagged = true
+			}
+		}
+	}
+	return deceived, flagged
+}
+
+// forgedGratuitous builds the impersonator's takeover broadcast.
+func forgedGratuitous(l *labnet.LAN) *frame.Frame {
+	p := arppkt.NewGratuitousRequest(l.Attacker.MAC(), l.Gateway().IP())
+	return &frame.Frame{
+		Dst: ethaddr.BroadcastMAC, Src: l.Attacker.MAC(),
+		Type: frame.TypeARP, Payload: p.Encode(),
+	}
+}

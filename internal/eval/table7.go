@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+	"repro/internal/schemes/arpwatch"
+	"repro/internal/schemes/dai"
+	"repro/internal/schemes/portsec"
+)
+
+// Table7PortStealing runs the port-stealing attack — CAM-table theft with
+// forged *Ethernet* source addresses, no ARP forgery at all — against the
+// scheme families and reports who intercepts and who notices.
+//
+// Expected shape (the layering argument that closes the analysis): every
+// ARP-layer scheme is blind, because the attack never utters a false ARP
+// word; only per-port hardware identity enforcement (sticky port security)
+// stops it. Defense in depth is not optional.
+func Table7PortStealing(trials int) *Table {
+	t := &Table{
+		ID:      "Table 7",
+		Title:   fmt.Sprintf("Port stealing (CAM theft, no ARP forgery) vs scheme families (%d trials)", trials),
+		Columns: []string{"scheme", "traffic intercepted", "attack flagged"},
+		Notes: []string{
+			"the attacker steals the victim's CAM slot with forged Ethernet source addresses and restores after each capture",
+			"ARP-layer schemes see a perfectly healthy ARP conversation throughout",
+		},
+	}
+	for _, scheme := range []string{"none", "arpwatch", "dai", "hybrid-guard", "port-security-sticky"} {
+		var intercepted, flagged int
+		for seed := int64(1); seed <= int64(trials); seed++ {
+			i, f := runStealTrial(scheme, seed)
+			if i {
+				intercepted++
+			}
+			if f {
+				flagged++
+			}
+		}
+		frac := func(k int) string { return fmt.Sprintf("%d/%d", k, trials) }
+		t.AddRow(scheme, frac(intercepted), frac(flagged))
+	}
+	return t
+}
+
+// runStealTrial runs one port-stealing scenario under one scheme and
+// reports (traffic intercepted, attack flagged).
+func runStealTrial(scheme string, seed int64) (bool, bool) {
+	l := labnet.New(labnet.Config{Seed: seed, Hosts: 4, WithAttacker: true, WithMonitor: true})
+	gw, victim := l.Gateway(), l.Victim()
+	sink := schemes.NewSink()
+	var guard *core.Guard
+
+	switch scheme {
+	case "arpwatch":
+		w := arpwatch.New(l.Sched, sink)
+		w.Seed(victim.IP(), victim.MAC())
+		w.Seed(gw.IP(), gw.MAC())
+		l.Switch.AddTap(w.Observe)
+	case "dai":
+		table := dai.NewBindingTable()
+		for _, h := range l.Hosts {
+			table.AddStatic(h.IP(), h.MAC())
+		}
+		table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
+		table.AddStatic(l.Attacker.IP(), l.Attacker.MAC())
+		insp := dai.New(l.Sched, sink, table)
+		l.Switch.SetFilter(insp.Filter())
+	case "hybrid-guard":
+		guard = core.New(l.Sched, l.Monitor,
+			core.WithSeedBinding(gw.IP(), gw.MAC()),
+			core.WithSeedBinding(victim.IP(), victim.MAC()))
+		l.Switch.AddTap(guard.Tap())
+	case "port-security-sticky":
+		opts := []portsec.Option{portsec.WithTrustedPorts(l.MonitorPort.ID())}
+		for i, p := range l.Ports {
+			opts = append(opts, portsec.WithSticky(p.ID(), l.Hosts[i].MAC()))
+		}
+		opts = append(opts, portsec.WithSticky(l.AtkPort.ID(), l.Attacker.MAC()))
+		e := portsec.New(l.Sched, sink, opts...)
+		l.Switch.SetFilter(e.Filter())
+	}
+
+	// Gateway→victim flow whose interception is the prize.
+	gw.Resolve(victim.IP(), nil)
+	l.Sched.Every(300*time.Millisecond, func() {
+		gw.SendUDP(victim.IP(), 1000, 80, []byte("downlink payload"))
+	})
+
+	before := l.Attacker.Stats().Sniffed
+	l.Sched.At(2*time.Second, func() {
+		l.Attacker.StealPort(victim.MAC(), victim.IP(), 100*time.Millisecond, true)
+	})
+	_ = l.Run(12 * time.Second)
+
+	intercepted := l.Attacker.Stats().Sniffed > before
+	flagged := false
+	if guard != nil {
+		flagged = len(guard.ActionableIncidents()) > 0
+	} else {
+		flagged = sink.Len() > 0
+	}
+	return intercepted, flagged
+}

@@ -1,0 +1,162 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ethaddr"
+)
+
+var (
+	macA = ethaddr.MustParseMAC("02:42:ac:00:00:01")
+	macB = ethaddr.MustParseMAC("02:42:ac:00:00:02")
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payload := []byte("hello ethernet, this payload exceeds the minimum frame size by itself ok")
+	f := &Frame{Dst: macB, Src: macA, Type: TypeIPv4, Payload: payload}
+	wire, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != macB || got.Src != macA || got.Type != TypeIPv4 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("payload mismatch: %q", got.Payload)
+	}
+}
+
+func TestEncodePadsToMinimum(t *testing.T) {
+	f := &Frame{Dst: macB, Src: macA, Type: TypeARP, Payload: []byte{1, 2, 3}}
+	wire, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != MinFrameLen {
+		t.Fatalf("len = %d, want %d", len(wire), MinFrameLen)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Padding becomes part of the payload, as on a real wire; upper layers
+	// carry their own length fields.
+	if len(got.Payload) != MinPayloadLen {
+		t.Fatalf("payload len = %d, want %d", len(got.Payload), MinPayloadLen)
+	}
+	if !bytes.Equal(got.Payload[:3], []byte{1, 2, 3}) {
+		t.Fatal("payload prefix lost")
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	tests := []struct {
+		name    string
+		payload int
+		want    int
+	}{
+		{name: "empty pads", payload: 0, want: 60},
+		{name: "small pads", payload: 10, want: 60},
+		{name: "at minimum", payload: 46, want: 60},
+		{name: "above minimum", payload: 100, want: 114},
+		{name: "mtu", payload: 1500, want: 1514},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := &Frame{Payload: make([]byte, tt.payload)}
+			if got := f.WireLen(); got != tt.want {
+				t.Fatalf("WireLen = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEncodeOversize(t *testing.T) {
+	f := &Frame{Payload: make([]byte, MaxPayloadLen+1)}
+	if _, err := f.Encode(); !errors.Is(err, ErrOversize) {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := Decode(make([]byte, HeaderLen-1)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeOversize(t *testing.T) {
+	if _, err := Decode(make([]byte, MaxFrameLen+1)); !errors.Is(err, ErrOversize) {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := &Frame{Dst: macB, Src: macA, Type: TypeARP, Payload: []byte{1, 2, 3}}
+	c := f.Clone()
+	c.Payload[0] = 99
+	if f.Payload[0] != 1 {
+		t.Fatal("Clone aliases payload")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	f := &Frame{Dst: ethaddr.BroadcastMAC}
+	if !f.IsBroadcast() {
+		t.Fatal("broadcast not detected")
+	}
+}
+
+func TestEtherTypeString(t *testing.T) {
+	tests := []struct {
+		t    EtherType
+		want string
+	}{
+		{TypeIPv4, "IPv4"},
+		{TypeARP, "ARP"},
+		{TypeSARP, "S-ARP"},
+		{TypeTARP, "TARP"},
+		{EtherType(0x88cc), "0x88cc"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", uint16(tt.t), got, tt.want)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(dst, src ethaddr.MAC, typ uint16, payload []byte) bool {
+		if len(payload) > MaxPayloadLen {
+			payload = payload[:MaxPayloadLen]
+		}
+		fr := &Frame{Dst: dst, Src: src, Type: EtherType(typ), Payload: payload}
+		wire, err := fr.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return got.Dst == dst && got.Src == src && got.Type == EtherType(typ) &&
+			bytes.Equal(got.Payload[:len(payload)], payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumDiffers(t *testing.T) {
+	a, _ := (&Frame{Dst: macA, Src: macB, Type: TypeARP, Payload: []byte{1}}).Encode()
+	b, _ := (&Frame{Dst: macA, Src: macB, Type: TypeARP, Payload: []byte{2}}).Encode()
+	if Checksum(a) == Checksum(b) {
+		t.Fatal("checksums should differ for different payloads")
+	}
+}

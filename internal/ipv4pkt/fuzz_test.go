@@ -1,0 +1,29 @@
+package ipv4pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodersNeverPanicOnGarbage: every wire decoder must be total over
+// arbitrary input — they parse attacker-controlled bytes.
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	f := func(buf []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		if p, err := Decode(buf); err == nil {
+			// Nested decoders must also be total over the payload.
+			_, _ = DecodeICMPEcho(p.Payload)
+			_, _ = DecodeUDP(p.Payload)
+		}
+		_, _ = DecodeICMPEcho(buf)
+		_, _ = DecodeUDP(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package ipv4pkt implements the minimal slice of IPv4, ICMP, and UDP needed
+// by the framework: enough to carry workload traffic whose interception the
+// eavesdropping experiments measure, the ICMP echo probes the active
+// detection schemes send, and the UDP datagrams DHCP rides on.
+//
+// Headers are encoded in real wire format with real checksums, so byte
+// counts and validation behaviour match physical networks.
+package ipv4pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ethaddr"
+)
+
+// Protocol is the IPv4 protocol number.
+type Protocol uint8
+
+// Protocol numbers used by the framework.
+const (
+	ProtoICMP Protocol = 1
+	ProtoTCP  Protocol = 6
+	ProtoUDP  Protocol = 17
+)
+
+// String returns the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoICMP:
+		return "ICMP"
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// HeaderLen is the size of an IPv4 header without options.
+const HeaderLen = 20
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("packet truncated")
+	ErrBadVersion  = errors.New("not an ipv4 packet")
+	ErrBadChecksum = errors.New("header checksum mismatch")
+)
+
+// Packet is a decoded IPv4 packet (options unsupported: IHL is always 5).
+type Packet struct {
+	TTL      uint8
+	Proto    Protocol
+	Src, Dst ethaddr.IPv4
+	Payload  []byte
+	ID       uint16
+}
+
+// checksum computes the Internet checksum (RFC 1071) over data.
+func checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Encode serializes the packet with a valid header checksum.
+func (p *Packet) Encode() []byte {
+	buf := make([]byte, HeaderLen+len(p.Payload))
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:4], uint16(len(buf)))
+	binary.BigEndian.PutUint16(buf[4:6], p.ID)
+	buf[8] = p.TTL
+	buf[9] = uint8(p.Proto)
+	copy(buf[12:16], p.Src[:])
+	copy(buf[16:20], p.Dst[:])
+	binary.BigEndian.PutUint16(buf[10:12], checksum(buf[:HeaderLen]))
+	copy(buf[HeaderLen:], p.Payload)
+	return buf
+}
+
+// Decode parses and checksums an IPv4 packet, tolerating trailing Ethernet
+// padding by honouring the total-length field.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < HeaderLen {
+		return nil, fmt.Errorf("%w: %d octets", ErrTruncated, len(buf))
+	}
+	if buf[0]>>4 != 4 || buf[0]&0x0f != 5 {
+		return nil, ErrBadVersion
+	}
+	total := int(binary.BigEndian.Uint16(buf[2:4]))
+	if total < HeaderLen || total > len(buf) {
+		return nil, fmt.Errorf("%w: total length %d of %d", ErrTruncated, total, len(buf))
+	}
+	if checksum(buf[:HeaderLen]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	p := &Packet{
+		TTL:   buf[8],
+		Proto: Protocol(buf[9]),
+		ID:    binary.BigEndian.Uint16(buf[4:6]),
+	}
+	copy(p.Src[:], buf[12:16])
+	copy(p.Dst[:], buf[16:20])
+	p.Payload = buf[HeaderLen:total]
+	return p, nil
+}
+
+// ICMP message types used by the probes.
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+)
+
+// ICMPEcho is an ICMP echo request or reply.
+type ICMPEcho struct {
+	Type    uint8 // ICMPEchoRequest or ICMPEchoReply
+	IDent   uint16
+	Seq     uint16
+	Data    []byte
+}
+
+// Encode serializes the echo message with a valid ICMP checksum.
+func (e *ICMPEcho) Encode() []byte {
+	buf := make([]byte, 8+len(e.Data))
+	buf[0] = e.Type
+	binary.BigEndian.PutUint16(buf[4:6], e.IDent)
+	binary.BigEndian.PutUint16(buf[6:8], e.Seq)
+	copy(buf[8:], e.Data)
+	binary.BigEndian.PutUint16(buf[2:4], checksum(buf))
+	return buf
+}
+
+// DecodeICMPEcho parses an echo request or reply.
+func DecodeICMPEcho(buf []byte) (*ICMPEcho, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("%w: icmp %d octets", ErrTruncated, len(buf))
+	}
+	if checksum(buf) != 0 {
+		return nil, fmt.Errorf("%w: icmp", ErrBadChecksum)
+	}
+	t := buf[0]
+	if t != ICMPEchoRequest && t != ICMPEchoReply {
+		return nil, fmt.Errorf("icmp type %d is not an echo message", t)
+	}
+	return &ICMPEcho{
+		Type:  t,
+		IDent: binary.BigEndian.Uint16(buf[4:6]),
+		Seq:   binary.BigEndian.Uint16(buf[6:8]),
+		Data:  buf[8:],
+	}, nil
+}
+
+// UDPHeaderLen is the size of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a UDP datagram (checksum omitted, as permitted for IPv4).
+type UDP struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// Encode serializes the datagram.
+func (u *UDP) Encode() []byte {
+	buf := make([]byte, UDPHeaderLen+len(u.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(buf)))
+	copy(buf[UDPHeaderLen:], u.Payload)
+	return buf
+}
+
+// DecodeUDP parses a UDP datagram, honouring the length field.
+func DecodeUDP(buf []byte) (*UDP, error) {
+	if len(buf) < UDPHeaderLen {
+		return nil, fmt.Errorf("%w: udp %d octets", ErrTruncated, len(buf))
+	}
+	length := int(binary.BigEndian.Uint16(buf[4:6]))
+	if length < UDPHeaderLen || length > len(buf) {
+		return nil, fmt.Errorf("%w: udp length %d of %d", ErrTruncated, length, len(buf))
+	}
+	return &UDP{
+		SrcPort: binary.BigEndian.Uint16(buf[0:2]),
+		DstPort: binary.BigEndian.Uint16(buf[2:4]),
+		Payload: buf[UDPHeaderLen:length],
+	}, nil
+}

@@ -1,0 +1,186 @@
+// Package labnet assembles ready-made experimental LANs — a switch, a set
+// of hosts, an attacker station, and a detector appliance on a mirror port —
+// mirroring the physical workbench the detection literature evaluates on
+// (attacker PC, victim PCs, home router, monitoring appliance). The
+// evaluation harness, the examples, and the integration tests all build
+// their scenarios through this package so topology details live in one
+// place.
+package labnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/ethaddr"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// Config describes the LAN to assemble.
+type Config struct {
+	// Seed drives every stochastic choice (default 1).
+	Seed int64
+	// Hosts is the number of regular stations (default 4). Host 0 plays
+	// the gateway in gateway-centric scenarios.
+	Hosts int
+	// Policy is applied to every host's ARP cache (default naive).
+	Policy stack.Policy
+	// CacheTTL overrides the hosts' ARP entry lifetime (default 60s).
+	CacheTTL time.Duration
+	// Subnet is the LAN prefix (default 192.168.88.0/24, the workbench
+	// router's network).
+	Subnet ethaddr.Subnet
+	// WithAttacker attaches an attacker station (default true).
+	WithAttacker bool
+	// WithMonitor attaches a promiscuous appliance host on a port that
+	// mirrors all traffic (default true).
+	WithMonitor bool
+	// CAMCapacity bounds the switch CAM table (default 1024).
+	CAMCapacity int
+	// LinkLatency is the per-attachment one-way delay (default 50µs).
+	LinkLatency time.Duration
+	// LinkJitter adds a uniform random delay in [0, LinkJitter) per
+	// transmission (default 0, fully deterministic timing).
+	LinkJitter time.Duration
+	// LinkLoss is the independent per-frame drop probability on every
+	// attachment (default 0).
+	LinkLoss float64
+	// HostOptions is appended to every host's construction options.
+	HostOptions []stack.Option
+}
+
+// LAN is the assembled environment.
+type LAN struct {
+	Sched    *sim.Scheduler
+	Switch   *netsim.Switch
+	Subnet   ethaddr.Subnet
+	Hosts    []*stack.Host
+	Ports    []*netsim.Port // port of each host, same index
+	Attacker *attack.Attacker
+	AtkPort  *netsim.Port
+	// Monitor is the appliance host on the mirror port (promiscuous). Its
+	// traffic reaches the LAN normally, so active schemes can probe.
+	Monitor     *stack.Host
+	MonitorPort *netsim.Port
+	Gen         *ethaddr.Gen
+}
+
+// New assembles a LAN per cfg.
+func New(cfg Config) *LAN {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 4
+	}
+	if cfg.Policy == (stack.Policy{}) {
+		cfg.Policy = stack.PolicyNaive
+	}
+	if cfg.Subnet == (ethaddr.Subnet{}) {
+		cfg.Subnet = ethaddr.MustParseSubnet("192.168.88.0/24")
+	}
+	if cfg.CAMCapacity == 0 {
+		cfg.CAMCapacity = 1024
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = 60 * time.Second
+	}
+	if cfg.LinkLatency == 0 {
+		cfg.LinkLatency = 50 * time.Microsecond
+	}
+
+	s := sim.NewScheduler(cfg.Seed)
+	sw := netsim.NewSwitch(s, netsim.WithCAMCapacity(cfg.CAMCapacity))
+	l := &LAN{
+		Sched:  s,
+		Switch: sw,
+		Subnet: cfg.Subnet,
+		Gen:    ethaddr.NewGen(cfg.Seed),
+	}
+
+	opts := append([]stack.Option{
+		stack.WithPolicy(cfg.Policy),
+		stack.WithCacheTTL(cfg.CacheTTL),
+	}, cfg.HostOptions...)
+
+	link := []netsim.LinkOption{netsim.WithLatency(cfg.LinkLatency)}
+	if cfg.LinkJitter > 0 {
+		link = append(link, netsim.WithJitter(cfg.LinkJitter))
+	}
+	if cfg.LinkLoss > 0 {
+		link = append(link, netsim.WithLoss(cfg.LinkLoss))
+	}
+
+	for i := 0; i < cfg.Hosts; i++ {
+		name := fmt.Sprintf("host%d", i)
+		ip := cfg.Subnet.Host(i + 1)
+		if i == 0 {
+			name = "gateway"
+			ip = cfg.Subnet.Host(254)
+		}
+		nic := netsim.NewNIC(s, l.Gen.SeqMAC())
+		port := sw.AddPort()
+		port.Attach(nic, link...)
+		l.Hosts = append(l.Hosts, stack.NewHost(s, name, nic, ip, opts...))
+		l.Ports = append(l.Ports, port)
+	}
+
+	if cfg.WithAttacker {
+		nic := netsim.NewNIC(s, l.Gen.SeqMAC())
+		l.AtkPort = sw.AddPort()
+		l.AtkPort.Attach(nic, link...)
+		l.Attacker = attack.New(s, nic, cfg.Subnet.Host(66))
+	}
+
+	if cfg.WithMonitor {
+		nic := netsim.NewNIC(s, l.Gen.SeqMAC())
+		l.MonitorPort = sw.AddPort()
+		l.MonitorPort.Attach(nic, link...)
+		l.Monitor = stack.NewHost(s, "monitor", nic, cfg.Subnet.Host(250), opts...)
+		nic.SetPromiscuous(true)
+		sw.MirrorAllTo(l.MonitorPort)
+	}
+	return l
+}
+
+// Default assembles the standard four-host attack workbench.
+func Default() *LAN { return New(Config{WithAttacker: true, WithMonitor: true}) }
+
+// Gateway returns host 0, the station playing the router.
+func (l *LAN) Gateway() *stack.Host { return l.Hosts[0] }
+
+// Victim returns host 1, the conventional poisoning target.
+func (l *LAN) Victim() *stack.Host { return l.Hosts[1] }
+
+// Run drains the simulation until horizon.
+func (l *LAN) Run(horizon time.Duration) error { return l.Sched.RunUntil(horizon) }
+
+// SeedMutualCaches performs a full resolution mesh so every host knows
+// every other before an experiment begins (many detection schemes need a
+// pre-attack truth to compare against).
+func (l *LAN) SeedMutualCaches() {
+	for _, h := range l.Hosts {
+		for _, peer := range l.Hosts {
+			if h != peer {
+				h.Resolve(peer.IP(), nil)
+			}
+		}
+	}
+}
+
+// PoisonedCount returns how many hosts currently bind ip to the attacker's
+// MAC — the evaluation's ground-truth measure of attack success.
+func (l *LAN) PoisonedCount(ip ethaddr.IPv4) int {
+	if l.Attacker == nil {
+		return 0
+	}
+	n := 0
+	for _, h := range l.Hosts {
+		if mac, ok := h.Cache().Lookup(ip); ok && mac == l.Attacker.MAC() {
+			n++
+		}
+	}
+	return n
+}

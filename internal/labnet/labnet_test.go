@@ -1,0 +1,118 @@
+package labnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/stack"
+)
+
+func TestDefaultShape(t *testing.T) {
+	l := Default()
+	if len(l.Hosts) != 4 {
+		t.Fatalf("hosts = %d", len(l.Hosts))
+	}
+	if l.Gateway().Name() != "gateway" || l.Victim().Name() != "host1" {
+		t.Fatal("role naming")
+	}
+	if l.Attacker == nil || l.Monitor == nil {
+		t.Fatal("attacker/monitor missing")
+	}
+	if l.Gateway().IP() != l.Subnet.Host(254) {
+		t.Fatalf("gateway IP = %v", l.Gateway().IP())
+	}
+}
+
+func TestSeedMutualCaches(t *testing.T) {
+	l := New(Config{Hosts: 5, WithAttacker: false, WithMonitor: false})
+	l.SeedMutualCaches()
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range l.Hosts {
+		if got := h.Cache().Len(); got != len(l.Hosts)-1 {
+			t.Fatalf("%s cache = %d entries, want %d", h.Name(), got, len(l.Hosts)-1)
+		}
+	}
+}
+
+func TestPoisonedCount(t *testing.T) {
+	l := Default()
+	gw := l.Gateway()
+	if l.PoisonedCount(gw.IP()) != 0 {
+		t.Fatal("fresh LAN reports poisoning")
+	}
+	l.Attacker.Poison(1 /* gratuitous */, gw.IP(), l.Attacker.MAC(), l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Gratuitous broadcast poisons every naive host except the gateway
+	// itself (address-conflict rule).
+	if got := l.PoisonedCount(gw.IP()); got != len(l.Hosts)-1 {
+		t.Fatalf("poisoned = %d, want %d", got, len(l.Hosts)-1)
+	}
+}
+
+func TestResolutionSurvivesLossyLinks(t *testing.T) {
+	// Failure injection: 30% frame loss. The resolver's retries must still
+	// converge for most attempts.
+	succeeded := 0
+	const trials = 20
+	for seed := int64(1); seed <= trials; seed++ {
+		l := New(Config{
+			Seed:         seed,
+			Hosts:        2,
+			WithAttacker: false,
+			WithMonitor:  false,
+			LinkLoss:     0.3,
+			HostOptions:  []stack.Option{stack.WithResolveRetry(10, 200 * time.Millisecond)},
+		})
+		ok := false
+		l.Victim().Resolve(l.Gateway().IP(), func(_ ethaddr.MAC, good bool) { ok = good })
+		if err := l.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			succeeded++
+		}
+	}
+	// Each attempt crosses four lossy hops (P ≈ 0.7⁴ ≈ 0.24); ten tries
+	// put per-resolution success near 0.94.
+	if succeeded < trials*3/4 {
+		t.Fatalf("only %d/%d resolutions survived 30%% loss", succeeded, trials)
+	}
+}
+
+func TestJitterChangesOrderingButNotCorrectness(t *testing.T) {
+	l := New(Config{
+		Hosts:       4,
+		LinkJitter:  500 * time.Microsecond,
+		WithMonitor: false,
+	})
+	l.SeedMutualCaches()
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range l.Hosts {
+		if h.Cache().Len() != len(l.Hosts)-1 {
+			t.Fatalf("%s incomplete under jitter", h.Name())
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (uint64, int) {
+		l := New(Config{Seed: 42, Hosts: 6, LinkJitter: time.Millisecond, WithAttacker: true})
+		l.SeedMutualCaches()
+		gw := l.Gateway()
+		l.Attacker.PoisonPeriodically(time.Second, l.Victim().MAC(), l.Victim().IP(), gw.MAC(), gw.IP())
+		_ = l.Run(30 * time.Second)
+		return l.Sched.Executed(), l.PoisonedCount(gw.IP())
+	}
+	e1, p1 := run()
+	e2, p2 := run()
+	if e1 != e2 || p1 != p2 {
+		t.Fatalf("identical seeds diverged: (%d,%d) vs (%d,%d)", e1, p1, e2, p2)
+	}
+}

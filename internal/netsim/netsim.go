@@ -1,0 +1,170 @@
+// Package netsim implements the simulated layer-2 fabric: NICs, links with
+// latency/jitter/loss, a learning switch with a bounded CAM table (and the
+// fail-open flooding behaviour real switches exhibit when it fills), a hub,
+// port mirroring for network-based detectors, and inline frame filters for
+// switch-resident prevention schemes such as Dynamic ARP Inspection.
+//
+// Everything is event-driven off a sim.Scheduler and deterministic for a
+// given seed.
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// TapEvent is one frame observed at a monitoring point (a mirror port or an
+// inline tap). Detectors consume streams of these.
+type TapEvent struct {
+	At      time.Duration
+	Port    int // ingress port id on the observed device
+	Frame   *frame.Frame
+	WireLen int
+}
+
+// TapFunc receives tap events. Observers must not retain or mutate the frame
+// payload; Clone if needed.
+type TapFunc func(TapEvent)
+
+// FilterVerdict is the decision of an inline frame filter.
+type FilterVerdict int
+
+// Filter verdicts.
+const (
+	VerdictAllow FilterVerdict = iota + 1
+	VerdictDrop
+)
+
+// FilterFunc inspects a frame arriving on a port and decides its fate. It
+// runs inline in the forwarding path, exactly where Dynamic ARP Inspection
+// sits on a managed switch.
+type FilterFunc func(port int, f *frame.Frame) FilterVerdict
+
+// linkParams describe one attachment's transmission characteristics.
+type linkParams struct {
+	latency time.Duration
+	jitter  time.Duration
+	loss    float64
+	bps     int64 // serialization rate; 0 = infinite (no per-byte delay)
+}
+
+// LinkOption configures an attachment created by Port.Attach.
+type LinkOption func(*linkParams)
+
+// WithLatency sets the one-way propagation delay (default 50µs, a typical
+// switched-LAN figure).
+func WithLatency(d time.Duration) LinkOption {
+	return func(p *linkParams) { p.latency = d }
+}
+
+// WithJitter adds a uniform random delay in [0, d) to each transmission.
+func WithJitter(d time.Duration) LinkOption {
+	return func(p *linkParams) { p.jitter = d }
+}
+
+// WithLoss sets the independent per-frame drop probability.
+func WithLoss(prob float64) LinkOption {
+	return func(p *linkParams) { p.loss = prob }
+}
+
+// WithBandwidth adds serialization delay: each frame takes wirelen·8/bps
+// on top of the propagation latency, so a 1514-octet frame on Fast
+// Ethernet costs ≈121µs where a minimum frame costs ≈5µs. Zero (the
+// default) models an infinitely fast line.
+func WithBandwidth(bitsPerSecond int64) LinkOption {
+	return func(p *linkParams) { p.bps = bitsPerSecond }
+}
+
+// defaultLink returns the default attachment parameters.
+func defaultLink() linkParams {
+	return linkParams{latency: 50 * time.Microsecond}
+}
+
+// NICStats are transmit/receive counters for one NIC.
+type NICStats struct {
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+}
+
+// NIC is a simulated network interface. A host stack (or an attacker tool)
+// sets a receive handler and transmits frames; address filtering follows
+// real NIC semantics, including promiscuous mode for sniffers.
+type NIC struct {
+	mac         ethaddr.MAC
+	sched       *sim.Scheduler
+	port        *Port
+	params      linkParams
+	handler     func(*frame.Frame)
+	promiscuous bool
+	up          bool
+	stats       NICStats
+}
+
+// NewNIC creates an interface with the given hardware address.
+func NewNIC(s *sim.Scheduler, mac ethaddr.MAC) *NIC {
+	return &NIC{mac: mac, sched: s, up: true}
+}
+
+// MAC returns the burned-in hardware address.
+func (n *NIC) MAC() ethaddr.MAC { return n.mac }
+
+// SetHandler installs the receive callback invoked for every frame the NIC
+// accepts.
+func (n *NIC) SetHandler(fn func(*frame.Frame)) { n.handler = fn }
+
+// SetPromiscuous toggles acceptance of frames addressed to other stations.
+func (n *NIC) SetPromiscuous(v bool) { n.promiscuous = v }
+
+// SetUp administratively enables or disables the interface.
+func (n *NIC) SetUp(v bool) { n.up = v }
+
+// Stats returns a copy of the interface counters.
+func (n *NIC) Stats() NICStats { return n.stats }
+
+// Send transmits a frame out the attached port. The source address is taken
+// from the frame as crafted — spoofing tools depend on that — so the NIC
+// does not rewrite it.
+func (n *NIC) Send(f *frame.Frame) {
+	if n.port == nil || !n.up {
+		return
+	}
+	n.stats.TxFrames++
+	n.stats.TxBytes += uint64(f.WireLen())
+	port, params := n.port, n.params
+	transmit(n.sched, params, f.WireLen(), func() { port.ingress(f) })
+}
+
+// deliver is the link-side entry point for frames arriving at the NIC.
+func (n *NIC) deliver(f *frame.Frame) {
+	if !n.up {
+		return
+	}
+	accept := n.promiscuous || f.Dst == n.mac || f.Dst.IsMulticast()
+	if !accept {
+		return
+	}
+	n.stats.RxFrames++
+	n.stats.RxBytes += uint64(f.WireLen())
+	if n.handler != nil {
+		n.handler(f)
+	}
+}
+
+// transmit schedules fn after the link's delay, honouring serialization
+// rate, jitter, and loss.
+func transmit(s *sim.Scheduler, p linkParams, wireLen int, fn func()) {
+	if p.loss > 0 && s.Rand().Float64() < p.loss {
+		return
+	}
+	d := p.latency
+	if p.bps > 0 {
+		d += time.Duration(int64(wireLen) * 8 * int64(time.Second) / p.bps)
+	}
+	if p.jitter > 0 {
+		d += time.Duration(s.Rand().Int63n(int64(p.jitter)))
+	}
+	s.After(d, fn)
+}

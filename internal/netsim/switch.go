@@ -1,0 +1,366 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// camKey scopes learned stations per VLAN: the same MAC may legitimately
+// appear in two VLANs (a router-on-a-stick), and isolation requires that a
+// station learned in one VLAN is invisible to forwarding in another.
+type camKey struct {
+	vlan uint16
+	mac  ethaddr.MAC
+}
+
+// camEntry is one learned MAC→port association with an expiry instant.
+type camEntry struct {
+	port    int
+	expires time.Duration
+}
+
+// SwitchStats are forwarding-plane counters for one switch.
+type SwitchStats struct {
+	Forwarded   uint64 // unicast frames sent to a single learned port
+	Flooded     uint64 // frames replicated to all ports (broadcast or CAM miss)
+	Filtered    uint64 // frames dropped by the inline filter
+	Learned     uint64 // CAM insertions
+	LearnMisses uint64 // insertions refused because the CAM was full
+	// BytesByType counts ingress octets per protocol.
+	BytesByType map[frame.EtherType]uint64
+	// BytesOutByType counts egress octets per protocol, including every
+	// flooded replica — the true load the fabric carries.
+	BytesOutByType map[frame.EtherType]uint64
+}
+
+// SwitchOption configures a Switch.
+type SwitchOption func(*Switch)
+
+// WithCAMCapacity bounds the CAM table (default 1024 entries, the capacity
+// of small home routers such as the MikroTik hAP). When the table is full
+// the switch stops learning, so frames to unlearned stations flood — the
+// fail-open behaviour MAC-flooding attacks exploit.
+func WithCAMCapacity(n int) SwitchOption {
+	return func(sw *Switch) { sw.camCap = n }
+}
+
+// WithCAMTTL sets the aging time for CAM entries (default 300s, the common
+// switch default).
+func WithCAMTTL(d time.Duration) SwitchOption {
+	return func(sw *Switch) { sw.camTTL = d }
+}
+
+// WithFilter installs an inline filter in the forwarding path.
+func WithFilter(f FilterFunc) SwitchOption {
+	return func(sw *Switch) { sw.filter = f }
+}
+
+// WithCAMEvictRandom makes a full CAM table evict a random victim entry to
+// admit a new station, modelling the hash-bucket collisions of real CAM
+// hardware. Without it a full table simply refuses to learn. Random
+// eviction is what makes sustained MAC flooding displace legitimate
+// entries and force fail-open flooding of their traffic.
+func WithCAMEvictRandom() SwitchOption {
+	return func(sw *Switch) { sw.evictRandom = true }
+}
+
+// Switch is a transparent learning bridge with a bounded CAM table, optional
+// inline filtering, port mirroring, and taps.
+type Switch struct {
+	sched   *sim.Scheduler
+	ports   []*Port
+	cam     map[camKey]camEntry
+	camCap  int
+	camTTL  time.Duration
+	filter      FilterFunc
+	taps        []TapFunc
+	mirror      *Port // destination for mirrored traffic, nil when disabled
+	mirrSrc     map[int]bool
+	evictRandom bool
+	stats       SwitchStats
+}
+
+// NewSwitch creates a switch with no ports; add them with AddPort.
+func NewSwitch(s *sim.Scheduler, opts ...SwitchOption) *Switch {
+	sw := &Switch{
+		sched:   s,
+		cam:     make(map[camKey]camEntry),
+		camCap:  1024,
+		camTTL:  300 * time.Second,
+		mirrSrc: make(map[int]bool),
+		stats: SwitchStats{
+			BytesByType:    make(map[frame.EtherType]uint64),
+			BytesOutByType: make(map[frame.EtherType]uint64),
+		},
+	}
+	for _, opt := range opts {
+		opt(sw)
+	}
+	return sw
+}
+
+// Port is one switch (or hub) interface. A NIC attaches to exactly one port.
+type Port struct {
+	id      int
+	vlan    uint16
+	ingress func(*frame.Frame)
+	egress  func(*frame.Frame) // deliver toward the attached NIC
+}
+
+// ID returns the port number, stable for the life of the device.
+func (p *Port) ID() int { return p.id }
+
+// VLAN returns the port's access VLAN.
+func (p *Port) VLAN() uint16 { return p.vlan }
+
+// SetVLAN moves the port to an access VLAN. All ports default to VLAN 1.
+// Broadcasts, floods, and learned forwarding stay within a VLAN —
+// segmentation bounds a poisoner's blast radius to its own segment.
+func (p *Port) SetVLAN(vid uint16) { p.vlan = vid }
+
+// Attach wires a NIC to this port with the given link characteristics,
+// replacing any previous attachment.
+func (p *Port) Attach(n *NIC, opts ...LinkOption) {
+	params := defaultLink()
+	for _, opt := range opts {
+		opt(&params)
+	}
+	n.port = p
+	n.params = params
+	sched := n.sched
+	p.egress = func(f *frame.Frame) {
+		transmit(sched, params, f.WireLen(), func() { n.deliver(f) })
+	}
+}
+
+// AddPort creates a new port on the switch, in VLAN 1.
+func (sw *Switch) AddPort() *Port {
+	p := &Port{id: len(sw.ports), vlan: 1}
+	p.ingress = func(f *frame.Frame) { sw.ingress(p.id, f) }
+	sw.ports = append(sw.ports, p)
+	return p
+}
+
+// AddTap registers an observer for every frame entering the switch,
+// regardless of filtering outcome. This models a passive inline tap.
+func (sw *Switch) AddTap(fn TapFunc) { sw.taps = append(sw.taps, fn) }
+
+// SetFilter installs or replaces the inline filter.
+func (sw *Switch) SetFilter(f FilterFunc) { sw.filter = f }
+
+// MirrorAllTo copies the ingress traffic of every other port to dst, the
+// configuration used to feed a detector appliance.
+func (sw *Switch) MirrorAllTo(dst *Port) {
+	sw.mirror = dst
+	sw.mirrSrc = nil // nil means "all ports"
+}
+
+// MirrorPortsTo copies the ingress traffic of the given ports to dst.
+func (sw *Switch) MirrorPortsTo(dst *Port, src ...*Port) {
+	sw.mirror = dst
+	sw.mirrSrc = make(map[int]bool, len(src))
+	for _, p := range src {
+		sw.mirrSrc[p.id] = true
+	}
+}
+
+// Stats returns a copy of the forwarding counters.
+func (sw *Switch) Stats() SwitchStats {
+	out := sw.stats
+	out.BytesByType = make(map[frame.EtherType]uint64, len(sw.stats.BytesByType))
+	for k, v := range sw.stats.BytesByType {
+		out.BytesByType[k] = v
+	}
+	out.BytesOutByType = make(map[frame.EtherType]uint64, len(sw.stats.BytesOutByType))
+	for k, v := range sw.stats.BytesOutByType {
+		out.BytesOutByType[k] = v
+	}
+	return out
+}
+
+// CAMLen returns the number of live (unexpired) CAM entries.
+func (sw *Switch) CAMLen() int {
+	now := sw.sched.Now()
+	n := 0
+	for _, e := range sw.cam {
+		if e.expires > now {
+			n++
+		}
+	}
+	return n
+}
+
+// CAMLookup reports the port a station was learned on in any VLAN, if the
+// entry is live.
+func (sw *Switch) CAMLookup(mac ethaddr.MAC) (int, bool) {
+	now := sw.sched.Now()
+	for k, e := range sw.cam {
+		if k.mac == mac && e.expires > now {
+			return e.port, true
+		}
+	}
+	return 0, false
+}
+
+// FlushCAM clears the table (administrative action).
+func (sw *Switch) FlushCAM() { sw.cam = make(map[camKey]camEntry) }
+
+// ingress handles a frame arriving on port id: tap, filter, learn,
+// forward, mirror. The mirror destination receives each frame exactly
+// once: the SPAN copy is suppressed when normal forwarding already
+// delivers the frame to the mirror port.
+func (sw *Switch) ingress(id int, f *frame.Frame) {
+	now := sw.sched.Now()
+	wire := f.WireLen()
+	sw.stats.BytesByType[f.Type] += uint64(wire)
+	ev := TapEvent{At: now, Port: id, Frame: f, WireLen: wire}
+	for _, tap := range sw.taps {
+		tap(ev)
+	}
+	mirrorWanted := sw.mirror != nil && sw.mirror.egress != nil &&
+		(sw.mirrSrc == nil || sw.mirrSrc[id]) && sw.mirror.id != id
+
+	if sw.filter != nil && sw.filter(id, f) == VerdictDrop {
+		sw.stats.Filtered++
+		if mirrorWanted { // the monitor still sees what the filter ate
+			sw.mirror.egress(f.Clone())
+		}
+		return
+	}
+	vlan := sw.ports[id].vlan
+	sw.learn(id, vlan, f.Src, now)
+
+	reachedMirror := false
+	switch {
+	case f.Dst.IsMulticast(): // includes broadcast
+		reachedMirror = sw.flood(id, f)
+	default:
+		if e, ok := sw.cam[camKey{vlan: vlan, mac: f.Dst}]; ok && e.expires > now {
+			if e.port != id { // else: destination on the ingress segment
+				sw.stats.Forwarded++
+				sw.egressTo(e.port, f)
+				reachedMirror = sw.mirror != nil && e.port == sw.mirror.id
+			}
+		} else {
+			// Unknown unicast: flood within the VLAN. With a flooded CAM
+			// this is the fail-open (hub-like) eavesdropping mode.
+			reachedMirror = sw.flood(id, f)
+		}
+	}
+	if mirrorWanted && !reachedMirror {
+		sw.mirror.egress(f.Clone())
+	}
+}
+
+// learn records src on port id, refreshing existing entries. A full table
+// first tries to reclaim one expired entry; otherwise learning is refused.
+func (sw *Switch) learn(id int, vlan uint16, src ethaddr.MAC, now time.Duration) {
+	if !src.IsUnicast() {
+		return
+	}
+	key := camKey{vlan: vlan, mac: src}
+	if e, ok := sw.cam[key]; ok {
+		e.port = id
+		e.expires = now + sw.camTTL
+		sw.cam[key] = e
+		return
+	}
+	if len(sw.cam) >= sw.camCap {
+		reclaimed := false
+		for k, e := range sw.cam {
+			if e.expires <= now {
+				delete(sw.cam, k)
+				reclaimed = true
+				break
+			}
+		}
+		if !reclaimed && sw.evictRandom {
+			victim := sw.sched.Rand().Intn(len(sw.cam))
+			i := 0
+			for k := range sw.cam {
+				if i == victim {
+					delete(sw.cam, k)
+					reclaimed = true
+					break
+				}
+				i++
+			}
+		}
+		if !reclaimed {
+			sw.stats.LearnMisses++
+			return
+		}
+	}
+	sw.cam[key] = camEntry{port: id, expires: now + sw.camTTL}
+	sw.stats.Learned++
+}
+
+// flood replicates the frame to every port in the ingress port's VLAN,
+// except the ingress port itself. It reports whether a copy egressed the
+// mirror port.
+func (sw *Switch) flood(ingress int, f *frame.Frame) bool {
+	sw.stats.Flooded++
+	wire := uint64(f.WireLen())
+	vlan := sw.ports[ingress].vlan
+	reachedMirror := false
+	for _, p := range sw.ports {
+		if p.id == ingress || p.egress == nil || p.vlan != vlan {
+			continue
+		}
+		if sw.mirror != nil && p.id == sw.mirror.id {
+			reachedMirror = true
+		}
+		sw.stats.BytesOutByType[f.Type] += wire
+		p.egress(f.Clone())
+	}
+	return reachedMirror
+}
+
+// egressTo sends the frame out one port.
+func (sw *Switch) egressTo(id int, f *frame.Frame) {
+	p := sw.ports[id]
+	if p.egress != nil {
+		sw.stats.BytesOutByType[f.Type] += uint64(f.WireLen())
+		p.egress(f)
+	}
+}
+
+// Hub is a dumb repeater: every frame entering a port is replicated to all
+// other ports. It exists because the paper's threat model begins with shared
+// media, where eavesdropping needs no ARP poisoning at all.
+type Hub struct {
+	sched *sim.Scheduler
+	ports []*Port
+	taps  []TapFunc
+}
+
+// NewHub creates a hub with no ports.
+func NewHub(s *sim.Scheduler) *Hub { return &Hub{sched: s} }
+
+// AddPort creates a new port on the hub.
+func (h *Hub) AddPort() *Port {
+	p := &Port{id: len(h.ports)}
+	p.ingress = func(f *frame.Frame) { h.ingress(p.id, f) }
+	h.ports = append(h.ports, p)
+	return p
+}
+
+// AddTap registers an observer for every frame entering the hub.
+func (h *Hub) AddTap(fn TapFunc) { h.taps = append(h.taps, fn) }
+
+// ingress repeats the frame out every other port.
+func (h *Hub) ingress(id int, f *frame.Frame) {
+	ev := TapEvent{At: h.sched.Now(), Port: id, Frame: f, WireLen: f.WireLen()}
+	for _, tap := range h.taps {
+		tap(ev)
+	}
+	for _, p := range h.ports {
+		if p.id == id || p.egress == nil {
+			continue
+		}
+		p.egress(f.Clone())
+	}
+}

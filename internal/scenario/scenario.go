@@ -1,0 +1,321 @@
+// Package scenario runs JSON-described experiments: a LAN shape, a set of
+// deployed defense schemes, and an attack timeline, producing a structured
+// result. It exists so users can reproduce and share attack/defense
+// matchups without writing Go — the configuration front end over labnet,
+// schemes, and attack.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/ethaddr"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+	"repro/internal/schemes/activeprobe"
+	"repro/internal/schemes/arpwatch"
+	"repro/internal/schemes/dai"
+	"repro/internal/schemes/flooddetect"
+	"repro/internal/schemes/kernelpolicy"
+	"repro/internal/schemes/middleware"
+	"repro/internal/schemes/portsec"
+	"repro/internal/schemes/snortlike"
+	"repro/internal/schemes/staticarp"
+	"repro/internal/stack"
+)
+
+// Spec is the JSON description of one experiment.
+type Spec struct {
+	// Seed drives all randomness (default 1).
+	Seed int64 `json:"seed"`
+	// Hosts is the number of stations, gateway included (default 4).
+	Hosts int `json:"hosts"`
+	// Policy names the hosts' cache policy profile (default "naive").
+	Policy string `json:"policy"`
+	// DurationSeconds is the simulated run length (default 60).
+	DurationSeconds float64 `json:"durationSeconds"`
+	// Schemes lists the defenses to deploy.
+	Schemes []SchemeSpec `json:"schemes"`
+	// Attacks is the attack timeline.
+	Attacks []AttackSpec `json:"attacks"`
+}
+
+// SchemeSpec deploys one defense.
+type SchemeSpec struct {
+	// Name: arpwatch | active-probe | middleware | hybrid-guard | dai |
+	// port-security | flood-detect | snort-like | static-arp |
+	// address-defense.
+	Name string `json:"name"`
+}
+
+// AttackSpec schedules one attacker action.
+type AttackSpec struct {
+	// AtSeconds is when the action starts.
+	AtSeconds float64 `json:"atSeconds"`
+	// Type: poison | mitm | blackhole | cam-flood | cache-flood | scan |
+	// port-steal.
+	Type string `json:"type"`
+	// Variant selects the poisoning delivery for type "poison"
+	// (gratuitous | unsolicited-reply | request-spoof | reply-race).
+	Variant string `json:"variant,omitempty"`
+	// Count sizes flooding attacks (default 500).
+	Count int `json:"count,omitempty"`
+	// PeriodSeconds paces periodic actions (default 2).
+	PeriodSeconds float64 `json:"periodSeconds,omitempty"`
+}
+
+// Load parses a Spec from JSON.
+func Load(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("parse scenario: %w", err)
+	}
+	return &spec, nil
+}
+
+// Result is what one run produced.
+type Result struct {
+	Duration       time.Duration  `json:"-"`
+	AlertsByScheme map[string]int `json:"alertsByScheme"`
+	AlertsByKind   map[string]int `json:"alertsByKind"`
+	FirstAlerts    []string       `json:"firstAlerts"`
+	PoisonedHosts  int            `json:"poisonedHosts"`
+	GuardIncidents int            `json:"guardIncidents"`
+	GuardConfirmed int            `json:"guardConfirmed"`
+	AttackerForged uint64         `json:"attackerForged"`
+	AttackerSniffed uint64        `json:"attackerSniffedBytes"`
+	SwitchFiltered uint64         `json:"switchFiltered"`
+	CAMEntries     int            `json:"camEntries"`
+}
+
+// Render writes a human-readable summary.
+func (r *Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "scenario finished after %v simulated\n", r.Duration)
+	fmt.Fprintf(w, "  hosts poisoned at end: %d\n", r.PoisonedHosts)
+	fmt.Fprintf(w, "  attacker: %d forged packets, %d payload bytes captured\n",
+		r.AttackerForged, r.AttackerSniffed)
+	fmt.Fprintf(w, "  switch: %d frames filtered inline, %d CAM entries\n",
+		r.SwitchFiltered, r.CAMEntries)
+	if r.GuardIncidents > 0 {
+		fmt.Fprintf(w, "  guard: %d incidents (%d confirmed)\n", r.GuardIncidents, r.GuardConfirmed)
+	}
+	schemesSorted := make([]string, 0, len(r.AlertsByScheme))
+	for s := range r.AlertsByScheme {
+		schemesSorted = append(schemesSorted, s)
+	}
+	sort.Strings(schemesSorted)
+	for _, s := range schemesSorted {
+		fmt.Fprintf(w, "  %s: %d alerts\n", s, r.AlertsByScheme[s])
+	}
+	for _, line := range r.FirstAlerts {
+		fmt.Fprintf(w, "  first: %s\n", line)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Run executes the scenario.
+func Run(spec *Spec) (*Result, error) {
+	if spec.Hosts == 0 {
+		spec.Hosts = 4
+	}
+	if spec.DurationSeconds == 0 {
+		spec.DurationSeconds = 60
+	}
+	if spec.Policy == "" {
+		spec.Policy = "naive"
+	}
+	prof := kernelpolicy.ByName(spec.Policy)
+
+	var hostOpts []stack.Option
+	for _, s := range spec.Schemes {
+		if s.Name == "address-defense" {
+			hostOpts = append(hostOpts, stack.WithAddressDefense(time.Second))
+		}
+	}
+	l := labnet.New(labnet.Config{
+		Seed:         spec.Seed,
+		Hosts:        spec.Hosts,
+		Policy:       prof.Policy,
+		WithAttacker: true,
+		WithMonitor:  true,
+		HostOptions:  hostOpts,
+	})
+	sink := schemes.NewSink()
+	gw, victim := l.Gateway(), l.Victim()
+
+	var guard *core.Guard
+	for _, s := range spec.Schemes {
+		switch s.Name {
+		case "arpwatch":
+			w := arpwatch.New(l.Sched, sink)
+			w.Seed(gw.IP(), gw.MAC())
+			l.Switch.AddTap(w.Observe)
+		case "active-probe":
+			p := activeprobe.New(l.Sched, sink, l.Monitor)
+			p.Seed(gw.IP(), gw.MAC())
+			l.Switch.AddTap(p.Observe)
+		case "middleware":
+			middleware.New(l.Sched, sink, victim)
+		case "hybrid-guard":
+			guard = core.New(l.Sched, l.Monitor,
+				core.WithSeedBinding(gw.IP(), gw.MAC()),
+				core.WithAlertHandler(sink.Report))
+			l.Switch.AddTap(guard.Tap())
+		case "dai":
+			table := dai.NewBindingTable()
+			for _, h := range l.Hosts {
+				table.AddStatic(h.IP(), h.MAC())
+			}
+			table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
+			table.AddStatic(l.Attacker.IP(), l.Attacker.MAC())
+			insp := dai.New(l.Sched, sink, table, dai.WithDHCPGuard())
+			l.Switch.SetFilter(insp.Filter())
+		case "port-security":
+			opts := []portsec.Option{portsec.WithTrustedPorts(l.MonitorPort.ID())}
+			for i, p := range l.Ports {
+				opts = append(opts, portsec.WithSticky(p.ID(), l.Hosts[i].MAC()))
+			}
+			opts = append(opts, portsec.WithSticky(l.AtkPort.ID(), l.Attacker.MAC()))
+			e := portsec.New(l.Sched, sink, opts...)
+			l.Switch.SetFilter(e.Filter())
+		case "flood-detect":
+			det := flooddetect.New(l.Sched, sink)
+			l.Switch.AddTap(det.Observe)
+		case "snort-like":
+			p := snortlike.New(l.Sched, sink,
+				snortlike.WithBinding(gw.IP(), gw.MAC()),
+				snortlike.WithBinding(victim.IP(), victim.MAC()))
+			l.Switch.AddTap(p.Observe)
+		case "static-arp":
+			dir := make(staticarp.Directory)
+			for _, h := range l.Hosts {
+				dir[h.IP()] = h.MAC()
+			}
+			prov := staticarp.NewProvisioner(dir)
+			for _, h := range l.Hosts {
+				prov.Enroll(h)
+			}
+		case "address-defense":
+			// handled via host options above
+		default:
+			return nil, fmt.Errorf("unknown scheme %q", s.Name)
+		}
+	}
+
+	for _, a := range spec.Attacks {
+		a := a
+		at := time.Duration(a.AtSeconds * float64(time.Second))
+		period := 2 * time.Second
+		if a.PeriodSeconds > 0 {
+			period = time.Duration(a.PeriodSeconds * float64(time.Second))
+		}
+		count := a.Count
+		if count == 0 {
+			count = 500
+		}
+		var action func()
+		switch a.Type {
+		case "poison":
+			variant, err := parseVariant(a.Variant)
+			if err != nil {
+				return nil, err
+			}
+			action = func() {
+				if variant == attack.VariantReplyRace {
+					l.Attacker.ArmReplyRace(gw.IP(), victim.IP(), 0)
+					victim.Cache().Delete(gw.IP())
+					victim.Resolve(gw.IP(), nil)
+					return
+				}
+				l.Attacker.Poison(variant, gw.IP(), l.Attacker.MAC(), victim.MAC(), victim.IP())
+			}
+		case "mitm":
+			action = func() {
+				l.Attacker.PoisonPeriodically(period, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+				l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+			}
+		case "blackhole":
+			action = func() {
+				l.Attacker.Poison(attack.VariantUnsolicitedReply, gw.IP(), l.Attacker.MAC(),
+					victim.MAC(), victim.IP())
+				l.Attacker.BlackholeTraffic(gw.IP())
+			}
+		case "cam-flood":
+			action = func() {
+				l.Attacker.FloodCAM(ethaddr.NewGen(spec.Seed+13), count, time.Millisecond)
+			}
+		case "cache-flood":
+			action = func() {
+				l.Attacker.FloodCache(ethaddr.NewGen(spec.Seed+17), l.Subnet, count, time.Millisecond)
+			}
+		case "scan":
+			action = func() {
+				l.Attacker.Scan(l.Subnet, 1, count%255, 10*time.Millisecond)
+			}
+		case "port-steal":
+			action = func() {
+				l.Attacker.StealPort(victim.MAC(), victim.IP(), period, true)
+			}
+		default:
+			return nil, fmt.Errorf("unknown attack type %q", a.Type)
+		}
+		l.Sched.At(at, action)
+	}
+
+	// Background traffic keeps caches and detectors exercised.
+	for _, h := range l.Hosts[1:] {
+		h := h
+		l.Sched.Every(5*time.Second, func() { h.SendUDP(gw.IP(), 2000, 80, []byte("work")) })
+	}
+
+	duration := time.Duration(spec.DurationSeconds * float64(time.Second))
+	if err := l.Run(duration); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Duration:       duration,
+		AlertsByScheme: make(map[string]int),
+		AlertsByKind:   make(map[string]int),
+		PoisonedHosts:  l.PoisonedCount(gw.IP()),
+		AttackerForged: l.Attacker.Stats().Forged,
+		AttackerSniffed: l.Attacker.Stats().Sniffed,
+		SwitchFiltered: l.Switch.Stats().Filtered,
+		CAMEntries:     l.Switch.CAMLen(),
+	}
+	seenScheme := make(map[string]bool)
+	for _, a := range sink.Alerts() {
+		res.AlertsByScheme[a.Scheme]++
+		res.AlertsByKind[a.Kind.String()]++
+		if !seenScheme[a.Scheme] {
+			seenScheme[a.Scheme] = true
+			res.FirstAlerts = append(res.FirstAlerts, a.String())
+		}
+	}
+	if guard != nil {
+		res.GuardIncidents = len(guard.Incidents())
+		res.GuardConfirmed = guard.ConfirmedCount()
+	}
+	return res, nil
+}
+
+// parseVariant maps a JSON variant name to the attack enum.
+func parseVariant(name string) (attack.Variant, error) {
+	if name == "" {
+		return attack.VariantUnsolicitedReply, nil
+	}
+	for _, v := range attack.Variants() {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown poison variant %q", name)
+}

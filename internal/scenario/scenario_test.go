@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, js string) *Spec {
+	t.Helper()
+	spec, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"bogus": true}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestGuardScenarioDetectsMITM(t *testing.T) {
+	spec := load(t, `{
+		"seed": 1, "hosts": 5, "durationSeconds": 60,
+		"schemes": [{"name": "hybrid-guard"}],
+		"attacks": [{"atSeconds": 10, "type": "mitm"}]
+	}`)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuardIncidents == 0 || res.GuardConfirmed == 0 {
+		t.Fatalf("guard result: %+v", res)
+	}
+	if res.PoisonedHosts == 0 {
+		t.Fatal("detection-only scenario should leave the victim poisoned")
+	}
+	if res.AttackerSniffed == 0 {
+		t.Fatal("relay should have captured payload")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "guard:") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestDAIScenarioPrevents(t *testing.T) {
+	spec := load(t, `{
+		"seed": 2, "durationSeconds": 30,
+		"schemes": [{"name": "dai"}],
+		"attacks": [
+			{"atSeconds": 5, "type": "poison", "variant": "gratuitous"},
+			{"atSeconds": 10, "type": "poison", "variant": "unsolicited-reply"}
+		]
+	}`)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoisonedHosts != 0 {
+		t.Fatalf("DAI scenario poisoned %d hosts", res.PoisonedHosts)
+	}
+	if res.SwitchFiltered == 0 {
+		t.Fatal("nothing filtered inline")
+	}
+	if res.AlertsByScheme["dai"] == 0 {
+		t.Fatalf("alerts: %+v", res.AlertsByScheme)
+	}
+}
+
+func TestPortSecurityScenarioStopsFloodAndSteal(t *testing.T) {
+	spec := load(t, `{
+		"seed": 3, "durationSeconds": 30,
+		"schemes": [{"name": "port-security"}, {"name": "flood-detect"}],
+		"attacks": [
+			{"atSeconds": 5, "type": "cam-flood", "count": 300},
+			{"atSeconds": 15, "type": "port-steal", "periodSeconds": 0.1}
+		]
+	}`)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CAMEntries > 10 {
+		t.Fatalf("CAM grew to %d through port security", res.CAMEntries)
+	}
+	if res.AttackerSniffed != 0 {
+		t.Fatal("port steal succeeded through sticky MACs")
+	}
+	if res.AlertsByScheme["port-security"] == 0 {
+		t.Fatalf("alerts: %+v", res.AlertsByScheme)
+	}
+}
+
+func TestPolicyFieldRespected(t *testing.T) {
+	// The attack fires off the background-traffic grid (multiples of 5s):
+	// an unsolicited reply landing while a genuine resolution is pending
+	// would be accepted as solicited — that is the race, not the push.
+	spec := load(t, `{
+		"seed": 4, "durationSeconds": 20, "policy": "solicited-only",
+		"attacks": [{"atSeconds": 7, "type": "poison", "variant": "unsolicited-reply"}]
+	}`)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoisonedHosts != 0 {
+		t.Fatal("solicited-only hosts accepted an unsolicited reply")
+	}
+
+	// On this uniform-latency LAN the genuine owner wins the tie against
+	// solicited-only caches (Figure 2 sweeps the latency handicap); against
+	// naive caches the racer's trailing shot always lands.
+	race := load(t, `{
+		"seed": 4, "durationSeconds": 20, "policy": "naive",
+		"attacks": [{"atSeconds": 7, "type": "poison", "variant": "reply-race"}]
+	}`)
+	res2, err := Run(race)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PoisonedHosts == 0 {
+		t.Fatal("the double-tap race should beat a naive cache")
+	}
+}
+
+func TestUnknownNamesRejected(t *testing.T) {
+	if _, err := Run(load(t, `{"schemes": [{"name": "nope"}]}`)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := Run(load(t, `{"attacks": [{"type": "nope"}]}`)); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+	if _, err := Run(load(t, `{"attacks": [{"type": "poison", "variant": "nope"}]}`)); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestAddressDefenseScenario(t *testing.T) {
+	spec := load(t, `{
+		"seed": 5, "durationSeconds": 30,
+		"schemes": [{"name": "address-defense"}],
+		"attacks": [{"atSeconds": 5, "type": "poison", "variant": "gratuitous"}]
+	}`)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gateway reasserted after the broadcast forgery: nobody stays
+	// poisoned.
+	if res.PoisonedHosts != 0 {
+		t.Fatalf("defense failed: %d poisoned", res.PoisonedHosts)
+	}
+}

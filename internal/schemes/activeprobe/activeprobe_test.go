@@ -1,0 +1,182 @@
+package activeprobe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+)
+
+// probeLAN builds a workbench with the prober on the monitor host.
+func probeLAN(opts ...Option) (*labnet.LAN, *Prober, *schemes.Sink) {
+	l := labnet.Default()
+	sink := schemes.NewSink()
+	p := New(l.Sched, sink, l.Monitor, opts...)
+	l.Switch.AddTap(p.Observe)
+	return l, p, sink
+}
+
+func TestConfirmsPoisoningByProbing(t *testing.T) {
+	l, p, sink := probeLAN()
+	gw := l.Gateway()
+	p.Seed(gw.IP(), gw.MAC())
+
+	l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The genuine gateway answers the probe with its true MAC, which
+	// contradicts the claimed binding.
+	alerts := sink.ByKind(schemes.AlertVerifyFailed)
+	if len(alerts) != 1 {
+		t.Fatalf("verify-failed alerts = %d (all: %v)", len(alerts), sink.Alerts())
+	}
+	if alerts[0].NewMAC != l.Attacker.MAC() {
+		t.Fatalf("suspect MAC = %v", alerts[0].NewMAC)
+	}
+	st := p.Stats()
+	if st.Suspicions != 1 || st.Confirmed != 1 || st.Probes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClearsBenignReaddressing(t *testing.T) {
+	// DHCP-style churn: the new owner answers probes for itself, so the
+	// prober clears the change without alerting — the precision advantage
+	// over passive monitoring.
+	l, p, sink := probeLAN()
+	departing := l.Hosts[2]
+	newcomer := l.Hosts[3]
+	ip := departing.IP()
+	p.Seed(ip, departing.MAC())
+
+	l.Sched.After(time.Second, func() {
+		departing.NIC().SetUp(false)
+		newcomer.SetIP(ip)
+		newcomer.SendGratuitous()
+	})
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("benign churn alerted: %v", sink.Alerts())
+	}
+	if p.Stats().Cleared != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+func TestUnsolicitedReplyTriggersVerification(t *testing.T) {
+	l, p, sink := probeLAN()
+	// No seed: the binding is unknown, but the unsolicited reply itself is
+	// suspicious (no request for it was on the wire).
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ByKind(schemes.AlertVerifyFailed)) != 1 {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+	_ = p
+}
+
+func TestSolicitedReplyDoesNotTrigger(t *testing.T) {
+	l, p, _ := probeLAN()
+	l.Victim().Resolve(l.Gateway().IP(), nil)
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Suspicions != 0 {
+		t.Fatalf("legitimate resolution probed: %+v", p.Stats())
+	}
+}
+
+func TestForgedBindingForAbsentHostAlerts(t *testing.T) {
+	// Attacker claims an IP nobody owns: probe goes unanswered → alert.
+	l, _, sink := probeLAN()
+	ghost := l.Subnet.Host(200)
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, ghost, l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	alerts := sink.ByKind(schemes.AlertVerifyFailed)
+	if len(alerts) != 1 || alerts[0].IP != ghost {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+}
+
+func TestVerifyNewStationsOption(t *testing.T) {
+	l, p, _ := probeLAN(WithVerifyNewStations())
+	l.Victim().SendGratuitous() // legitimate announcement, previously unseen
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Suspicions != 1 || st.Cleared != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProbeBudgetBounded(t *testing.T) {
+	// One suspicion must cost a bounded number of probes (initial + retry),
+	// not one per observed packet.
+	l, p, _ := probeLAN()
+	gw := l.Gateway()
+	p.Seed(gw.IP(), gw.MAC())
+	for i := 0; i < 10; i++ {
+		l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(),
+			l.Victim().MAC(), l.Victim().IP())
+	}
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Probes > 4 {
+		t.Fatalf("probes = %d for one burst, want coalesced sessions", st.Probes)
+	}
+}
+
+func TestEvasiveImpersonatorClearsVerification(t *testing.T) {
+	// The scheme's documented blind spot (recorded in the Table 1 matrix
+	// as partial race coverage and exercised by Table 6): if the genuine
+	// owner is gone and the attacker answers probes, verification sees one
+	// consistent answer and clears the forgery.
+	l, p, sink := probeLAN()
+	gw := l.Gateway()
+	p.Seed(gw.IP(), gw.MAC())
+
+	gw.NIC().SetUp(false)
+	l.Attacker.Impersonate(gw.IP())
+	l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("impersonation unexpectedly flagged (blind spot closed?): %v", sink.Alerts())
+	}
+	if p.Stats().Cleared != 1 {
+		t.Fatalf("stats: %+v", p.Stats())
+	}
+}
+
+func TestOwnProbeTrafficIgnored(t *testing.T) {
+	l, p, _ := probeLAN()
+	gw := l.Gateway()
+	p.Seed(gw.IP(), gw.MAC())
+	l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The prober's own probes are mirrored back to it; they must not spawn
+	// recursive sessions. Exactly one session for one attack.
+	if p.Stats().Suspicions != 1 {
+		t.Fatalf("suspicions = %d", p.Stats().Suspicions)
+	}
+}

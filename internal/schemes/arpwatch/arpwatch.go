@@ -1,0 +1,203 @@
+// Package arpwatch implements the passive network-monitoring detection
+// scheme: a database of observed IP↔MAC pairings fed from a mirror port,
+// raising flip-flop alerts when a live binding changes and new-station
+// notices when an unseen pairing appears — the behaviour of the classic
+// arpwatch tool the paper's analysis evaluates.
+//
+// Being purely passive it adds zero traffic, but it cannot tell a poisoning
+// flip-flop from a benign DHCP reassignment (the false-positive axis), and
+// it cannot see the first poisoning of a binding it has never observed.
+package arpwatch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+)
+
+// entry is one observed pairing.
+type entry struct {
+	mac      ethaddr.MAC
+	lastSeen time.Duration
+	flips    int
+}
+
+// Option configures the Watcher.
+type Option func(*Watcher)
+
+// WithHoldDown suppresses repeat flip-flop alerts for the same IP within d
+// (default 20s, mirroring the log-damping real deployments use).
+func WithHoldDown(d time.Duration) Option {
+	return func(w *Watcher) { w.holdDown = d }
+}
+
+// WithNewStationAlerts enables alerts for first-seen bindings (off by
+// default: on a fresh deployment every host would page).
+func WithNewStationAlerts() Option {
+	return func(w *Watcher) { w.alertNew = true }
+}
+
+// WithFlipFlopThreshold requires n binding changes for the same IP inside
+// the hold-down window before alerting (default 1: every change alerts, as
+// classic arpwatch does).
+func WithFlipFlopThreshold(n int) Option {
+	return func(w *Watcher) { w.flipThreshold = n }
+}
+
+// Watcher is the passive monitor.
+type Watcher struct {
+	sched         *sim.Scheduler
+	sink          *schemes.Sink
+	db            map[ethaddr.IPv4]*entry
+	lastAlert     map[ethaddr.IPv4]time.Duration
+	holdDown      time.Duration
+	alertNew      bool
+	flipThreshold int
+	observed      uint64
+}
+
+var _ schemes.Detector = (*Watcher)(nil)
+
+// New creates a watcher reporting into sink.
+func New(s *sim.Scheduler, sink *schemes.Sink, opts ...Option) *Watcher {
+	w := &Watcher{
+		sched:         s,
+		sink:          sink,
+		db:            make(map[ethaddr.IPv4]*entry),
+		lastAlert:     make(map[ethaddr.IPv4]time.Duration),
+		holdDown:      20 * time.Second,
+		flipThreshold: 1,
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w
+}
+
+// Name implements schemes.Detector.
+func (w *Watcher) Name() string { return "arpwatch" }
+
+// DBLen returns the number of tracked pairings.
+func (w *Watcher) DBLen() int { return len(w.db) }
+
+// Seed preloads the database (deployments often start from a known-good
+// snapshot to cover the cold-start blind spot).
+func (w *Watcher) Seed(ip ethaddr.IPv4, mac ethaddr.MAC) {
+	w.db[ip] = &entry{mac: mac, lastSeen: w.sched.Now()}
+}
+
+// SaveDB writes the pairing database in the classic arp.dat line format
+// ("mac ip lastSeenSeconds"), sorted by address for stable diffs. Real
+// deployments persist the database across restarts precisely to keep the
+// cold-start blind spot closed.
+func (w *Watcher) SaveDB(out io.Writer) error {
+	ips := make([]ethaddr.IPv4, 0, len(w.db))
+	for ip := range w.db {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i].Uint32() < ips[j].Uint32() })
+	bw := bufio.NewWriter(out)
+	for _, ip := range ips {
+		e := w.db[ip]
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\n", e.mac, ip, int64(e.lastSeen/time.Second)); err != nil {
+			return fmt.Errorf("write db: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("write db: %w", err)
+	}
+	return nil
+}
+
+// LoadDB merges a saved database into the watcher, skipping addresses it
+// already tracks (live observations outrank stale snapshots).
+func (w *Watcher) LoadDB(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return fmt.Errorf("load db line %d: malformed entry %q", line, text)
+		}
+		mac, err := ethaddr.ParseMAC(fields[0])
+		if err != nil {
+			return fmt.Errorf("load db line %d: %w", line, err)
+		}
+		ip, err := ethaddr.ParseIPv4(fields[1])
+		if err != nil {
+			return fmt.Errorf("load db line %d: %w", line, err)
+		}
+		if _, tracked := w.db[ip]; !tracked {
+			w.db[ip] = &entry{mac: mac, lastSeen: w.sched.Now()}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("load db: %w", err)
+	}
+	return nil
+}
+
+// Observe implements schemes.Detector.
+func (w *Watcher) Observe(ev netsim.TapEvent) {
+	if ev.Frame.Type != frame.TypeARP {
+		return
+	}
+	p, err := arppkt.Decode(ev.Frame.Payload)
+	if err != nil {
+		return
+	}
+	w.observed++
+	ip, mac := p.Binding()
+	if ip.IsZero() || !mac.IsUnicast() {
+		return
+	}
+	now := ev.At
+	e, known := w.db[ip]
+	if !known {
+		w.db[ip] = &entry{mac: mac, lastSeen: now}
+		if w.alertNew {
+			w.sink.Report(schemes.Alert{
+				At: now, Scheme: w.Name(), Kind: schemes.AlertNewStation,
+				IP: ip, NewMAC: mac, Detail: "first pairing observed",
+			})
+		}
+		return
+	}
+	if e.mac == mac {
+		e.lastSeen = now
+		e.flips = 0
+		return
+	}
+	// Binding changed: the flip-flop signature.
+	old := e.mac
+	e.flips++
+	flips := e.flips
+	e.mac = mac
+	e.lastSeen = now
+	if flips < w.flipThreshold {
+		return
+	}
+	if last, ok := w.lastAlert[ip]; ok && now-last < w.holdDown {
+		return
+	}
+	w.lastAlert[ip] = now
+	w.sink.Report(schemes.Alert{
+		At: now, Scheme: w.Name(), Kind: schemes.AlertFlipFlop,
+		IP: ip, OldMAC: old, NewMAC: mac, Detail: "binding changed",
+	})
+}

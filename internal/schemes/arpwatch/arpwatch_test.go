@@ -1,0 +1,241 @@
+package arpwatch
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+)
+
+// watchLAN builds a workbench with a watcher on the switch tap.
+func watchLAN(opts ...Option) (*labnet.LAN, *Watcher, *schemes.Sink) {
+	l := labnet.Default()
+	sink := schemes.NewSink()
+	w := New(l.Sched, sink, opts...)
+	l.Switch.AddTap(w.Observe)
+	return l, w, sink
+}
+
+func TestDetectsGratuitousPoisoningFlipFlop(t *testing.T) {
+	l, w, sink := watchLAN()
+	l.SeedMutualCaches()
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if w.DBLen() == 0 {
+		t.Fatal("watcher learned nothing from cache seeding")
+	}
+	sink.Reset()
+
+	gw := l.Gateway()
+	l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(), l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	flips := sink.ByKind(schemes.AlertFlipFlop)
+	if len(flips) != 1 {
+		t.Fatalf("flip-flop alerts = %d", len(flips))
+	}
+	a := flips[0]
+	if a.IP != gw.IP() || a.OldMAC != gw.MAC() || a.NewMAC != l.Attacker.MAC() {
+		t.Fatalf("alert fields: %+v", a)
+	}
+}
+
+func TestDetectsUnicastPoisoningViaMirror(t *testing.T) {
+	// Unsolicited unicast replies are invisible without the mirror port;
+	// the watcher taps the switch, so it must still see them.
+	l, _, sink := watchLAN()
+	l.SeedMutualCaches()
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sink.Reset()
+
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ByKind(schemes.AlertFlipFlop)) != 1 {
+		t.Fatal("unicast poisoning missed")
+	}
+}
+
+func TestColdStartBlindSpot(t *testing.T) {
+	// Without a pre-observed binding, the first poisoning is just a new
+	// station — the documented limitation of passive monitoring.
+	l, _, sink := watchLAN()
+	l.Attacker.Poison(attack.VariantGratuitous, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ByKind(schemes.AlertFlipFlop)) != 0 {
+		t.Fatal("cold-start poisoning should not flip-flop")
+	}
+}
+
+func TestSeedClosesColdStart(t *testing.T) {
+	l, w, sink := watchLAN()
+	gw := l.Gateway()
+	w.Seed(gw.IP(), gw.MAC())
+	l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ByKind(schemes.AlertFlipFlop)) != 1 {
+		t.Fatal("seeded watcher missed the poisoning")
+	}
+}
+
+func TestNewStationAlertsOptIn(t *testing.T) {
+	l, _, sink := watchLAN(WithNewStationAlerts())
+	l.Victim().SendGratuitous()
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ByKind(schemes.AlertNewStation)) != 1 {
+		t.Fatalf("new-station alerts = %d", sink.Len())
+	}
+}
+
+func TestHoldDownSuppressesRepeats(t *testing.T) {
+	l, _, sink := watchLAN(WithHoldDown(30 * time.Second))
+	gw := l.Gateway()
+	l.SeedMutualCaches()
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sink.Reset()
+
+	// Periodic re-poisoning flips the binding every second; hold-down must
+	// reduce alerts to ~1 per window. Flips alternate attacker→genuine
+	// (host keeps talking) so the flip count is high.
+	l.Attacker.PoisonPeriodically(time.Second, l.Victim().MAC(), l.Victim().IP(), gw.MAC(), gw.IP())
+	l.Gateway().SendGratuitous() // genuine re-assertions interleave
+	l.Sched.Every(2*time.Second, func() { gw.SendGratuitous() })
+	if err := l.Run(25 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	flips := len(sink.ByKind(schemes.AlertFlipFlop))
+	if flips == 0 || flips > 2 {
+		t.Fatalf("flip-flop alerts = %d, want 1..2 under 30s hold-down", flips)
+	}
+}
+
+func TestSaveLoadRoundTripClosesColdStart(t *testing.T) {
+	// First deployment observes the LAN and saves its database.
+	l1, w1, _ := watchLAN()
+	l1.SeedMutualCaches()
+	if err := l1.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var snapshot strings.Builder
+	if err := w1.SaveDB(&snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if w1.DBLen() == 0 || !strings.Contains(snapshot.String(), "192.168.88.254") {
+		t.Fatalf("snapshot incomplete:\n%s", snapshot.String())
+	}
+
+	// A restarted deployment loads it and catches the first poisoning
+	// without having observed any traffic itself.
+	l2, w2, sink2 := watchLAN()
+	if err := w2.LoadDB(strings.NewReader(snapshot.String())); err != nil {
+		t.Fatal(err)
+	}
+	if w2.DBLen() != w1.DBLen() {
+		t.Fatalf("loaded %d entries, saved %d", w2.DBLen(), w1.DBLen())
+	}
+	l2.Attacker.Poison(attack.VariantGratuitous, l2.Gateway().IP(), l2.Attacker.MAC(),
+		l2.Victim().MAC(), l2.Victim().IP())
+	if err := l2.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink2.ByKind(schemes.AlertFlipFlop)) != 1 {
+		t.Fatal("loaded database failed to close the cold-start blind spot")
+	}
+}
+
+func TestLoadDBRejectsGarbage(t *testing.T) {
+	_, w, _ := watchLAN()
+	if err := w.LoadDB(strings.NewReader("not a mac\tnot an ip\t0\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Comments and blank lines are fine.
+	if err := w.LoadDB(strings.NewReader("# comment\n\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDBLiveEntriesOutrankSnapshot(t *testing.T) {
+	l, w, _ := watchLAN()
+	gw := l.Gateway()
+	w.Seed(gw.IP(), gw.MAC())
+	stale := gw.IP().String()
+	snapshot := "02:42:ac:00:00:99\t" + stale + "\t0\n"
+	if err := w.LoadDB(strings.NewReader(snapshot)); err != nil {
+		t.Fatal(err)
+	}
+	// The live binding must have survived; a poisoning alert should name
+	// the real gateway MAC as the old binding.
+	l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+}
+
+func TestDHCPStyleChurnCausesFalsePositive(t *testing.T) {
+	// A genuine readdressing (same IP, new MAC) is indistinguishable from
+	// poisoning for a passive monitor: this is the scheme's documented
+	// false-positive, which Figure 4 quantifies.
+	l, w, sink := watchLAN()
+	departing := l.Hosts[2]
+	w.Seed(departing.IP(), departing.MAC())
+
+	// The "new lease holder" is another legitimate host taking over the IP.
+	newcomer := l.Hosts[3]
+	ip := departing.IP()
+	l.Sched.After(time.Second, func() {
+		departing.NIC().SetUp(false)
+		newcomer.SetIP(ip)
+		newcomer.SendGratuitous()
+	})
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ByKind(schemes.AlertFlipFlop)) != 1 {
+		t.Fatal("benign churn should (regrettably) alert — that is the scheme's FP")
+	}
+}
+
+func TestFlipFlopThreshold(t *testing.T) {
+	l, w, sink := watchLAN(WithFlipFlopThreshold(2), WithHoldDown(0))
+	gw := l.Gateway()
+	w.Seed(gw.IP(), gw.MAC())
+
+	// One change: below threshold.
+	l.Attacker.Poison(attack.VariantGratuitous, gw.IP(), l.Attacker.MAC(), l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatal("single flip should stay below threshold 2")
+	}
+	// Genuine host reasserts, flips again: now at threshold.
+	gw.SendGratuitous()
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ByKind(schemes.AlertFlipFlop)) != 1 {
+		t.Fatalf("alerts = %d after second flip", sink.Len())
+	}
+}

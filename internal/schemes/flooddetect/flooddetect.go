@@ -1,0 +1,179 @@
+// Package flooddetect implements the rate-based anomaly detector class the
+// analysis groups with network monitoring: it watches aggregate ARP
+// behaviour per window and alerts on three signatures that precede or
+// accompany poisoning campaigns —
+//
+//   - volume floods: ARP packets per window above threshold (cache/CAM
+//     flooding tools);
+//   - binding floods: too many *distinct* sender bindings per window
+//     (randomized-source flooding, which per-packet volume alone can miss
+//     at low rates);
+//   - scans: one station asking for too many distinct target addresses per
+//     window (the reconnaissance sweep attackers run to map victims).
+//
+// Rate detection is cheap and catches the noisy attacks, but — as the
+// analysis notes for anomaly thresholds generally — it trades a tuning
+// burden (thresholds per LAN) and says nothing about quiet, targeted
+// poisoning, which is why it complements rather than replaces the
+// binding-level schemes.
+package flooddetect
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+)
+
+// Option configures the Detector.
+type Option func(*Detector)
+
+// WithWindow sets the observation window (default 10s).
+func WithWindow(d time.Duration) Option {
+	return func(det *Detector) { det.window = d }
+}
+
+// WithPacketThreshold sets the per-window ARP packet alert level
+// (default 200 — generous for small LANs, instant for flood tools).
+func WithPacketThreshold(n int) Option {
+	return func(det *Detector) { det.maxPackets = n }
+}
+
+// WithBindingThreshold sets the per-window distinct-sender-binding alert
+// level (default 50).
+func WithBindingThreshold(n int) Option {
+	return func(det *Detector) { det.maxBindings = n }
+}
+
+// WithScanThreshold sets the per-window distinct-targets-per-source alert
+// level (default 20).
+func WithScanThreshold(n int) Option {
+	return func(det *Detector) { det.maxTargets = n }
+}
+
+// Stats counts detector activity.
+type Stats struct {
+	Windows       uint64
+	PacketAlerts  uint64
+	BindingAlerts uint64
+	ScanAlerts    uint64
+}
+
+// Detector is the rate-based monitor. Feed it from a tap.
+type Detector struct {
+	sched       *sim.Scheduler
+	sink        *schemes.Sink
+	window      time.Duration
+	maxPackets  int
+	maxBindings int
+	maxTargets  int
+
+	packets  int
+	bindings map[ethaddr.IPv4]ethaddr.MAC
+	targets  map[ethaddr.MAC]map[ethaddr.IPv4]bool
+	alerted  map[ethaddr.MAC]bool // one scan alert per source per window
+	stats    Stats
+	ticker   *sim.Timer
+}
+
+var _ schemes.Detector = (*Detector)(nil)
+
+// New creates the detector and starts its window timer.
+func New(s *sim.Scheduler, sink *schemes.Sink, opts ...Option) *Detector {
+	det := &Detector{
+		sched:       s,
+		sink:        sink,
+		window:      10 * time.Second,
+		maxPackets:  200,
+		maxBindings: 50,
+		maxTargets:  20,
+	}
+	for _, opt := range opts {
+		opt(det)
+	}
+	det.reset()
+	det.ticker = s.Every(det.window, det.rollWindow)
+	return det
+}
+
+// Name implements schemes.Detector.
+func (det *Detector) Name() string { return "flood-detect" }
+
+// Stats returns a copy of the counters.
+func (det *Detector) Stats() Stats { return det.stats }
+
+// Stop cancels the window timer.
+func (det *Detector) Stop() {
+	if det.ticker != nil {
+		det.ticker.Stop()
+	}
+}
+
+// reset clears the per-window state.
+func (det *Detector) reset() {
+	det.packets = 0
+	det.bindings = make(map[ethaddr.IPv4]ethaddr.MAC)
+	det.targets = make(map[ethaddr.MAC]map[ethaddr.IPv4]bool)
+	det.alerted = make(map[ethaddr.MAC]bool)
+}
+
+// rollWindow closes the current window.
+func (det *Detector) rollWindow() {
+	det.stats.Windows++
+	det.reset()
+}
+
+// Observe implements schemes.Detector.
+func (det *Detector) Observe(ev netsim.TapEvent) {
+	if ev.Frame.Type != frame.TypeARP {
+		return
+	}
+	p, err := arppkt.Decode(ev.Frame.Payload)
+	if err != nil {
+		return
+	}
+	det.packets++
+	if det.packets == det.maxPackets+1 {
+		det.stats.PacketAlerts++
+		det.sink.Report(schemes.Alert{
+			At: ev.At, Scheme: det.Name(), Kind: schemes.AlertFlood,
+			Detail: fmt.Sprintf("arp volume exceeded %d packets/window", det.maxPackets),
+		})
+	}
+
+	if ip, mac := p.Binding(); !ip.IsZero() && mac.IsUnicast() {
+		det.bindings[ip] = mac
+		if len(det.bindings) == det.maxBindings+1 {
+			det.stats.BindingAlerts++
+			det.sink.Report(schemes.Alert{
+				At: ev.At, Scheme: det.Name(), Kind: schemes.AlertFlood,
+				IP: ip, NewMAC: mac,
+				Detail: fmt.Sprintf("distinct bindings exceeded %d/window (cache flood)", det.maxBindings),
+			})
+		}
+	}
+
+	if p.Op == arppkt.OpRequest && !p.IsGratuitous() {
+		src := ev.Frame.Src
+		set, ok := det.targets[src]
+		if !ok {
+			set = make(map[ethaddr.IPv4]bool)
+			det.targets[src] = set
+		}
+		set[p.TargetIP] = true
+		if len(set) > det.maxTargets && !det.alerted[src] {
+			det.alerted[src] = true
+			det.stats.ScanAlerts++
+			det.sink.Report(schemes.Alert{
+				At: ev.At, Scheme: det.Name(), Kind: schemes.AlertFlood,
+				NewMAC: src,
+				Detail: fmt.Sprintf("%s asked for >%d addresses/window (arp scan)", src, det.maxTargets),
+			})
+		}
+	}
+}

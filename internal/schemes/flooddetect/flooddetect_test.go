@@ -1,0 +1,157 @@
+package flooddetect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/ethaddr"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+)
+
+// floodLAN builds a workbench with the detector on the switch tap.
+func floodLAN(opts ...Option) (*labnet.LAN, *Detector, *schemes.Sink) {
+	l := labnet.Default()
+	sink := schemes.NewSink()
+	det := New(l.Sched, sink, opts...)
+	l.Switch.AddTap(det.Observe)
+	return l, det, sink
+}
+
+func TestQuietLANRaisesNothing(t *testing.T) {
+	l, det, sink := floodLAN()
+	l.SeedMutualCaches()
+	for _, h := range l.Hosts {
+		h := h
+		l.Sched.Every(15*time.Second, h.SendGratuitous)
+	}
+	if err := l.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("quiet LAN alerted: %v", sink.Alerts())
+	}
+	if det.Stats().Windows == 0 {
+		t.Fatal("windows did not roll")
+	}
+}
+
+func TestCacheFloodDetected(t *testing.T) {
+	l, det, sink := floodLAN()
+	gen := ethaddr.NewGen(81)
+	l.Attacker.FloodCache(gen, l.Subnet, 300, 10*time.Millisecond)
+	if err := l.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ByKind(schemes.AlertFlood)) == 0 {
+		t.Fatal("flood not detected")
+	}
+	st := det.Stats()
+	if st.BindingAlerts == 0 {
+		t.Fatalf("binding flood missed: %+v", st)
+	}
+	if st.PacketAlerts == 0 {
+		t.Fatalf("volume flood missed: %+v", st)
+	}
+}
+
+func TestSlowRandomizedFloodCaughtByBindingCount(t *testing.T) {
+	// 8 bindings/s stays under the 200-packet volume threshold within a
+	// 10s window but crosses the 50-distinct-bindings line: the reason the
+	// detector counts bindings, not just packets.
+	l, det, sink := floodLAN()
+	gen := ethaddr.NewGen(82)
+	l.Attacker.FloodCache(gen, l.Subnet, 80, 125*time.Millisecond)
+	if err := l.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := det.Stats()
+	if st.PacketAlerts != 0 {
+		t.Fatalf("volume threshold should not fire at this rate: %+v", st)
+	}
+	if st.BindingAlerts == 0 {
+		t.Fatalf("binding threshold missed the slow flood: %+v", st)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("no alert")
+	}
+}
+
+func TestScanDetected(t *testing.T) {
+	l, det, sink := floodLAN()
+	l.Attacker.Scan(l.Subnet, 1, 60, 50*time.Millisecond)
+	if err := l.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := det.Stats()
+	if st.ScanAlerts != 1 {
+		t.Fatalf("scan alerts = %d, want exactly 1 (per source per window)", st.ScanAlerts)
+	}
+	alerts := sink.ByKind(schemes.AlertFlood)
+	if len(alerts) == 0 || alerts[0].NewMAC != l.Attacker.MAC() {
+		t.Fatalf("scan alert should name the scanner: %v", alerts)
+	}
+}
+
+func TestLegitimateResolutionBurstBelowScanThreshold(t *testing.T) {
+	// A host resolving a handful of peers is not a scan.
+	l, det, _ := floodLAN()
+	for _, peer := range l.Hosts[1:] {
+		l.Victim().Resolve(peer.IP(), nil)
+	}
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if det.Stats().ScanAlerts != 0 {
+		t.Fatal("normal resolution flagged as scan")
+	}
+}
+
+func TestWindowRollClearsState(t *testing.T) {
+	// 40 bindings per window never crosses the 50 threshold, even though
+	// 120 accumulate across three windows.
+	l, det, sink := floodLAN(WithWindow(5 * time.Second))
+	gen := ethaddr.NewGen(83)
+	for w := 0; w < 3; w++ {
+		w := w
+		l.Sched.At(time.Duration(w)*5*time.Second, func() {
+			l.Attacker.FloodCache(gen, l.Subnet, 40, 20*time.Millisecond)
+		})
+	}
+	if err := l.Run(16 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if det.Stats().BindingAlerts != 0 {
+		t.Fatalf("window state leaked across rolls: %+v, alerts %v", det.Stats(), sink.Alerts())
+	}
+}
+
+func TestThresholdOptions(t *testing.T) {
+	l, det, _ := floodLAN(WithPacketThreshold(5), WithBindingThreshold(3), WithScanThreshold(2))
+	gen := ethaddr.NewGen(84)
+	l.Attacker.FloodCache(gen, l.Subnet, 10, time.Millisecond)
+	l.Attacker.Scan(l.Subnet, 1, 5, time.Millisecond)
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := det.Stats()
+	if st.PacketAlerts == 0 || st.BindingAlerts == 0 || st.ScanAlerts == 0 {
+		t.Fatalf("custom thresholds not honoured: %+v", st)
+	}
+	det.Stop()
+}
+
+func TestPoisoningAloneStaysQuiet(t *testing.T) {
+	// The documented limitation: a single targeted poisoning is invisible
+	// to rate-based detection.
+	l, _, sink := floodLAN()
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("quiet poisoning should evade rate detection: %v", sink.Alerts())
+	}
+}

@@ -1,0 +1,212 @@
+package middleware
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/ethaddr"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+	"repro/internal/stack"
+)
+
+// guardLAN protects the victim with the middleware.
+func guardLAN(opts ...Option) (*labnet.LAN, *Guard, *schemes.Sink) {
+	l := labnet.Default()
+	sink := schemes.NewSink()
+	g := New(l.Sched, sink, l.Victim(), opts...)
+	return l, g, sink
+}
+
+func TestBlocksUnsolicitedReplyPoisoning(t *testing.T) {
+	l, g, sink := guardLAN()
+	gw := l.Gateway()
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The genuine gateway answered the verification probe, contradicting
+	// the claim: binding rejected, alert raised, cache clean.
+	if _, ok := l.Victim().Cache().Lookup(gw.IP()); ok {
+		t.Fatal("forged binding committed")
+	}
+	if len(sink.ByKind(schemes.AlertVerifyFailed)) != 1 {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+	if g.Stats().Rejected != 1 {
+		t.Fatalf("stats: %+v", g.Stats())
+	}
+}
+
+func TestCommitsGenuineResolutionAfterVerification(t *testing.T) {
+	l, g, sink := guardLAN()
+	gw := l.Gateway()
+	var resolved ethaddr.MAC
+	l.Victim().Resolve(gw.IP(), func(mac ethaddr.MAC, ok bool) {
+		if ok {
+			resolved = mac
+		}
+	})
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if resolved != gw.MAC() {
+		t.Fatalf("resolved = %v, want %v", resolved, gw.MAC())
+	}
+	if mac, ok := l.Victim().Cache().Lookup(gw.IP()); !ok || mac != gw.MAC() {
+		t.Fatal("verified binding not committed")
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("benign resolution alerted: %v", sink.Alerts())
+	}
+	if g.Stats().Committed == 0 {
+		t.Fatalf("stats: %+v", g.Stats())
+	}
+}
+
+func TestDefeatsReplyRace(t *testing.T) {
+	// The attacker wins the reply race, but the quarantined forged binding
+	// fails verification (the genuine gateway answers the probe), and the
+	// genuine binding commits on a later cycle.
+	l, _, sink := guardLAN()
+	gw := l.Gateway()
+	l.Attacker.ArmReplyRace(gw.IP(), l.Victim().IP(), 0)
+	l.Victim().Resolve(gw.IP(), nil)
+	if err := l.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mac, ok := l.Victim().Cache().Lookup(gw.IP())
+	if ok && mac == l.Attacker.MAC() {
+		t.Fatal("middleware committed the racer's forgery")
+	}
+	// The forged assertion must have been flagged.
+	if len(sink.ByKind(schemes.AlertVerifyFailed)) == 0 {
+		t.Fatalf("no alert for the race forgery: %v", sink.Alerts())
+	}
+}
+
+func TestCommitsBenignReaddressing(t *testing.T) {
+	// Precision under churn: the new owner of an IP confirms its own
+	// binding, so middleware commits it without an alert.
+	l, _, sink := guardLAN()
+	departing := l.Hosts[2]
+	newcomer := l.Hosts[3]
+	ip := departing.IP()
+
+	// Victim first learns the original binding.
+	l.Victim().Resolve(ip, nil)
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	l.Sched.After(0, func() {
+		departing.NIC().SetUp(false)
+		newcomer.SetIP(ip)
+		newcomer.SendGratuitous()
+	})
+	if err := l.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mac, ok := l.Victim().Cache().Lookup(ip)
+	if !ok || mac != newcomer.MAC() {
+		t.Fatalf("churned binding not committed: %v %v", mac, ok)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("benign churn alerted: %v", sink.Alerts())
+	}
+}
+
+func TestStillAnswersPeersWhileQuarantining(t *testing.T) {
+	// Backward compatibility: a peer resolving the protected host gets its
+	// answer immediately even though the peer's binding sits in quarantine.
+	l, _, _ := guardLAN()
+	peer := l.Hosts[2]
+	var ok bool
+	peer.Resolve(l.Victim().IP(), func(mac ethaddr.MAC, good bool) { ok = good && mac == l.Victim().MAC() })
+	if err := l.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("peer resolution delayed or failed — middleware broke the protocol")
+	}
+}
+
+func TestConsistentAssertionsPassWithoutProbes(t *testing.T) {
+	l, g, _ := guardLAN()
+	gw := l.Gateway()
+	l.Victim().Resolve(gw.IP(), nil)
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := g.Stats().Probes
+	// The gateway re-announces its (already cached) binding.
+	gw.SendGratuitous()
+	if err := l.Run(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Probes != before {
+		t.Fatalf("consistent assertion probed: %+v", st)
+	}
+	if st.Passed == 0 {
+		t.Fatal("Passed not counted")
+	}
+}
+
+func TestResolutionLatencyIncludesWindow(t *testing.T) {
+	// The documented cost: first resolution takes at least the verify
+	// window.
+	l, _, _ := guardLAN(WithVerifyWindow(300 * time.Millisecond))
+	gw := l.Gateway()
+	var done time.Duration
+	l.Victim().Resolve(gw.IP(), func(ethaddr.MAC, bool) { done = l.Sched.Now() })
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if done < 300*time.Millisecond {
+		t.Fatalf("resolution completed in %v, before the verify window", done)
+	}
+}
+
+func TestEvasiveImpersonatorCommits(t *testing.T) {
+	// The documented blind spot shared with active verification (Table 6):
+	// with the owner offline and the attacker answering probes, the
+	// quarantined forgery is "confirmed" and committed.
+	l, g, sink := guardLAN()
+	gw := l.Gateway()
+	gw.NIC().SetUp(false)
+	l.Attacker.Impersonate(gw.IP())
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, gw.IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mac, ok := l.Victim().Cache().Lookup(gw.IP())
+	if !ok || mac != l.Attacker.MAC() {
+		t.Fatalf("impersonation should evade middleware (blind spot closed?): %v %v", mac, ok)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("unexpected alerts: %v", sink.Alerts())
+	}
+	if g.Stats().Committed != 1 {
+		t.Fatalf("stats: %+v", g.Stats())
+	}
+}
+
+func TestUnprotectedHostStillPoisonable(t *testing.T) {
+	// Per-host deployment: only the protected host benefits.
+	l, _, _ := guardLAN()
+	unprotected := l.Hosts[2]
+	gw := l.Gateway()
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, gw.IP(), l.Attacker.MAC(),
+		unprotected.MAC(), unprotected.IP())
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mac, ok := unprotected.Cache().Lookup(gw.IP())
+	if !ok || mac != l.Attacker.MAC() {
+		t.Fatal("unprotected host unexpectedly safe (naive policy should accept)")
+	}
+	_ = stack.PolicyNaive
+}

@@ -1,0 +1,162 @@
+// Package portsec implements switch port security, the mitigation the
+// paper's analysis groups with infrastructure schemes: each access port may
+// source at most a configured number of distinct MAC addresses (optionally
+// pinned, "sticky"). Ports exceeding the limit are either filtered per
+// frame or shut down entirely. Port security blunts MAC flooding and
+// crude identity churn, but — as the analysis records — it cannot stop ARP
+// poisoning itself, because a poisoner forges *protocol* bindings from its
+// one legitimate hardware address.
+package portsec
+
+import (
+	"strconv"
+
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+)
+
+// ViolationMode selects what happens when a port exceeds its MAC limit.
+type ViolationMode int
+
+// Violation modes.
+const (
+	// ModeRestrict drops offending frames but keeps the port up.
+	ModeRestrict ViolationMode = iota + 1
+	// ModeShutdown err-disables the whole port on first violation.
+	ModeShutdown
+)
+
+// Stats counts enforcement outcomes.
+type Stats struct {
+	Learned    uint64
+	Violations uint64
+	Shutdowns  uint64
+}
+
+// Option configures the Enforcer.
+type Option func(*Enforcer)
+
+// WithMaxMACs sets the per-port address limit (default 1, the strict access
+// port setting).
+func WithMaxMACs(n int) Option {
+	return func(e *Enforcer) { e.maxMACs = n }
+}
+
+// WithMode sets the violation mode (default ModeRestrict).
+func WithMode(m ViolationMode) Option {
+	return func(e *Enforcer) { e.mode = m }
+}
+
+// WithSticky pre-pins allowed MACs on a port; learning is disabled there.
+func WithSticky(port int, macs ...ethaddr.MAC) Option {
+	return func(e *Enforcer) {
+		set := make(map[ethaddr.MAC]bool, len(macs))
+		for _, m := range macs {
+			set[m] = true
+		}
+		e.sticky[port] = set
+	}
+}
+
+// WithTrustedPorts exempts ports (uplinks) from enforcement.
+func WithTrustedPorts(ids ...int) Option {
+	return func(e *Enforcer) {
+		for _, id := range ids {
+			e.trusted[id] = true
+		}
+	}
+}
+
+// Enforcer is the port-security filter. Install its Filter on the switch.
+type Enforcer struct {
+	sched   *sim.Scheduler
+	sink    *schemes.Sink
+	maxMACs int
+	mode    ViolationMode
+	learned map[int]map[ethaddr.MAC]bool
+	sticky  map[int]map[ethaddr.MAC]bool
+	trusted map[int]bool
+	downed  map[int]bool
+	stats   Stats
+}
+
+// New creates an enforcer.
+func New(s *sim.Scheduler, sink *schemes.Sink, opts ...Option) *Enforcer {
+	e := &Enforcer{
+		sched:   s,
+		sink:    sink,
+		maxMACs: 1,
+		mode:    ModeRestrict,
+		learned: make(map[int]map[ethaddr.MAC]bool),
+		sticky:  make(map[int]map[ethaddr.MAC]bool),
+		trusted: make(map[int]bool),
+		downed:  make(map[int]bool),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Name identifies the scheme in alerts.
+func (e *Enforcer) Name() string { return "port-security" }
+
+// Stats returns a copy of the counters.
+func (e *Enforcer) Stats() Stats { return e.stats }
+
+// PortDown reports whether enforcement has err-disabled the port.
+func (e *Enforcer) PortDown(port int) bool { return e.downed[port] }
+
+// Filter returns the inline switch filter.
+func (e *Enforcer) Filter() netsim.FilterFunc {
+	return func(port int, f *frame.Frame) netsim.FilterVerdict {
+		if e.trusted[port] {
+			return netsim.VerdictAllow
+		}
+		if e.downed[port] {
+			return netsim.VerdictDrop
+		}
+		src := f.Src
+		if !src.IsUnicast() {
+			return e.violate(port, src, "non-unicast source address")
+		}
+		if pinned, ok := e.sticky[port]; ok {
+			if pinned[src] {
+				return netsim.VerdictAllow
+			}
+			return e.violate(port, src, "source not in sticky set")
+		}
+		set, ok := e.learned[port]
+		if !ok {
+			set = make(map[ethaddr.MAC]bool)
+			e.learned[port] = set
+		}
+		if set[src] {
+			return netsim.VerdictAllow
+		}
+		if len(set) >= e.maxMACs {
+			return e.violate(port, src, "mac limit exceeded")
+		}
+		set[src] = true
+		e.stats.Learned++
+		return netsim.VerdictAllow
+	}
+}
+
+// violate handles one violation per the configured mode.
+func (e *Enforcer) violate(port int, src ethaddr.MAC, detail string) netsim.FilterVerdict {
+	e.stats.Violations++
+	if e.mode == ModeShutdown && !e.downed[port] {
+		e.downed[port] = true
+		e.stats.Shutdowns++
+		detail += "; port err-disabled"
+	}
+	e.sink.Report(schemes.Alert{
+		At: e.sched.Now(), Scheme: e.Name(), Kind: schemes.AlertPortSecurity,
+		NewMAC: src, Detail: "port " + strconv.Itoa(port) + ": " + detail,
+	})
+	return netsim.VerdictDrop
+}

@@ -1,0 +1,218 @@
+package sarp
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/stack"
+)
+
+// AKDPort is the UDP port the online key-distribution service listens on.
+const AKDPort = 561
+
+// Server exposes an AKD directory as an online service, the way the
+// original S-ARP design deploys it: nodes that lack a sender's key fetch
+// it over the LAN, verified against the AKD's master key, and the fetch
+// round-trip is a real first-contact latency cost the overhead analysis
+// can observe.
+//
+// Request wire format: queried ip(4) | requester MAC(6) — the MAC rides
+// along because on an S-ARP LAN neither side speaks plain ARP, so the
+// server must address its response frame directly.
+// Response: ip(4) | keyLen(2) | keyDER | sigLen(2) | sig, where sig is the
+// master's ECDSA signature over sha256(ip | keyDER).
+type Server struct {
+	host   *stack.Host
+	dir    *AKD
+	master *ecdsa.PrivateKey
+	served uint64
+	misses uint64
+}
+
+// NewServer starts the service on host, answering from dir.
+func NewServer(host *stack.Host, dir *AKD) (*Server, error) {
+	master, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate akd master key: %w", err)
+	}
+	sv := &Server{host: host, dir: dir, master: master}
+	host.HandleUDP(AKDPort, sv.handle)
+	return sv, nil
+}
+
+// MasterPublic returns the verification key nodes pre-install (the one
+// piece of state S-ARP still distributes out of band).
+func (sv *Server) MasterPublic() *ecdsa.PublicKey { return &sv.master.PublicKey }
+
+// Served returns the number of key responses sent.
+func (sv *Server) Served() uint64 { return sv.served }
+
+// Misses returns the number of queries for unenrolled addresses.
+func (sv *Server) Misses() uint64 { return sv.misses }
+
+// handle answers one key query.
+func (sv *Server) handle(src ethaddr.IPv4, srcPort uint16, payload []byte) {
+	if len(payload) < 10 {
+		return
+	}
+	var ip ethaddr.IPv4
+	copy(ip[:], payload[:4])
+	var requester ethaddr.MAC
+	copy(requester[:], payload[4:10])
+	if !requester.IsUnicast() {
+		return
+	}
+	pub, ok := sv.dir.Key(ip)
+	if !ok {
+		sv.misses++
+		return // silence; the querier times out
+	}
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return
+	}
+	sig, err := ecdsa.SignASN1(rand.Reader, sv.master, keyDigest(ip, der))
+	if err != nil {
+		return
+	}
+	resp := make([]byte, 0, 8+len(der)+len(sig))
+	resp = append(resp, ip[:]...)
+	resp = binary.BigEndian.AppendUint16(resp, uint16(len(der)))
+	resp = append(resp, der...)
+	resp = binary.BigEndian.AppendUint16(resp, uint16(len(sig)))
+	resp = append(resp, sig...)
+	sv.served++
+	sv.host.SendUDPTo(requester, src, AKDPort, srcPort, resp)
+}
+
+// keyDigest hashes the signed portion of a key response.
+func keyDigest(ip ethaddr.IPv4, der []byte) []byte {
+	h := sha256.New()
+	h.Write(ip[:])
+	h.Write(der)
+	return h.Sum(nil)
+}
+
+// akdClient is the node-side fetch path.
+type akdClient struct {
+	serverIP  ethaddr.IPv4
+	serverMAC ethaddr.MAC
+	master    *ecdsa.PublicKey
+	cache     map[ethaddr.IPv4]*ecdsa.PublicKey
+	inflight  map[ethaddr.IPv4]bool
+	parked    map[ethaddr.IPv4][]*Message
+	port      uint16
+}
+
+// WithOnlineAKD switches the node from pre-distributed keys to fetching
+// them from an AKD server over the LAN. master is the server's
+// verification key; serverMAC pins the service's hardware address so key
+// fetches themselves cannot be poisoned (the original design bootstraps
+// this binding out of band for exactly that reason).
+func WithOnlineAKD(serverIP ethaddr.IPv4, serverMAC ethaddr.MAC, master *ecdsa.PublicKey) Option {
+	return func(n *Node) {
+		n.online = &akdClient{
+			serverIP:  serverIP,
+			serverMAC: serverMAC,
+			master:    master,
+			cache:     make(map[ethaddr.IPv4]*ecdsa.PublicKey),
+			inflight:  make(map[ethaddr.IPv4]bool),
+			parked:    make(map[ethaddr.IPv4][]*Message),
+			port:      40561,
+		}
+	}
+}
+
+// startOnline wires the response handler; called from NewNode when the
+// online option is present.
+func (n *Node) startOnline() {
+	n.host.HandleUDP(n.online.port, n.handleKeyResponse)
+}
+
+// lookupKey resolves the sender's key, either locally or by parking the
+// message behind a fetch.
+func (n *Node) lookupKey(ip ethaddr.IPv4, m *Message) (*ecdsa.PublicKey, bool) {
+	if n.online == nil {
+		return n.akd.Key(ip)
+	}
+	if pub, ok := n.online.cache[ip]; ok {
+		return pub, true
+	}
+	n.park(ip, m)
+	return nil, false
+}
+
+// park queues a message behind an AKD fetch for ip.
+func (n *Node) park(ip ethaddr.IPv4, m *Message) {
+	c := n.online
+	c.parked[ip] = append(c.parked[ip], m)
+	if c.inflight[ip] {
+		return
+	}
+	c.inflight[ip] = true
+	n.stats.KeyFetches++
+	req := make([]byte, 0, 10)
+	req = append(req, ip[:]...)
+	mac := n.host.MAC()
+	req = append(req, mac[:]...)
+	n.host.SendUDPTo(c.serverMAC, c.serverIP, c.port, AKDPort, req)
+	// Fetch timeout: abandon parked messages if the AKD stays silent.
+	n.sched.After(2*time.Second, func() {
+		if !c.inflight[ip] {
+			return
+		}
+		c.inflight[ip] = false
+		dropped := len(c.parked[ip])
+		delete(c.parked, ip)
+		if dropped > 0 {
+			n.stats.UnknownSender += uint64(dropped)
+			n.reportAuthFail(ip, ethaddr.MAC{}, "akd fetch timed out")
+		}
+	})
+}
+
+// handleKeyResponse verifies one key response and releases parked messages.
+func (n *Node) handleKeyResponse(src ethaddr.IPv4, srcPort uint16, payload []byte) {
+	c := n.online
+	if c == nil || len(payload) < 8 {
+		return
+	}
+	var ip ethaddr.IPv4
+	copy(ip[:], payload[:4])
+	keyLen := int(binary.BigEndian.Uint16(payload[4:6]))
+	if len(payload) < 6+keyLen+2 {
+		return
+	}
+	der := payload[6 : 6+keyLen]
+	sigLen := int(binary.BigEndian.Uint16(payload[6+keyLen : 8+keyLen]))
+	if len(payload) < 8+keyLen+sigLen {
+		return
+	}
+	sig := payload[8+keyLen : 8+keyLen+sigLen]
+	if !ecdsa.VerifyASN1(c.master, keyDigest(ip, der), sig) {
+		n.reportAuthFail(ip, ethaddr.MAC{}, "akd response signature invalid")
+		return
+	}
+	parsed, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return
+	}
+	pub, ok := parsed.(*ecdsa.PublicKey)
+	if !ok {
+		return
+	}
+	c.cache[ip] = pub
+	c.inflight[ip] = false
+	replay := c.parked[ip]
+	delete(c.parked, ip)
+	for _, m := range replay {
+		n.handleReply(m)
+	}
+}

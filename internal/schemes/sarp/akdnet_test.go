@@ -1,0 +1,145 @@
+package sarp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+)
+
+// onlineLAN deploys S-ARP with a networked AKD on the monitor station.
+// Only host keys enrolled via enrollHosts get directory entries.
+func onlineLAN(t *testing.T) (*labnet.LAN, []*Node, *Server, *schemes.Sink) {
+	t.Helper()
+	l := labnet.Default()
+	dir := NewAKD()
+	sink := schemes.NewSink()
+
+	server, err := NewServer(l.Monitor, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*Node, 0, len(l.Hosts))
+	for _, h := range l.Hosts {
+		n, err := NewNode(l.Sched, sink, h, dir,
+			WithOnlineAKD(l.Monitor.IP(), l.Monitor.MAC(), server.MasterPublic()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	return l, nodes, server, sink
+}
+
+func TestOnlineResolutionFetchesKeyOnce(t *testing.T) {
+	l, nodes, server, sink := onlineLAN(t)
+	victim, gw := nodes[1], nodes[0]
+
+	var first time.Duration
+	start := l.Sched.Now()
+	victim.Resolve(gw.Host().IP(), func(mac ethaddr.MAC, ok bool) {
+		if !ok || mac != gw.Host().MAC() {
+			t.Errorf("resolve = %v %v", mac, ok)
+		}
+		first = l.Sched.Now() - start
+	})
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Stats().KeyFetches != 1 || server.Served() != 1 {
+		t.Fatalf("fetches=%d served=%d", victim.Stats().KeyFetches, server.Served())
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+
+	// Second (cold-cache) resolution of the same peer: key cached, no fetch.
+	victim.Host().Cache().Delete(gw.Host().IP())
+	var second time.Duration
+	start2 := l.Sched.Now()
+	victim.Resolve(gw.Host().IP(), func(ethaddr.MAC, bool) { second = l.Sched.Now() - start2 })
+	if err := l.Run(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Stats().KeyFetches != 1 {
+		t.Fatalf("second resolution refetched: %d", victim.Stats().KeyFetches)
+	}
+	// The AKD round-trip makes first contact measurably slower.
+	if first <= second {
+		t.Fatalf("first contact %v should exceed warm-key resolution %v", first, second)
+	}
+}
+
+func TestOnlineUnenrolledSenderTimesOut(t *testing.T) {
+	l, nodes, server, sink := onlineLAN(t)
+	victim := nodes[1]
+
+	// A forged reply from an address the AKD has never heard of: the key
+	// fetch comes back empty and the parked message is discarded.
+	ghost := l.Subnet.Host(200)
+	forged := &Message{
+		ARP: arppkt.NewReply(l.Attacker.MAC(), ghost,
+			victim.Host().MAC(), victim.Host().IP()),
+		Timestamp: l.Sched.Now(),
+		Sig:       []byte("junk"),
+	}
+	l.Attacker.NIC().Send(&frame.Frame{
+		Dst: victim.Host().MAC(), Src: l.Attacker.MAC(),
+		Type: frame.TypeSARP, Payload: forged.Encode(),
+	})
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if server.Misses() != 1 {
+		t.Fatalf("server misses = %d", server.Misses())
+	}
+	if len(sink.ByKind(schemes.AlertAuthFailed)) != 1 {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+	if _, ok := victim.Host().Cache().Lookup(ghost); ok {
+		t.Fatal("unverifiable binding cached")
+	}
+}
+
+func TestOnlineForgedKeyResponseRejected(t *testing.T) {
+	// An attacker racing the AKD with a forged key response must fail the
+	// master-signature check.
+	l, nodes, _, sink := onlineLAN(t)
+	victim := nodes[1]
+	target := l.Subnet.Host(254)
+	fake := make([]byte, 0, 40)
+	fake = append(fake, target[:]...)
+	fake = append(fake, 0, 4)
+	fake = append(fake, 1, 2, 3, 4)
+	fake = append(fake, 0, 4)
+	fake = append(fake, 9, 9, 9, 9)
+	victim.handleKeyResponse(l.Monitor.IP(), AKDPort, fake)
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ByKind(schemes.AlertAuthFailed)) != 1 {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+	if victim.online.cache[target] != nil {
+		t.Fatal("forged key cached")
+	}
+}
+
+func TestOnlineBurstCoalescesFetches(t *testing.T) {
+	// Many replies from one unknown sender must share a single fetch.
+	l, nodes, server, _ := onlineLAN(t)
+	victim, gw := nodes[1], nodes[0]
+	for i := 0; i < 3; i++ {
+		victim.Resolve(gw.Host().IP(), nil)
+	}
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Stats().KeyFetches != 1 || server.Served() != 1 {
+		t.Fatalf("fetches=%d served=%d, want coalesced", victim.Stats().KeyFetches, server.Served())
+	}
+}

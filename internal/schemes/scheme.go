@@ -1,0 +1,180 @@
+// Package schemes defines the contracts shared by every ARP-poisoning
+// detection and prevention scheme in the framework: the Detector interface
+// network-resident schemes implement over tap events, the alert model, and
+// the shared alert sink the evaluation harness drains.
+//
+// One sub-package implements each scheme class the paper analyzes:
+// staticarp, kernelpolicy, arpwatch, activeprobe, middleware, sarp, tarp,
+// dai, and portsec.
+package schemes
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/netsim"
+)
+
+// AlertKind classifies what a detector believes it saw.
+type AlertKind int
+
+// Alert kinds.
+const (
+	// AlertFlipFlop is a live IP↔MAC binding changing to a different MAC,
+	// the classic poisoning signature (also triggered benignly by DHCP
+	// reassignment — the false-positive axis of the evaluation).
+	AlertFlipFlop AlertKind = iota + 1
+
+	// AlertNewStation is a previously unseen binding (informational in
+	// arpwatch; some deployments page on it).
+	AlertNewStation
+
+	// AlertUnsolicitedReply is a reply nobody asked for.
+	AlertUnsolicitedReply
+
+	// AlertVerifyFailed is a binding that failed active verification: the
+	// probed station disagreed with the claimed binding.
+	AlertVerifyFailed
+
+	// AlertConflict is two stations answering for the same IP.
+	AlertConflict
+
+	// AlertInvalid is a malformed or semantically impossible ARP packet.
+	AlertInvalid
+
+	// AlertSpoofedSource is an ARP packet whose sender hardware address
+	// disagrees with the Ethernet source address carrying it.
+	AlertSpoofedSource
+
+	// AlertBindingViolation is an inspected packet contradicting an
+	// authoritative binding table (DAI).
+	AlertBindingViolation
+
+	// AlertPortSecurity is a port exceeding its learned-MAC limit.
+	AlertPortSecurity
+
+	// AlertAuthFailed is a secured-ARP message failing signature, ticket,
+	// or freshness checks.
+	AlertAuthFailed
+
+	// AlertFlood is an abnormal rate of ARP activity.
+	AlertFlood
+
+	// AlertRogueDHCP is DHCP server traffic sourced from an untrusted
+	// port — an address-plane hijack attempt.
+	AlertRogueDHCP
+)
+
+// String returns the alert kind name used in reports.
+func (k AlertKind) String() string {
+	switch k {
+	case AlertFlipFlop:
+		return "flip-flop"
+	case AlertNewStation:
+		return "new-station"
+	case AlertUnsolicitedReply:
+		return "unsolicited-reply"
+	case AlertVerifyFailed:
+		return "verify-failed"
+	case AlertConflict:
+		return "conflict"
+	case AlertInvalid:
+		return "invalid-packet"
+	case AlertSpoofedSource:
+		return "spoofed-source"
+	case AlertBindingViolation:
+		return "binding-violation"
+	case AlertPortSecurity:
+		return "port-security"
+	case AlertAuthFailed:
+		return "auth-failed"
+	case AlertFlood:
+		return "flood"
+	case AlertRogueDHCP:
+		return "rogue-dhcp"
+	default:
+		return "unknown"
+	}
+}
+
+// Alert is one detection event.
+type Alert struct {
+	At     time.Duration
+	Scheme string
+	Kind   AlertKind
+	IP     ethaddr.IPv4
+	OldMAC ethaddr.MAC // prior binding, when applicable
+	NewMAC ethaddr.MAC // asserted/suspect binding
+	Detail string
+}
+
+// String renders the alert as a log line.
+func (a Alert) String() string {
+	return fmt.Sprintf("%v [%s] %s ip=%s old=%s new=%s %s",
+		a.At, a.Scheme, a.Kind, a.IP, a.OldMAC, a.NewMAC, a.Detail)
+}
+
+// Detector is a network- or host-resident detection scheme fed from a tap.
+type Detector interface {
+	// Name identifies the scheme in alerts and reports.
+	Name() string
+	// Observe ingests one frame seen at the monitoring point.
+	Observe(ev netsim.TapEvent)
+}
+
+// Sink collects alerts from one or more schemes.
+type Sink struct {
+	alerts  []Alert
+	onAlert func(Alert)
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink { return &Sink{} }
+
+// OnAlert installs a callback invoked for every reported alert (in addition
+// to retention).
+func (s *Sink) OnAlert(fn func(Alert)) { s.onAlert = fn }
+
+// Report adds an alert.
+func (s *Sink) Report(a Alert) {
+	s.alerts = append(s.alerts, a)
+	if s.onAlert != nil {
+		s.onAlert(a)
+	}
+}
+
+// Alerts returns a copy of everything reported so far.
+func (s *Sink) Alerts() []Alert {
+	out := make([]Alert, len(s.alerts))
+	copy(out, s.alerts)
+	return out
+}
+
+// Len returns the number of alerts reported.
+func (s *Sink) Len() int { return len(s.alerts) }
+
+// Reset discards retained alerts.
+func (s *Sink) Reset() { s.alerts = s.alerts[:0] }
+
+// ByKind returns the retained alerts of one kind.
+func (s *Sink) ByKind(k AlertKind) []Alert {
+	var out []Alert
+	for _, a := range s.alerts {
+		if a.Kind == k {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// FirstFor returns the earliest alert naming ip, which the detection-latency
+// experiments use as "time of detection".
+func (s *Sink) FirstFor(ip ethaddr.IPv4) (Alert, bool) {
+	for _, a := range s.alerts {
+		if a.IP == ip {
+			return a, true
+		}
+	}
+	return Alert{}, false
+}

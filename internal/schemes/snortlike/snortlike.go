@@ -1,0 +1,136 @@
+// Package snortlike implements the signature-based NIDS detection class
+// the paper analyzes — the checks popularized by Snort's arpspoof
+// preprocessor:
+//
+//  1. Ethernet source ≠ ARP sender hardware address (trivially forged
+//     packets);
+//  2. on directed replies, Ethernet destination ≠ ARP target hardware
+//     address;
+//  3. unicast ARP requests (legitimate resolution broadcasts; a unicast
+//     request is a stealth-poisoning signature);
+//  4. violations of operator-configured static IP↔MAC bindings.
+//
+// Signature matching is cheap and precise on exactly the patterns it
+// knows; the analysis point this package demonstrates is the flip side —
+// a careful forger who keeps its Ethernet and ARP fields consistent and
+// broadcasts its requests trips none of the stateless checks, so coverage
+// beyond the configured bindings is thin. Compare arpwatch (stateful,
+// catches changes) and activeprobe (verifies claims).
+package snortlike
+
+import (
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+)
+
+// Option configures the Preprocessor.
+type Option func(*Preprocessor)
+
+// WithBinding installs one operator-configured static pairing (check 4).
+func WithBinding(ip ethaddr.IPv4, mac ethaddr.MAC) Option {
+	return func(p *Preprocessor) { p.bindings[ip] = mac }
+}
+
+// WithUnicastRequestCheck toggles check 3 (on by default; noisy stacks
+// that unicast cache-revalidation requests need it off).
+func WithUnicastRequestCheck(v bool) Option {
+	return func(p *Preprocessor) { p.unicastCheck = v }
+}
+
+// Stats counts signature hits.
+type Stats struct {
+	Observed        uint64
+	SrcMismatch     uint64
+	DstMismatch     uint64
+	UnicastRequests uint64
+	BindingHits     uint64
+}
+
+// Preprocessor is the stateless signature matcher. Feed it from a tap.
+type Preprocessor struct {
+	sched        *sim.Scheduler
+	sink         *schemes.Sink
+	bindings     map[ethaddr.IPv4]ethaddr.MAC
+	unicastCheck bool
+	stats        Stats
+}
+
+var _ schemes.Detector = (*Preprocessor)(nil)
+
+// New creates the preprocessor reporting into sink.
+func New(s *sim.Scheduler, sink *schemes.Sink, opts ...Option) *Preprocessor {
+	p := &Preprocessor{
+		sched:        s,
+		sink:         sink,
+		bindings:     make(map[ethaddr.IPv4]ethaddr.MAC),
+		unicastCheck: true,
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Name implements schemes.Detector.
+func (p *Preprocessor) Name() string { return "snort-like" }
+
+// Stats returns a copy of the counters.
+func (p *Preprocessor) Stats() Stats { return p.stats }
+
+// Observe implements schemes.Detector.
+func (p *Preprocessor) Observe(ev netsim.TapEvent) {
+	if ev.Frame.Type != frame.TypeARP {
+		return
+	}
+	pkt, err := arppkt.Decode(ev.Frame.Payload)
+	if err != nil {
+		return
+	}
+	p.stats.Observed++
+
+	report := func(kind schemes.AlertKind, detail string) {
+		p.sink.Report(schemes.Alert{
+			At: ev.At, Scheme: p.Name(), Kind: kind,
+			IP: pkt.SenderIP, OldMAC: ev.Frame.Src, NewMAC: pkt.SenderMAC,
+			Detail: detail,
+		})
+	}
+
+	// Check 1: the carrying frame and the ARP payload must agree on who is
+	// speaking.
+	if ev.Frame.Src != pkt.SenderMAC {
+		p.stats.SrcMismatch++
+		report(schemes.AlertSpoofedSource,
+			"ethernet source "+ev.Frame.Src.String()+" != arp sender "+pkt.SenderMAC.String())
+	}
+
+	// Check 2: a directed reply should be framed to the station it names.
+	if pkt.Op == arppkt.OpReply && !ev.Frame.Dst.IsMulticast() &&
+		!pkt.TargetMAC.IsZero() && ev.Frame.Dst != pkt.TargetMAC {
+		p.stats.DstMismatch++
+		report(schemes.AlertSpoofedSource,
+			"ethernet destination "+ev.Frame.Dst.String()+" != arp target "+pkt.TargetMAC.String())
+	}
+
+	// Check 3: requests resolve unknown addresses; a unicast request means
+	// the sender already knows the answer and wants a quiet cache touch.
+	if p.unicastCheck && pkt.Op == arppkt.OpRequest && !pkt.IsProbe() &&
+		!ev.Frame.Dst.IsMulticast() {
+		p.stats.UnicastRequests++
+		report(schemes.AlertUnsolicitedReply, "unicast arp request (stealth poisoning signature)")
+	}
+
+	// Check 4: configured bindings are law.
+	if want, ok := p.bindings[pkt.SenderIP]; ok && want != pkt.SenderMAC {
+		p.stats.BindingHits++
+		p.sink.Report(schemes.Alert{
+			At: ev.At, Scheme: p.Name(), Kind: schemes.AlertBindingViolation,
+			IP: pkt.SenderIP, OldMAC: want, NewMAC: pkt.SenderMAC,
+			Detail: "configured binding violated",
+		})
+	}
+}

@@ -1,0 +1,141 @@
+package snortlike
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/attack"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+)
+
+// snortLAN builds a workbench with the preprocessor on the switch tap.
+func snortLAN(opts ...Option) (*labnet.LAN, *Preprocessor, *schemes.Sink) {
+	l := labnet.Default()
+	sink := schemes.NewSink()
+	p := New(l.Sched, sink, opts...)
+	l.Switch.AddTap(p.Observe)
+	return l, p, sink
+}
+
+func TestQuietLANRaisesNothing(t *testing.T) {
+	l, p, sink := snortLAN()
+	l.SeedMutualCaches()
+	for _, h := range l.Hosts {
+		h := h
+		l.Sched.Every(15*time.Second, h.SendGratuitous)
+	}
+	if err := l.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("benign traffic alerted: %v", sink.Alerts())
+	}
+	if p.Stats().Observed == 0 {
+		t.Fatal("nothing observed")
+	}
+}
+
+func TestCatchesSrcMismatchForgery(t *testing.T) {
+	l, p, sink := snortLAN()
+	// A sloppy forger claims the gateway's MAC inside the ARP payload but
+	// frames from its own hardware address.
+	forged := arppkt.NewReply(l.Gateway().MAC(), l.Gateway().IP(),
+		l.Victim().MAC(), l.Victim().IP())
+	l.Attacker.NIC().Send(&frame.Frame{
+		Dst: l.Victim().MAC(), Src: l.Attacker.MAC(),
+		Type: frame.TypeARP, Payload: forged.Encode(),
+	})
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().SrcMismatch != 1 {
+		t.Fatalf("stats: %+v", p.Stats())
+	}
+	if len(sink.ByKind(schemes.AlertSpoofedSource)) != 1 {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+}
+
+func TestCatchesUnicastRequestSpoof(t *testing.T) {
+	l, p, _ := snortLAN()
+	// The request-spoof variant delivers its poison as a unicast request.
+	l.Attacker.Poison(attack.VariantRequestSpoof, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().UnicastRequests != 1 {
+		t.Fatalf("stats: %+v", p.Stats())
+	}
+}
+
+func TestCatchesConfiguredBindingViolation(t *testing.T) {
+	l, p, sink := snortLAN(WithBinding(
+		labnet.Default().Gateway().IP(), // same addressing plan, any LAN instance
+		ethaddr.MustParseMAC("02:42:ac:00:00:01"),
+	))
+	// A consistent, careful forgery — but it contradicts the operator's
+	// configured gateway binding.
+	l.Attacker.Poison(attack.VariantGratuitous, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().BindingHits != 1 {
+		t.Fatalf("stats: %+v", p.Stats())
+	}
+	if len(sink.ByKind(schemes.AlertBindingViolation)) != 1 {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+}
+
+func TestMissesCarefulUnsolicitedReply(t *testing.T) {
+	// The documented blind spot: a forger whose frame and payload agree,
+	// addressing its reply properly, trips no stateless signature.
+	l, p, sink := snortLAN()
+	l.Attacker.Poison(attack.VariantUnsolicitedReply, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("careful forgery unexpectedly flagged: %v", sink.Alerts())
+	}
+	if l.PoisonedCount(l.Gateway().IP()) == 0 {
+		t.Fatal("the poisoning itself should have succeeded")
+	}
+	_ = p
+}
+
+func TestDstMismatchOnBouncedReply(t *testing.T) {
+	l, p, _ := snortLAN()
+	// Reply framed to the victim but naming another station as target.
+	forged := arppkt.NewReply(l.Attacker.MAC(), l.Gateway().IP(),
+		l.Hosts[2].MAC(), l.Hosts[2].IP())
+	l.Attacker.NIC().Send(&frame.Frame{
+		Dst: l.Victim().MAC(), Src: l.Attacker.MAC(),
+		Type: frame.TypeARP, Payload: forged.Encode(),
+	})
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().DstMismatch != 1 {
+		t.Fatalf("stats: %+v", p.Stats())
+	}
+}
+
+func TestUnicastCheckCanBeDisabled(t *testing.T) {
+	l, p, sink := snortLAN(WithUnicastRequestCheck(false))
+	l.Attacker.Poison(attack.VariantRequestSpoof, l.Gateway().IP(), l.Attacker.MAC(),
+		l.Victim().MAC(), l.Victim().IP())
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().UnicastRequests != 0 || sink.Len() != 0 {
+		t.Fatalf("disabled check fired: %+v %v", p.Stats(), sink.Alerts())
+	}
+}

@@ -1,0 +1,101 @@
+// Package staticarp implements the oldest prevention scheme the paper
+// analyzes: manually provisioned, immutable ARP entries. With every binding
+// pinned, no forged packet can alter a cache — at the cost of making every
+// address change a manual administrative action, which is why the scheme's
+// false-positive/maintenance burden grows with churn.
+package staticarp
+
+import (
+	"fmt"
+
+	"repro/internal/ethaddr"
+	"repro/internal/stack"
+)
+
+// Directory is the authoritative IP→MAC assignment an administrator
+// maintains.
+type Directory map[ethaddr.IPv4]ethaddr.MAC
+
+// Clone returns a copy of the directory.
+func (d Directory) Clone() Directory {
+	out := make(Directory, len(d))
+	for ip, mac := range d {
+		out[ip] = mac
+	}
+	return out
+}
+
+// Provisioner pushes a directory into host caches as static entries and
+// counts the administrative actions required — the deployment-cost metric
+// the analysis charges this scheme.
+type Provisioner struct {
+	dir     Directory
+	hosts   []*stack.Host
+	updates uint64 // per-host entry installations performed
+}
+
+// NewProvisioner creates a provisioner over the given authoritative
+// directory.
+func NewProvisioner(dir Directory) *Provisioner {
+	return &Provisioner{dir: dir.Clone()}
+}
+
+// Enroll registers a host and installs the full directory into its cache.
+func (p *Provisioner) Enroll(h *stack.Host) {
+	p.hosts = append(p.hosts, h)
+	for ip, mac := range p.dir {
+		if ip == h.IP() {
+			continue // hosts need no entry for themselves
+		}
+		h.Cache().SetStatic(ip, mac)
+		p.updates++
+	}
+}
+
+// Rebind records an address change in the directory and re-provisions every
+// enrolled host — the manual labour a DHCP re-lease forces on this scheme.
+func (p *Provisioner) Rebind(ip ethaddr.IPv4, mac ethaddr.MAC) {
+	p.dir[ip] = mac
+	for _, h := range p.hosts {
+		if ip == h.IP() {
+			continue
+		}
+		h.Cache().SetStatic(ip, mac)
+		p.updates++
+	}
+}
+
+// Remove deletes a binding everywhere.
+func (p *Provisioner) Remove(ip ethaddr.IPv4) {
+	delete(p.dir, ip)
+	for _, h := range p.hosts {
+		h.Cache().Delete(ip)
+		p.updates++
+	}
+}
+
+// Updates returns the cumulative count of per-host administrative entry
+// operations.
+func (p *Provisioner) Updates() uint64 { return p.updates }
+
+// Hosts returns the number of enrolled hosts.
+func (p *Provisioner) Hosts() int { return len(p.hosts) }
+
+// Verify checks an enrolled host's cache against the directory and returns
+// an error describing the first divergence (used by tests and the ablation
+// harness).
+func (p *Provisioner) Verify(h *stack.Host) error {
+	for ip, want := range p.dir {
+		if ip == h.IP() {
+			continue
+		}
+		got, ok := h.Cache().Lookup(ip)
+		if !ok {
+			return fmt.Errorf("host %s missing static entry for %s", h.Name(), ip)
+		}
+		if got != want {
+			return fmt.Errorf("host %s binds %s to %s, directory says %s", h.Name(), ip, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package staticarp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/ethaddr"
+	"repro/internal/labnet"
+)
+
+func directoryOf(l *labnet.LAN) Directory {
+	d := make(Directory)
+	for _, h := range l.Hosts {
+		d[h.IP()] = h.MAC()
+	}
+	return d
+}
+
+func TestStaticEntriesDefeatEveryVariant(t *testing.T) {
+	for _, v := range []attack.Variant{
+		attack.VariantGratuitous, attack.VariantUnsolicitedReply, attack.VariantRequestSpoof,
+	} {
+		t.Run(v.String(), func(t *testing.T) {
+			l := labnet.Default()
+			p := NewProvisioner(directoryOf(l))
+			for _, h := range l.Hosts {
+				p.Enroll(h)
+			}
+			gw := l.Gateway()
+			l.Attacker.Poison(v, gw.IP(), l.Attacker.MAC(), l.Victim().MAC(), l.Victim().IP())
+			if err := l.Run(time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if l.PoisonedCount(gw.IP()) != 0 {
+				t.Fatalf("%s poisoned a statically provisioned host", v)
+			}
+			if err := p.Verify(l.Victim()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStaticDefeatsReplyRace(t *testing.T) {
+	l := labnet.Default()
+	p := NewProvisioner(directoryOf(l))
+	for _, h := range l.Hosts {
+		p.Enroll(h)
+	}
+	gw := l.Gateway()
+	l.Attacker.ArmReplyRace(gw.IP(), l.Victim().IP(), 0)
+	// With a static entry there is nothing to resolve; traffic flows to
+	// the true MAC immediately, and even a forced request changes nothing.
+	l.Victim().Resolve(gw.IP(), nil)
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mac, _ := l.Victim().Cache().Lookup(gw.IP()); mac != gw.MAC() {
+		t.Fatalf("binding = %v", mac)
+	}
+}
+
+func TestUpdateCostScalesWithHostsAndChurn(t *testing.T) {
+	l := labnet.New(labnet.Config{Hosts: 10, WithAttacker: false, WithMonitor: false})
+	p := NewProvisioner(directoryOf(l))
+	for _, h := range l.Hosts {
+		p.Enroll(h)
+	}
+	// Enrollment cost: each of the 10 hosts gets 9 entries.
+	if got := p.Updates(); got != 90 {
+		t.Fatalf("enrollment updates = %d, want 90", got)
+	}
+	// One readdressing touches every other host: the O(n) churn burden.
+	p.Rebind(l.Hosts[3].IP(), ethaddr.MustParseMAC("02:42:ac:00:00:77"))
+	if got := p.Updates(); got != 90+9 {
+		t.Fatalf("after rebind updates = %d, want 99", got)
+	}
+}
+
+func TestRebindPropagates(t *testing.T) {
+	l := labnet.Default()
+	p := NewProvisioner(directoryOf(l))
+	for _, h := range l.Hosts {
+		p.Enroll(h)
+	}
+	newMAC := ethaddr.MustParseMAC("02:42:ac:00:00:77")
+	target := l.Hosts[2].IP()
+	p.Rebind(target, newMAC)
+	for _, h := range l.Hosts {
+		if h.IP() == target {
+			continue
+		}
+		if mac, ok := h.Cache().Lookup(target); !ok || mac != newMAC {
+			t.Fatalf("host %s did not receive rebind: %v %v", h.Name(), mac, ok)
+		}
+	}
+}
+
+func TestRemoveDeletesEverywhere(t *testing.T) {
+	l := labnet.Default()
+	p := NewProvisioner(directoryOf(l))
+	for _, h := range l.Hosts {
+		p.Enroll(h)
+	}
+	target := l.Hosts[2].IP()
+	p.Remove(target)
+	for _, h := range l.Hosts {
+		if _, ok := h.Cache().Lookup(target); ok {
+			t.Fatalf("host %s still binds removed IP", h.Name())
+		}
+	}
+}
+
+func TestVerifyDetectsDivergence(t *testing.T) {
+	l := labnet.Default()
+	p := NewProvisioner(directoryOf(l))
+	p.Enroll(l.Victim())
+	// Tamper behind the provisioner's back.
+	l.Victim().Cache().SetStatic(l.Gateway().IP(), ethaddr.MustParseMAC("02:42:ac:00:00:99"))
+	if err := p.Verify(l.Victim()); err == nil {
+		t.Fatal("divergence not detected")
+	}
+}
+
+func TestDirectoryCloneIsDeep(t *testing.T) {
+	d := Directory{ethaddr.MustParseIPv4("10.0.0.1"): ethaddr.MustParseMAC("02:42:ac:00:00:01")}
+	c := d.Clone()
+	c[ethaddr.MustParseIPv4("10.0.0.1")] = ethaddr.MustParseMAC("02:42:ac:00:00:02")
+	if d[ethaddr.MustParseIPv4("10.0.0.1")] != ethaddr.MustParseMAC("02:42:ac:00:00:01") {
+		t.Fatal("Clone aliases the map")
+	}
+}

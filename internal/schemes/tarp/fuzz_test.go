@@ -1,0 +1,23 @@
+package tarp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeMessageNeverPanics: TARP frames come straight from potentially
+// hostile stations; the decoder must be total.
+func TestDecodeMessageNeverPanics(t *testing.T) {
+	f := func(buf []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = DecodeMessage(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

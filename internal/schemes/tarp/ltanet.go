@@ -1,0 +1,128 @@
+package tarp
+
+import (
+	"crypto/ecdsa"
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// LTAPort is the UDP port the online ticketing service listens on.
+const LTAPort = 562
+
+// Authorizer decides whether a requester may hold a ticket for a binding.
+// Production deployments back this with the DHCP lease table or static
+// configuration — the LTA must not attest whatever a requester claims, or
+// tickets would merely launder forgeries.
+type Authorizer func(ip ethaddr.IPv4, mac ethaddr.MAC) bool
+
+// TicketServer exposes an LTA as an online service: stations request
+// tickets for their own binding and renew them as they expire.
+//
+// Request wire format: ip(4) | mac(6).
+// Response: one encoded Ticket; unauthorized requests get silence.
+type TicketServer struct {
+	host      *stack.Host
+	lta       *LTA
+	authorize Authorizer
+	issued    uint64
+	refused   uint64
+}
+
+// NewTicketServer starts the service on host.
+func NewTicketServer(host *stack.Host, lta *LTA, authorize Authorizer) *TicketServer {
+	sv := &TicketServer{host: host, lta: lta, authorize: authorize}
+	host.HandleUDP(LTAPort, sv.handle)
+	return sv
+}
+
+// Issued returns the number of tickets granted over the network.
+func (sv *TicketServer) Issued() uint64 { return sv.issued }
+
+// Refused returns the number of unauthorized requests dropped.
+func (sv *TicketServer) Refused() uint64 { return sv.refused }
+
+// handle processes one ticket request.
+func (sv *TicketServer) handle(src ethaddr.IPv4, srcPort uint16, payload []byte) {
+	if len(payload) < 10 {
+		return
+	}
+	var ip ethaddr.IPv4
+	copy(ip[:], payload[:4])
+	var mac ethaddr.MAC
+	copy(mac[:], payload[4:10])
+	if !mac.IsUnicast() || !sv.authorize(ip, mac) {
+		sv.refused++
+		return
+	}
+	t, err := sv.lta.Issue(ip, mac)
+	if err != nil {
+		return
+	}
+	sv.issued++
+	sv.host.SendUDPTo(mac, src, LTAPort, srcPort, t.Encode())
+}
+
+// NewOnlineNode converts a host to TARP with network ticket acquisition
+// and automatic renewal: the node requests its ticket from the LTA service
+// at start, re-requests ahead of expiry, and only answers resolutions once
+// it holds a valid ticket.
+func NewOnlineNode(s *sim.Scheduler, sink *schemes.Sink, host *stack.Host, lta *LTA,
+	serverIP ethaddr.IPv4, serverMAC ethaddr.MAC, opts ...Option) *Node {
+	n := &Node{
+		sched:       s,
+		sink:        sink,
+		host:        host,
+		ltaPub:      lta.Public(),
+		verifyDelay: 120 * time.Microsecond,
+		pendings:    make(map[ethaddr.IPv4][]func(ethaddr.MAC, bool)),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	host.HandleEtherType(frame.TypeTARP, n.handleFrame)
+	host.DisableARP()
+	host.HandleUDP(LTAPort+1, n.handleTicketGrant)
+
+	request := func() {
+		req := make([]byte, 0, 10)
+		ip := host.IP()
+		mac := host.MAC()
+		req = append(req, ip[:]...)
+		req = append(req, mac[:]...)
+		host.SendUDPTo(serverMAC, serverIP, LTAPort+1, LTAPort, req)
+	}
+	n.requestTicket = request
+	request()
+	return n
+}
+
+// handleTicketGrant installs a granted ticket and arms renewal.
+func (n *Node) handleTicketGrant(src ethaddr.IPv4, srcPort uint16, payload []byte) {
+	t, _, err := decodeTicket(payload)
+	if err != nil {
+		return
+	}
+	ip := n.host.IP()
+	mac := n.host.MAC()
+	if t.Expires <= n.sched.Now() || t.IP != ip || t.MAC != mac {
+		return
+	}
+	if !ecdsa.VerifyASN1(n.ltaPub, t.digest(), t.Sig) {
+		n.reportAuthFail(ip, mac, "lta grant signature invalid")
+		return
+	}
+	// Retain a copy: the payload aliases a network buffer.
+	granted := *t
+	granted.Sig = append([]byte(nil), t.Sig...)
+	n.ticket = &granted
+	// Renew at 80% of remaining life.
+	life := granted.Expires - n.sched.Now()
+	if n.requestTicket != nil && life > 0 {
+		n.sched.After(life*4/5, func() { n.requestTicket() })
+	}
+}

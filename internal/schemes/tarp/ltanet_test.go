@@ -1,0 +1,161 @@
+package tarp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/ipv4pkt"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+)
+
+// onlineLAN deploys TARP with a networked LTA on the monitor station,
+// authorizing exactly the hosts' true bindings.
+func onlineLAN(t *testing.T, life time.Duration) (*labnet.LAN, []*Node, *TicketServer, *schemes.Sink) {
+	t.Helper()
+	l := labnet.Default()
+	lta, err := NewLTA(l.Sched, life)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[ethaddr.IPv4]ethaddr.MAC, len(l.Hosts))
+	for _, h := range l.Hosts {
+		truth[h.IP()] = h.MAC()
+	}
+	sink := schemes.NewSink()
+	server := NewTicketServer(l.Monitor, lta, func(ip ethaddr.IPv4, mac ethaddr.MAC) bool {
+		return truth[ip] == mac
+	})
+	nodes := make([]*Node, 0, len(l.Hosts))
+	for _, h := range l.Hosts {
+		nodes = append(nodes, NewOnlineNode(l.Sched, sink, h, lta, l.Monitor.IP(), l.Monitor.MAC()))
+	}
+	return l, nodes, server, sink
+}
+
+func TestOnlineTicketAcquisitionAndResolution(t *testing.T) {
+	l, nodes, server, sink := onlineLAN(t, time.Hour)
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if server.Issued() != uint64(len(nodes)) {
+		t.Fatalf("issued = %d", server.Issued())
+	}
+	victim, gw := nodes[1], nodes[0]
+	var got ethaddr.MAC
+	victim.Resolve(gw.Host().IP(), func(mac ethaddr.MAC, ok bool) {
+		if ok {
+			got = mac
+		}
+	})
+	if err := l.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != gw.Host().MAC() {
+		t.Fatalf("resolve = %v", got)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+}
+
+func TestLTARefusesForgedBindingRequest(t *testing.T) {
+	l, nodes, server, _ := onlineLAN(t, time.Hour)
+	gw := nodes[0]
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := server.Issued()
+
+	// The attacker asks the LTA to attest the gateway's IP under the
+	// attacker's MAC: the authorizer says no, silence follows.
+	req := make([]byte, 0, 10)
+	ip := gw.Host().IP()
+	mac := l.Attacker.MAC()
+	req = append(req, ip[:]...)
+	req = append(req, mac[:]...)
+	sendRawUDP(l, l.Monitor.MAC(), l.Monitor.IP(), LTAPort+1, LTAPort, req)
+	if err := l.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if server.Issued() != before {
+		t.Fatal("LTA attested a forged binding")
+	}
+	if server.Refused() != 1 {
+		t.Fatalf("refused = %d", server.Refused())
+	}
+}
+
+func TestOnlineRenewalKeepsAnswering(t *testing.T) {
+	l, nodes, server, _ := onlineLAN(t, 20*time.Second)
+	victim, gw := nodes[1], nodes[0]
+	// Resolve well past several ticket lifetimes: renewal must keep the
+	// gateway answerable.
+	deadline := 90 * time.Second
+	failures := 0
+	var cycle func()
+	cycle = func() {
+		if l.Sched.Now() > deadline {
+			return
+		}
+		victim.Host().Cache().Delete(gw.Host().IP())
+		victim.Resolve(gw.Host().IP(), func(_ ethaddr.MAC, ok bool) {
+			if !ok {
+				failures++
+			}
+			l.Sched.After(10*time.Second, cycle)
+		})
+	}
+	l.Sched.After(time.Second, cycle)
+	if err := l.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("%d resolutions failed across ticket renewals", failures)
+	}
+	if server.Issued() < 8 { // 5 nodes, at least one renewal each
+		t.Fatalf("issued = %d, want renewals", server.Issued())
+	}
+}
+
+func TestTicketlessNodeStaysSilent(t *testing.T) {
+	// A node whose LTA is unreachable must not answer resolutions: an
+	// unattested reply would be rejected by peers anyway, and silence is
+	// the honest failure mode.
+	l := labnet.Default()
+	lta, err := NewLTA(l.Sched, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := schemes.NewSink()
+	ghostServerIP := l.Subnet.Host(240) // nobody there
+	nodes := make([]*Node, 0, len(l.Hosts))
+	for _, h := range l.Hosts {
+		nodes = append(nodes, NewOnlineNode(l.Sched, sink, h, lta,
+			ghostServerIP, ethaddr.MustParseMAC("02:42:ac:00:00:f0")))
+	}
+	var failed bool
+	nodes[1].Resolve(nodes[0].Host().IP(), func(_ ethaddr.MAC, ok bool) { failed = !ok })
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("ticketless node answered a resolution")
+	}
+}
+
+// sendRawUDP emits a UDP datagram from the attacker's raw NIC.
+func sendRawUDP(l *labnet.LAN, dstMAC ethaddr.MAC, dst ethaddr.IPv4, srcPort, dstPort uint16, payload []byte) {
+	udp := &ipv4pkt.UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	pkt := &ipv4pkt.Packet{
+		TTL: 64, Proto: ipv4pkt.ProtoUDP,
+		Src: l.Attacker.IP(), Dst: dst,
+		Payload: udp.Encode(),
+	}
+	l.Attacker.NIC().Send(&frame.Frame{
+		Dst: dstMAC, Src: l.Attacker.MAC(),
+		Type: frame.TypeIPv4, Payload: pkt.Encode(),
+	})
+}

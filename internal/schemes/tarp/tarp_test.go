@@ -1,0 +1,235 @@
+package tarp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+)
+
+// tarpLAN enrolls every host as a TARP node under one LTA.
+func tarpLAN(t *testing.T, ticketLife time.Duration, opts ...Option) (*labnet.LAN, []*Node, *LTA, *schemes.Sink) {
+	t.Helper()
+	l := labnet.Default()
+	lta, err := NewLTA(l.Sched, ticketLife)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := schemes.NewSink()
+	nodes := make([]*Node, 0, len(l.Hosts))
+	for _, h := range l.Hosts {
+		n, err := NewNode(l.Sched, sink, h, lta, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	return l, nodes, lta, sink
+}
+
+func TestTicketedResolution(t *testing.T) {
+	l, nodes, lta, sink := tarpLAN(t, time.Hour)
+	if lta.Issued() != uint64(len(l.Hosts)) {
+		t.Fatalf("tickets issued = %d", lta.Issued())
+	}
+	victim, gw := nodes[1], nodes[0]
+
+	var got ethaddr.MAC
+	var ok bool
+	victim.Resolve(gw.Host().IP(), func(mac ethaddr.MAC, good bool) { got, ok = mac, good })
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != gw.Host().MAC() {
+		t.Fatalf("resolve = %v %v", got, ok)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("clean resolution alerted: %v", sink.Alerts())
+	}
+	if victim.Stats().Verified != 1 || gw.Stats().Attached != 1 {
+		t.Fatalf("stats: victim=%+v gw=%+v", victim.Stats(), gw.Stats())
+	}
+}
+
+func TestTicketlessForgeryRejected(t *testing.T) {
+	l, nodes, _, sink := tarpLAN(t, time.Hour)
+	victim, gw := nodes[1], nodes[0]
+	forged := &Message{ARP: arppkt.NewReply(l.Attacker.MAC(), gw.Host().IP(), victim.Host().MAC(), victim.Host().IP())}
+	l.Attacker.NIC().Send(&frame.Frame{
+		Dst: victim.Host().MAC(), Src: l.Attacker.MAC(),
+		Type: frame.TypeTARP, Payload: forged.Encode(),
+	})
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := victim.Host().Cache().Lookup(gw.Host().IP()); ok {
+		t.Fatal("ticketless reply accepted")
+	}
+	if victim.Stats().NoTicket != 1 || len(sink.ByKind(schemes.AlertAuthFailed)) != 1 {
+		t.Fatalf("stats: %+v alerts: %v", victim.Stats(), sink.Alerts())
+	}
+}
+
+func TestStolenTicketCannotRedirect(t *testing.T) {
+	// The attacker replays the gateway's genuine ticket but needs the
+	// binding to point at itself; the ticket pins the genuine MAC, so the
+	// mismatched assertion is rejected — TARP's replay weakness cannot
+	// redirect traffic.
+	l, nodes, _, sink := tarpLAN(t, time.Hour)
+	victim, gw := nodes[1], nodes[0]
+	stolen := gw.Ticket()
+	forged := &Message{
+		ARP:    arppkt.NewReply(l.Attacker.MAC(), gw.Host().IP(), victim.Host().MAC(), victim.Host().IP()),
+		Ticket: stolen,
+	}
+	l.Attacker.NIC().Send(&frame.Frame{
+		Dst: victim.Host().MAC(), Src: l.Attacker.MAC(),
+		Type: frame.TypeTARP, Payload: forged.Encode(),
+	})
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mac, ok := victim.Host().Cache().Lookup(gw.Host().IP()); ok && mac == l.Attacker.MAC() {
+		t.Fatal("stolen ticket redirected the binding")
+	}
+	if victim.Stats().Mismatched != 1 {
+		t.Fatalf("stats: %+v", victim.Stats())
+	}
+	if len(sink.ByKind(schemes.AlertAuthFailed)) != 1 {
+		t.Fatalf("alerts: %v", sink.Alerts())
+	}
+}
+
+func TestTamperedTicketRejected(t *testing.T) {
+	l, nodes, _, _ := tarpLAN(t, time.Hour)
+	victim, gw := nodes[1], nodes[0]
+	tampered := *gw.Ticket()
+	tampered.MAC = l.Attacker.MAC() // re-point the ticket, invalidating the signature
+	forged := &Message{
+		ARP:    arppkt.NewReply(l.Attacker.MAC(), gw.Host().IP(), victim.Host().MAC(), victim.Host().IP()),
+		Ticket: &tampered,
+	}
+	l.Attacker.NIC().Send(&frame.Frame{
+		Dst: victim.Host().MAC(), Src: l.Attacker.MAC(),
+		Type: frame.TypeTARP, Payload: forged.Encode(),
+	})
+	if err := l.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Stats().BadTicket != 1 {
+		t.Fatalf("stats: %+v", victim.Stats())
+	}
+	if _, ok := victim.Host().Cache().Lookup(gw.Host().IP()); ok {
+		t.Fatal("tampered ticket accepted")
+	}
+}
+
+func TestExpiredTicketRejected(t *testing.T) {
+	// An attacker replays a reply captured while the gateway's ticket was
+	// valid, long after it expired. (The genuine node itself goes silent
+	// once its ticket lapses — see TestExpiredTicketHolderStaysSilent.)
+	l, nodes, _, _ := tarpLAN(t, 10*time.Second)
+	victim, gw := nodes[1], nodes[0]
+	stale := &Message{
+		ARP:    arppkt.NewReply(gw.Host().MAC(), gw.Host().IP(), victim.Host().MAC(), victim.Host().IP()),
+		Ticket: gw.Ticket(),
+	}
+	l.Sched.At(30*time.Second, func() { // well past the 10s ticket life
+		l.Attacker.NIC().Send(&frame.Frame{
+			Dst: victim.Host().MAC(), Src: l.Attacker.MAC(),
+			Type: frame.TypeTARP, Payload: stale.Encode(),
+		})
+	})
+	if err := l.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Stats().Expired != 1 {
+		t.Fatalf("stats: %+v", victim.Stats())
+	}
+	if _, ok := victim.Host().Cache().Lookup(gw.Host().IP()); ok {
+		t.Fatal("expired ticket accepted")
+	}
+}
+
+func TestExpiredTicketHolderStaysSilent(t *testing.T) {
+	l, nodes, _, _ := tarpLAN(t, 10*time.Second)
+	victim, gw := nodes[1], nodes[0]
+	var failed bool
+	l.Sched.At(30*time.Second, func() {
+		victim.Resolve(gw.Host().IP(), func(_ ethaddr.MAC, ok bool) { failed = !ok })
+	})
+	if err := l.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("node with an expired ticket should not have answered")
+	}
+	if gw.Stats().Attached != 0 {
+		t.Fatalf("stats: %+v", gw.Stats())
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	tk := &Ticket{
+		IP:      ethaddr.MustParseIPv4("10.0.0.1"),
+		MAC:     ethaddr.MustParseMAC("02:42:ac:00:00:01"),
+		Expires: time.Hour,
+		Sig:     []byte{9, 8, 7},
+	}
+	m := &Message{
+		ARP:    arppkt.NewReply(tk.MAC, tk.IP, ethaddr.MustParseMAC("02:42:ac:00:00:02"), ethaddr.MustParseIPv4("10.0.0.2")),
+		Ticket: tk,
+	}
+	got, err := DecodeMessage(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.ARP != *m.ARP || got.Ticket == nil {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Ticket.IP != tk.IP || got.Ticket.MAC != tk.MAC || got.Ticket.Expires != tk.Expires || string(got.Ticket.Sig) != string(tk.Sig) {
+		t.Fatalf("ticket: %+v", got.Ticket)
+	}
+
+	req := &Message{ARP: arppkt.NewRequest(tk.MAC, tk.IP, ethaddr.MustParseIPv4("10.0.0.2"))}
+	gotReq, err := DecodeMessage(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.Ticket != nil {
+		t.Fatal("request grew a ticket")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := DecodeMessage(make([]byte, 8)); err == nil {
+		t.Fatal("short message accepted")
+	}
+	tk := &Ticket{Sig: []byte{1, 2, 3, 4}}
+	m := &Message{ARP: arppkt.NewProbe(ethaddr.MustParseMAC("02:42:ac:00:00:01"), ethaddr.MustParseIPv4("10.0.0.1")), Ticket: tk}
+	wire := m.Encode()
+	if _, err := DecodeMessage(wire[:len(wire)-2]); err == nil {
+		t.Fatal("truncated ticket accepted")
+	}
+}
+
+func TestTARPCheaperThanSARPOnSender(t *testing.T) {
+	// TARP's sender does no per-reply signing: answering a request is a
+	// pure attach. Verify zero LTA involvement after enrollment.
+	l, nodes, lta, _ := tarpLAN(t, time.Hour)
+	before := lta.Issued()
+	for i := 0; i < 5; i++ {
+		nodes[1].Host().Cache().Delete(nodes[0].Host().IP())
+		nodes[1].Resolve(nodes[0].Host().IP(), nil)
+	}
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if lta.Issued() != before {
+		t.Fatal("resolutions required new tickets")
+	}
+}

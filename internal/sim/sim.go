@@ -1,0 +1,201 @@
+// Package sim provides the deterministic discrete-event engine that drives
+// every simulated LAN in this framework.
+//
+// A Scheduler owns a virtual clock and a priority queue of timed events.
+// Components (links, host stacks, attackers, detectors) schedule callbacks at
+// future virtual instants; Run drains the queue in (time, sequence) order so
+// that identical seeds and scenarios always replay identically. The engine is
+// single-threaded by design: determinism is what makes the evaluation
+// reproducible, and event-driven execution makes thousand-host scenarios run
+// in milliseconds of wall time.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted explicitly
+// with Stop before the horizon or event budget was reached.
+var ErrStopped = errors.New("simulation stopped")
+
+// event is a scheduled callback.
+type event struct {
+	at   time.Duration
+	seq  uint64 // tiebreaker: FIFO among events at the same instant
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, _ := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the event. It reports whether the event had not yet fired
+// (mirroring time.Timer.Stop semantics). Calling Stop from inside a periodic
+// callback created with Every cancels the rescheduling cycle.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	pending := t.ev.idx != -1
+	t.ev.dead = true
+	return pending
+}
+
+// Scheduler is a deterministic discrete-event scheduler with a virtual clock.
+// The zero value is not usable; construct with NewScheduler.
+type Scheduler struct {
+	now      time.Duration
+	queue    eventQueue
+	seq      uint64
+	rng      *rand.Rand
+	stopped  bool
+	executed uint64
+}
+
+// NewScheduler returns a scheduler whose clock starts at zero and whose
+// random stream is derived from seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (elapsed since simulation start).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand exposes the scheduler's seeded random stream so that every stochastic
+// choice in a scenario flows from the one seed.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events run so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events currently queued (including ones that
+// have been cancelled but not yet drained).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time at. Events scheduled in the
+// past run "now" (at the current clock reading) but never move the clock
+// backwards. It returns a Timer that can cancel the event.
+func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual instant.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned Timer is stopped or the run ends. The callback observes
+// the clock already advanced to its firing instant.
+func (s *Scheduler) Every(period time.Duration, fn func()) *Timer {
+	if period <= 0 {
+		period = time.Nanosecond
+	}
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		fn()
+		if !t.ev.dead {
+			t.ev = s.After(period, tick).ev
+		}
+	}
+	t.ev = s.After(period, tick).ev
+	return t
+}
+
+// Stop halts the run after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// RunUntil executes events in order until the virtual clock would pass
+// horizon, the queue drains, or Stop is called. Events scheduled exactly at
+// the horizon still run. It returns ErrStopped if halted explicitly.
+func (s *Scheduler) RunUntil(horizon time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if next.at > horizon {
+			break
+		}
+		popped, _ := heap.Pop(&s.queue).(*event)
+		if popped.dead {
+			continue
+		}
+		s.now = popped.at
+		s.executed++
+		popped.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		popped, _ := heap.Pop(&s.queue).(*event)
+		if popped.dead {
+			continue
+		}
+		s.now = popped.at
+		s.executed++
+		popped.fn()
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunOrdersByTime(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at same instant ran out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAfterNestsRelativeToFiringTime(t *testing.T) {
+	s := NewScheduler(1)
+	var at []time.Duration
+	s.After(10*time.Millisecond, func() {
+		at = append(at, s.Now())
+		s.After(5*time.Millisecond, func() {
+			at = append(at, s.Now())
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != 2 || at[0] != 10*time.Millisecond || at[1] != 15*time.Millisecond {
+		t.Fatalf("firing times = %v", at)
+	}
+}
+
+func TestPastEventsRunNowWithoutClockRewind(t *testing.T) {
+	s := NewScheduler(1)
+	var fired time.Duration
+	s.After(10*time.Millisecond, func() {
+		// Scheduling at an absolute instant in the past must clamp to now.
+		s.At(1*time.Millisecond, func() { fired = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v, want clamped to 10ms", fired)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := NewScheduler(1)
+	var ran []time.Duration
+	for _, d := range []time.Duration{5, 10, 15, 20} {
+		d := d * time.Millisecond
+		s.At(d, func() { ran = append(ran, d) })
+	}
+	if err := s.RunUntil(12 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("ran %v events, want 2", ran)
+	}
+	if s.Now() != 12*time.Millisecond {
+		t.Fatalf("clock should advance to horizon, got %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	// Resume: remaining events still fire.
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("after resume ran %v, want all 4", ran)
+	}
+}
+
+func TestEventExactlyAtHorizonRuns(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	s.At(10*time.Millisecond, func() { fired = true })
+	if err := s.RunUntil(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event at the horizon should fire")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	tm := s.After(5*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending event")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := NewScheduler(1)
+	var count int
+	var tm *Timer
+	tm = s.Every(10*time.Millisecond, func() {
+		count++
+		if count == 5 {
+			tm.Stop()
+		}
+	})
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := NewScheduler(1)
+	var count int
+	s.Every(time.Millisecond, func() {
+		count++
+		if count == 3 {
+			s.Stop()
+		}
+	})
+	err := s.RunUntil(time.Second)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	trace := func(seed int64) []time.Duration {
+		s := NewScheduler(seed)
+		var out []time.Duration
+		var step func()
+		step = func() {
+			out = append(out, s.Now())
+			if len(out) < 50 {
+				jitter := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+				s.After(jitter, step)
+			}
+		}
+		s.After(0, step)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := trace(7), trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stochastic traces")
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Executed() != 10 {
+		t.Fatalf("Executed = %d, want 10", s.Executed())
+	}
+}

@@ -1,0 +1,318 @@
+// Package stack implements the simulated host network stack: an ARP cache
+// with configurable acceptance policies (the knob the paper's host-based
+// prevention schemes turn), a resolver with request retry and packet
+// queueing, gratuitous announcements, and enough IP/ICMP/UDP plumbing to run
+// workloads, probes, and DHCP on top.
+package stack
+
+import (
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/sim"
+)
+
+// Policy controls which ARP messages may create, refresh, or replace cache
+// entries. Each flag corresponds to one hardening measure discussed in the
+// ARP cache poisoning literature; the presets below combine them into the
+// OS-like profiles the attack-matrix experiment sweeps.
+type Policy struct {
+	// LearnFromRequest permits the sender binding of an ARP *request* to
+	// create a new cache entry (RFC 826 says to merge it when the host is
+	// the target; permissive stacks merge always).
+	LearnFromRequest bool
+
+	// AcceptUnsolicitedReply permits a reply with no outstanding request to
+	// create or update an entry. This is the classic poisoning vector;
+	// "kernel patch" schemes turn it off.
+	AcceptUnsolicitedReply bool
+
+	// OverwriteOnReply permits a (policy-accepted) reply to replace a live
+	// entry with a different MAC. Anti-poisoning patches in the
+	// "no-overwrite until expiry" family turn it off.
+	OverwriteOnReply bool
+
+	// OverwriteOnRequest permits a request's sender binding to replace a
+	// live entry with a different MAC.
+	OverwriteOnRequest bool
+
+	// AcceptGratuitous permits gratuitous announcements (sender==target IP)
+	// to create or update entries even when otherwise unsolicited.
+	AcceptGratuitous bool
+}
+
+// Preset policies modelling the OS families the paper's analysis contrasts.
+var (
+	// PolicyNaive accepts everything: the fully permissive stack old
+	// desktop systems shipped, vulnerable to every poisoning variant.
+	PolicyNaive = Policy{
+		LearnFromRequest:       true,
+		AcceptUnsolicitedReply: true,
+		OverwriteOnReply:       true,
+		OverwriteOnRequest:     true,
+		AcceptGratuitous:       true,
+	}
+
+	// PolicyReplyOnly learns only from replies but still accepts
+	// unsolicited ones (a common mid-2000s Windows behaviour).
+	PolicyReplyOnly = Policy{
+		AcceptUnsolicitedReply: true,
+		OverwriteOnReply:       true,
+		AcceptGratuitous:       true,
+	}
+
+	// PolicySolicitedOnly accepts only replies matching an outstanding
+	// request — the classic anti-poisoning kernel patch. Requests from
+	// peers still answer resolution (the protocol requires that) but never
+	// modify the cache.
+	PolicySolicitedOnly = Policy{
+		OverwriteOnReply: true,
+	}
+
+	// PolicyNoOverwrite learns liberally but refuses to replace a live
+	// entry until it expires (the anticap/antidote family).
+	PolicyNoOverwrite = Policy{
+		LearnFromRequest:       true,
+		AcceptUnsolicitedReply: true,
+		AcceptGratuitous:       true,
+	}
+)
+
+// EntryState describes the lifecycle of a cache entry.
+type EntryState int
+
+// Entry states.
+const (
+	StateReachable EntryState = iota + 1
+	StateStale
+)
+
+// Entry is one IP→MAC association in the cache.
+type Entry struct {
+	MAC     ethaddr.MAC
+	State   EntryState
+	Static  bool
+	Expires time.Duration // virtual instant after which the entry is a miss
+}
+
+// EventKind classifies a cache mutation attempt.
+type EventKind int
+
+// Cache event kinds. Rejected events are attempts the policy refused —
+// host-resident detectors treat some of them as attack evidence.
+const (
+	EventCreated EventKind = iota + 1
+	EventRefreshed
+	EventChanged
+	EventRejected
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventCreated:
+		return "created"
+	case EventRefreshed:
+		return "refreshed"
+	case EventChanged:
+		return "changed"
+	case EventRejected:
+		return "rejected"
+	default:
+		return "unknown"
+	}
+}
+
+// Event describes one attempted cache mutation, successful or not.
+type Event struct {
+	At        time.Duration
+	Kind      EventKind
+	IP        ethaddr.IPv4
+	OldMAC    ethaddr.MAC // zero when no prior entry
+	NewMAC    ethaddr.MAC
+	Op        arppkt.Op
+	Solicited bool // a matching request was outstanding
+}
+
+// Cache is a policy-guarded ARP cache.
+type Cache struct {
+	sched   *sim.Scheduler
+	policy  Policy
+	ttl     time.Duration
+	entries map[ethaddr.IPv4]Entry
+	onEvent func(Event)
+}
+
+// NewCache creates a cache. TTL is the entry lifetime (default on hosts is
+// typically 60s–20min; experiments set it explicitly).
+func NewCache(s *sim.Scheduler, policy Policy, ttl time.Duration) *Cache {
+	return &Cache{
+		sched:   s,
+		policy:  policy,
+		ttl:     ttl,
+		entries: make(map[ethaddr.IPv4]Entry),
+	}
+}
+
+// OnEvent installs an observer invoked for every mutation attempt. The
+// middleware scheme and the evaluation harness both hook here.
+func (c *Cache) OnEvent(fn func(Event)) { c.onEvent = fn }
+
+// Policy returns the active policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Lookup returns the live binding for ip, treating expired entries as
+// misses. Static entries never expire.
+func (c *Cache) Lookup(ip ethaddr.IPv4) (ethaddr.MAC, bool) {
+	e, ok := c.entries[ip]
+	if !ok {
+		return ethaddr.MAC{}, false
+	}
+	if !e.Static && e.Expires <= c.sched.Now() {
+		return ethaddr.MAC{}, false
+	}
+	return e.MAC, true
+}
+
+// Get returns the raw entry (including expired ones) for inspection.
+func (c *Cache) Get(ip ethaddr.IPv4) (Entry, bool) {
+	e, ok := c.entries[ip]
+	return e, ok
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	now := c.sched.Now()
+	n := 0
+	for _, e := range c.entries {
+		if e.Static || e.Expires > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a copy of the live entries, for detectors and reports.
+func (c *Cache) Snapshot() map[ethaddr.IPv4]Entry {
+	now := c.sched.Now()
+	out := make(map[ethaddr.IPv4]Entry, len(c.entries))
+	for ip, e := range c.entries {
+		if e.Static || e.Expires > now {
+			out[ip] = e
+		}
+	}
+	return out
+}
+
+// SetStatic installs an immutable binding; dynamic traffic can never alter
+// it. This is the static-ARP prevention scheme's primitive.
+func (c *Cache) SetStatic(ip ethaddr.IPv4, mac ethaddr.MAC) {
+	c.entries[ip] = Entry{MAC: mac, State: StateReachable, Static: true}
+}
+
+// Delete removes a binding (administrative action).
+func (c *Cache) Delete(ip ethaddr.IPv4) { delete(c.entries, ip) }
+
+// Flush removes all dynamic bindings, keeping static ones.
+func (c *Cache) Flush() {
+	for ip, e := range c.entries {
+		if !e.Static {
+			delete(c.entries, ip)
+		}
+	}
+}
+
+// emit reports a mutation attempt to the observer.
+func (c *Cache) emit(kind EventKind, ip ethaddr.IPv4, oldMAC, newMAC ethaddr.MAC, op arppkt.Op, solicited bool) {
+	if c.onEvent == nil {
+		return
+	}
+	c.onEvent(Event{
+		At:        c.sched.Now(),
+		Kind:      kind,
+		IP:        ip,
+		OldMAC:    oldMAC,
+		NewMAC:    newMAC,
+		Op:        op,
+		Solicited: solicited,
+	})
+}
+
+// Update applies the sender binding of an ARP packet under the policy.
+// solicited reports whether the host had an outstanding request for the
+// sender IP. It returns the resulting event kind.
+func (c *Cache) Update(p *arppkt.Packet, solicited bool) EventKind {
+	ip, mac := p.Binding()
+	if ip.IsZero() || !mac.IsUnicast() { // probes and garbage never bind
+		return EventRejected
+	}
+
+	prior, havePrior := c.entries[ip]
+	now := c.sched.Now()
+	live := havePrior && (prior.Static || prior.Expires > now)
+
+	// Static entries are immutable, full stop.
+	if live && prior.Static {
+		if prior.MAC != mac {
+			c.emit(EventRejected, ip, prior.MAC, mac, p.Op, solicited)
+		}
+		return EventRejected
+	}
+
+	admitted := c.admit(p, solicited)
+	if !admitted {
+		var old ethaddr.MAC
+		if live {
+			old = prior.MAC
+		}
+		c.emit(EventRejected, ip, old, mac, p.Op, solicited)
+		return EventRejected
+	}
+
+	switch {
+	case !live:
+		c.entries[ip] = Entry{MAC: mac, State: StateReachable, Expires: now + c.ttl}
+		c.emit(EventCreated, ip, ethaddr.MAC{}, mac, p.Op, solicited)
+		return EventCreated
+	case prior.MAC == mac:
+		prior.Expires = now + c.ttl
+		prior.State = StateReachable
+		c.entries[ip] = prior
+		c.emit(EventRefreshed, ip, prior.MAC, mac, p.Op, solicited)
+		return EventRefreshed
+	default:
+		if !c.mayOverwrite(p) {
+			c.emit(EventRejected, ip, prior.MAC, mac, p.Op, solicited)
+			return EventRejected
+		}
+		old := prior.MAC
+		c.entries[ip] = Entry{MAC: mac, State: StateReachable, Expires: now + c.ttl}
+		c.emit(EventChanged, ip, old, mac, p.Op, solicited)
+		return EventChanged
+	}
+}
+
+// admit decides whether the packet class may touch the cache at all.
+func (c *Cache) admit(p *arppkt.Packet, solicited bool) bool {
+	if p.IsGratuitous() {
+		return c.policy.AcceptGratuitous
+	}
+	if p.Op == arppkt.OpRequest {
+		return c.policy.LearnFromRequest
+	}
+	// Reply.
+	if solicited {
+		return true
+	}
+	return c.policy.AcceptUnsolicitedReply
+}
+
+// mayOverwrite decides whether the packet class may replace a live binding
+// that points at a different MAC.
+func (c *Cache) mayOverwrite(p *arppkt.Packet) bool {
+	if p.Op == arppkt.OpRequest || (p.IsGratuitous() && p.Op != arppkt.OpReply) {
+		return c.policy.OverwriteOnRequest
+	}
+	return c.policy.OverwriteOnReply
+}

@@ -1,0 +1,175 @@
+package stack
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/sim"
+)
+
+// cacheOp is one randomized action against a cache.
+type cacheOp struct {
+	kind      uint8 // 0..3: update-reply, update-request, update-gratuitous, advance-clock
+	ipIdx     uint8
+	macIdx    uint8
+	solicited bool
+	advance   uint16 // ms
+}
+
+// Generate implements quick.Generator for op sequences.
+func (cacheOp) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(cacheOp{
+		kind:      uint8(r.Intn(4)),
+		ipIdx:     uint8(r.Intn(8)),
+		macIdx:    uint8(r.Intn(8)),
+		solicited: r.Intn(2) == 0,
+		advance:   uint16(r.Intn(5000)),
+	})
+}
+
+var _ quick.Generator = cacheOp{}
+
+// poolIP and poolMAC give ops a small address space so collisions (and
+// hence overwrite paths) are exercised heavily.
+func poolIP(i uint8) ethaddr.IPv4 { return ethaddr.IPv4{10, 0, 0, i + 1} }
+func poolMAC(i uint8) ethaddr.MAC {
+	return ethaddr.MAC{0x02, 0x42, 0xac, 0, 0, i + 1}
+}
+
+// applyOp drives one op against the cache, returning virtual time control
+// through the scheduler.
+func applyOp(s *sim.Scheduler, c *Cache, op cacheOp) {
+	switch op.kind {
+	case 0:
+		p := arppkt.NewReply(poolMAC(op.macIdx), poolIP(op.ipIdx), poolMAC(7), poolIP(7))
+		c.Update(p, op.solicited)
+	case 1:
+		p := arppkt.NewRequest(poolMAC(op.macIdx), poolIP(op.ipIdx), poolIP(7))
+		c.Update(p, false)
+	case 2:
+		p := arppkt.NewGratuitousRequest(poolMAC(op.macIdx), poolIP(op.ipIdx))
+		c.Update(p, false)
+	case 3:
+		fired := false
+		s.After(time.Duration(op.advance)*time.Millisecond, func() { fired = true })
+		_ = s.Run()
+		_ = fired
+	}
+}
+
+// TestPropertyStaticEntriesAreInvariant: no sequence of dynamic updates may
+// ever move a static binding, under any policy.
+func TestPropertyStaticEntriesAreInvariant(t *testing.T) {
+	policies := []Policy{PolicyNaive, PolicyReplyOnly, PolicyNoOverwrite, PolicySolicitedOnly}
+	f := func(ops []cacheOp, policyIdx uint8) bool {
+		s := sim.NewScheduler(1)
+		c := NewCache(s, policies[int(policyIdx)%len(policies)], time.Second)
+		pinnedIP := poolIP(3)
+		pinnedMAC := ethaddr.MustParseMAC("02:42:ac:00:00:99")
+		c.SetStatic(pinnedIP, pinnedMAC)
+		for _, op := range ops {
+			applyOp(s, c, op)
+		}
+		mac, ok := c.Lookup(pinnedIP)
+		return ok && mac == pinnedMAC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLookupReflectsAnAcceptedUpdate: any live binding returned by
+// Lookup must carry a MAC that some prior accepted update installed for
+// that IP (never an invented or crossed value).
+func TestPropertyLookupReflectsAnAcceptedUpdate(t *testing.T) {
+	f := func(ops []cacheOp) bool {
+		s := sim.NewScheduler(1)
+		c := NewCache(s, PolicyNaive, time.Second)
+		accepted := make(map[ethaddr.IPv4]map[ethaddr.MAC]bool)
+		c.OnEvent(func(e Event) {
+			if e.Kind == EventRejected {
+				return
+			}
+			if accepted[e.IP] == nil {
+				accepted[e.IP] = make(map[ethaddr.MAC]bool)
+			}
+			accepted[e.IP][e.NewMAC] = true
+		})
+		for _, op := range ops {
+			applyOp(s, c, op)
+		}
+		for ip, e := range c.Snapshot() {
+			if e.Static {
+				continue
+			}
+			if !accepted[ip][e.MAC] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySolicitedOnlyNeverLearnsUnsolicited: under the patched-kernel
+// policy, no unsolicited traffic of any shape may create a binding.
+func TestPropertySolicitedOnlyNeverLearnsUnsolicited(t *testing.T) {
+	f := func(ops []cacheOp) bool {
+		s := sim.NewScheduler(1)
+		c := NewCache(s, PolicySolicitedOnly, time.Second)
+		for _, op := range ops {
+			op.solicited = false // strip every solicited flag
+			applyOp(s, c, op)
+		}
+		return c.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNoOverwriteFirstWriterWinsUntilExpiry: under the no-overwrite
+// policy, whenever two updates for the same IP land without the clock
+// passing the TTL in between, the earlier accepted binding survives.
+func TestPropertyNoOverwriteFirstWriterWinsUntilExpiry(t *testing.T) {
+	f := func(macs []uint8) bool {
+		if len(macs) == 0 {
+			return true
+		}
+		s := sim.NewScheduler(1)
+		c := NewCache(s, PolicyNoOverwrite, time.Hour) // nothing expires
+		ip := poolIP(0)
+		first := poolMAC(macs[0] % 8)
+		for _, m := range macs {
+			c.Update(arppkt.NewReply(poolMAC(m%8), ip, poolMAC(7), poolIP(7)), false)
+		}
+		mac, ok := c.Lookup(ip)
+		return ok && mac == first
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLenMatchesSnapshot: Len and Snapshot agree under arbitrary
+// histories (expiry included).
+func TestPropertyLenMatchesSnapshot(t *testing.T) {
+	f := func(ops []cacheOp) bool {
+		s := sim.NewScheduler(1)
+		c := NewCache(s, PolicyNaive, 2*time.Second)
+		for _, op := range ops {
+			applyOp(s, c, op)
+		}
+		return c.Len() == len(c.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

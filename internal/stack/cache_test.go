@@ -1,0 +1,266 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/sim"
+)
+
+var (
+	macA = ethaddr.MustParseMAC("02:42:ac:00:00:01")
+	macB = ethaddr.MustParseMAC("02:42:ac:00:00:02")
+	macE = ethaddr.MustParseMAC("02:42:ac:00:00:66") // attacker
+	ipA  = ethaddr.MustParseIPv4("192.168.88.10")
+	ipB  = ethaddr.MustParseIPv4("192.168.88.20")
+)
+
+func reply(mac ethaddr.MAC, ip ethaddr.IPv4) *arppkt.Packet {
+	return arppkt.NewReply(mac, ip, macA, ipA)
+}
+
+func request(mac ethaddr.MAC, ip ethaddr.IPv4) *arppkt.Packet {
+	return arppkt.NewRequest(mac, ip, ipA)
+}
+
+func TestCachePolicyMatrix(t *testing.T) {
+	tests := []struct {
+		name   string
+		policy Policy
+		apply  func(c *Cache)
+		wantOK bool // binding ipB→macE present afterwards
+	}{
+		{
+			name:   "naive accepts unsolicited reply",
+			policy: PolicyNaive,
+			apply:  func(c *Cache) { c.Update(reply(macE, ipB), false) },
+			wantOK: true,
+		},
+		{
+			name:   "naive learns from request",
+			policy: PolicyNaive,
+			apply:  func(c *Cache) { c.Update(request(macE, ipB), false) },
+			wantOK: true,
+		},
+		{
+			name:   "reply-only ignores request learning",
+			policy: PolicyReplyOnly,
+			apply:  func(c *Cache) { c.Update(request(macE, ipB), false) },
+			wantOK: false,
+		},
+		{
+			name:   "reply-only accepts unsolicited reply",
+			policy: PolicyReplyOnly,
+			apply:  func(c *Cache) { c.Update(reply(macE, ipB), false) },
+			wantOK: true,
+		},
+		{
+			name:   "solicited-only rejects unsolicited reply",
+			policy: PolicySolicitedOnly,
+			apply:  func(c *Cache) { c.Update(reply(macE, ipB), false) },
+			wantOK: false,
+		},
+		{
+			name:   "solicited-only accepts solicited reply",
+			policy: PolicySolicitedOnly,
+			apply:  func(c *Cache) { c.Update(reply(macE, ipB), true) },
+			wantOK: true,
+		},
+		{
+			name:   "solicited-only rejects gratuitous",
+			policy: PolicySolicitedOnly,
+			apply:  func(c *Cache) { c.Update(arppkt.NewGratuitousRequest(macE, ipB), false) },
+			wantOK: false,
+		},
+		{
+			name:   "no-overwrite accepts first binding",
+			policy: PolicyNoOverwrite,
+			apply:  func(c *Cache) { c.Update(reply(macE, ipB), false) },
+			wantOK: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := sim.NewScheduler(1)
+			c := NewCache(s, tt.policy, time.Minute)
+			tt.apply(c)
+			mac, ok := c.Lookup(ipB)
+			if ok != tt.wantOK {
+				t.Fatalf("binding present = %v, want %v", ok, tt.wantOK)
+			}
+			if ok && mac != macE {
+				t.Fatalf("mac = %v", mac)
+			}
+		})
+	}
+}
+
+func TestNoOverwriteProtectsLiveEntry(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNoOverwrite, time.Minute)
+	if got := c.Update(reply(macB, ipB), true); got != EventCreated {
+		t.Fatalf("first update = %v", got)
+	}
+	if got := c.Update(reply(macE, ipB), false); got != EventRejected {
+		t.Fatalf("poison attempt = %v, want rejected", got)
+	}
+	mac, _ := c.Lookup(ipB)
+	if mac != macB {
+		t.Fatalf("binding overwritten: %v", mac)
+	}
+	// Same-MAC refresh is still allowed.
+	if got := c.Update(reply(macB, ipB), false); got != EventRefreshed {
+		t.Fatalf("refresh = %v", got)
+	}
+}
+
+func TestNoOverwriteAllowsRebindAfterExpiry(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNoOverwrite, 10*time.Second)
+	c.Update(reply(macB, ipB), true)
+	s.After(11*time.Second, func() {
+		if got := c.Update(reply(macE, ipB), false); got != EventCreated {
+			t.Errorf("post-expiry update = %v, want created", got)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveOverwrite(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, time.Minute)
+	c.Update(reply(macB, ipB), true)
+	if got := c.Update(reply(macE, ipB), false); got != EventChanged {
+		t.Fatalf("poison = %v, want changed", got)
+	}
+	mac, _ := c.Lookup(ipB)
+	if mac != macE {
+		t.Fatal("naive policy should have been poisoned")
+	}
+}
+
+func TestStaticEntryIsImmutable(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, time.Minute)
+	c.SetStatic(ipB, macB)
+	if got := c.Update(reply(macE, ipB), true); got != EventRejected {
+		t.Fatalf("static poison = %v, want rejected", got)
+	}
+	mac, ok := c.Lookup(ipB)
+	if !ok || mac != macB {
+		t.Fatal("static entry lost")
+	}
+	// Static entries survive expiry and Flush.
+	s.After(time.Hour, func() {
+		if _, ok := c.Lookup(ipB); !ok {
+			t.Error("static entry expired")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	if _, ok := c.Lookup(ipB); !ok {
+		t.Fatal("Flush removed static entry")
+	}
+}
+
+func TestExpiryMakesLookupMiss(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, 5*time.Second)
+	c.Update(reply(macB, ipB), true)
+	s.After(6*time.Second, func() {
+		if _, ok := c.Lookup(ipB); ok {
+			t.Error("expired entry still returned")
+		}
+		if c.Len() != 0 {
+			t.Errorf("Len = %d", c.Len())
+		}
+		// Raw Get still exposes it.
+		if _, ok := c.Get(ipB); !ok {
+			t.Error("Get should expose expired entries")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsEmitted(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, time.Minute)
+	var events []Event
+	c.OnEvent(func(e Event) { events = append(events, e) })
+	c.Update(reply(macB, ipB), true)  // created
+	c.Update(reply(macB, ipB), false) // refreshed
+	c.Update(reply(macE, ipB), false) // changed
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Kind != EventCreated || events[1].Kind != EventRefreshed || events[2].Kind != EventChanged {
+		t.Fatalf("kinds = %v %v %v", events[0].Kind, events[1].Kind, events[2].Kind)
+	}
+	if events[2].OldMAC != macB || events[2].NewMAC != macE {
+		t.Fatalf("changed event MACs: %+v", events[2])
+	}
+	if !events[0].Solicited || events[1].Solicited {
+		t.Fatal("solicited flags wrong")
+	}
+}
+
+func TestProbeNeverBinds(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, time.Minute)
+	probe := arppkt.NewProbe(macE, ipB)
+	if got := c.Update(probe, false); got != EventRejected {
+		t.Fatalf("probe update = %v", got)
+	}
+	if c.Len() != 0 {
+		t.Fatal("probe created an entry")
+	}
+}
+
+func TestNonUnicastMACNeverBinds(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, time.Minute)
+	p := arppkt.NewReply(ethaddr.BroadcastMAC, ipB, macA, ipA)
+	if got := c.Update(p, true); got != EventRejected {
+		t.Fatalf("broadcast-MAC update = %v", got)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, time.Minute)
+	c.Update(reply(macB, ipB), true)
+	snap := c.Snapshot()
+	snap[ipB] = Entry{MAC: macE}
+	mac, _ := c.Lookup(ipB)
+	if mac != macB {
+		t.Fatal("snapshot aliases cache")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, time.Minute)
+	c.Update(reply(macB, ipB), true)
+	c.Delete(ipB)
+	if _, ok := c.Lookup(ipB); ok {
+		t.Fatal("entry survived Delete")
+	}
+}
+
+func TestGratuitousReplyRespectsOverwriteOnReply(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNoOverwrite, time.Minute)
+	c.Update(reply(macB, ipB), true)
+	g := arppkt.NewGratuitousReply(macE, ipB)
+	if got := c.Update(g, false); got != EventRejected {
+		t.Fatalf("gratuitous reply overwrite = %v, want rejected", got)
+	}
+}

@@ -1,0 +1,482 @@
+package stack
+
+import (
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/ipv4pkt"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Stats counts per-host protocol activity.
+type Stats struct {
+	ARPTx, ARPRx       uint64
+	IPv4Tx, IPv4Rx     uint64
+	ResolveOK          uint64
+	ResolveFail        uint64
+	QueuedDropped      uint64 // IP packets dropped after resolution failure
+	EchoSent, EchoRecv uint64
+	ConflictsSeen      uint64 // foreign assertions of our own address
+	Defenses           uint64 // gratuitous reassertions sent in response
+}
+
+// pending tracks one in-flight resolution.
+type pending struct {
+	queue   []queuedPacket
+	retries int
+	timer   *sim.Timer
+	waiters []func(ethaddr.MAC, bool)
+}
+
+type queuedPacket struct {
+	proto   ipv4pkt.Protocol
+	payload []byte
+}
+
+// ARPHook can observe or veto an inbound ARP packet before the cache sees
+// it. Returning false suppresses normal processing (the packet is dropped as
+// far as the cache and responder are concerned). The middleware scheme uses
+// this to quarantine-and-verify.
+type ARPHook func(p *arppkt.Packet, f *frame.Frame) bool
+
+// Option configures a Host.
+type Option func(*Host)
+
+// WithPolicy selects the ARP cache acceptance policy (default PolicyNaive,
+// the permissive baseline the attacks target).
+func WithPolicy(p Policy) Option {
+	return func(h *Host) { h.policy = p }
+}
+
+// WithCacheTTL sets the ARP entry lifetime (default 60s).
+func WithCacheTTL(d time.Duration) Option {
+	return func(h *Host) { h.cacheTTL = d }
+}
+
+// WithResolveRetry sets the request retry count and spacing (default 3
+// retries, 1s apart, per common stacks).
+func WithResolveRetry(retries int, interval time.Duration) Option {
+	return func(h *Host) {
+		h.resolveRetries = retries
+		h.resolveInterval = interval
+	}
+}
+
+// WithAnnounce makes the host broadcast a gratuitous ARP when started.
+func WithAnnounce() Option {
+	return func(h *Host) { h.announce = true }
+}
+
+// WithEchoResponder controls whether the host answers ICMP echo requests
+// (default on; victims of probe-based schemes must answer for the scheme to
+// work, which the paper notes as a limitation).
+func WithEchoResponder(v bool) Option {
+	return func(h *Host) { h.echoResponder = v }
+}
+
+// WithAddressDefense makes the host fight back when a foreign station
+// claims its address: it re-broadcasts its own gratuitous announcement
+// (rate-limited to one per interval), the RFC 5227 "defend" behaviour and
+// the essence of the anticap-style host mitigations. Defense turns a
+// one-shot poisoning into a reassertion war the attacker must sustain.
+func WithAddressDefense(minInterval time.Duration) Option {
+	return func(h *Host) {
+		h.defend = true
+		h.defendInterval = minInterval
+	}
+}
+
+// Host is a simulated end station: one NIC, an IPv4 identity, an ARP cache,
+// and a resolver.
+type Host struct {
+	name  string
+	sched *sim.Scheduler
+	nic   *netsim.NIC
+	ip    ethaddr.IPv4
+	cache *Cache
+
+	policy          Policy
+	cacheTTL        time.Duration
+	resolveRetries  int
+	resolveInterval time.Duration
+	announce        bool
+	echoResponder   bool
+
+	pendings map[ethaddr.IPv4]*pending
+	arpHook  ARPHook
+	onARP    func(*arppkt.Packet, *frame.Frame) // passive observer
+	onIPv4   func(*ipv4pkt.Packet, *frame.Frame)
+	udpPorts map[uint16]func(src ethaddr.IPv4, srcPort uint16, payload []byte)
+	onEcho   map[uint16]func(seq uint16, from ethaddr.IPv4, fromMAC ethaddr.MAC)
+	extra       map[frame.EtherType]func(*frame.Frame)
+	arpDisabled bool
+	defend      bool
+	defendInterval time.Duration
+	lastDefense    time.Duration
+	defendedOnce   bool
+	stats       Stats
+	started     bool
+}
+
+// NewHost creates a host bound to a NIC and address and registers its frame
+// handler. Call Start to (optionally) announce.
+func NewHost(s *sim.Scheduler, name string, nic *netsim.NIC, ip ethaddr.IPv4, opts ...Option) *Host {
+	h := &Host{
+		name:            name,
+		sched:           s,
+		nic:             nic,
+		ip:              ip,
+		policy:          PolicyNaive,
+		cacheTTL:        60 * time.Second,
+		resolveRetries:  3,
+		resolveInterval: time.Second,
+		echoResponder:   true,
+		pendings:        make(map[ethaddr.IPv4]*pending),
+		udpPorts:        make(map[uint16]func(ethaddr.IPv4, uint16, []byte)),
+		onEcho:          make(map[uint16]func(uint16, ethaddr.IPv4, ethaddr.MAC)),
+		extra:           make(map[frame.EtherType]func(*frame.Frame)),
+	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	h.cache = NewCache(s, h.policy, h.cacheTTL)
+	nic.SetHandler(h.handleFrame)
+	return h
+}
+
+// Name returns the host's scenario name.
+func (h *Host) Name() string { return h.name }
+
+// IP returns the host's protocol address.
+func (h *Host) IP() ethaddr.IPv4 { return h.ip }
+
+// SetIP rebinds the host's protocol address (DHCP assignment).
+func (h *Host) SetIP(ip ethaddr.IPv4) { h.ip = ip }
+
+// MAC returns the NIC hardware address.
+func (h *Host) MAC() ethaddr.MAC { return h.nic.MAC() }
+
+// NIC exposes the interface, e.g. for promiscuous capture.
+func (h *Host) NIC() *netsim.NIC { return h.nic }
+
+// Cache exposes the ARP cache for schemes and assertions.
+func (h *Host) Cache() *Cache { return h.cache }
+
+// Stats returns a copy of the host counters.
+func (h *Host) Stats() Stats { return h.stats }
+
+// SetARPHook installs the inbound ARP interceptor (middleware scheme).
+func (h *Host) SetARPHook(fn ARPHook) { h.arpHook = fn }
+
+// OnARP installs a passive observer of inbound ARP packets.
+func (h *Host) OnARP(fn func(*arppkt.Packet, *frame.Frame)) { h.onARP = fn }
+
+// OnIPv4 installs a fallback observer for inbound IPv4 packets addressed to
+// this host (after protocol-specific dispatch).
+func (h *Host) OnIPv4(fn func(*ipv4pkt.Packet, *frame.Frame)) { h.onIPv4 = fn }
+
+// HandleUDP registers a datagram handler for a local port.
+func (h *Host) HandleUDP(port uint16, fn func(src ethaddr.IPv4, srcPort uint16, payload []byte)) {
+	h.udpPorts[port] = fn
+}
+
+// Start performs boot-time behaviour (gratuitous announcement if enabled).
+func (h *Host) Start() {
+	if h.started {
+		return
+	}
+	h.started = true
+	if h.announce {
+		h.SendGratuitous()
+	}
+}
+
+// SendGratuitous broadcasts a gratuitous ARP request announcing this host's
+// current binding.
+func (h *Host) SendGratuitous() {
+	p := arppkt.NewGratuitousRequest(h.MAC(), h.ip)
+	h.sendARP(p, ethaddr.BroadcastMAC)
+}
+
+// sendARP encapsulates and transmits an ARP packet.
+func (h *Host) sendARP(p *arppkt.Packet, dst ethaddr.MAC) {
+	h.stats.ARPTx++
+	h.nic.Send(&frame.Frame{Dst: dst, Src: h.MAC(), Type: frame.TypeARP, Payload: p.Encode()})
+}
+
+// Resolve initiates (or joins) resolution of ip and calls done with the
+// result when it completes or fails. A cache hit completes synchronously.
+func (h *Host) Resolve(ip ethaddr.IPv4, done func(mac ethaddr.MAC, ok bool)) {
+	if mac, ok := h.cache.Lookup(ip); ok {
+		if done != nil {
+			done(mac, true)
+		}
+		return
+	}
+	pd := h.ensurePending(ip)
+	if done != nil {
+		pd.waiters = append(pd.waiters, done)
+	}
+}
+
+// SendIPv4 transmits an IP payload to dst, resolving first if needed.
+// Packets queue behind an in-flight resolution and are dropped if it fails,
+// exactly as real stacks behave.
+func (h *Host) SendIPv4(dst ethaddr.IPv4, proto ipv4pkt.Protocol, payload []byte) {
+	if mac, ok := h.cache.Lookup(dst); ok {
+		h.transmitIPv4(mac, dst, proto, payload)
+		return
+	}
+	pd := h.ensurePending(dst)
+	pd.queue = append(pd.queue, queuedPacket{proto: proto, payload: payload})
+}
+
+// SendUDP transmits a UDP datagram.
+func (h *Host) SendUDP(dst ethaddr.IPv4, srcPort, dstPort uint16, payload []byte) {
+	u := &ipv4pkt.UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	h.SendIPv4(dst, ipv4pkt.ProtoUDP, u.Encode())
+}
+
+// SendUDPTo transmits a UDP datagram inside a frame addressed to an explicit
+// MAC, bypassing resolution (DHCP handshakes need this before addresses
+// exist).
+func (h *Host) SendUDPTo(dstMAC ethaddr.MAC, dst ethaddr.IPv4, srcPort, dstPort uint16, payload []byte) {
+	u := &ipv4pkt.UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	h.transmitIPv4(dstMAC, dst, ipv4pkt.ProtoUDP, u.Encode())
+}
+
+// Ping sends an ICMP echo request and registers a reply callback keyed on
+// the identifier. The callback fires for every matching reply (probe schemes
+// care whether *more than one* station answers).
+func (h *Host) Ping(dst ethaddr.IPv4, ident, seq uint16, reply func(seq uint16, from ethaddr.IPv4, fromMAC ethaddr.MAC)) {
+	if reply != nil {
+		h.onEcho[ident] = reply
+	}
+	h.stats.EchoSent++
+	echo := &ipv4pkt.ICMPEcho{Type: ipv4pkt.ICMPEchoRequest, IDent: ident, Seq: seq}
+	h.SendIPv4(dst, ipv4pkt.ProtoICMP, echo.Encode())
+}
+
+// PingVia is Ping with an explicit destination MAC, used by probe schemes to
+// test a specific claimed binding rather than whatever the cache holds.
+func (h *Host) PingVia(dstMAC ethaddr.MAC, dst ethaddr.IPv4, ident, seq uint16, reply func(seq uint16, from ethaddr.IPv4, fromMAC ethaddr.MAC)) {
+	if reply != nil {
+		h.onEcho[ident] = reply
+	}
+	h.stats.EchoSent++
+	echo := &ipv4pkt.ICMPEcho{Type: ipv4pkt.ICMPEchoRequest, IDent: ident, Seq: seq}
+	h.transmitIPv4(dstMAC, dst, ipv4pkt.ProtoICMP, echo.Encode())
+}
+
+// ClearEchoHandler removes a Ping callback registration.
+func (h *Host) ClearEchoHandler(ident uint16) { delete(h.onEcho, ident) }
+
+// transmitIPv4 encapsulates and sends an IP packet to a known MAC.
+func (h *Host) transmitIPv4(dstMAC ethaddr.MAC, dst ethaddr.IPv4, proto ipv4pkt.Protocol, payload []byte) {
+	h.stats.IPv4Tx++
+	pkt := &ipv4pkt.Packet{TTL: 64, Proto: proto, Src: h.ip, Dst: dst, Payload: payload}
+	h.nic.Send(&frame.Frame{Dst: dstMAC, Src: h.MAC(), Type: frame.TypeIPv4, Payload: pkt.Encode()})
+}
+
+// ensurePending starts a resolution cycle for ip if none is running.
+func (h *Host) ensurePending(ip ethaddr.IPv4) *pending {
+	if pd, ok := h.pendings[ip]; ok {
+		return pd
+	}
+	pd := &pending{}
+	h.pendings[ip] = pd
+	h.sendRequest(ip, pd)
+	return pd
+}
+
+// sendRequest emits one who-has and arms the retry timer.
+func (h *Host) sendRequest(ip ethaddr.IPv4, pd *pending) {
+	h.sendARP(arppkt.NewRequest(h.MAC(), h.ip, ip), ethaddr.BroadcastMAC)
+	pd.timer = h.sched.After(h.resolveInterval, func() {
+		pd.retries++
+		if pd.retries >= h.resolveRetries {
+			h.failResolution(ip, pd)
+			return
+		}
+		h.sendRequest(ip, pd)
+	})
+}
+
+// failResolution drops the queue and notifies waiters of failure.
+func (h *Host) failResolution(ip ethaddr.IPv4, pd *pending) {
+	delete(h.pendings, ip)
+	h.stats.ResolveFail++
+	h.stats.QueuedDropped += uint64(len(pd.queue))
+	for _, w := range pd.waiters {
+		w(ethaddr.MAC{}, false)
+	}
+}
+
+// completeResolution flushes the queue and notifies waiters of success.
+func (h *Host) completeResolution(ip ethaddr.IPv4, mac ethaddr.MAC) {
+	pd, ok := h.pendings[ip]
+	if !ok {
+		return
+	}
+	delete(h.pendings, ip)
+	pd.timer.Stop()
+	h.stats.ResolveOK++
+	for _, q := range pd.queue {
+		h.transmitIPv4(mac, ip, q.proto, q.payload)
+	}
+	for _, w := range pd.waiters {
+		w(mac, true)
+	}
+}
+
+// handleFrame dispatches inbound frames by EtherType.
+func (h *Host) handleFrame(f *frame.Frame) {
+	switch f.Type {
+	case frame.TypeARP:
+		h.handleARP(f)
+	case frame.TypeIPv4:
+		h.handleIPv4(f)
+	default:
+		// Protocol-replacing schemes (S-ARP, TARP) register handlers for
+		// their own EtherTypes; plain hosts ignore them.
+		if fn, ok := h.extra[f.Type]; ok {
+			fn(f)
+		}
+	}
+}
+
+// HandleEtherType registers a handler for a non-standard EtherType; the
+// secured-ARP schemes attach their wire protocols here.
+func (h *Host) HandleEtherType(t frame.EtherType, fn func(*frame.Frame)) {
+	h.extra[t] = fn
+}
+
+// DisableARP turns off plain ARP processing entirely: no cache updates, no
+// responses. Protocol-replacing schemes (S-ARP, TARP) call this when they
+// convert a host — a converted station that still believed plain ARP would
+// remain poisonable, defeating the replacement.
+func (h *Host) DisableARP() { h.arpDisabled = true }
+
+// SendFrame transmits a raw frame from this host's NIC (used by scheme
+// shims that speak their own EtherType).
+func (h *Host) SendFrame(f *frame.Frame) { h.nic.Send(f) }
+
+// handleARP processes one inbound ARP packet under the cache policy and the
+// RFC 826 responder rules.
+func (h *Host) handleARP(f *frame.Frame) {
+	if h.arpDisabled {
+		return
+	}
+	p, err := arppkt.Decode(f.Payload)
+	if err != nil {
+		return
+	}
+	h.stats.ARPRx++
+	if h.onARP != nil {
+		h.onARP(p, f)
+	}
+	if h.arpHook != nil && !h.arpHook(p, f) {
+		return
+	}
+	h.ProcessARP(p)
+}
+
+// ProcessARP applies cache update and responder logic to a decoded packet.
+// It is exported so interceptors (middleware) can re-inject packets they
+// have verified.
+func (h *Host) ProcessARP(p *arppkt.Packet) {
+	_, solicited := h.pendings[p.SenderIP]
+
+	// A foreign station asserting our own address is an address conflict
+	// (RFC 5227), never a cache update: no stack maps its own IP to
+	// another MAC. With defense enabled the host reasserts itself.
+	if p.SenderIP == h.ip && p.SenderMAC != h.MAC() {
+		h.stats.ConflictsSeen++
+		if h.defend {
+			now := h.sched.Now()
+			if !h.defendedOnce || now-h.lastDefense >= h.defendInterval {
+				h.defendedOnce = true
+				h.lastDefense = now
+				h.stats.Defenses++
+				h.SendGratuitous()
+			}
+		}
+		return
+	}
+
+	h.cache.Update(p, solicited)
+
+	// Complete resolution regardless of cache policy outcome: the protocol
+	// still answered our question. (Solicited-only policies will have
+	// cached it above; others may not, but waiters still learn the MAC.)
+	if solicited && p.Op == arppkt.OpReply && p.SenderMAC.IsUnicast() {
+		h.completeResolution(p.SenderIP, p.SenderMAC)
+	}
+
+	// Answer requests for our address.
+	if p.Op == arppkt.OpRequest && p.TargetIP == h.ip && !p.IsGratuitous() && !p.SenderIP.IsZero() {
+		h.sendARP(arppkt.NewReply(h.MAC(), h.ip, p.SenderMAC, p.SenderIP), p.SenderMAC)
+	}
+	// Answer probes for our address (RFC 5227: defend with a reply).
+	if p.IsProbe() && p.TargetIP == h.ip {
+		h.sendARP(arppkt.NewReply(h.MAC(), h.ip, p.SenderMAC, ethaddr.ZeroIPv4), p.SenderMAC)
+	}
+}
+
+// handleIPv4 processes one inbound IPv4 packet addressed to this host.
+func (h *Host) handleIPv4(f *frame.Frame) {
+	pkt, err := ipv4pkt.Decode(f.Payload)
+	if err != nil {
+		return
+	}
+	if pkt.Dst != h.ip && !pkt.Dst.IsBroadcast() {
+		return // not ours (promiscuous captures use OnIPv4 via NIC handler wrapping)
+	}
+	h.stats.IPv4Rx++
+	switch pkt.Proto {
+	case ipv4pkt.ProtoICMP:
+		h.handleICMP(pkt, f)
+	case ipv4pkt.ProtoUDP:
+		h.handleUDP(pkt)
+	}
+	if h.onIPv4 != nil {
+		h.onIPv4(pkt, f)
+	}
+}
+
+// handleICMP answers echo requests and dispatches echo replies.
+func (h *Host) handleICMP(pkt *ipv4pkt.Packet, f *frame.Frame) {
+	echo, err := ipv4pkt.DecodeICMPEcho(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch echo.Type {
+	case ipv4pkt.ICMPEchoRequest:
+		if !h.echoResponder {
+			return
+		}
+		reply := &ipv4pkt.ICMPEcho{Type: ipv4pkt.ICMPEchoReply, IDent: echo.IDent, Seq: echo.Seq, Data: echo.Data}
+		// Reply to the frame's source MAC directly: echo must not trigger
+		// another resolution (and real stacks use the cached/frame source).
+		h.transmitIPv4(f.Src, pkt.Src, ipv4pkt.ProtoICMP, reply.Encode())
+	case ipv4pkt.ICMPEchoReply:
+		h.stats.EchoRecv++
+		if fn, ok := h.onEcho[echo.IDent]; ok {
+			fn(echo.Seq, pkt.Src, f.Src)
+		}
+	}
+}
+
+// handleUDP dispatches datagrams to registered port handlers.
+func (h *Host) handleUDP(pkt *ipv4pkt.Packet) {
+	u, err := ipv4pkt.DecodeUDP(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if fn, ok := h.udpPorts[u.DstPort]; ok {
+		fn(pkt.Src, u.SrcPort, u.Payload)
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !approx(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !approx(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7.0)) {
+		t.Fatal("stddev")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 15}, {1, 50}, {0.5, 35}, {0.25, 20}, {0.75, 40},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !approx(got, tt.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); !approx(got, 5) {
+		t.Fatalf("interp = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{1, 2, 2, 3})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if !approx(pts[0].P, 0.25) || !approx(pts[1].P, 0.75) || !approx(pts[2].P, 1.0) {
+		t.Fatalf("cdf = %+v", pts)
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty cdf")
+	}
+}
+
+func TestCDFReachesOneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		pts := CDF(xs)
+		if len(xs) == 0 {
+			return pts == nil
+		}
+		last := pts[len(pts)-1]
+		for i := 1; i < len(pts); i++ {
+			if pts[i].P < pts[i-1].P || pts[i].X < pts[i-1].X {
+				return false
+			}
+		}
+		return approx(last.P, 1.0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p := NewProportion(8, 10)
+	if !approx(p.P, 0.8) || p.N != 10 || p.Positive != 8 {
+		t.Fatalf("%+v", p)
+	}
+	if p.Lo >= p.P || p.Hi <= p.P {
+		t.Fatalf("interval does not bracket the estimate: %+v", p)
+	}
+	if p.Lo < 0 || p.Hi > 1 {
+		t.Fatalf("interval escapes [0,1]: %+v", p)
+	}
+	zero := NewProportion(0, 0)
+	if zero.P != 0 || zero.Hi != 0 {
+		t.Fatalf("empty proportion: %+v", zero)
+	}
+	// Extremes stay in range.
+	all := NewProportion(10, 10)
+	if all.Hi > 1 || all.Lo <= 0.5 {
+		t.Fatalf("all-success interval: %+v", all)
+	}
+}

@@ -1,0 +1,203 @@
+// Package trace records frames observed at taps into an in-memory capture
+// that can be filtered, summarized, and exported as JSON — the framework's
+// equivalent of a pcap file plus the first page of Wireshark statistics.
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+)
+
+// Record is one captured frame with decoded summaries.
+type Record struct {
+	At      time.Duration   `json:"at"`
+	Port    int             `json:"port"`
+	Src     string          `json:"src"`
+	Dst     string          `json:"dst"`
+	Type    string          `json:"type"`
+	WireLen int             `json:"wireLen"`
+	Info    string          `json:"info,omitempty"`
+	ARP     *arppkt.Packet  `json:"-"`
+	Frame   *frame.Frame    `json:"-"`
+}
+
+// Capture accumulates records from one or more taps. The zero value is
+// ready to use. Captures are bounded: when max is exceeded the oldest
+// records are discarded (ring semantics), so long simulations cannot
+// exhaust memory.
+type Capture struct {
+	max     int
+	records []Record
+	dropped uint64
+	stats   Stats
+}
+
+// Stats summarizes a capture.
+type Stats struct {
+	Frames      uint64                      `json:"frames"`
+	Bytes       uint64                      `json:"bytes"`
+	ByType      map[string]uint64           `json:"byType"`
+	ARPOps      map[string]uint64           `json:"arpOps"`
+	Gratuitous  uint64                      `json:"gratuitous"`
+	Broadcast   uint64                      `json:"broadcast"`
+}
+
+// NewCapture creates a capture retaining at most max records (0 means the
+// default of 65536).
+func NewCapture(max int) *Capture {
+	if max <= 0 {
+		max = 65536
+	}
+	return &Capture{
+		max:   max,
+		stats: Stats{ByType: make(map[string]uint64), ARPOps: make(map[string]uint64)},
+	}
+}
+
+// Tap returns a netsim.TapFunc that feeds this capture; install it on a
+// switch or hub.
+func (c *Capture) Tap() netsim.TapFunc {
+	return func(ev netsim.TapEvent) { c.observe(ev) }
+}
+
+// observe ingests one tap event.
+func (c *Capture) observe(ev netsim.TapEvent) {
+	r := Record{
+		At:      ev.At,
+		Port:    ev.Port,
+		Src:     ev.Frame.Src.String(),
+		Dst:     ev.Frame.Dst.String(),
+		Type:    ev.Frame.Type.String(),
+		WireLen: ev.WireLen,
+		Frame:   ev.Frame,
+	}
+	c.stats.Frames++
+	c.stats.Bytes += uint64(ev.WireLen)
+	c.stats.ByType[r.Type]++
+	if ev.Frame.IsBroadcast() {
+		c.stats.Broadcast++
+	}
+	if ev.Frame.Type == frame.TypeARP {
+		if p, err := arppkt.Decode(ev.Frame.Payload); err == nil {
+			r.ARP = p
+			r.Info = p.String()
+			c.stats.ARPOps[p.Op.String()]++
+			if p.IsGratuitous() {
+				c.stats.Gratuitous++
+			}
+		}
+	}
+	if len(c.records) >= c.max {
+		c.records = c.records[1:]
+		c.dropped++
+	}
+	c.records = append(c.records, r)
+}
+
+// Len returns the number of retained records.
+func (c *Capture) Len() int { return len(c.records) }
+
+// Dropped returns how many records were discarded by the ring bound.
+func (c *Capture) Dropped() uint64 { return c.dropped }
+
+// Stats returns a copy of the capture summary.
+func (c *Capture) Stats() Stats {
+	out := c.stats
+	out.ByType = make(map[string]uint64, len(c.stats.ByType))
+	for k, v := range c.stats.ByType {
+		out.ByType[k] = v
+	}
+	out.ARPOps = make(map[string]uint64, len(c.stats.ARPOps))
+	for k, v := range c.stats.ARPOps {
+		out.ARPOps[k] = v
+	}
+	return out
+}
+
+// Records returns the retained records, newest last. The slice is a copy;
+// the frames inside are shared and must be treated as read-only.
+func (c *Capture) Records() []Record {
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// Filter returns the retained records matching pred.
+func (c *Capture) Filter(pred func(Record) bool) []Record {
+	var out []Record
+	for _, r := range c.records {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ARPOnly returns only records carrying decodable ARP packets.
+func (c *Capture) ARPOnly() []Record {
+	return c.Filter(func(r Record) bool { return r.ARP != nil })
+}
+
+// WriteJSON exports records and stats as a single JSON document.
+func (c *Capture) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Stats   Stats    `json:"stats"`
+		Dropped uint64   `json:"dropped"`
+		Records []Record `json:"records"`
+	}{Stats: c.Stats(), Dropped: c.dropped, Records: c.records}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("encode capture: %w", err)
+	}
+	return nil
+}
+
+// pcap constants (libpcap classic format, microsecond timestamps).
+const (
+	pcapMagic    = 0xa1b2c3d4
+	pcapVersionM = 2
+	pcapVersionN = 4
+	pcapSnapLen  = 65535
+	pcapEthernet = 1
+)
+
+// WritePCAP exports the retained frames as a classic libpcap capture that
+// Wireshark and tcpdump open directly; virtual capture timestamps map to
+// seconds/microseconds since the Unix epoch.
+func (c *Capture) WritePCAP(w io.Writer) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionM)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionN)
+	binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], pcapEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcap header: %w", err)
+	}
+	for i, r := range c.records {
+		wire, err := r.Frame.Encode()
+		if err != nil {
+			return fmt.Errorf("pcap record %d: %w", i, err)
+		}
+		var rec [16]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.At/time.Second))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32((r.At%time.Second)/time.Microsecond))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(wire)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(wire)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return fmt.Errorf("pcap record %d: %w", i, err)
+		}
+		if _, err := w.Write(wire); err != nil {
+			return fmt.Errorf("pcap record %d: %w", i, err)
+		}
+	}
+	return nil
+}

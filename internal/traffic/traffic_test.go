@@ -1,0 +1,166 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+func newHosts(s *sim.Scheduler, n int) []*stack.Host {
+	sw := netsim.NewSwitch(s)
+	gen := ethaddr.NewGen(41)
+	subnet := ethaddr.MustParseSubnet("10.0.0.0/24")
+	hosts := make([]*stack.Host, n)
+	for i := range hosts {
+		nic := netsim.NewNIC(s, gen.SeqMAC())
+		sw.AddPort().Attach(nic)
+		hosts[i] = stack.NewHost(s, "h", nic, subnet.Host(i+1))
+	}
+	return hosts
+}
+
+func TestFlowDeliversAndCounts(t *testing.T) {
+	s := sim.NewScheduler(1)
+	hosts := newHosts(s, 2)
+	f := StartFlow(s, 1, hosts[0], hosts[1], 100*time.Millisecond)
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+	if err := s.RunUntil(2 * time.Second); err != nil { // drain in-flight frames
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if st.Delivered != st.Sent {
+		t.Fatalf("delivered %d of %d on a clean LAN", st.Delivered, st.Sent)
+	}
+	if st.Responded != 0 {
+		t.Fatal("responses without WithResponse")
+	}
+}
+
+func TestFlowWithResponse(t *testing.T) {
+	s := sim.NewScheduler(1)
+	hosts := newHosts(s, 2)
+	f := StartFlow(s, 2, hosts[0], hosts[1], 100*time.Millisecond, WithResponse())
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+	st := f.Stats()
+	if st.Responded == 0 || st.Responded != st.Delivered {
+		t.Fatalf("responded %d, delivered %d", st.Responded, st.Delivered)
+	}
+}
+
+func TestFlowPayloadLen(t *testing.T) {
+	s := sim.NewScheduler(1)
+	hosts := newHosts(s, 2)
+	var gotLen int
+	StartFlow(s, 3, hosts[0], hosts[1], 100*time.Millisecond, WithPayloadLen(200))
+	// Replace the flow's receive handler to observe the raw payload size.
+	hosts[1].HandleUDP(20003, func(_ ethaddr.IPv4, _ uint16, payload []byte) { gotLen = len(payload) })
+	if err := s.RunUntil(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if gotLen != 200 {
+		t.Fatalf("payload len = %d", gotLen)
+	}
+}
+
+func TestJitteredFlowStillDelivers(t *testing.T) {
+	s := sim.NewScheduler(1)
+	hosts := newHosts(s, 2)
+	f := StartFlow(s, 4, hosts[0], hosts[1], 50*time.Millisecond, WithJitter())
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+	st := f.Stats()
+	if st.Sent < 5 || st.Delivered != st.Sent {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMesh(t *testing.T) {
+	s := sim.NewScheduler(1)
+	hosts := newHosts(s, 4)
+	flows := Mesh(s, hosts, 100*time.Millisecond)
+	if len(flows) != 4 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		f.Stop()
+	}
+	if err := s.RunUntil(2 * time.Second); err != nil { // drain in-flight frames
+		t.Fatal(err)
+	}
+	total := TotalStats(flows)
+	if total.Sent == 0 || total.Delivered != total.Sent {
+		t.Fatalf("total = %+v", total)
+	}
+}
+
+func TestHotSpot(t *testing.T) {
+	s := sim.NewScheduler(1)
+	hosts := newHosts(s, 4)
+	server := hosts[0]
+	flows := HotSpot(s, hosts[1:], server, 10, 100*time.Millisecond)
+	if len(flows) != 3 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		f.Stop()
+	}
+	if err := s.RunUntil(2 * time.Second); err != nil { // drain in-flight frames
+		t.Fatal(err)
+	}
+	total := TotalStats(flows)
+	if total.Delivered != total.Sent {
+		t.Fatalf("total = %+v", total)
+	}
+}
+
+func TestPoissonSourceRate(t *testing.T) {
+	s := sim.NewScheduler(1)
+	count := 0
+	src := StartPoisson(s, 100, func() { count++ }) // 100/s over 10s ≈ 1000
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	src.Stop()
+	if count < 700 || count > 1300 {
+		t.Fatalf("events = %d, want ≈1000", count)
+	}
+}
+
+func TestPoissonStop(t *testing.T) {
+	s := sim.NewScheduler(1)
+	count := 0
+	var src *PoissonSource
+	src = StartPoisson(s, 1000, func() {
+		count++
+		if count == 10 {
+			src.Stop()
+		}
+	})
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d after Stop", count)
+	}
+}
