@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the tier-1 CI gate; everything it
+# runs is also runnable piecemeal with the targets below.
+
+GO ?= go
+
+.PHONY: check build test race vet fmt bench
+
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/eval ./internal/integration
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -29,6 +29,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/telemetry"
 )
 
 // --- experiment benchmarks: one per table and figure ---
@@ -293,6 +294,35 @@ func BenchmarkPoisoningAttack(b *testing.B) {
 		}
 	}
 }
+
+// --- telemetry overhead: the instrumented hot path must stay within a few
+// percent of the bare one (nil-registry calls compile to no-op method calls
+// on nil instruments) ---
+
+func benchmarkMITM16(b *testing.B, instrumented bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var reg *telemetry.Registry
+		if instrumented {
+			reg = telemetry.New()
+		}
+		l := labnet.New(labnet.Config{Seed: 1, Hosts: 16, WithAttacker: true,
+			WithMonitor: true, Telemetry: reg})
+		gw, victim := l.Gateway(), l.Victim()
+		l.SeedMutualCaches()
+		l.Attacker.PoisonPeriodically(time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		if err := l.Run(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMITM16Bare and BenchmarkMITM16Instrumented run the same 16-host
+// MITM scenario with and without a live telemetry registry; compare ns/op
+// to price the instrumentation (expected within ~5%).
+func BenchmarkMITM16Bare(b *testing.B)         { benchmarkMITM16(b, false) }
+func BenchmarkMITM16Instrumented(b *testing.B) { benchmarkMITM16(b, true) }
 
 func BenchmarkECDSASign(b *testing.B) {
 	// The per-reply cost S-ARP charges the sender.

@@ -11,15 +11,48 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/eval"
 )
+
+// runMetrics records the host-machine cost of regenerating one table or
+// figure: wall-clock time plus the Go runtime's allocation and GC work.
+type runMetrics struct {
+	Experiment   string  `json:"experiment"`
+	WallSeconds  float64 `json:"wallSeconds"`
+	AllocBytes   uint64  `json:"allocBytes"` // heap bytes allocated during the run
+	Mallocs      uint64  `json:"mallocs"`    // heap objects allocated during the run
+	HeapInUse    uint64  `json:"heapInUseBytes"`
+	GCCycles     uint32  `json:"gcCycles"`     // collections completed during the run
+	GCPauseNanos uint64  `json:"gcPauseNanos"` // total pause time accrued during the run
+}
+
+// measure runs fn and returns what it cost.
+func measure(name string, fn func() error) (runMetrics, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return runMetrics{
+		Experiment:   name,
+		WallSeconds:  wall.Seconds(),
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		Mallocs:      after.Mallocs - before.Mallocs,
+		HeapInUse:    after.HeapInuse,
+		GCCycles:     after.NumGC - before.NumGC,
+		GCPauseNanos: after.PauseTotalNs - before.PauseTotalNs,
+	}, err
+}
 
 // printRecommendation renders the analysis ranking with its rationale.
 func printRecommendation(w io.Writer, envName string) error {
@@ -68,11 +101,30 @@ func run(w io.Writer, args []string) error {
 	trials := fs.Int("trials", 5, "trials per stochastic experiment")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	recommend := fs.String("recommend", "", "print the ranked schemes and scoring rationale for an environment: soho | enterprise | open-wifi | lab-static")
+	metricsPath := fs.String("metrics", "", "write per-experiment runtime metrics (wall time, allocations, GC) to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *recommend != "" {
 		return printRecommendation(w, *recommend)
+	}
+
+	var collected []runMetrics
+	writeMetrics := func() error {
+		if *metricsPath == "" {
+			return nil
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return fmt.Errorf("create metrics file: %w", err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			return fmt.Errorf("encode runtime metrics: %w", err)
+		}
+		return f.Close()
 	}
 
 	emit := func(r renderable) error {
@@ -112,41 +164,52 @@ func run(w io.Writer, args []string) error {
 		7: func() (renderable, error) { return eval.Figure7DefenseWar(*trials * 30), nil },
 	}
 
-	runOne := func(builders map[int]func() (renderable, error), id int) error {
+	runOne := func(kind string, builders map[int]func() (renderable, error), id int) error {
 		build, ok := builders[id]
 		if !ok {
 			return fmt.Errorf("no such experiment id %d", id)
 		}
-		r, err := build()
+		m, err := measure(fmt.Sprintf("%s%d", kind, id), func() error {
+			r, err := build()
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		})
 		if err != nil {
 			return err
 		}
-		return emit(r)
+		collected = append(collected, m)
+		return nil
 	}
 
 	switch {
 	case *table != 0:
-		return runOne(tables, *table)
+		if err := runOne("table", tables, *table); err != nil {
+			return err
+		}
 	case *figure != 0:
-		return runOne(figures, *figure)
+		if err := runOne("figure", figures, *figure); err != nil {
+			return err
+		}
 	default:
 		// Table 1b rides along with Table 1 in the full run.
-		if err := runOne(tables, 1); err != nil {
+		if err := runOne("table", tables, 1); err != nil {
 			return err
 		}
 		if err := emit(eval.Table1Recommendations()); err != nil {
 			return err
 		}
 		for id := 2; id <= 7; id++ {
-			if err := runOne(tables, id); err != nil {
+			if err := runOne("table", tables, id); err != nil {
 				return err
 			}
 		}
 		for id := 1; id <= 7; id++ {
-			if err := runOne(figures, id); err != nil {
+			if err := runOne("figure", figures, id); err != nil {
 				return err
 			}
 		}
-		return nil
 	}
+	return writeMetrics()
 }

@@ -26,11 +26,12 @@ import (
 	"repro/internal/schemes/arpwatch"
 	"repro/internal/schemes/dai"
 	"repro/internal/schemes/flooddetect"
-	"repro/internal/schemes/snortlike"
 	"repro/internal/schemes/middleware"
 	"repro/internal/schemes/sarp"
+	"repro/internal/schemes/snortlike"
 	"repro/internal/schemes/staticarp"
 	"repro/internal/schemes/tarp"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -45,14 +46,21 @@ func run(w io.Writer, args []string) error {
 	scheme := fs.String("scheme", "hybrid-guard",
 		"arpwatch | active-probe | middleware | static-arp | dai | s-arp | tarp | flood-detect | snort-like | hybrid-guard")
 	atk := fs.String("attack", "mitm", "gratuitous | unsolicited-reply | request-spoof | mitm | scan")
+	metricsPath := fs.String("metrics", "", "write the telemetry snapshot to this file (JSON, or Prometheus text with a .prom suffix)")
+	verbose := fs.Bool("v", false, "stream telemetry events to stderr as NDJSON")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	l := labnet.New(labnet.Config{Seed: *seed, Hosts: 6, WithAttacker: true, WithMonitor: true})
+	reg := telemetry.New()
+	if *verbose {
+		reg.Events().StreamTo(os.Stderr, telemetry.SevDebug)
+	}
+	l := labnet.New(labnet.Config{Seed: *seed, Hosts: 6, WithAttacker: true, WithMonitor: true, Telemetry: reg})
 	gw, victim := l.Gateway(), l.Victim()
 	sink := schemes.NewSink()
+	sink.Instrument(reg)
 	var guard *core.Guard
 
 	switch *scheme {
@@ -62,10 +70,11 @@ func run(w io.Writer, args []string) error {
 		l.Switch.AddTap(watcher.Observe)
 	case "active-probe":
 		p := activeprobe.New(l.Sched, sink, l.Monitor)
+		p.Instrument(reg)
 		p.Seed(gw.IP(), gw.MAC())
 		l.Switch.AddTap(p.Observe)
 	case "middleware":
-		middleware.New(l.Sched, sink, victim)
+		middleware.New(l.Sched, sink, victim).Instrument(reg)
 	case "static-arp":
 		dir := make(staticarp.Directory)
 		for _, h := range l.Hosts {
@@ -82,7 +91,7 @@ func run(w io.Writer, args []string) error {
 		}
 		table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
 		insp := dai.New(l.Sched, sink, table)
-		l.Switch.SetFilter(insp.Filter())
+		l.Switch.SetFilter(schemes.InstrumentFilter(reg, "dai", insp.Filter()))
 	case "s-arp":
 		akd := sarp.NewAKD()
 		for _, h := range append(l.Hosts, l.Monitor) {
@@ -110,7 +119,8 @@ func run(w io.Writer, args []string) error {
 	case "hybrid-guard":
 		guard = core.New(l.Sched, l.Monitor,
 			core.WithSeedBinding(gw.IP(), gw.MAC()),
-			core.WithAlertHandler(sink.Report))
+			core.WithAlertHandler(sink.Report),
+			core.WithTelemetry(reg))
 		guard.ProtectHost(victim)
 		l.Switch.AddTap(guard.Tap())
 	default:
@@ -119,6 +129,13 @@ func run(w io.Writer, args []string) error {
 
 	fmt.Fprintf(w, "scheme %s vs attack %s (victims run the naive cache policy)\n\n", *scheme, *atk)
 
+	// A victim that never resolved its gateway has nothing worth hijacking:
+	// warm the cache with one legitimate resolution, then launch the attack
+	// after it has settled so a late legit reply cannot cure the poison.
+	// (Crypto LANs ignore the plain request; their nodes resolve out of band.)
+	victim.Resolve(gw.IP(), nil)
+
+	var launch func()
 	switch *atk {
 	case "gratuitous", "unsolicited-reply", "request-spoof":
 		var v attack.Variant
@@ -127,35 +144,40 @@ func run(w io.Writer, args []string) error {
 				v = cand
 			}
 		}
-		l.Attacker.Poison(v, gw.IP(), l.Attacker.MAC(), victim.MAC(), victim.IP())
-		// Crypto LANs ignore plain ARP; also fire a forged secured reply
-		// so those schemes have something to reject.
-		if *scheme == "s-arp" {
-			m := &sarp.Message{
-				ARP:       forgedReply(l),
-				Timestamp: l.Sched.Now(),
-				Sig:       []byte("forged"),
+		launch = func() {
+			l.Attacker.Poison(v, gw.IP(), l.Attacker.MAC(), victim.MAC(), victim.IP())
+			// Crypto LANs ignore plain ARP; also fire a forged secured reply
+			// so those schemes have something to reject.
+			if *scheme == "s-arp" {
+				m := &sarp.Message{
+					ARP:       forgedReply(l),
+					Timestamp: l.Sched.Now(),
+					Sig:       []byte("forged"),
+				}
+				l.Attacker.NIC().Send(&frame.Frame{
+					Dst: victim.MAC(), Src: l.Attacker.MAC(),
+					Type: frame.TypeSARP, Payload: m.Encode(),
+				})
 			}
-			l.Attacker.NIC().Send(&frame.Frame{
-				Dst: victim.MAC(), Src: l.Attacker.MAC(),
-				Type: frame.TypeSARP, Payload: m.Encode(),
-			})
-		}
-		if *scheme == "tarp" {
-			m := &tarp.Message{ARP: forgedReply(l)}
-			l.Attacker.NIC().Send(&frame.Frame{
-				Dst: victim.MAC(), Src: l.Attacker.MAC(),
-				Type: frame.TypeTARP, Payload: m.Encode(),
-			})
+			if *scheme == "tarp" {
+				m := &tarp.Message{ARP: forgedReply(l)}
+				l.Attacker.NIC().Send(&frame.Frame{
+					Dst: victim.MAC(), Src: l.Attacker.MAC(),
+					Type: frame.TypeTARP, Payload: m.Encode(),
+				})
+			}
 		}
 	case "mitm":
-		l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
-		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		launch = func() {
+			l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+			l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		}
 	case "scan":
-		l.Attacker.Scan(l.Subnet, 1, 120, 20*time.Millisecond)
+		launch = func() { l.Attacker.Scan(l.Subnet, 1, 120, 20*time.Millisecond) }
 	default:
 		return fmt.Errorf("unknown attack %q", *atk)
 	}
+	l.Sched.At(2*time.Second, launch)
 
 	if err := l.Run(15 * time.Second); err != nil {
 		return err
@@ -175,6 +197,12 @@ func run(w io.Writer, args []string) error {
 			fmt.Fprintf(w, "incident: ip=%s suspect=%s alerts=%d confirmed=%v window=[%v..%v]\n",
 				inc.IP, inc.Suspect, inc.Alerts, inc.Confirmed, inc.FirstAt, inc.LastAt)
 		}
+	}
+	if *metricsPath != "" {
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics written to %s\n", *metricsPath)
 	}
 	return nil
 }

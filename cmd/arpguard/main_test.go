@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -16,10 +19,10 @@ func TestEverySchemeAgainstGratuitous(t *testing.T) {
 	}{
 		{"arpwatch", false, true}, // detects, cannot prevent
 		{"active-probe", false, true},
-		// middleware never adopts a broadcast binding it has no use for:
-		// silent prevention, no page (directed replies do alert — see the
-		// mitm test below and the middleware package tests).
-		{"middleware", true, false},
+		// middleware holds the warmed-up gateway binding, so the forged
+		// broadcast is a conflicting rebind: it gets verified against the
+		// wire, rejected, and paged (see the middleware package tests).
+		{"middleware", true, true},
 		{"static-arp", true, false}, // prevents silently
 		{"dai", true, true},
 		{"s-arp", true, true}, // plain ARP ignored; forged secured reply alerts
@@ -70,6 +73,58 @@ func TestFloodDetectAgainstScan(t *testing.T) {
 	}
 	if !strings.Contains(out, "victim cache: clean") {
 		t.Fatalf("a scan poisons nothing:\n%s", out)
+	}
+}
+
+// TestMetricsSnapshot pins the -metrics contract: the snapshot must carry
+// switch CAM counters, the stack resolution-latency histogram, and
+// per-detector alert counts.
+func TestMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-scheme", "hybrid-guard", "-attack", "mitm", "-metrics", path}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  uint64            `json:"value"`
+		} `json:"counters"`
+		Histograms []struct {
+			Name  string `json:"name"`
+			Count uint64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("metrics file not json: %v", err)
+	}
+	totals := make(map[string]uint64)
+	alertSchemes := make(map[string]uint64)
+	for _, c := range snap.Counters {
+		totals[c.Name] += c.Value
+		if c.Name == "scheme_alerts_total" {
+			alertSchemes[c.Labels["scheme"]] += c.Value
+		}
+	}
+	if totals["switch_cam_inserts_total"] == 0 {
+		t.Fatalf("no switch CAM counters in snapshot; have %v", totals)
+	}
+	if len(alertSchemes) == 0 {
+		t.Fatalf("no per-detector alert counts in snapshot; have %v", totals)
+	}
+	var latency bool
+	for _, h := range snap.Histograms {
+		if h.Name == "stack_resolution_latency_seconds" && h.Count > 0 {
+			latency = true
+		}
+	}
+	if !latency {
+		t.Fatal("resolution-latency histogram missing from snapshot")
 	}
 }
 

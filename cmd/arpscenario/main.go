@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("arpscenario", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	metricsPath := fs.String("metrics", "", "write the telemetry snapshot to this file (JSON, or Prometheus text with a .prom suffix)")
+	verbose := fs.Bool("v", false, "stream telemetry events to stderr as NDJSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,9 +51,19 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.Run(spec)
+	reg := telemetry.New()
+	opts := []scenario.RunOption{scenario.WithRegistry(reg)}
+	if *verbose {
+		opts = append(opts, scenario.WithEventStream(os.Stderr, telemetry.SevDebug))
+	}
+	res, err := scenario.Run(spec, opts...)
 	if err != nil {
 		return err
+	}
+	if *metricsPath != "" {
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			return err
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(w)

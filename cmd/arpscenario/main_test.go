@@ -46,6 +46,116 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// TestResultIncludesCaptureAndTelemetry checks the structured result now
+// embeds the wire-capture summary and the telemetry snapshot.
+func TestResultIncludesCaptureAndTelemetry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-json", repoScenario(t, "soho-guard.json")}); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		CaptureStats struct {
+			Frames uint64            `json:"frames"`
+			Bytes  uint64            `json:"bytes"`
+			ByType map[string]uint64 `json:"byType"`
+		} `json:"captureStats"`
+		Telemetry struct {
+			Counters []struct {
+				Name   string            `json:"name"`
+				Labels map[string]string `json:"labels"`
+				Value  uint64            `json:"value"`
+			} `json:"counters"`
+			Histograms []struct {
+				Name  string `json:"name"`
+				Count uint64 `json:"count"`
+			} `json:"histograms"`
+			Spans []struct {
+				Name    string `json:"name"`
+				Outcome string `json:"outcome"`
+				Count   uint64 `json:"count"`
+			} `json:"spans"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("not json: %v\n%s", err, buf.String())
+	}
+	if res.CaptureStats.Frames == 0 || res.CaptureStats.Bytes == 0 {
+		t.Fatalf("empty capture stats: %+v", res.CaptureStats)
+	}
+	if res.CaptureStats.ByType["ARP"] == 0 {
+		t.Fatalf("no ARP frames in capture byType: %v", res.CaptureStats.ByType)
+	}
+	counters := make(map[string]uint64)
+	for _, c := range res.Telemetry.Counters {
+		counters[c.Name] += c.Value
+	}
+	for _, want := range []string{
+		"sim_events_executed_total",
+		"switch_cam_inserts_total",
+		"switch_frames_forwarded_total",
+		"scheme_alerts_total",
+		"guard_incidents_total",
+		"stack_cache_created_total",
+	} {
+		if counters[want] == 0 {
+			t.Fatalf("counter %s missing or zero; have %v", want, counters)
+		}
+	}
+	var latency, resolveSpan bool
+	for _, h := range res.Telemetry.Histograms {
+		if h.Name == "stack_resolution_latency_seconds" && h.Count > 0 {
+			latency = true
+		}
+	}
+	for _, sp := range res.Telemetry.Spans {
+		if sp.Name == "resolve" && sp.Count > 0 {
+			resolveSpan = true
+		}
+	}
+	if !latency {
+		t.Fatal("resolution latency histogram missing from snapshot")
+	}
+	if !resolveSpan {
+		t.Fatal("resolve spans missing from snapshot")
+	}
+}
+
+// TestMetricsFlag checks -metrics writes both export formats.
+func TestMetricsFlag(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "metrics.json")
+	promPath := filepath.Join(dir, "metrics.prom")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-metrics", jsonPath, repoScenario(t, "soho-guard.json")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, []string{"-metrics", promPath, repoScenario(t, "soho-guard.json")}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("metrics file not json: %v", err)
+	}
+	if _, ok := snap["counters"]; !ok {
+		t.Fatal("metrics snapshot missing counters")
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(prom)
+	if !strings.Contains(text, "# TYPE switch_frames_forwarded_total counter") {
+		t.Fatalf("prometheus output missing TYPE line:\n%.400s", text)
+	}
+	if !strings.Contains(text, `stack_resolution_latency_seconds_bucket`) {
+		t.Fatal("prometheus output missing histogram buckets")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, nil); err == nil {

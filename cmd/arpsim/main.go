@@ -20,6 +20,7 @@ import (
 	"repro/internal/dhcp"
 	"repro/internal/ethaddr"
 	"repro/internal/labnet"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -38,16 +39,23 @@ func run(w io.Writer, args []string) error {
 	useDHCP := fs.Bool("dhcp", false, "assign addresses via a simulated DHCP server")
 	jsonPath := fs.String("json", "", "write the packet capture to this file as JSON")
 	pcapPath := fs.String("pcap", "", "write the packet capture to this file as a Wireshark-compatible pcap")
+	metricsPath := fs.String("metrics", "", "write the telemetry snapshot to this file (JSON, or Prometheus text with a .prom suffix)")
+	verbose := fs.Bool("v", false, "stream telemetry events to stderr as NDJSON")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	reg := telemetry.New()
+	if *verbose {
+		reg.Events().StreamTo(os.Stderr, telemetry.SevDebug)
+	}
 	l := labnet.New(labnet.Config{
 		Seed:         *seed,
 		Hosts:        *hosts,
 		WithAttacker: false,
 		WithMonitor:  false,
+		Telemetry:    reg,
 	})
 	cap := trace.NewCapture(0)
 	l.Switch.AddTap(cap.Tap())
@@ -113,6 +121,12 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 		fmt.Fprintf(w, "pcap written to %s\n", *pcapPath)
+	}
+	if *metricsPath != "" {
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics written to %s\n", *metricsPath)
 	}
 	return nil
 }

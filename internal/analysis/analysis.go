@@ -124,10 +124,10 @@ type Properties struct {
 	Residence Residence
 
 	// Attack coverage: does the deployed scheme catch/stop each variant?
-	VsGratuitous  Coverage
-	VsUnsolicited Coverage
+	VsGratuitous   Coverage
+	VsUnsolicited  Coverage
 	VsRequestSpoof Coverage
-	VsReplyRace   Coverage
+	VsReplyRace    Coverage
 
 	// FalsePositives grades exposure to benign-churn false alarms
 	// (detection schemes) or to blocking legitimate traffic (prevention).

@@ -66,11 +66,11 @@ func Variants() []Variant {
 
 // Stats counts attacker activity.
 type Stats struct {
-	Forged    uint64 // poisoning packets sent
-	Relayed   uint64 // MITM frames forwarded
-	Dropped   uint64 // frames blackholed
-	Sniffed   uint64 // payload bytes observed via MITM
-	RacesWon  uint64 // reply-race triggers fired (a request was answered)
+	Forged   uint64 // poisoning packets sent
+	Relayed  uint64 // MITM frames forwarded
+	Dropped  uint64 // frames blackholed
+	Sniffed  uint64 // payload bytes observed via MITM
+	RacesWon uint64 // reply-race triggers fired (a request was answered)
 }
 
 // Attacker is a station under adversary control.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/schemes/middleware"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/telemetry"
 )
 
 // Option configures a Guard.
@@ -32,6 +33,7 @@ type config struct {
 	verifyWindow time.Duration
 	onAlert      func(schemes.Alert)
 	seedBindings map[ethaddr.IPv4]ethaddr.MAC
+	telemetry    *telemetry.Registry
 }
 
 // WithoutPassive disables the arpwatch-style monitor (ablation).
@@ -66,6 +68,13 @@ func WithSeedBinding(ip ethaddr.IPv4, mac ethaddr.MAC) Option {
 	return func(c *config) { c.seedBindings[ip] = mac }
 }
 
+// WithTelemetry attaches the whole pipeline to a registry: the alert sink,
+// both detector layers, any protected hosts, and the guard's own incident
+// bookkeeping (opens, confirmations, per-component alert attribution).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) { c.telemetry = reg }
+}
+
 // Incident aggregates every alert about one IP into a single actionable
 // record, deduplicating the flood a periodic poisoner would otherwise
 // produce.
@@ -87,6 +96,13 @@ type Guard struct {
 	prober    *activeprobe.Prober
 	incidents map[ethaddr.IPv4]*Incident
 	protected []*middleware.Guard
+
+	// Telemetry handles; nil (no-op) unless WithTelemetry was given.
+	reg         *telemetry.Registry
+	events      *telemetry.EventLog
+	mIncOpened  *telemetry.Counter
+	mIncConfirm *telemetry.Counter
+	mFolded     map[string]*telemetry.Counter // component → folded-alert counter
 }
 
 // New assembles a Guard. appliance is the dedicated station the active
@@ -107,6 +123,14 @@ func New(s *sim.Scheduler, appliance *stack.Host, opts ...Option) *Guard {
 		sink:      schemes.NewSink(),
 		incidents: make(map[ethaddr.IPv4]*Incident),
 	}
+	if cfg.telemetry != nil {
+		g.reg = cfg.telemetry
+		g.events = g.reg.Events()
+		g.mIncOpened = g.reg.Counter("guard_incidents_total", telemetry.L("state", "opened"))
+		g.mIncConfirm = g.reg.Counter("guard_incidents_total", telemetry.L("state", "confirmed"))
+		g.mFolded = make(map[string]*telemetry.Counter)
+		g.sink.Instrument(g.reg)
+	}
 	g.sink.OnAlert(func(a schemes.Alert) {
 		g.fold(a)
 		if cfg.onAlert != nil {
@@ -123,12 +147,20 @@ func New(s *sim.Scheduler, appliance *stack.Host, opts ...Option) *Guard {
 		if activeOn {
 			passiveSink = schemes.NewSink()
 			passiveSink.OnAlert(g.fold)
+			if cfg.telemetry != nil {
+				// The demoted monitor's alerts bypass g.sink, so attribute
+				// them on its own instrumented sink.
+				passiveSink.Instrument(cfg.telemetry)
+			}
 		}
 		g.watcher = arpwatch.New(s, passiveSink, arpwatch.WithHoldDown(cfg.holdDown))
 	}
 	if activeOn {
 		g.prober = activeprobe.New(s, g.sink, appliance,
 			activeprobe.WithVerifyWindow(cfg.verifyWindow))
+		if cfg.telemetry != nil {
+			g.prober.Instrument(cfg.telemetry)
+		}
 	}
 	for ip, mac := range cfg.seedBindings {
 		if g.watcher != nil {
@@ -156,7 +188,11 @@ func (g *Guard) Tap() netsim.TapFunc {
 // ProtectHost installs quarantine middleware on a host, adding inline
 // prevention for stations under our administrative control.
 func (g *Guard) ProtectHost(h *stack.Host) {
-	g.protected = append(g.protected, middleware.New(g.sched, g.sink, h))
+	mw := middleware.New(g.sched, g.sink, h)
+	if g.reg != nil {
+		mw.Instrument(g.reg)
+	}
+	g.protected = append(g.protected, mw)
 }
 
 // Sink exposes the raw alert stream.
@@ -172,16 +208,42 @@ func (g *Guard) fold(a schemes.Alert) {
 			Kinds:   make(map[schemes.AlertKind]int),
 		}
 		g.incidents[a.IP] = inc
+		g.mIncOpened.Inc()
+		if g.events != nil {
+			g.events.Log(telemetry.SevInfo, "guard", "incident opened",
+				"ip", a.IP.String(), "scheme", a.Scheme)
+		}
 	}
 	inc.LastAt = a.At
 	inc.Alerts++
 	inc.Kinds[a.Kind]++
+	if g.mFolded != nil {
+		g.foldedCounter(a.Scheme).Inc()
+	}
 	if !a.NewMAC.IsZero() {
 		inc.Suspect = a.NewMAC
 	}
 	if a.Kind == schemes.AlertVerifyFailed || a.Kind == schemes.AlertConflict {
-		inc.Confirmed = true
+		if !inc.Confirmed {
+			inc.Confirmed = true
+			g.mIncConfirm.Inc()
+			if g.events != nil {
+				g.events.Log(telemetry.SevWarn, "guard", "incident confirmed",
+					"ip", a.IP.String(), "suspect", inc.Suspect.String(), "scheme", a.Scheme)
+			}
+		}
 	}
+}
+
+// foldedCounter returns (lazily creating) the per-component attribution
+// counter: which layer of the pipeline contributed evidence to incidents.
+func (g *Guard) foldedCounter(component string) *telemetry.Counter {
+	c, ok := g.mFolded[component]
+	if !ok {
+		c = g.reg.Counter("guard_alerts_folded_total", telemetry.L("component", component))
+		g.mFolded[component] = c
+	}
+	return c
 }
 
 // Incidents returns a copy of the aggregated incidents.

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestGuardTelemetryAttribution(t *testing.T) {
+	reg := telemetry.New()
+	l, g := guardLAN(WithTelemetry(reg))
+	l.Sched.Instrument(reg)
+	gw := l.Gateway()
+	g.ProtectHost(l.Victim())
+
+	l.Attacker.PoisonPeriodically(time.Second, l.Victim().MAC(), l.Victim().IP(), gw.MAC(), gw.IP())
+	l.Sched.At(10*time.Second, func() { l.Attacker.StopPoisoning(); l.Sched.Stop() })
+	_ = l.Run(time.Minute)
+
+	if got := reg.Counter("guard_incidents_total", telemetry.L("state", "opened")).Value(); got == 0 {
+		t.Fatal("no incidents opened")
+	}
+	if got := reg.Counter("guard_incidents_total", telemetry.L("state", "confirmed")).Value(); got == 0 {
+		t.Fatal("incident confirmation not counted")
+	}
+
+	// Component attribution: both the demoted passive layer and the active
+	// verifier contributed evidence.
+	snap := reg.Snapshot()
+	folded := make(map[string]uint64)
+	probes := uint64(0)
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "guard_alerts_folded_total":
+			folded[c.Labels["component"]] += c.Value
+		case "scheme_probes_sent_total":
+			probes += c.Value
+		}
+	}
+	if folded["arpwatch"] == 0 {
+		t.Fatalf("passive layer contributed nothing: %v", folded)
+	}
+	if folded["active-probe"] == 0 {
+		t.Fatalf("active layer contributed nothing: %v", folded)
+	}
+	if probes == 0 {
+		t.Fatal("verifier sent no probes")
+	}
+
+	// Confirmation shows up in the event log too.
+	var confirmed bool
+	for _, ev := range reg.Events().Events() {
+		if ev.Component == "guard" && ev.Message == "incident confirmed" {
+			confirmed = true
+		}
+	}
+	if !confirmed {
+		t.Fatal("no 'incident confirmed' event logged")
+	}
+}
+
+func TestGuardConfirmedCountedOnce(t *testing.T) {
+	reg := telemetry.New()
+	l, g := guardLAN(WithTelemetry(reg))
+	gw := l.Gateway()
+	// Long re-poisoning window: many verify-failed alerts fold into one
+	// incident, but the confirmed transition must count exactly once.
+	l.Attacker.PoisonPeriodically(time.Second, l.Victim().MAC(), l.Victim().IP(), gw.MAC(), gw.IP())
+	l.Sched.At(20*time.Second, func() { l.Attacker.StopPoisoning(); l.Sched.Stop() })
+	_ = l.Run(time.Minute)
+
+	inc, ok := g.IncidentFor(gw.IP())
+	if !ok || !inc.Confirmed {
+		t.Fatalf("incident = %+v ok=%v", inc, ok)
+	}
+	// One transition per confirmed incident, no matter how many
+	// verify-failed alerts folded into each.
+	want := uint64(g.ConfirmedCount())
+	got := reg.Counter("guard_incidents_total", telemetry.L("state", "confirmed")).Value()
+	if got != want {
+		t.Fatalf("confirmed transitions = %d, want %d (one per confirmed incident)", got, want)
+	}
+	if inc.Alerts < 2 {
+		t.Fatalf("expected repeated alerts to fold: %+v", inc)
+	}
+}
+
+func TestGuardWithoutTelemetryUnchanged(t *testing.T) {
+	l, g := guardLAN()
+	gw := l.Gateway()
+	g.ProtectHost(l.Victim())
+	l.Attacker.PoisonPeriodically(time.Second, l.Victim().MAC(), l.Victim().IP(), gw.MAC(), gw.IP())
+	l.Sched.At(5*time.Second, func() { l.Attacker.StopPoisoning(); l.Sched.Stop() })
+	_ = l.Run(time.Minute)
+	if _, ok := g.IncidentFor(gw.IP()); !ok {
+		t.Fatal("guard stopped working without telemetry")
+	}
+}

@@ -55,11 +55,11 @@ type Server struct {
 	onLease   func(Lease)
 	onRelease func(Lease)
 
-	free     []ethaddr.IPv4 // allocation queue
-	byMAC    map[ethaddr.MAC]Lease
-	byIP     map[ethaddr.IPv4]Lease
-	offered  map[ethaddr.MAC]ethaddr.IPv4
-	stats    ServerStats
+	free    []ethaddr.IPv4 // allocation queue
+	byMAC   map[ethaddr.MAC]Lease
+	byIP    map[ethaddr.IPv4]Lease
+	offered map[ethaddr.MAC]ethaddr.IPv4
+	stats   ServerStats
 }
 
 // NewServer creates a server on host handing out poolSize addresses starting

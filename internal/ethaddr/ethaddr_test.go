@@ -58,10 +58,10 @@ func TestMACStringRoundTrip(t *testing.T) {
 
 func TestMACClassification(t *testing.T) {
 	tests := []struct {
-		name                           string
-		m                              MAC
-		broadcast, multicast, unicast  bool
-		zero, local                    bool
+		name                          string
+		m                             MAC
+		broadcast, multicast, unicast bool
+		zero, local                   bool
 	}{
 		{name: "broadcast", m: BroadcastMAC, broadcast: true, multicast: true, local: true},
 		{name: "zero", m: ZeroMAC, zero: true},

@@ -25,10 +25,10 @@ func DetectionSchemes() []string {
 
 // trialResult is one detection trial's outcome.
 type trialResult struct {
-	detected  bool
-	latency   time.Duration // first attack alert − attack start
-	fpAlerts  int           // alerts attributable to benign churn
-	churns    int
+	detected bool
+	latency  time.Duration // first attack alert − attack start
+	fpAlerts int           // alerts attributable to benign churn
+	churns   int
 }
 
 // detectionTrialConfig parameterizes one trial.

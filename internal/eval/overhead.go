@@ -173,7 +173,7 @@ func Table4Overhead(rounds int) (*Table, error) {
 		},
 	}
 	schemesUnderTest := []struct {
-		name             string
+		name              string
 		senderCPU, rcvCPU string
 	}{
 		{"plain-arp", "~0", "~0"},

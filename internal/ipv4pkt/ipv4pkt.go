@@ -123,10 +123,10 @@ const (
 
 // ICMPEcho is an ICMP echo request or reply.
 type ICMPEcho struct {
-	Type    uint8 // ICMPEchoRequest or ICMPEchoReply
-	IDent   uint16
-	Seq     uint16
-	Data    []byte
+	Type  uint8 // ICMPEchoRequest or ICMPEchoReply
+	IDent uint16
+	Seq   uint16
+	Data  []byte
 }
 
 // Encode serializes the echo message with a valid ICMP checksum.

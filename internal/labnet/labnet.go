@@ -16,6 +16,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/telemetry"
 )
 
 // Config describes the LAN to assemble.
@@ -49,6 +50,9 @@ type Config struct {
 	LinkLoss float64
 	// HostOptions is appended to every host's construction options.
 	HostOptions []stack.Option
+	// Telemetry, when non-nil, instruments the scheduler, the switch, and
+	// every assembled host (including the monitor) against this registry.
+	Telemetry *telemetry.Registry
 }
 
 // LAN is the assembled environment.
@@ -99,6 +103,10 @@ func New(cfg Config) *LAN {
 		Subnet: cfg.Subnet,
 		Gen:    ethaddr.NewGen(cfg.Seed),
 	}
+	if cfg.Telemetry != nil {
+		s.Instrument(cfg.Telemetry)
+		sw.Instrument(cfg.Telemetry)
+	}
 
 	opts := append([]stack.Option{
 		stack.WithPolicy(cfg.Policy),
@@ -123,7 +131,11 @@ func New(cfg Config) *LAN {
 		nic := netsim.NewNIC(s, l.Gen.SeqMAC())
 		port := sw.AddPort()
 		port.Attach(nic, link...)
-		l.Hosts = append(l.Hosts, stack.NewHost(s, name, nic, ip, opts...))
+		h := stack.NewHost(s, name, nic, ip, opts...)
+		if cfg.Telemetry != nil {
+			h.Instrument(cfg.Telemetry)
+		}
+		l.Hosts = append(l.Hosts, h)
 		l.Ports = append(l.Ports, port)
 	}
 
@@ -139,6 +151,9 @@ func New(cfg Config) *LAN {
 		l.MonitorPort = sw.AddPort()
 		l.MonitorPort.Attach(nic, link...)
 		l.Monitor = stack.NewHost(s, "monitor", nic, cfg.Subnet.Host(250), opts...)
+		if cfg.Telemetry != nil {
+			l.Monitor.Instrument(cfg.Telemetry)
+		}
 		nic.SetPromiscuous(true)
 		sw.MirrorAllTo(l.MonitorPort)
 	}

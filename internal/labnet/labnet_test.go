@@ -66,7 +66,7 @@ func TestResolutionSurvivesLossyLinks(t *testing.T) {
 			WithAttacker: false,
 			WithMonitor:  false,
 			LinkLoss:     0.3,
-			HostOptions:  []stack.Option{stack.WithResolveRetry(10, 200 * time.Millisecond)},
+			HostOptions:  []stack.Option{stack.WithResolveRetry(10, 200*time.Millisecond)},
 		})
 		ok := false
 		l.Victim().Resolve(l.Gateway().IP(), func(_ ethaddr.MAC, good bool) { ok = good })

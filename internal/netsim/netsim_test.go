@@ -11,8 +11,8 @@ import (
 )
 
 type station struct {
-	nic  *NIC
-	got  []*frame.Frame
+	nic *NIC
+	got []*frame.Frame
 }
 
 // newLAN builds a switch with n stations attached and returns them.

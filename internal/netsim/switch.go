@@ -1,11 +1,13 @@
 package netsim
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/ethaddr"
 	"repro/internal/frame"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // camKey scopes learned stations per VLAN: the same MAC may legitimately
@@ -70,17 +72,30 @@ func WithCAMEvictRandom() SwitchOption {
 // Switch is a transparent learning bridge with a bounded CAM table, optional
 // inline filtering, port mirroring, and taps.
 type Switch struct {
-	sched   *sim.Scheduler
-	ports   []*Port
-	cam     map[camKey]camEntry
-	camCap  int
-	camTTL  time.Duration
+	sched       *sim.Scheduler
+	ports       []*Port
+	cam         map[camKey]camEntry
+	camCap      int
+	camTTL      time.Duration
 	filter      FilterFunc
 	taps        []TapFunc
 	mirror      *Port // destination for mirrored traffic, nil when disabled
 	mirrSrc     map[int]bool
 	evictRandom bool
 	stats       SwitchStats
+
+	// Telemetry handles; nil (no-op) unless Instrument is called.
+	reg            *telemetry.Registry
+	mForwarded     *telemetry.Counter
+	mFlooded       *telemetry.Counter
+	mFiltered      *telemetry.Counter
+	mCAMInserts    *telemetry.Counter
+	mCAMEvictExp   *telemetry.Counter
+	mCAMEvictRand  *telemetry.Counter
+	mLearnMisses   *telemetry.Counter
+	mFailOpenTrans *telemetry.Counter
+	mPortBytes     []*telemetry.Counter // ingress octets, indexed by port id
+	failOpen       bool                 // currently refusing to learn (CAM full)
 }
 
 // NewSwitch creates a switch with no ports; add them with AddPort.
@@ -141,7 +156,32 @@ func (sw *Switch) AddPort() *Port {
 	p := &Port{id: len(sw.ports), vlan: 1}
 	p.ingress = func(f *frame.Frame) { sw.ingress(p.id, f) }
 	sw.ports = append(sw.ports, p)
+	if sw.reg != nil {
+		sw.mPortBytes = append(sw.mPortBytes,
+			sw.reg.Counter("switch_port_bytes_total", telemetry.L("port", strconv.Itoa(p.id))))
+	}
 	return p
+}
+
+// Instrument attaches the forwarding plane to a telemetry registry: CAM
+// churn (inserts, expiry reclaims, random evictions, fail-open
+// transitions), frames forwarded vs flooded vs filtered, and per-port
+// ingress byte counters. Safe to call before or after ports are added.
+func (sw *Switch) Instrument(reg *telemetry.Registry) {
+	sw.reg = reg
+	sw.mForwarded = reg.Counter("switch_frames_forwarded_total")
+	sw.mFlooded = reg.Counter("switch_frames_flooded_total")
+	sw.mFiltered = reg.Counter("switch_frames_filtered_total")
+	sw.mCAMInserts = reg.Counter("switch_cam_inserts_total")
+	sw.mCAMEvictExp = reg.Counter("switch_cam_evictions_total", telemetry.L("reason", "expired"))
+	sw.mCAMEvictRand = reg.Counter("switch_cam_evictions_total", telemetry.L("reason", "random"))
+	sw.mLearnMisses = reg.Counter("switch_learn_misses_total")
+	sw.mFailOpenTrans = reg.Counter("switch_failopen_transitions_total")
+	sw.mPortBytes = sw.mPortBytes[:0]
+	for _, p := range sw.ports {
+		sw.mPortBytes = append(sw.mPortBytes,
+			reg.Counter("switch_port_bytes_total", telemetry.L("port", strconv.Itoa(p.id))))
+	}
 }
 
 // AddTap registers an observer for every frame entering the switch,
@@ -216,6 +256,9 @@ func (sw *Switch) ingress(id int, f *frame.Frame) {
 	now := sw.sched.Now()
 	wire := f.WireLen()
 	sw.stats.BytesByType[f.Type] += uint64(wire)
+	if sw.mPortBytes != nil && id < len(sw.mPortBytes) {
+		sw.mPortBytes[id].Add(uint64(wire))
+	}
 	ev := TapEvent{At: now, Port: id, Frame: f, WireLen: wire}
 	for _, tap := range sw.taps {
 		tap(ev)
@@ -225,6 +268,7 @@ func (sw *Switch) ingress(id int, f *frame.Frame) {
 
 	if sw.filter != nil && sw.filter(id, f) == VerdictDrop {
 		sw.stats.Filtered++
+		sw.mFiltered.Inc()
 		if mirrorWanted { // the monitor still sees what the filter ate
 			sw.mirror.egress(f.Clone())
 		}
@@ -241,6 +285,7 @@ func (sw *Switch) ingress(id int, f *frame.Frame) {
 		if e, ok := sw.cam[camKey{vlan: vlan, mac: f.Dst}]; ok && e.expires > now {
 			if e.port != id { // else: destination on the ingress segment
 				sw.stats.Forwarded++
+				sw.mForwarded.Inc()
 				sw.egressTo(e.port, f)
 				reachedMirror = sw.mirror != nil && e.port == sw.mirror.id
 			}
@@ -273,6 +318,7 @@ func (sw *Switch) learn(id int, vlan uint16, src ethaddr.MAC, now time.Duration)
 		for k, e := range sw.cam {
 			if e.expires <= now {
 				delete(sw.cam, k)
+				sw.mCAMEvictExp.Inc()
 				reclaimed = true
 				break
 			}
@@ -283,6 +329,7 @@ func (sw *Switch) learn(id int, vlan uint16, src ethaddr.MAC, now time.Duration)
 			for k := range sw.cam {
 				if i == victim {
 					delete(sw.cam, k)
+					sw.mCAMEvictRand.Inc()
 					reclaimed = true
 					break
 				}
@@ -291,11 +338,21 @@ func (sw *Switch) learn(id int, vlan uint16, src ethaddr.MAC, now time.Duration)
 		}
 		if !reclaimed {
 			sw.stats.LearnMisses++
+			sw.mLearnMisses.Inc()
+			if !sw.failOpen {
+				// First refused insertion since the table last admitted a
+				// station: the switch has gone fail-open for unlearned
+				// destinations, the state MAC flooding drives it into.
+				sw.failOpen = true
+				sw.mFailOpenTrans.Inc()
+			}
 			return
 		}
 	}
 	sw.cam[key] = camEntry{port: id, expires: now + sw.camTTL}
 	sw.stats.Learned++
+	sw.mCAMInserts.Inc()
+	sw.failOpen = false
 }
 
 // flood replicates the frame to every port in the ingress port's VLAN,
@@ -303,6 +360,7 @@ func (sw *Switch) learn(id int, vlan uint16, src ethaddr.MAC, now time.Duration)
 // mirror port.
 func (sw *Switch) flood(ingress int, f *frame.Frame) bool {
 	sw.stats.Flooded++
+	sw.mFlooded.Inc()
 	wire := uint64(f.WireLen())
 	vlan := sw.ports[ingress].vlan
 	reachedMirror := false

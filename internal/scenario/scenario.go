@@ -27,6 +27,8 @@ import (
 	"repro/internal/schemes/snortlike"
 	"repro/internal/schemes/staticarp"
 	"repro/internal/stack"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Spec is the JSON description of one experiment.
@@ -82,17 +84,44 @@ func Load(r io.Reader) (*Spec, error) {
 
 // Result is what one run produced.
 type Result struct {
-	Duration       time.Duration  `json:"-"`
-	AlertsByScheme map[string]int `json:"alertsByScheme"`
-	AlertsByKind   map[string]int `json:"alertsByKind"`
-	FirstAlerts    []string       `json:"firstAlerts"`
-	PoisonedHosts  int            `json:"poisonedHosts"`
-	GuardIncidents int            `json:"guardIncidents"`
-	GuardConfirmed int            `json:"guardConfirmed"`
-	AttackerForged uint64         `json:"attackerForged"`
-	AttackerSniffed uint64        `json:"attackerSniffedBytes"`
-	SwitchFiltered uint64         `json:"switchFiltered"`
-	CAMEntries     int            `json:"camEntries"`
+	Duration        time.Duration  `json:"-"`
+	AlertsByScheme  map[string]int `json:"alertsByScheme"`
+	AlertsByKind    map[string]int `json:"alertsByKind"`
+	FirstAlerts     []string       `json:"firstAlerts"`
+	PoisonedHosts   int            `json:"poisonedHosts"`
+	GuardIncidents  int            `json:"guardIncidents"`
+	GuardConfirmed  int            `json:"guardConfirmed"`
+	AttackerForged  uint64         `json:"attackerForged"`
+	AttackerSniffed uint64         `json:"attackerSniffedBytes"`
+	SwitchFiltered  uint64         `json:"switchFiltered"`
+	CAMEntries      int            `json:"camEntries"`
+	// CaptureStats summarizes the frames a full-mirror capture saw during
+	// the run: totals, type and ARP-op breakdowns, ring drops.
+	CaptureStats trace.Stats `json:"captureStats"`
+	// Telemetry is the end-of-run metrics snapshot covering the scheduler,
+	// switch, hosts, and every deployed scheme.
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// RunOption adjusts how Run executes a scenario.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	registry    *telemetry.Registry
+	eventStream io.Writer
+	eventMin    telemetry.Severity
+}
+
+// WithRegistry uses the supplied registry instead of a run-private one, so
+// callers can export the metrics themselves (e.g. Prometheus text).
+func WithRegistry(reg *telemetry.Registry) RunOption {
+	return func(c *runConfig) { c.registry = reg }
+}
+
+// WithEventStream mirrors telemetry events at or above min to w as NDJSON
+// while the scenario runs (the CLI's -v flag).
+func WithEventStream(w io.Writer, min telemetry.Severity) RunOption {
+	return func(c *runConfig) { c.eventStream, c.eventMin = w, min }
 }
 
 // Render writes a human-readable summary.
@@ -122,7 +151,19 @@ func (r *Result) Render(w io.Writer) error {
 }
 
 // Run executes the scenario.
-func Run(spec *Spec) (*Result, error) {
+func Run(spec *Spec, opts ...RunOption) (*Result, error) {
+	var rc runConfig
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	if rc.registry == nil {
+		rc.registry = telemetry.New()
+	}
+	reg := rc.registry
+	if rc.eventStream != nil {
+		reg.Events().StreamTo(rc.eventStream, rc.eventMin)
+	}
+
 	if spec.Hosts == 0 {
 		spec.Hosts = 4
 	}
@@ -147,8 +188,12 @@ func Run(spec *Spec) (*Result, error) {
 		WithAttacker: true,
 		WithMonitor:  true,
 		HostOptions:  hostOpts,
+		Telemetry:    reg,
 	})
+	capture := trace.NewCapture(0)
+	l.Switch.AddTap(capture.Tap())
 	sink := schemes.NewSink()
+	sink.Instrument(reg)
 	gw, victim := l.Gateway(), l.Victim()
 
 	var guard *core.Guard
@@ -160,14 +205,16 @@ func Run(spec *Spec) (*Result, error) {
 			l.Switch.AddTap(w.Observe)
 		case "active-probe":
 			p := activeprobe.New(l.Sched, sink, l.Monitor)
+			p.Instrument(reg)
 			p.Seed(gw.IP(), gw.MAC())
 			l.Switch.AddTap(p.Observe)
 		case "middleware":
-			middleware.New(l.Sched, sink, victim)
+			middleware.New(l.Sched, sink, victim).Instrument(reg)
 		case "hybrid-guard":
 			guard = core.New(l.Sched, l.Monitor,
 				core.WithSeedBinding(gw.IP(), gw.MAC()),
-				core.WithAlertHandler(sink.Report))
+				core.WithAlertHandler(sink.Report),
+				core.WithTelemetry(reg))
 			l.Switch.AddTap(guard.Tap())
 		case "dai":
 			table := dai.NewBindingTable()
@@ -177,7 +224,7 @@ func Run(spec *Spec) (*Result, error) {
 			table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
 			table.AddStatic(l.Attacker.IP(), l.Attacker.MAC())
 			insp := dai.New(l.Sched, sink, table, dai.WithDHCPGuard())
-			l.Switch.SetFilter(insp.Filter())
+			l.Switch.SetFilter(schemes.InstrumentFilter(reg, "dai", insp.Filter()))
 		case "port-security":
 			opts := []portsec.Option{portsec.WithTrustedPorts(l.MonitorPort.ID())}
 			for i, p := range l.Ports {
@@ -185,7 +232,7 @@ func Run(spec *Spec) (*Result, error) {
 			}
 			opts = append(opts, portsec.WithSticky(l.AtkPort.ID(), l.Attacker.MAC()))
 			e := portsec.New(l.Sched, sink, opts...)
-			l.Switch.SetFilter(e.Filter())
+			l.Switch.SetFilter(schemes.InstrumentFilter(reg, "port-security", e.Filter()))
 		case "flood-detect":
 			det := flooddetect.New(l.Sched, sink)
 			l.Switch.AddTap(det.Observe)
@@ -282,14 +329,16 @@ func Run(spec *Spec) (*Result, error) {
 	}
 
 	res := &Result{
-		Duration:       duration,
-		AlertsByScheme: make(map[string]int),
-		AlertsByKind:   make(map[string]int),
-		PoisonedHosts:  l.PoisonedCount(gw.IP()),
-		AttackerForged: l.Attacker.Stats().Forged,
+		Duration:        duration,
+		AlertsByScheme:  make(map[string]int),
+		AlertsByKind:    make(map[string]int),
+		PoisonedHosts:   l.PoisonedCount(gw.IP()),
+		AttackerForged:  l.Attacker.Stats().Forged,
 		AttackerSniffed: l.Attacker.Stats().Sniffed,
-		SwitchFiltered: l.Switch.Stats().Filtered,
-		CAMEntries:     l.Switch.CAMLen(),
+		SwitchFiltered:  l.Switch.Stats().Filtered,
+		CAMEntries:      l.Switch.CAMLen(),
+		CaptureStats:    capture.Stats(),
+		Telemetry:       reg.Snapshot(),
 	}
 	seenScheme := make(map[string]bool)
 	for _, a := range sink.Alerts() {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/telemetry"
 )
 
 // Option configures the Prober.
@@ -59,6 +60,7 @@ type session struct {
 	oldMAC     ethaddr.MAC
 	startedAt  time.Duration
 	repliers   map[ethaddr.MAC]bool
+	span       *telemetry.Span
 }
 
 // Prober is the active-verification appliance. It observes mirrored traffic
@@ -76,6 +78,13 @@ type Prober struct {
 	lastRequest map[ethaddr.IPv4]time.Duration // targetIP → when last requested
 	sessions    map[ethaddr.IPv4]*session
 	stats       Stats
+
+	// Telemetry handles; nil (no-op) unless Instrument is called.
+	tracer      *telemetry.Tracer
+	mProbes     *telemetry.Counter
+	mSuspicions *telemetry.Counter
+	mConfirmed  *telemetry.Counter
+	mCleared    *telemetry.Counter
 }
 
 var _ schemes.Detector = (*Prober)(nil)
@@ -105,6 +114,18 @@ func (p *Prober) Name() string { return "active-probe" }
 
 // Stats returns a copy of the prober counters.
 func (p *Prober) Stats() Stats { return p.stats }
+
+// Instrument attaches the prober to a telemetry registry: probes sent,
+// verification sessions by outcome, and a "verify" span per session so the
+// probe window's contribution to detection latency is visible.
+func (p *Prober) Instrument(reg *telemetry.Registry) {
+	label := telemetry.L("scheme", p.Name())
+	p.tracer = reg.Tracer()
+	p.mProbes = reg.Counter("scheme_probes_sent_total", label)
+	p.mSuspicions = reg.Counter("scheme_verifications_total", label, telemetry.L("outcome", "started"))
+	p.mConfirmed = reg.Counter("scheme_verifications_total", label, telemetry.L("outcome", "confirmed"))
+	p.mCleared = reg.Counter("scheme_verifications_total", label, telemetry.L("outcome", "cleared"))
+}
 
 // Seed preloads a known-good binding.
 func (p *Prober) Seed(ip ethaddr.IPv4, mac ethaddr.MAC) { p.bindings[ip] = mac }
@@ -161,11 +182,13 @@ func (p *Prober) verify(ip ethaddr.IPv4, claimed, old ethaddr.MAC, detail string
 		return
 	}
 	p.stats.Suspicions++
+	p.mSuspicions.Inc()
 	sess := &session{
 		claimedMAC: claimed,
 		oldMAC:     old,
 		startedAt:  p.sched.Now(),
 		repliers:   make(map[ethaddr.MAC]bool),
+		span:       p.tracer.Start("verify", ip.String()),
 	}
 	p.sessions[ip] = sess
 	p.sendProbe(ip)
@@ -176,6 +199,10 @@ func (p *Prober) verify(ip ethaddr.IPv4, claimed, old ethaddr.MAC, detail string
 // sendProbe broadcasts one address probe for ip.
 func (p *Prober) sendProbe(ip ethaddr.IPv4) {
 	p.stats.Probes++
+	p.mProbes.Inc()
+	if sess, ok := p.sessions[ip]; ok {
+		sess.span.Phase("probe")
+	}
 	probe := arppkt.NewProbe(p.host.MAC(), ip)
 	p.host.SendFrame(&frame.Frame{
 		Dst: ethaddr.BroadcastMAC, Src: p.host.MAC(),
@@ -211,6 +238,8 @@ func (p *Prober) conclude(ip ethaddr.IPv4, detail string) {
 	switch {
 	case len(sess.repliers) > 1:
 		p.stats.Confirmed++
+		p.mConfirmed.Inc()
+		sess.span.Finish("confirmed")
 		p.sink.Report(schemes.Alert{
 			At: now, Scheme: p.Name(), Kind: schemes.AlertConflict,
 			IP: ip, OldMAC: sess.oldMAC, NewMAC: sess.claimedMAC,
@@ -225,10 +254,14 @@ func (p *Prober) conclude(ip ethaddr.IPv4, detail string) {
 			// The station that owns the address asserts the claimed
 			// binding itself: benign (covers DHCP reassignment cleanly).
 			p.stats.Cleared++
+			p.mCleared.Inc()
+			sess.span.Finish("cleared")
 			p.bindings[ip] = answer
 			return
 		}
 		p.stats.Confirmed++
+		p.mConfirmed.Inc()
+		sess.span.Finish("confirmed")
 		p.bindings[ip] = answer // trust the prover, restore truth
 		p.sink.Report(schemes.Alert{
 			At: now, Scheme: p.Name(), Kind: schemes.AlertVerifyFailed,
@@ -239,6 +272,8 @@ func (p *Prober) conclude(ip ethaddr.IPv4, detail string) {
 		// Nobody answered: the claimed binding is unverifiable. A forged
 		// binding for an absent host looks exactly like this.
 		p.stats.Confirmed++
+		p.mConfirmed.Inc()
+		sess.span.Finish("confirmed")
 		p.sink.Report(schemes.Alert{
 			At: now, Scheme: p.Name(), Kind: schemes.AlertVerifyFailed,
 			IP: ip, OldMAC: sess.oldMAC, NewMAC: sess.claimedMAC,

@@ -1,0 +1,80 @@
+package schemes
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+func TestSinkInstrumentCountsBySchemeAndKind(t *testing.T) {
+	s := NewSink()
+	reg := telemetry.New()
+	s.Instrument(reg)
+
+	ip := ethaddr.MustParseIPv4("10.0.0.1")
+	s.Report(Alert{At: time.Second, Scheme: "arpwatch", Kind: AlertFlipFlop, IP: ip})
+	s.Report(Alert{At: 2 * time.Second, Scheme: "arpwatch", Kind: AlertFlipFlop, IP: ip})
+	s.Report(Alert{At: 3 * time.Second, Scheme: "active-probe", Kind: AlertVerifyFailed, IP: ip})
+
+	if got := reg.Counter("scheme_alerts_total",
+		telemetry.L("scheme", "arpwatch"), telemetry.L("kind", "flip-flop")).Value(); got != 2 {
+		t.Fatalf("arpwatch flip-flops = %d", got)
+	}
+	if got := reg.Counter("scheme_alerts_total",
+		telemetry.L("scheme", "active-probe"), telemetry.L("kind", "verify-failed")).Value(); got != 1 {
+		t.Fatalf("active-probe verify-failed = %d", got)
+	}
+	// Every alert also lands in the event log at warn.
+	if st := reg.Events().Stats(); st.Warn != 3 {
+		t.Fatalf("warn events = %d", st.Warn)
+	}
+}
+
+func TestInstrumentFilterVerdicts(t *testing.T) {
+	reg := telemetry.New()
+	inner := func(port int, f *frame.Frame) netsim.FilterVerdict {
+		if port == 666 {
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictAllow
+	}
+	wrapped := InstrumentFilter(reg, "dai", inner)
+
+	f := &frame.Frame{Type: frame.TypeIPv4}
+	if v := wrapped(1, f); v != netsim.VerdictAllow {
+		t.Fatalf("verdict = %v", v)
+	}
+	wrapped(666, f)
+	wrapped(666, f)
+
+	if got := reg.Counter("scheme_filter_verdicts_total",
+		telemetry.L("scheme", "dai"), telemetry.L("verdict", "allow")).Value(); got != 1 {
+		t.Fatalf("allow = %d", got)
+	}
+	if got := reg.Counter("scheme_filter_verdicts_total",
+		telemetry.L("scheme", "dai"), telemetry.L("verdict", "drop")).Value(); got != 2 {
+		t.Fatalf("drop = %d", got)
+	}
+}
+
+func TestInstrumentFilterNilPassthrough(t *testing.T) {
+	inner := func(port int, f *frame.Frame) netsim.FilterVerdict { return netsim.VerdictAllow }
+	if got := InstrumentFilter(nil, "x", inner); got == nil {
+		t.Fatal("nil registry should return the filter unchanged, not nil")
+	}
+	if got := InstrumentFilter(telemetry.New(), "x", nil); got != nil {
+		t.Fatal("nil filter must stay nil (the switch treats nil as no filter)")
+	}
+}
+
+func TestSinkUninstrumentedStillWorks(t *testing.T) {
+	s := NewSink()
+	s.Report(Alert{Scheme: "x", Kind: AlertFlipFlop})
+	if s.Len() != 1 {
+		t.Fatal("report lost without instrumentation")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/telemetry"
 )
 
 // Option configures the Guard.
@@ -48,6 +49,7 @@ type Stats struct {
 type session struct {
 	packet   *arppkt.Packet
 	repliers map[ethaddr.MAC]bool
+	span     *telemetry.Span
 }
 
 // Guard is the per-host middleware. Install exactly one per protected host.
@@ -58,6 +60,13 @@ type Guard struct {
 	window   time.Duration
 	sessions map[ethaddr.IPv4]*session
 	stats    Stats
+
+	// Telemetry handles; nil (no-op) unless Instrument is called.
+	tracer       *telemetry.Tracer
+	mProbes      *telemetry.Counter
+	mQuarantined *telemetry.Counter
+	mCommitted   *telemetry.Counter
+	mRejected    *telemetry.Counter
 }
 
 // New installs the middleware on host.
@@ -81,6 +90,19 @@ func (g *Guard) Name() string { return "middleware" }
 
 // Stats returns a copy of the counters.
 func (g *Guard) Stats() Stats { return g.stats }
+
+// Instrument attaches the guard to a telemetry registry. Each quarantine
+// opens a "verify" span (phases mark probes, the outcome is commit/reject),
+// so the verification delay the scheme imposes shows up alongside the
+// resolver's own latency histogram.
+func (g *Guard) Instrument(reg *telemetry.Registry) {
+	label := telemetry.L("scheme", g.Name())
+	g.tracer = reg.Tracer()
+	g.mProbes = reg.Counter("scheme_probes_sent_total", label)
+	g.mQuarantined = reg.Counter("scheme_quarantines_total", label, telemetry.L("outcome", "opened"))
+	g.mCommitted = reg.Counter("scheme_quarantines_total", label, telemetry.L("outcome", "committed"))
+	g.mRejected = reg.Counter("scheme_quarantines_total", label, telemetry.L("outcome", "rejected"))
+}
 
 // hook intercepts every inbound ARP packet before the cache sees it.
 // Returning true lets normal processing proceed; false suppresses it.
@@ -141,7 +163,12 @@ func (g *Guard) quarantine(p *arppkt.Packet) {
 		return
 	}
 	g.stats.Quarantined++
-	g.sessions[ip] = &session{packet: p, repliers: make(map[ethaddr.MAC]bool)}
+	g.mQuarantined.Inc()
+	g.sessions[ip] = &session{
+		packet:   p,
+		repliers: make(map[ethaddr.MAC]bool),
+		span:     g.tracer.Start("verify", ip.String()),
+	}
 	// Probe immediately and then every retry interval until the window
 	// closes: longer windows buy loss tolerance, which is exactly the
 	// trade the window-ablation experiment measures.
@@ -163,6 +190,10 @@ func (g *Guard) quarantine(p *arppkt.Packet) {
 // sendProbe broadcasts one address probe for ip.
 func (g *Guard) sendProbe(ip ethaddr.IPv4) {
 	g.stats.Probes++
+	g.mProbes.Inc()
+	if sess, ok := g.sessions[ip]; ok {
+		sess.span.Phase("probe")
+	}
 	probe := arppkt.NewProbe(g.host.MAC(), ip)
 	g.host.SendFrame(&frame.Frame{
 		Dst: ethaddr.BroadcastMAC, Src: g.host.MAC(),
@@ -181,10 +212,14 @@ func (g *Guard) conclude(ip ethaddr.IPv4) {
 
 	if len(sess.repliers) == 1 && sess.repliers[claimed] {
 		g.stats.Committed++
+		g.mCommitted.Inc()
+		sess.span.Finish("commit")
 		g.host.ProcessARP(sess.packet)
 		return
 	}
 	g.stats.Rejected++
+	g.mRejected.Inc()
+	sess.span.Finish("reject")
 	detail := "probe unanswered"
 	if len(sess.repliers) > 1 {
 		detail = "conflicting probe answers"

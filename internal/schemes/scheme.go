@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"repro/internal/ethaddr"
+	"repro/internal/frame"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // AlertKind classifies what a detector believes it saw.
@@ -127,6 +129,11 @@ type Detector interface {
 type Sink struct {
 	alerts  []Alert
 	onAlert func(Alert)
+
+	// Telemetry handles; nil (no-op) unless Instrument is called.
+	reg      *telemetry.Registry
+	events   *telemetry.EventLog
+	byScheme map[string]map[AlertKind]*telemetry.Counter
 }
 
 // NewSink returns an empty sink.
@@ -136,9 +143,40 @@ func NewSink() *Sink { return &Sink{} }
 // to retention).
 func (s *Sink) OnAlert(fn func(Alert)) { s.onAlert = fn }
 
+// Instrument attaches the sink to a telemetry registry: every reported
+// alert increments scheme_alerts_total{scheme,kind} and appends a warn
+// event, giving per-detector attribution without touching any detector.
+func (s *Sink) Instrument(reg *telemetry.Registry) {
+	s.reg = reg
+	s.events = reg.Events()
+	s.byScheme = make(map[string]map[AlertKind]*telemetry.Counter)
+}
+
+// alertCounter returns (lazily creating) the counter for one alert source.
+func (s *Sink) alertCounter(scheme string, kind AlertKind) *telemetry.Counter {
+	kinds, ok := s.byScheme[scheme]
+	if !ok {
+		kinds = make(map[AlertKind]*telemetry.Counter)
+		s.byScheme[scheme] = kinds
+	}
+	c, ok := kinds[kind]
+	if !ok {
+		c = s.reg.Counter("scheme_alerts_total",
+			telemetry.L("scheme", scheme), telemetry.L("kind", kind.String()))
+		kinds[kind] = c
+	}
+	return c
+}
+
 // Report adds an alert.
 func (s *Sink) Report(a Alert) {
 	s.alerts = append(s.alerts, a)
+	if s.byScheme != nil {
+		s.alertCounter(a.Scheme, a.Kind).Inc()
+		s.events.Log(telemetry.SevWarn, a.Scheme, a.Detail,
+			"kind", a.Kind.String(), "ip", a.IP.String(),
+			"oldMAC", a.OldMAC.String(), "newMAC", a.NewMAC.String())
+	}
 	if s.onAlert != nil {
 		s.onAlert(a)
 	}
@@ -177,4 +215,27 @@ func (s *Sink) FirstFor(ip ethaddr.IPv4) (Alert, bool) {
 		}
 	}
 	return Alert{}, false
+}
+
+// InstrumentFilter wraps an inline filter so every verdict is counted as
+// scheme_filter_verdicts_total{scheme,verdict}. Switch-resident schemes
+// (DAI, port security) deploy through this to expose what they allow and
+// drop. A nil registry returns f unchanged.
+func InstrumentFilter(reg *telemetry.Registry, scheme string, f netsim.FilterFunc) netsim.FilterFunc {
+	if reg == nil || f == nil {
+		return f
+	}
+	allow := reg.Counter("scheme_filter_verdicts_total",
+		telemetry.L("scheme", scheme), telemetry.L("verdict", "allow"))
+	drop := reg.Counter("scheme_filter_verdicts_total",
+		telemetry.L("scheme", scheme), telemetry.L("verdict", "drop"))
+	return func(port int, fr *frame.Frame) netsim.FilterVerdict {
+		v := f(port, fr)
+		if v == netsim.VerdictDrop {
+			drop.Inc()
+		} else {
+			allow.Inc()
+		}
+		return v
+	}
 }

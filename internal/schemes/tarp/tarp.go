@@ -81,9 +81,9 @@ func decodeTicket(buf []byte) (*Ticket, []byte, error) {
 
 // LTA is the Local Ticketing Agent.
 type LTA struct {
-	sched *sim.Scheduler
-	priv  *ecdsa.PrivateKey
-	life  time.Duration
+	sched  *sim.Scheduler
+	priv   *ecdsa.PrivateKey
+	life   time.Duration
 	issued uint64
 }
 

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestSchedulerInstrument(t *testing.T) {
+	s := NewScheduler(1)
+	reg := telemetry.New()
+	s.Instrument(reg)
+
+	for i := 0; i < 5; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	cancelled := s.At(10*time.Millisecond, func() { t.Fatal("cancelled event ran") })
+	if !cancelled.Stop() {
+		t.Fatal("Stop should report pending")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("sim_events_executed_total").Value(); got != 5 {
+		t.Fatalf("executed = %d", got)
+	}
+	if got := reg.Counter("sim_events_cancelled_total").Value(); got != 1 {
+		t.Fatalf("cancelled = %d", got)
+	}
+	// All six events were queued before any ran.
+	if got := reg.Gauge("sim_queue_depth_highwater").Value(); got != 6 {
+		t.Fatalf("queue high-water = %v", got)
+	}
+}
+
+// TestSchedulerInstrumentClock checks the registry's event log stamps with
+// virtual, not wall, time once a scheduler is attached.
+func TestSchedulerInstrumentClock(t *testing.T) {
+	s := NewScheduler(1)
+	reg := telemetry.New()
+	s.Instrument(reg)
+
+	s.At(42*time.Millisecond, func() {
+		reg.Events().Log(telemetry.SevInfo, "test", "tick")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evs := reg.Events().Events()
+	if len(evs) != 1 || evs[0].At != 42*time.Millisecond {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+// TestSchedulerUninstrumented makes sure the bare scheduler still runs with
+// all telemetry handles nil.
+func TestSchedulerUninstrumented(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	tm := s.At(time.Millisecond, func() {})
+	tm.Stop()
+	s.At(2*time.Millisecond, func() { ran = true })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event did not run")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"math/rand"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrStopped is returned by Run when the simulation was halted explicitly
@@ -90,12 +92,28 @@ type Scheduler struct {
 	rng      *rand.Rand
 	stopped  bool
 	executed uint64
+
+	// Telemetry handles; nil (no-op) unless Instrument is called.
+	mExecuted  *telemetry.Counter
+	mCancelled *telemetry.Counter
+	mQueueHigh *telemetry.Gauge
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero and whose
 // random stream is derived from seed.
 func NewScheduler(seed int64) *Scheduler {
 	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Instrument attaches the scheduler to a telemetry registry: events
+// executed, cancelled events drained, and the queue-depth high-water mark.
+// It also makes the registry's spans and events read this virtual clock.
+// Passing nil detaches (handles become no-ops again).
+func (s *Scheduler) Instrument(reg *telemetry.Registry) {
+	s.mExecuted = reg.Counter("sim_events_executed_total")
+	s.mCancelled = reg.Counter("sim_events_cancelled_total")
+	s.mQueueHigh = reg.Gauge("sim_queue_depth_highwater")
+	reg.SetNow(s.Now)
 }
 
 // Now returns the current virtual time (elapsed since simulation start).
@@ -122,6 +140,9 @@ func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
 	s.seq++
 	ev := &event{at: at, seq: s.seq, fn: fn}
 	heap.Push(&s.queue, ev)
+	if s.mQueueHigh != nil {
+		s.mQueueHigh.SetMax(float64(len(s.queue)))
+	}
 	return &Timer{ev: ev}
 }
 
@@ -170,10 +191,12 @@ func (s *Scheduler) RunUntil(horizon time.Duration) error {
 		}
 		popped, _ := heap.Pop(&s.queue).(*event)
 		if popped.dead {
+			s.mCancelled.Inc()
 			continue
 		}
 		s.now = popped.at
 		s.executed++
+		s.mExecuted.Inc()
 		popped.fn()
 	}
 	if s.now < horizon {
@@ -191,10 +214,12 @@ func (s *Scheduler) Run() error {
 		}
 		popped, _ := heap.Pop(&s.queue).(*event)
 		if popped.dead {
+			s.mCancelled.Inc()
 			continue
 		}
 		s.now = popped.at
 		s.executed++
+		s.mExecuted.Inc()
 		popped.fn()
 	}
 	return nil

@@ -11,6 +11,7 @@ import (
 	"repro/internal/arppkt"
 	"repro/internal/ethaddr"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Policy controls which ARP messages may create, refresh, or replace cache
@@ -142,6 +143,14 @@ type Cache struct {
 	ttl     time.Duration
 	entries map[ethaddr.IPv4]Entry
 	onEvent func(Event)
+
+	// Telemetry handles; nil (no-op) unless Instrument is called.
+	mHits       *telemetry.Counter
+	mMisses     *telemetry.Counter
+	mCreated    *telemetry.Counter
+	mRefreshed  *telemetry.Counter
+	mOverwrites *telemetry.Counter
+	mRejects    *telemetry.Counter
 }
 
 // NewCache creates a cache. TTL is the entry lifetime (default on hosts is
@@ -159,6 +168,19 @@ func NewCache(s *sim.Scheduler, policy Policy, ttl time.Duration) *Cache {
 // middleware scheme and the evaluation harness both hook here.
 func (c *Cache) OnEvent(fn func(Event)) { c.onEvent = fn }
 
+// Instrument attaches the cache to a telemetry registry, counting lookup
+// hits/misses and mutation outcomes (creates, refreshes, overwrites,
+// policy rejects), labelled by owner so per-host attribution survives
+// aggregation. Host.Instrument calls this with the host's name.
+func (c *Cache) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
+	c.mHits = reg.Counter("stack_cache_hits_total", labels...)
+	c.mMisses = reg.Counter("stack_cache_misses_total", labels...)
+	c.mCreated = reg.Counter("stack_cache_created_total", labels...)
+	c.mRefreshed = reg.Counter("stack_cache_refreshed_total", labels...)
+	c.mOverwrites = reg.Counter("stack_cache_overwrites_total", labels...)
+	c.mRejects = reg.Counter("stack_cache_policy_rejects_total", labels...)
+}
+
 // Policy returns the active policy.
 func (c *Cache) Policy() Policy { return c.policy }
 
@@ -167,11 +189,14 @@ func (c *Cache) Policy() Policy { return c.policy }
 func (c *Cache) Lookup(ip ethaddr.IPv4) (ethaddr.MAC, bool) {
 	e, ok := c.entries[ip]
 	if !ok {
+		c.mMisses.Inc()
 		return ethaddr.MAC{}, false
 	}
 	if !e.Static && e.Expires <= c.sched.Now() {
+		c.mMisses.Inc()
 		return ethaddr.MAC{}, false
 	}
+	c.mHits.Inc()
 	return e.MAC, true
 }
 
@@ -255,6 +280,7 @@ func (c *Cache) Update(p *arppkt.Packet, solicited bool) EventKind {
 	// Static entries are immutable, full stop.
 	if live && prior.Static {
 		if prior.MAC != mac {
+			c.mRejects.Inc()
 			c.emit(EventRejected, ip, prior.MAC, mac, p.Op, solicited)
 		}
 		return EventRejected
@@ -266,6 +292,7 @@ func (c *Cache) Update(p *arppkt.Packet, solicited bool) EventKind {
 		if live {
 			old = prior.MAC
 		}
+		c.mRejects.Inc()
 		c.emit(EventRejected, ip, old, mac, p.Op, solicited)
 		return EventRejected
 	}
@@ -273,21 +300,25 @@ func (c *Cache) Update(p *arppkt.Packet, solicited bool) EventKind {
 	switch {
 	case !live:
 		c.entries[ip] = Entry{MAC: mac, State: StateReachable, Expires: now + c.ttl}
+		c.mCreated.Inc()
 		c.emit(EventCreated, ip, ethaddr.MAC{}, mac, p.Op, solicited)
 		return EventCreated
 	case prior.MAC == mac:
 		prior.Expires = now + c.ttl
 		prior.State = StateReachable
 		c.entries[ip] = prior
+		c.mRefreshed.Inc()
 		c.emit(EventRefreshed, ip, prior.MAC, mac, p.Op, solicited)
 		return EventRefreshed
 	default:
 		if !c.mayOverwrite(p) {
+			c.mRejects.Inc()
 			c.emit(EventRejected, ip, prior.MAC, mac, p.Op, solicited)
 			return EventRejected
 		}
 		old := prior.MAC
 		c.entries[ip] = Entry{MAC: mac, State: StateReachable, Expires: now + c.ttl}
+		c.mOverwrites.Inc()
 		c.emit(EventChanged, ip, old, mac, p.Op, solicited)
 		return EventChanged
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ipv4pkt"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Stats counts per-host protocol activity.
@@ -25,10 +26,12 @@ type Stats struct {
 
 // pending tracks one in-flight resolution.
 type pending struct {
-	queue   []queuedPacket
-	retries int
-	timer   *sim.Timer
-	waiters []func(ethaddr.MAC, bool)
+	queue     []queuedPacket
+	retries   int
+	timer     *sim.Timer
+	waiters   []func(ethaddr.MAC, bool)
+	startedAt time.Duration
+	span      *telemetry.Span // nil (no-op) when the host is uninstrumented
 }
 
 type queuedPacket struct {
@@ -105,20 +108,29 @@ type Host struct {
 	announce        bool
 	echoResponder   bool
 
-	pendings map[ethaddr.IPv4]*pending
-	arpHook  ARPHook
-	onARP    func(*arppkt.Packet, *frame.Frame) // passive observer
-	onIPv4   func(*ipv4pkt.Packet, *frame.Frame)
-	udpPorts map[uint16]func(src ethaddr.IPv4, srcPort uint16, payload []byte)
-	onEcho   map[uint16]func(seq uint16, from ethaddr.IPv4, fromMAC ethaddr.MAC)
-	extra       map[frame.EtherType]func(*frame.Frame)
-	arpDisabled bool
-	defend      bool
+	pendings       map[ethaddr.IPv4]*pending
+	arpHook        ARPHook
+	onARP          func(*arppkt.Packet, *frame.Frame) // passive observer
+	onIPv4         func(*ipv4pkt.Packet, *frame.Frame)
+	udpPorts       map[uint16]func(src ethaddr.IPv4, srcPort uint16, payload []byte)
+	onEcho         map[uint16]func(seq uint16, from ethaddr.IPv4, fromMAC ethaddr.MAC)
+	extra          map[frame.EtherType]func(*frame.Frame)
+	arpDisabled    bool
+	defend         bool
 	defendInterval time.Duration
 	lastDefense    time.Duration
 	defendedOnce   bool
-	stats       Stats
-	started     bool
+	stats          Stats
+	started        bool
+
+	// Telemetry handles; nil (no-op) unless Instrument is called.
+	tracer       *telemetry.Tracer
+	events       *telemetry.EventLog
+	mResolveOK   *telemetry.Counter
+	mResolveFail *telemetry.Counter
+	mRetries     *telemetry.Counter
+	mResolveLat  *telemetry.Histogram
+	mConflicts   *telemetry.Counter
 }
 
 // NewHost creates a host bound to a NIC and address and registers its frame
@@ -167,6 +179,23 @@ func (h *Host) Cache() *Cache { return h.cache }
 
 // Stats returns a copy of the host counters.
 func (h *Host) Stats() Stats { return h.stats }
+
+// Instrument attaches the host stack to a telemetry registry: cache
+// hit/miss and mutation counters, resolver retry/outcome counters, the
+// resolution-latency histogram, and a "resolve" span per resolution
+// lifecycle (request emitted → reply received → cache commit or failure).
+// All metrics carry a host label so multi-host runs stay attributable.
+func (h *Host) Instrument(reg *telemetry.Registry) {
+	label := telemetry.L("host", h.name)
+	h.cache.Instrument(reg, label)
+	h.tracer = reg.Tracer()
+	h.events = reg.Events()
+	h.mResolveOK = reg.Counter("stack_resolutions_total", label, telemetry.L("outcome", "ok"))
+	h.mResolveFail = reg.Counter("stack_resolutions_total", label, telemetry.L("outcome", "fail"))
+	h.mRetries = reg.Counter("stack_resolve_retries_total", label)
+	h.mResolveLat = reg.Histogram("stack_resolution_latency_seconds", nil, label)
+	h.mConflicts = reg.Counter("stack_address_conflicts_total", label)
+}
 
 // SetARPHook installs the inbound ARP interceptor (middleware scheme).
 func (h *Host) SetARPHook(fn ARPHook) { h.arpHook = fn }
@@ -286,7 +315,8 @@ func (h *Host) ensurePending(ip ethaddr.IPv4) *pending {
 	if pd, ok := h.pendings[ip]; ok {
 		return pd
 	}
-	pd := &pending{}
+	pd := &pending{startedAt: h.sched.Now()}
+	pd.span = h.tracer.Start("resolve", ip.String())
 	h.pendings[ip] = pd
 	h.sendRequest(ip, pd)
 	return pd
@@ -294,6 +324,7 @@ func (h *Host) ensurePending(ip ethaddr.IPv4) *pending {
 
 // sendRequest emits one who-has and arms the retry timer.
 func (h *Host) sendRequest(ip ethaddr.IPv4, pd *pending) {
+	pd.span.Phase("request")
 	h.sendARP(arppkt.NewRequest(h.MAC(), h.ip, ip), ethaddr.BroadcastMAC)
 	pd.timer = h.sched.After(h.resolveInterval, func() {
 		pd.retries++
@@ -301,6 +332,7 @@ func (h *Host) sendRequest(ip ethaddr.IPv4, pd *pending) {
 			h.failResolution(ip, pd)
 			return
 		}
+		h.mRetries.Inc()
 		h.sendRequest(ip, pd)
 	})
 }
@@ -310,6 +342,10 @@ func (h *Host) failResolution(ip ethaddr.IPv4, pd *pending) {
 	delete(h.pendings, ip)
 	h.stats.ResolveFail++
 	h.stats.QueuedDropped += uint64(len(pd.queue))
+	h.mResolveFail.Inc()
+	pd.span.Finish("fail")
+	h.events.Warnf("stack", "%s: resolution of %s failed after %d tries, %d queued packets dropped",
+		h.name, ip, pd.retries, len(pd.queue))
 	for _, w := range pd.waiters {
 		w(ethaddr.MAC{}, false)
 	}
@@ -324,6 +360,10 @@ func (h *Host) completeResolution(ip ethaddr.IPv4, mac ethaddr.MAC) {
 	delete(h.pendings, ip)
 	pd.timer.Stop()
 	h.stats.ResolveOK++
+	h.mResolveOK.Inc()
+	h.mResolveLat.ObserveDuration(h.sched.Now() - pd.startedAt)
+	pd.span.Phase("reply")
+	pd.span.Finish("commit")
 	for _, q := range pd.queue {
 		h.transmitIPv4(mac, ip, q.proto, q.payload)
 	}
@@ -395,6 +435,9 @@ func (h *Host) ProcessARP(p *arppkt.Packet) {
 	// another MAC. With defense enabled the host reasserts itself.
 	if p.SenderIP == h.ip && p.SenderMAC != h.MAC() {
 		h.stats.ConflictsSeen++
+		h.mConflicts.Inc()
+		h.events.Warnf("stack", "%s: foreign station %s asserts our address %s",
+			h.name, p.SenderMAC, h.ip)
 		if h.defend {
 			now := h.sched.Now()
 			if !h.defendedOnce || now-h.lastDefense >= h.defendInterval {

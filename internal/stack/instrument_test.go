@@ -1,0 +1,125 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/telemetry"
+)
+
+func TestHostInstrumentResolutionMetrics(t *testing.T) {
+	l := newTestLAN(1)
+	reg := telemetry.New()
+	l.s.Instrument(reg)
+	a := l.addHost("a", "02:42:ac:00:00:01", "10.0.0.1")
+	b := l.addHost("b", "02:42:ac:00:00:02", "10.0.0.2")
+	a.Instrument(reg)
+	_ = b
+
+	a.Resolve(b.IP(), nil)
+	if err := l.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	host := telemetry.L("host", "a")
+	if got := reg.Counter("stack_resolutions_total", host, telemetry.L("outcome", "ok")).Value(); got != 1 {
+		t.Fatalf("ok resolutions = %d", got)
+	}
+	h := reg.Histogram("stack_resolution_latency_seconds", nil, host)
+	if h.Count() != 1 {
+		t.Fatalf("latency samples = %d", h.Count())
+	}
+	if h.Sum() <= 0 || h.Sum() > 1 {
+		t.Fatalf("latency sum = %v, want a small positive virtual latency", h.Sum())
+	}
+
+	// The resolve span completed with a commit outcome and both phases.
+	snap := reg.Snapshot()
+	var found bool
+	for _, sp := range snap.Spans {
+		if sp.Name == "resolve" && sp.Outcome == "commit" && sp.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no resolve/commit span summary: %+v", snap.Spans)
+	}
+	recs := reg.Tracer().Completed()
+	if len(recs) != 1 || len(recs[0].Phases) != 2 {
+		t.Fatalf("span records = %+v", recs)
+	}
+	if recs[0].Phases[0].Name != "request" || recs[0].Phases[1].Name != "reply" {
+		t.Fatalf("phases = %+v", recs[0].Phases)
+	}
+}
+
+func TestHostInstrumentFailureAndRetries(t *testing.T) {
+	l := newTestLAN(1)
+	reg := telemetry.New()
+	l.s.Instrument(reg)
+	a := l.addHost("a", "02:42:ac:00:00:01", "10.0.0.1",
+		WithResolveRetry(3, 100*time.Millisecond))
+	a.Instrument(reg)
+
+	a.Resolve(ethaddr.MustParseIPv4("10.0.0.99"), nil)
+	if err := l.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	host := telemetry.L("host", "a")
+	if got := reg.Counter("stack_resolutions_total", host, telemetry.L("outcome", "fail")).Value(); got != 1 {
+		t.Fatalf("failed resolutions = %d", got)
+	}
+	if got := reg.Counter("stack_resolve_retries_total", host).Value(); got != 2 {
+		t.Fatalf("retries = %d, want 2 (3 tries = initial + 2 retries)", got)
+	}
+	// The failure produced a span with outcome "fail" and a warn event.
+	snap := reg.Snapshot()
+	var failSpan bool
+	for _, sp := range snap.Spans {
+		if sp.Name == "resolve" && sp.Outcome == "fail" {
+			failSpan = true
+		}
+	}
+	if !failSpan {
+		t.Fatalf("no resolve/fail span: %+v", snap.Spans)
+	}
+	if snap.Events.Warn == 0 {
+		t.Fatal("resolution failure should log a warn event")
+	}
+}
+
+func TestCacheInstrumentCounters(t *testing.T) {
+	l := newTestLAN(1)
+	reg := telemetry.New()
+	l.s.Instrument(reg)
+	a := l.addHost("a", "02:42:ac:00:00:01", "10.0.0.1",
+		WithPolicy(PolicyNoOverwrite))
+	b := l.addHost("b", "02:42:ac:00:00:02", "10.0.0.2")
+	a.Instrument(reg)
+
+	a.Resolve(b.IP(), nil)
+	if err := l.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	host := telemetry.L("host", "a")
+	if got := reg.Counter("stack_cache_created_total", host).Value(); got != 1 {
+		t.Fatalf("created = %d", got)
+	}
+	if _, ok := a.Cache().Lookup(b.IP()); !ok {
+		t.Fatal("entry missing after resolution")
+	}
+	if got := reg.Counter("stack_cache_hits_total", host).Value(); got == 0 {
+		t.Fatal("lookup of a live entry should count as a hit")
+	}
+
+	// An overwrite attempt under the no-overwrite policy is a policy reject.
+	pkt := arppkt.NewReply(
+		ethaddr.MustParseMAC("02:42:ac:00:00:66"), b.IP(), a.MAC(), a.IP())
+	a.ProcessARP(pkt)
+	if got := reg.Counter("stack_cache_policy_rejects_total", host).Value(); got != 1 {
+		t.Fatalf("policy rejects = %d", got)
+	}
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Severity grades an event.
+type Severity int
+
+// Severity levels, least to most urgent.
+const (
+	SevDebug Severity = iota
+	SevInfo
+	SevWarn
+	SevError
+)
+
+// String returns the level name used in exports.
+func (s Severity) String() string {
+	switch s {
+	case SevDebug:
+		return "debug"
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warn"
+	case SevError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Event is one structured log record stamped with virtual time.
+type Event struct {
+	At        time.Duration     `json:"at"`
+	Sev       Severity          `json:"sev"`
+	Component string            `json:"component"`
+	Message   string            `json:"msg"`
+	Fields    map[string]string `json:"fields,omitempty"`
+}
+
+// EventStats summarizes the log for snapshots.
+type EventStats struct {
+	Debug   uint64 `json:"debug"`
+	Info    uint64 `json:"info"`
+	Warn    uint64 `json:"warn"`
+	Error   uint64 `json:"error"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// EventLog retains structured events in a bounded ring (oldest evicted
+// first) and can additionally stream them live as NDJSON. Construct via
+// Registry; the nil EventLog is a valid no-op.
+type EventLog struct {
+	now       func() time.Duration
+	max       int
+	ring      []Event
+	head      int
+	n         int
+	dropped   uint64
+	counts    [4]uint64
+	stream    io.Writer
+	streamMin Severity
+}
+
+// newEventLog creates a log retaining at most max events.
+func newEventLog(now func() time.Duration, max int) *EventLog {
+	return &EventLog{now: now, max: max}
+}
+
+// StreamTo mirrors every event at or above min to w as NDJSON, live. Pass
+// nil to stop streaming. This is what the CLIs' -v flag hooks to stderr.
+func (l *EventLog) StreamTo(w io.Writer, min Severity) {
+	if l == nil {
+		return
+	}
+	l.stream = w
+	l.streamMin = min
+}
+
+// Log records one event. kv lists alternating field keys and values; an
+// odd trailing key gets an empty value.
+func (l *EventLog) Log(sev Severity, component, msg string, kv ...string) {
+	if l == nil {
+		return
+	}
+	ev := Event{At: l.now(), Sev: sev, Component: component, Message: msg}
+	if len(kv) > 0 {
+		ev.Fields = make(map[string]string, (len(kv)+1)/2)
+		for i := 0; i < len(kv); i += 2 {
+			v := ""
+			if i+1 < len(kv) {
+				v = kv[i+1]
+			}
+			ev.Fields[kv[i]] = v
+		}
+	}
+	if sev >= SevDebug && sev <= SevError {
+		l.counts[sev]++
+	}
+	if l.n < l.max {
+		l.ring = append(l.ring, ev)
+		l.n++
+	} else {
+		l.ring[l.head] = ev
+		l.head = (l.head + 1) % l.max
+		l.dropped++
+	}
+	if l.stream != nil && sev >= l.streamMin {
+		if b, err := json.Marshal(ev); err == nil {
+			l.stream.Write(append(b, '\n'))
+		}
+	}
+}
+
+// Debugf, Infof, Warnf, Errorf are severity shorthands.
+func (l *EventLog) Debugf(component, format string, args ...any) {
+	l.logf(SevDebug, component, format, args...)
+}
+
+// Infof logs at info level.
+func (l *EventLog) Infof(component, format string, args ...any) {
+	l.logf(SevInfo, component, format, args...)
+}
+
+// Warnf logs at warn level.
+func (l *EventLog) Warnf(component, format string, args ...any) {
+	l.logf(SevWarn, component, format, args...)
+}
+
+// Errorf logs at error level.
+func (l *EventLog) Errorf(component, format string, args ...any) {
+	l.logf(SevError, component, format, args...)
+}
+
+// logf formats lazily: a nil log never evaluates the format.
+func (l *EventLog) logf(sev Severity, component, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	if len(args) == 0 {
+		l.Log(sev, component, format)
+		return
+	}
+	l.Log(sev, component, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return l.n
+}
+
+// Dropped returns how many events the ring has evicted.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Stats returns the per-severity totals (eviction-proof) and drop count.
+func (l *EventLog) Stats() EventStats {
+	if l == nil {
+		return EventStats{}
+	}
+	return EventStats{
+		Debug:   l.counts[SevDebug],
+		Info:    l.counts[SevInfo],
+		Warn:    l.counts[SevWarn],
+		Error:   l.counts[SevError],
+		Dropped: l.dropped,
+	}
+}
+
+// Events returns the retained events, oldest first. The slice is a copy.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.ring[(l.head+i)%len(l.ring)])
+	}
+	return out
+}
+
+// WriteNDJSON writes the retained events as newline-delimited JSON, oldest
+// first.
+func (l *EventLog) WriteNDJSON(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range l.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("encode event: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogTableDriven(t *testing.T) {
+	tests := []struct {
+		name      string
+		max       int
+		log       func(l *EventLog)
+		wantLen   int
+		wantDrop  uint64
+		wantStats EventStats
+	}{
+		{
+			name: "levels counted",
+			max:  8,
+			log: func(l *EventLog) {
+				l.Log(SevDebug, "a", "d")
+				l.Log(SevInfo, "a", "i")
+				l.Log(SevWarn, "a", "w")
+				l.Log(SevError, "a", "e")
+			},
+			wantLen:   4,
+			wantStats: EventStats{Debug: 1, Info: 1, Warn: 1, Error: 1},
+		},
+		{
+			name: "ring evicts oldest",
+			max:  2,
+			log: func(l *EventLog) {
+				l.Log(SevInfo, "a", "one")
+				l.Log(SevInfo, "a", "two")
+				l.Log(SevInfo, "a", "three")
+			},
+			wantLen:   2,
+			wantDrop:  1,
+			wantStats: EventStats{Info: 3, Dropped: 1},
+		},
+		{
+			name: "fields attached",
+			max:  4,
+			log: func(l *EventLog) {
+				l.Log(SevWarn, "guard", "incident", "ip", "10.0.0.1", "scheme", "arpwatch")
+			},
+			wantLen:   1,
+			wantStats: EventStats{Warn: 1},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			l := newEventLog(func() time.Duration { return 0 }, tt.max)
+			tt.log(l)
+			if l.Len() != tt.wantLen {
+				t.Fatalf("Len() = %d, want %d", l.Len(), tt.wantLen)
+			}
+			if l.Dropped() != tt.wantDrop {
+				t.Fatalf("Dropped() = %d, want %d", l.Dropped(), tt.wantDrop)
+			}
+			if got := l.Stats(); got != tt.wantStats {
+				t.Fatalf("Stats() = %+v, want %+v", got, tt.wantStats)
+			}
+		})
+	}
+}
+
+func TestEventLogOldestFirstAfterEviction(t *testing.T) {
+	l := newEventLog(func() time.Duration { return 0 }, 3)
+	for _, m := range []string{"one", "two", "three", "four", "five"} {
+		l.Log(SevInfo, "c", m)
+	}
+	evs := l.Events()
+	got := make([]string, len(evs))
+	for i, ev := range evs {
+		got[i] = ev.Message
+	}
+	want := []string{"three", "four", "five"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEventLogNDJSON(t *testing.T) {
+	var now time.Duration
+	l := newEventLog(func() time.Duration { return now }, 8)
+	l.Log(SevInfo, "stack", "resolution ok", "ip", "192.168.88.254")
+	now = time.Second
+	l.Warnf("guard", "incident opened for %s", "192.168.88.254")
+
+	var buf bytes.Buffer
+	if err := l.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []Event
+	for sc.Scan() {
+		var ev Event
+		raw := map[string]any{}
+		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
+			t.Fatalf("line not JSON: %v: %s", err, sc.Text())
+		}
+		// Severity marshals as a string name.
+		sevName, _ := raw["sev"].(string)
+		switch sevName {
+		case "info":
+			ev.Sev = SevInfo
+		case "warn":
+			ev.Sev = SevWarn
+		default:
+			t.Fatalf("unexpected sev %q", sevName)
+		}
+		ev.Message, _ = raw["msg"].(string)
+		lines = append(lines, ev)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0].Sev != SevInfo || lines[1].Sev != SevWarn {
+		t.Fatalf("severities wrong: %+v", lines)
+	}
+	if !strings.Contains(lines[1].Message, "incident opened for 192.168.88.254") {
+		t.Fatalf("formatted message lost: %q", lines[1].Message)
+	}
+}
+
+func TestEventLogStreaming(t *testing.T) {
+	l := newEventLog(func() time.Duration { return 0 }, 8)
+	var buf bytes.Buffer
+	l.StreamTo(&buf, SevWarn)
+	l.Log(SevInfo, "c", "below threshold")
+	l.Log(SevError, "c", "streamed")
+	out := buf.String()
+	if strings.Contains(out, "below threshold") {
+		t.Fatal("info event streamed despite warn threshold")
+	}
+	if !strings.Contains(out, "streamed") {
+		t.Fatalf("error event missing from stream: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("stream lines must be newline-delimited")
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, cumulative
+// le-labelled buckets plus _sum and _count for histograms. A nil Registry
+// writes nothing. Virtual-time histograms export in seconds, matching the
+// _seconds naming convention.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var sb strings.Builder
+
+	counterFamilies := familiesOf(r.counters)
+	for _, name := range sortedFamilyNames(counterFamilies) {
+		fmt.Fprintf(&sb, "# TYPE %s counter\n", name)
+		for _, e := range counterFamilies[name] {
+			fmt.Fprintf(&sb, "%s%s %d\n", name, promLabels(e.labels, nil), e.m.Value())
+		}
+	}
+
+	gaugeFamilies := familiesOf(r.gauges)
+	for _, name := range sortedFamilyNames(gaugeFamilies) {
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n", name)
+		for _, e := range gaugeFamilies[name] {
+			fmt.Fprintf(&sb, "%s%s %s\n", name, promLabels(e.labels, nil), promFloat(e.m.Value()))
+		}
+	}
+
+	histFamilies := familiesOf(r.histograms)
+	for _, name := range sortedFamilyNames(histFamilies) {
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+		for _, e := range histFamilies[name] {
+			h := e.m
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i]
+				le := Label{Key: "le", Value: promFloat(bound)}
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", name, promLabels(e.labels, &le), cum)
+			}
+			le := Label{Key: "le", Value: "+Inf"}
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", name, promLabels(e.labels, &le), h.count)
+			fmt.Fprintf(&sb, "%s_sum%s %s\n", name, promLabels(e.labels, nil), promFloat(h.sum))
+			fmt.Fprintf(&sb, "%s_count%s %d\n", name, promLabels(e.labels, nil), h.count)
+		}
+	}
+
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("write prometheus exposition: %w", err)
+	}
+	return nil
+}
+
+// familiesOf groups entries by metric name, each family sorted by label
+// identity for stable output.
+func familiesOf[T any](m map[string]*entry[T]) map[string][]*entry[T] {
+	fams := make(map[string][]*entry[T])
+	for _, id := range sortedKeys(m) {
+		e := m[id]
+		fams[e.name] = append(fams[e.name], e)
+	}
+	return fams
+}
+
+// sortedFamilyNames returns the family names in sorted order.
+func sortedFamilyNames[T any](fams map[string][]*entry[T]) []string {
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// promLabels renders a label set ({k="v",...}), optionally with one extra
+// label appended (the histogram "le"). Empty sets render as nothing.
+func promLabels(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(promEscape(l.Value))
+		sb.WriteByte('"')
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(promEscape(extra.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest exact
+// decimal form.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches one exposition sample: name, optional label set, value.
+var sampleLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\+Inf|-Inf|NaN|[0-9eE.+-]+)$`)
+
+// parseExposition validates the text exposition format strictly enough to
+// catch malformed output: every line is a well-formed TYPE comment or
+// sample, every sample's family has a preceding TYPE line, and histogram
+// families carry monotonic buckets plus _sum and _count.
+func parseExposition(t *testing.T, text string) map[string]string {
+	t.Helper()
+	types := make(map[string]string) // family → type
+	samples := make(map[string]bool) // family names seen
+	sc := bufio.NewScanner(strings.NewReader(text))
+	var lastBucketVal uint64
+	var inBucketsFor string
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := parts[2], parts[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown type %q in %q", typ, line)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("duplicate TYPE for %s", name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family = base
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			t.Fatalf("sample %q has no TYPE line (family %q)", line, family)
+		}
+		samples[family] = true
+		if typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if !strings.Contains(labels, `le="`) {
+				t.Fatalf("bucket sample missing le label: %q", line)
+			}
+			v, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count not integral: %q", line)
+			}
+			if family+labels != inBucketsFor {
+				// A new series may reset; same-series buckets must be
+				// monotonic. Track per contiguous run, which is how the
+				// writer emits them.
+				if strings.Contains(labels, `le="+Inf"`) || !strings.Contains(inBucketsFor, family) {
+					lastBucketVal = 0
+				}
+				inBucketsFor = family + labels
+			}
+			if v < lastBucketVal {
+				t.Fatalf("bucket counts not cumulative at %q (%d < %d)", line, v, lastBucketVal)
+			}
+			lastBucketVal = v
+			if strings.Contains(labels, `le="+Inf"`) {
+				lastBucketVal = 0
+				inBucketsFor = ""
+			}
+		}
+	}
+	return types
+}
+
+func TestWritePrometheusValidFormat(t *testing.T) {
+	r := New()
+	r.Counter("switch_frames_forwarded_total").Add(10)
+	r.Counter("switch_port_bytes_total", L("port", "0")).Add(64)
+	r.Counter("switch_port_bytes_total", L("port", "1")).Add(128)
+	r.Gauge("sim_queue_depth_highwater").Set(17)
+	h := r.Histogram("stack_resolution_latency_seconds", []float64{0.001, 0.1, 1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	types := parseExposition(t, out)
+
+	wantTypes := map[string]string{
+		"switch_frames_forwarded_total":    "counter",
+		"switch_port_bytes_total":          "counter",
+		"sim_queue_depth_highwater":        "gauge",
+		"stack_resolution_latency_seconds": "histogram",
+	}
+	for name, typ := range wantTypes {
+		if types[name] != typ {
+			t.Fatalf("family %s = %q, want %q\n%s", name, types[name], typ, out)
+		}
+	}
+	for _, want := range []string{
+		`switch_port_bytes_total{port="0"} 64`,
+		`switch_port_bytes_total{port="1"} 128`,
+		`stack_resolution_latency_seconds_bucket{le="+Inf"} 3`,
+		`stack_resolution_latency_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("odd_total", L("detail", "say \"hi\"\nback\\slash")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `odd_total{detail="say \"hi\"\nback\\slash"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+func TestPrometheusBucketBoundsRenderCleanly(t *testing.T) {
+	r := New()
+	h := r.Histogram("b_seconds", []float64{0.00025, 0.5, 10})
+	h.Observe(0.1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, le := range []string{`le="0.00025"`, `le="0.5"`, `le="10"`} {
+		if !strings.Contains(buf.String(), le) {
+			t.Fatalf("missing %s in:\n%s", le, buf.String())
+		}
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := New()
+	r.Counter("stack_cache_hits_total", L("host", "gateway")).Add(3)
+	var buf bytes.Buffer
+	_ = r.WritePrometheus(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # TYPE stack_cache_hits_total counter
+	// stack_cache_hits_total{host="gateway"} 3
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// PhaseMark is one named instant inside a span: the moment a resolution's
+// request went out, its reply arrived, or its binding entered quarantine.
+type PhaseMark struct {
+	Name string        `json:"name"`
+	At   time.Duration `json:"at"`
+}
+
+// SpanRecord is one completed lifecycle, with per-phase virtual timestamps
+// so detection latency can be attributed to the phase that spent it.
+type SpanRecord struct {
+	Name    string        `json:"name"`
+	Target  string        `json:"target,omitempty"`
+	Start   time.Duration `json:"start"`
+	End     time.Duration `json:"end"`
+	Outcome string        `json:"outcome"`
+	Phases  []PhaseMark   `json:"phases,omitempty"`
+}
+
+// Duration returns the span's total virtual time.
+func (r SpanRecord) Duration() time.Duration { return r.End - r.Start }
+
+// Span is one in-flight lifecycle. The nil Span is a valid no-op, so
+// components can hold and drive spans without checking whether tracing is
+// attached.
+type Span struct {
+	t    *Tracer
+	rec  SpanRecord
+	done bool
+}
+
+// Phase marks a named instant at the current virtual time.
+func (s *Span) Phase(name string) {
+	if s == nil || s.done {
+		return
+	}
+	s.rec.Phases = append(s.rec.Phases, PhaseMark{Name: name, At: s.t.now()})
+}
+
+// Finish completes the span with an outcome ("commit", "fail", "quarantine",
+// "verify", ...) and hands it to the tracer's ring. Finishing twice is a
+// no-op.
+func (s *Span) Finish(outcome string) {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.rec.End = s.t.now()
+	s.rec.Outcome = outcome
+	s.t.complete(s.rec)
+}
+
+// SpanSummary aggregates completed spans per (name, outcome).
+type SpanSummary struct {
+	Name      string  `json:"name"`
+	Outcome   string  `json:"outcome"`
+	Count     uint64  `json:"count"`
+	TotalSecs float64 `json:"totalSeconds"`
+	MaxSecs   float64 `json:"maxSeconds"`
+}
+
+// Tracer records lifecycle spans into a bounded ring (oldest evicted first)
+// and keeps running aggregates that survive eviction. Construct via
+// Registry; the nil Tracer is a valid no-op.
+type Tracer struct {
+	now     func() time.Duration
+	max     int
+	ring    []SpanRecord
+	head    int
+	n       int
+	dropped uint64
+	started uint64
+	agg     map[string]*SpanSummary // keyed name + 0xff + outcome
+}
+
+// newTracer creates a tracer retaining at most max completed spans.
+func newTracer(now func() time.Duration, max int) *Tracer {
+	return &Tracer{now: now, max: max, agg: make(map[string]*SpanSummary)}
+}
+
+// Start opens a span for a named lifecycle against a target (typically the
+// IP being resolved or verified). A nil Tracer returns a nil Span.
+func (t *Tracer) Start(name, target string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.started++
+	return &Span{t: t, rec: SpanRecord{Name: name, Target: target, Start: t.now()}}
+}
+
+// Started returns how many spans have been opened.
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.started
+}
+
+// Dropped returns how many completed spans the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// complete files a finished span: O(1) ring append plus aggregate update.
+func (t *Tracer) complete(rec SpanRecord) {
+	if t.n < t.max {
+		t.ring = append(t.ring, rec)
+		t.n++
+	} else {
+		t.ring[t.head] = rec
+		t.head = (t.head + 1) % t.max
+		t.dropped++
+	}
+	key := rec.Name + "\xff" + rec.Outcome
+	s, ok := t.agg[key]
+	if !ok {
+		s = &SpanSummary{Name: rec.Name, Outcome: rec.Outcome}
+		t.agg[key] = s
+	}
+	secs := rec.Duration().Seconds()
+	s.Count++
+	s.TotalSecs += secs
+	if secs > s.MaxSecs {
+		s.MaxSecs = secs
+	}
+}
+
+// Completed returns the retained spans, oldest first. The slice is a copy.
+func (t *Tracer) Completed() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	out := make([]SpanRecord, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(t.head+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Summaries returns the per-(name, outcome) aggregates, sorted for stable
+// export. Aggregates cover every completed span, including evicted ones.
+func (t *Tracer) Summaries() []SpanSummary {
+	if t == nil {
+		return nil
+	}
+	out := make([]SpanSummary, 0, len(t.agg))
+	for _, s := range t.agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Outcome < out[j].Outcome
+	})
+	return out
+}

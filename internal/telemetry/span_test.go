@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is an adjustable virtual clock for tracer tests.
+type testClock struct{ now time.Duration }
+
+func (c *testClock) fn() func() time.Duration {
+	return func() time.Duration { return c.now }
+}
+
+func TestTracerTableDriven(t *testing.T) {
+	tests := []struct {
+		name        string
+		run         func(clk *testClock, tr *Tracer)
+		wantCount   int
+		wantOutcome string
+		wantDur     time.Duration
+		wantPhases  int
+	}{
+		{
+			name: "commit with phases",
+			run: func(clk *testClock, tr *Tracer) {
+				sp := tr.Start("resolve", "192.168.88.254")
+				clk.now = 50 * time.Microsecond
+				sp.Phase("request")
+				clk.now = 150 * time.Microsecond
+				sp.Phase("reply")
+				clk.now = 200 * time.Microsecond
+				sp.Finish("commit")
+			},
+			wantCount: 1, wantOutcome: "commit",
+			wantDur: 200 * time.Microsecond, wantPhases: 2,
+		},
+		{
+			name: "fail without phases",
+			run: func(clk *testClock, tr *Tracer) {
+				sp := tr.Start("resolve", "192.168.88.9")
+				clk.now = 3 * time.Second
+				sp.Finish("fail")
+			},
+			wantCount: 1, wantOutcome: "fail", wantDur: 3 * time.Second,
+		},
+		{
+			name: "double finish is one record",
+			run: func(clk *testClock, tr *Tracer) {
+				sp := tr.Start("verify", "x")
+				clk.now = time.Second
+				sp.Finish("reject")
+				clk.now = 2 * time.Second
+				sp.Finish("commit")
+			},
+			wantCount: 1, wantOutcome: "reject", wantDur: time.Second,
+		},
+		{
+			name: "unfinished span not recorded",
+			run: func(clk *testClock, tr *Tracer) {
+				tr.Start("resolve", "y").Phase("request")
+			},
+			wantCount: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			clk := &testClock{}
+			tr := newTracer(clk.fn(), 16)
+			tt.run(clk, tr)
+			recs := tr.Completed()
+			if len(recs) != tt.wantCount {
+				t.Fatalf("completed = %d, want %d", len(recs), tt.wantCount)
+			}
+			if tt.wantCount == 0 {
+				return
+			}
+			rec := recs[0]
+			if rec.Outcome != tt.wantOutcome {
+				t.Fatalf("outcome = %q, want %q", rec.Outcome, tt.wantOutcome)
+			}
+			if rec.Duration() != tt.wantDur {
+				t.Fatalf("duration = %v, want %v", rec.Duration(), tt.wantDur)
+			}
+			if len(rec.Phases) != tt.wantPhases {
+				t.Fatalf("phases = %d, want %d", len(rec.Phases), tt.wantPhases)
+			}
+		})
+	}
+}
+
+func TestTracerRingEvictionOldestFirst(t *testing.T) {
+	clk := &testClock{}
+	tr := newTracer(clk.fn(), 3)
+	for i := 0; i < 5; i++ {
+		clk.now = time.Duration(i) * time.Second
+		sp := tr.Start("resolve", "t")
+		sp.Finish("commit")
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	recs := tr.Completed()
+	if len(recs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		want := time.Duration(i+2) * time.Second
+		if rec.Start != want {
+			t.Fatalf("record %d start = %v, want %v (oldest-first)", i, rec.Start, want)
+		}
+	}
+	// Aggregates survive eviction.
+	sums := tr.Summaries()
+	if len(sums) != 1 || sums[0].Count != 5 {
+		t.Fatalf("summaries = %+v, want one entry counting all 5", sums)
+	}
+}
+
+func TestTracerSummariesSorted(t *testing.T) {
+	clk := &testClock{}
+	tr := newTracer(clk.fn(), 16)
+	tr.Start("verify", "a").Finish("reject")
+	tr.Start("resolve", "b").Finish("fail")
+	tr.Start("resolve", "c").Finish("commit")
+	sums := tr.Summaries()
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	order := []string{"resolve/commit", "resolve/fail", "verify/reject"}
+	for i, s := range sums {
+		if got := s.Name + "/" + s.Outcome; got != order[i] {
+			t.Fatalf("summary %d = %s, want %s", i, got, order[i])
+		}
+	}
+	if tr.Started() != 3 {
+		t.Fatalf("started = %d", tr.Started())
+	}
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+)
+
+// TestWritePCAPGolden checks the exported bytes against a hand-assembled
+// libpcap fixture: global header (magic, version 2.4, snaplen, Ethernet
+// linktype) and the per-record header fields, byte for byte.
+func TestWritePCAPGolden(t *testing.T) {
+	c := NewCapture(0)
+	req := arpFrame(arppkt.NewRequest(macA, ipA, ipB), macA, ethaddr.BroadcastMAC)
+	c.Tap()(netsim.TapEvent{
+		At: 12*time.Second + 345678*time.Microsecond, Port: 0,
+		Frame: req, WireLen: req.WireLen(),
+	})
+
+	var buf bytes.Buffer
+	if err := c.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	wire, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0xd4, 0xc3, 0xb2, 0xa1, // magic, little-endian on the wire
+		0x02, 0x00, // version major = 2
+		0x04, 0x00, // version minor = 4
+		0x00, 0x00, 0x00, 0x00, // thiszone
+		0x00, 0x00, 0x00, 0x00, // sigfigs
+		0xff, 0xff, 0x00, 0x00, // snaplen = 65535
+		0x01, 0x00, 0x00, 0x00, // linktype = 1 (Ethernet)
+		0x0c, 0x00, 0x00, 0x00, // ts_sec = 12
+		0x4e, 0x46, 0x05, 0x00, // ts_usec = 345678
+		0x3c, 0x00, 0x00, 0x00, // incl_len = 60
+		0x3c, 0x00, 0x00, 0x00, // orig_len = 60
+	}
+	want = append(want, wire...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("pcap bytes differ\n got: %x\nwant: %x", got, want)
+	}
+}
+
+// TestWriteJSONAfterOverflow checks the export goes through the snapshot
+// path: dropped counts are reported and the records come out oldest-first
+// even when the ring head has wrapped.
+func TestWriteJSONAfterOverflow(t *testing.T) {
+	c := NewCapture(2)
+	tap := c.Tap()
+	for i := 0; i < 5; i++ {
+		tap(tapEvent(&frame.Frame{Dst: macB, Src: macA, Type: frame.TypeIPv4}, i))
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Stats   Stats    `json:"stats"`
+		Dropped uint64   `json:"dropped"`
+		Records []Record `json:"records"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Dropped != 3 || doc.Stats.Dropped != 3 {
+		t.Fatalf("dropped = %d, stats.dropped = %d", doc.Dropped, doc.Stats.Dropped)
+	}
+	if doc.Stats.Frames != 5 {
+		t.Fatalf("frames = %d", doc.Stats.Frames)
+	}
+	if len(doc.Records) != 2 || doc.Records[0].Port != 3 || doc.Records[1].Port != 4 {
+		t.Fatalf("records not oldest-first after wrap: %+v", doc.Records)
+	}
+}
+
+// TestRingWrapManyTimes drives the ring through several full revolutions
+// and confirms retention is always the most recent max records in order.
+func TestRingWrapManyTimes(t *testing.T) {
+	c := NewCapture(7)
+	tap := c.Tap()
+	const total = 100
+	for i := 0; i < total; i++ {
+		tap(tapEvent(&frame.Frame{Dst: macB, Src: macA, Type: frame.TypeIPv4}, i))
+	}
+	recs := c.Records()
+	if len(recs) != 7 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	for i, r := range recs {
+		if want := total - 7 + i; r.Port != want {
+			t.Fatalf("record %d: port %d, want %d", i, r.Port, want)
+		}
+	}
+	if c.Dropped() != total-7 {
+		t.Fatalf("dropped = %d", c.Dropped())
+	}
+}
+
+// BenchmarkCaptureOverflowAppend measures the steady-state append cost of a
+// full capture. The circular buffer overwrites in place, so the per-append
+// cost must stay flat (and small) regardless of the retention bound — the
+// old slice-shift eviction was O(len) per append.
+func BenchmarkCaptureOverflowAppend(b *testing.B) {
+	for _, size := range []int{1024, 65536} {
+		b.Run(byteSizeName(size), func(b *testing.B) {
+			c := NewCapture(size)
+			f := &frame.Frame{Dst: macB, Src: macA, Type: frame.TypeIPv4}
+			ev := netsim.TapEvent{Port: 1, Frame: f, WireLen: f.WireLen()}
+			for i := 0; i < size; i++ { // fill to the bound
+				c.observe(ev)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.observe(ev)
+			}
+		})
+	}
+}
+
+func byteSizeName(n int) string {
+	switch {
+	case n >= 1<<16:
+		return "cap64Ki"
+	default:
+		return "cap1Ki"
+	}
+}

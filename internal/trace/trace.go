@@ -17,36 +17,40 @@ import (
 
 // Record is one captured frame with decoded summaries.
 type Record struct {
-	At      time.Duration   `json:"at"`
-	Port    int             `json:"port"`
-	Src     string          `json:"src"`
-	Dst     string          `json:"dst"`
-	Type    string          `json:"type"`
-	WireLen int             `json:"wireLen"`
-	Info    string          `json:"info,omitempty"`
-	ARP     *arppkt.Packet  `json:"-"`
-	Frame   *frame.Frame    `json:"-"`
+	At      time.Duration  `json:"at"`
+	Port    int            `json:"port"`
+	Src     string         `json:"src"`
+	Dst     string         `json:"dst"`
+	Type    string         `json:"type"`
+	WireLen int            `json:"wireLen"`
+	Info    string         `json:"info,omitempty"`
+	ARP     *arppkt.Packet `json:"-"`
+	Frame   *frame.Frame   `json:"-"`
 }
 
-// Capture accumulates records from one or more taps. The zero value is
-// ready to use. Captures are bounded: when max is exceeded the oldest
-// records are discarded (ring semantics), so long simulations cannot
-// exhaust memory.
+// Capture accumulates records from one or more taps. Captures are bounded:
+// when max is exceeded the oldest records are discarded, so long simulations
+// cannot exhaust memory. Retention is a circular buffer — once full, each
+// new record overwrites the oldest in place, so steady-state appends are
+// O(1) regardless of capacity.
 type Capture struct {
 	max     int
-	records []Record
+	buf     []Record // circular storage, capacity max
+	head    int      // index of the oldest record when full
+	n       int      // records currently retained (≤ max)
 	dropped uint64
 	stats   Stats
 }
 
 // Stats summarizes a capture.
 type Stats struct {
-	Frames      uint64                      `json:"frames"`
-	Bytes       uint64                      `json:"bytes"`
-	ByType      map[string]uint64           `json:"byType"`
-	ARPOps      map[string]uint64           `json:"arpOps"`
-	Gratuitous  uint64                      `json:"gratuitous"`
-	Broadcast   uint64                      `json:"broadcast"`
+	Frames     uint64            `json:"frames"`
+	Bytes      uint64            `json:"bytes"`
+	ByType     map[string]uint64 `json:"byType"`
+	ARPOps     map[string]uint64 `json:"arpOps"`
+	Gratuitous uint64            `json:"gratuitous"`
+	Broadcast  uint64            `json:"broadcast"`
+	Dropped    uint64            `json:"dropped"`
 }
 
 // NewCapture creates a capture retaining at most max records (0 means the
@@ -69,6 +73,13 @@ func (c *Capture) Tap() netsim.TapFunc {
 
 // observe ingests one tap event.
 func (c *Capture) observe(ev netsim.TapEvent) {
+	if c.max <= 0 {
+		c.max = 65536 // zero-value Capture gets the default bound
+	}
+	if c.stats.ByType == nil {
+		c.stats.ByType = make(map[string]uint64)
+		c.stats.ARPOps = make(map[string]uint64)
+	}
 	r := Record{
 		At:      ev.At,
 		Port:    ev.Port,
@@ -94,22 +105,41 @@ func (c *Capture) observe(ev netsim.TapEvent) {
 			}
 		}
 	}
-	if len(c.records) >= c.max {
-		c.records = c.records[1:]
-		c.dropped++
+	if c.buf == nil {
+		c.buf = make([]Record, 0, c.max)
 	}
-	c.records = append(c.records, r)
+	if c.n < c.max {
+		c.buf = append(c.buf, r)
+		c.n++
+		return
+	}
+	// Full: overwrite the oldest slot and advance the head.
+	c.buf[c.head] = r
+	c.head = (c.head + 1) % c.max
+	c.dropped++
 }
 
 // Len returns the number of retained records.
-func (c *Capture) Len() int { return len(c.records) }
+func (c *Capture) Len() int { return c.n }
 
 // Dropped returns how many records were discarded by the ring bound.
 func (c *Capture) Dropped() uint64 { return c.dropped }
 
-// Stats returns a copy of the capture summary.
+// each calls fn for every retained record, oldest first.
+func (c *Capture) each(fn func(Record) error) error {
+	for i := 0; i < c.n; i++ {
+		if err := fn(c.buf[(c.head+i)%c.max]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a copy of the capture summary, including how many records
+// the ring bound discarded.
 func (c *Capture) Stats() Stats {
 	out := c.stats
+	out.Dropped = c.dropped
 	out.ByType = make(map[string]uint64, len(c.stats.ByType))
 	for k, v := range c.stats.ByType {
 		out.ByType[k] = v
@@ -121,22 +151,26 @@ func (c *Capture) Stats() Stats {
 	return out
 }
 
-// Records returns the retained records, newest last. The slice is a copy;
+// Records returns the retained records, oldest first. The slice is a copy;
 // the frames inside are shared and must be treated as read-only.
 func (c *Capture) Records() []Record {
-	out := make([]Record, len(c.records))
-	copy(out, c.records)
+	out := make([]Record, 0, c.n)
+	c.each(func(r Record) error {
+		out = append(out, r)
+		return nil
+	})
 	return out
 }
 
-// Filter returns the retained records matching pred.
+// Filter returns the retained records matching pred, oldest first.
 func (c *Capture) Filter(pred func(Record) bool) []Record {
 	var out []Record
-	for _, r := range c.records {
+	c.each(func(r Record) error {
 		if pred(r) {
 			out = append(out, r)
 		}
-	}
+		return nil
+	})
 	return out
 }
 
@@ -145,13 +179,15 @@ func (c *Capture) ARPOnly() []Record {
 	return c.Filter(func(r Record) bool { return r.ARP != nil })
 }
 
-// WriteJSON exports records and stats as a single JSON document.
+// WriteJSON exports records and stats as a single JSON document. It goes
+// through the Stats/Records snapshot path, so the document is ordered
+// oldest-first and safe against later capture activity.
 func (c *Capture) WriteJSON(w io.Writer) error {
 	doc := struct {
 		Stats   Stats    `json:"stats"`
 		Dropped uint64   `json:"dropped"`
 		Records []Record `json:"records"`
-	}{Stats: c.Stats(), Dropped: c.dropped, Records: c.records}
+	}{Stats: c.Stats(), Dropped: c.dropped, Records: c.Records()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -182,10 +218,12 @@ func (c *Capture) WritePCAP(w io.Writer) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("pcap header: %w", err)
 	}
-	for i, r := range c.records {
+	i := 0
+	return c.each(func(r Record) error {
+		i++
 		wire, err := r.Frame.Encode()
 		if err != nil {
-			return fmt.Errorf("pcap record %d: %w", i, err)
+			return fmt.Errorf("pcap record %d: %w", i-1, err)
 		}
 		var rec [16]byte
 		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.At/time.Second))
@@ -193,11 +231,11 @@ func (c *Capture) WritePCAP(w io.Writer) error {
 		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(wire)))
 		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(wire)))
 		if _, err := w.Write(rec[:]); err != nil {
-			return fmt.Errorf("pcap record %d: %w", i, err)
+			return fmt.Errorf("pcap record %d: %w", i-1, err)
 		}
 		if _, err := w.Write(wire); err != nil {
-			return fmt.Errorf("pcap record %d: %w", i, err)
+			return fmt.Errorf("pcap record %d: %w", i-1, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }

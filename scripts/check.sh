@@ -1,0 +1,34 @@
+#!/bin/sh
+# check.sh — the repository's CI gate, runnable locally.
+#
+# Runs, in order: formatting check, vet, build, the full test suite, and a
+# race-detector pass over the packages that exercise the whole stack at
+# once. Any failure stops the run with a non-zero exit.
+#
+#   ./scripts/check.sh          # the full gate
+#   make check                  # same, via the Makefile
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/eval ./internal/integration"
+go test -race ./internal/eval ./internal/integration
+
+echo "==> all checks passed"
