@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench
+.PHONY: check build test race vet fmt bench benchfull
 
 check:
 	./scripts/check.sh
@@ -23,5 +23,11 @@ vet:
 fmt:
 	gofmt -l -w .
 
+# bench runs every experiment benchmark once and records (name, ns/op,
+# allocs/op) to BENCH_PR2.json — the perf trajectory later PRs diff against.
 bench:
+	./scripts/bench.sh
+
+# benchfull is the statistically meaningful run (multiple iterations).
+benchfull:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -12,11 +12,13 @@ package repro
 //	go test -bench=BenchmarkTable3 -benchtime=1x   # one full experiment
 
 import (
+	"bytes"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
 	"crypto/sha256"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -60,6 +62,37 @@ func BenchmarkTable3Detection(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkTable3At runs Table 3 at a fixed worker-pool width and checks
+// the rendered output against the sequential reference, so the speedup
+// numbers are only ever quoted for byte-identical results.
+func benchmarkTable3At(b *testing.B, workers int) {
+	eval.SetParallelism(1)
+	var want bytes.Buffer
+	if err := eval.Table3Detection(4).Render(&want); err != nil {
+		b.Fatal(err)
+	}
+	eval.SetParallelism(workers)
+	defer eval.SetParallelism(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := eval.Table3Detection(4)
+		var got bytes.Buffer
+		if err := t.Render(&got); err != nil {
+			b.Fatal(err)
+		}
+		if got.String() != want.String() {
+			b.Fatal("parallel run diverged from the sequential reference output")
+		}
+	}
+}
+
+// BenchmarkTable3Sequential vs BenchmarkTable3Parallel measures the trial
+// worker pool's wall-clock win on the flagship detection experiment
+// (5 schemes × 4 seeds = 20 isolated simulations). Compare ns/op; on a
+// ≥4-core machine the parallel variant should be ≥2x faster.
+func BenchmarkTable3Sequential(b *testing.B) { benchmarkTable3At(b, 1) }
+func BenchmarkTable3Parallel(b *testing.B)   { benchmarkTable3At(b, runtime.GOMAXPROCS(0)) }
 
 func BenchmarkTable4Overhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -229,6 +262,49 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 	if err := s.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkSchedulerSteadyState measures the engine's real operating shape:
+// each event schedules the next, so the free list recycles one event
+// forever. This is the path every retry timer, probe window and frame hop
+// rides; with pooling it runs allocation-free.
+func BenchmarkSchedulerSteadyState(b *testing.B) {
+	s := sim.NewScheduler(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, step)
+		}
+	}
+	s.After(time.Microsecond, step)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("ran %d of %d events", n, b.N)
+	}
+}
+
+// BenchmarkSchedulerEvery prices one periodic tick: the re-armed cycle
+// reuses a single pooled event instead of allocating one per period.
+func BenchmarkSchedulerEvery(b *testing.B) {
+	s := sim.NewScheduler(1)
+	n := 0
+	tm := s.Every(time.Microsecond, func() { n++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.RunUntil(time.Duration(b.N) * time.Microsecond); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	tm.Stop()
+	if n < b.N {
+		b.Fatalf("ticked %d of %d", n, b.N)
 	}
 }
 

@@ -8,6 +8,11 @@
 //	arpbench -figure 2        # one figure
 //	arpbench -trials 20       # more trials per experiment
 //	arpbench -csv             # machine-readable output
+//	arpbench -parallel 1      # force sequential trial execution
+//
+// Trials fan out across a worker pool (default GOMAXPROCS); output is
+// byte-identical at any width because every trial is an isolated seeded
+// simulation and results are aggregated in seed order.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 // figure: wall-clock time plus the Go runtime's allocation and GC work.
 type runMetrics struct {
 	Experiment   string  `json:"experiment"`
+	Parallel     int     `json:"parallel"` // trial worker-pool width used
 	WallSeconds  float64 `json:"wallSeconds"`
 	AllocBytes   uint64  `json:"allocBytes"` // heap bytes allocated during the run
 	Mallocs      uint64  `json:"mallocs"`    // heap objects allocated during the run
@@ -99,6 +105,7 @@ func run(w io.Writer, args []string) error {
 	table := fs.Int("table", 0, "render only this table (1-7)")
 	figure := fs.Int("figure", 0, "render only this figure (1-7)")
 	trials := fs.Int("trials", 5, "trials per stochastic experiment")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "trial worker goroutines (1 = sequential; output is identical at any width)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	recommend := fs.String("recommend", "", "print the ranked schemes and scoring rationale for an environment: soho | enterprise | open-wifi | lab-static")
 	metricsPath := fs.String("metrics", "", "write per-experiment runtime metrics (wall time, allocations, GC) to this file as JSON")
@@ -108,6 +115,7 @@ func run(w io.Writer, args []string) error {
 	if *recommend != "" {
 		return printRecommendation(w, *recommend)
 	}
+	eval.SetParallelism(*parallel)
 
 	var collected []runMetrics
 	writeMetrics := func() error {
@@ -179,6 +187,7 @@ func run(w io.Writer, args []string) error {
 		if err != nil {
 			return err
 		}
+		m.Parallel = eval.Parallelism()
 		collected = append(collected, m)
 		return nil
 	}

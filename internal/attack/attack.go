@@ -81,7 +81,7 @@ type Attacker struct {
 	stats Stats
 
 	onFrame      []func(*frame.Frame)
-	repoison     *sim.Timer
+	repoison     sim.Timer
 	racing       map[ethaddr.IPv4]raceSpec
 	relaying     map[relayKey]relaySpec
 	blackhole    map[ethaddr.IPv4]bool
@@ -204,9 +204,7 @@ func (a *Attacker) PoisonPeriodically(period time.Duration,
 
 // StopPoisoning halts periodic re-poisoning.
 func (a *Attacker) StopPoisoning() {
-	if a.repoison != nil {
-		a.repoison.Stop()
-	}
+	a.repoison.Stop()
 }
 
 // RelayBetween installs full-duplex forwarding so intercepted IP traffic
@@ -244,7 +242,7 @@ func (a *Attacker) FloodCache(gen *ethaddr.Gen, subnet ethaddr.Subnet, n int, ga
 // lets the victim's genuine reply re-teach the switch, the stolen frame is
 // replayed to the victim, and the port is stolen again — preserving
 // connectivity the way the classic tools do.
-func (a *Attacker) StealPort(victimMAC ethaddr.MAC, victimIP ethaddr.IPv4, period time.Duration, restore bool) *sim.Timer {
+func (a *Attacker) StealPort(victimMAC ethaddr.MAC, victimIP ethaddr.IPv4, period time.Duration, restore bool) sim.Timer {
 	a.stealing[victimMAC] = stealSpec{victimIP: victimIP, restore: restore}
 	steal := func() {
 		if _, active := a.stealing[victimMAC]; !active {

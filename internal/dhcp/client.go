@@ -28,7 +28,7 @@ type Client struct {
 	xid     uint32
 	lease   Lease
 	onBound func(Lease)
-	timeout *sim.Timer
+	timeout sim.Timer
 }
 
 // NewClient attaches a DHCP client to host. onBound (optional) fires every
@@ -69,9 +69,7 @@ func (c *Client) ReleaseAddress() {
 
 // armRetry restarts discovery if the exchange stalls.
 func (c *Client) armRetry() {
-	if c.timeout != nil {
-		c.timeout.Stop()
-	}
+	c.timeout.Stop()
 	c.timeout = c.sched.After(4*time.Second, func() {
 		if c.state == StateSelecting || c.state == StateRequesting {
 			c.Acquire()
@@ -104,9 +102,7 @@ func (c *Client) handle(src ethaddr.IPv4, srcPort uint16, payload []byte) {
 		if c.state != StateRequesting {
 			return
 		}
-		if c.timeout != nil {
-			c.timeout.Stop()
-		}
+		c.timeout.Stop()
 		c.state = StateBound
 		c.lease = Lease{
 			IP:      m.YourIP,

@@ -165,11 +165,12 @@ func Table3Detection(trials int) *Table {
 			"FP/churn: alerts naming benignly readdressed IPs, per churn event",
 		},
 	}
+	// One flat (scheme × seed) grid keeps the pool saturated even when
+	// trials < workers; each scheme aggregates its own slice segment.
+	var cfgs []detectionTrialConfig
 	for _, scheme := range DetectionSchemes() {
-		var detected, fps, churns int
-		var latencies []float64
 		for seed := int64(1); seed <= int64(trials); seed++ {
-			res := runDetectionTrial(detectionTrialConfig{
+			cfgs = append(cfgs, detectionTrialConfig{
 				scheme:   scheme,
 				seed:     seed,
 				hosts:    8,
@@ -177,6 +178,13 @@ func Table3Detection(trials int) *Table {
 				attackAt: 60 * time.Second,
 				horizon:  120 * time.Second,
 			})
+		}
+	}
+	results := Map(cfgs, runDetectionTrial)
+	for si, scheme := range DetectionSchemes() {
+		var detected, fps, churns int
+		var latencies []float64
+		for _, res := range results[si*trials : (si+1)*trials] {
 			if res.detected {
 				detected++
 				latencies = append(latencies, res.latency.Seconds()*1000)
@@ -192,11 +200,21 @@ func Table3Detection(trials int) *Table {
 		t.AddRow(scheme,
 			fmt.Sprintf("%.2f", tpr.P),
 			fmt.Sprintf("%.2f", fpPerChurn),
-			fmt.Sprintf("%.1fms", stats.Quantile(latencies, 0.5)),
-			fmt.Sprintf("%.1fms", stats.Quantile(latencies, 0.95)),
+			latencyCell(latencies, 0.5),
+			latencyCell(latencies, 0.95),
 		)
 	}
 	return t
+}
+
+// latencyCell renders one latency-quantile cell. A scheme that never
+// detected has no latency distribution; it gets n/a rather than a quantile
+// of nothing.
+func latencyCell(latencies []float64, q float64) string {
+	if len(latencies) == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fms", stats.Quantile(latencies, q))
 }
 
 // Figure1LatencyCDF collects detection latencies per scheme across trials
@@ -210,10 +228,10 @@ func Figure1LatencyCDF(trials int) *Figure {
 		XFmt:   "%.2f",
 		YFmt:   "%.3f",
 	}
+	var cfgs []detectionTrialConfig
 	for _, scheme := range DetectionSchemes() {
-		var latencies []float64
 		for seed := int64(1); seed <= int64(trials); seed++ {
-			res := runDetectionTrial(detectionTrialConfig{
+			cfgs = append(cfgs, detectionTrialConfig{
 				scheme:   scheme,
 				seed:     seed + 1000, // distinct seed space from Table 3
 				hosts:    8,
@@ -221,6 +239,12 @@ func Figure1LatencyCDF(trials int) *Figure {
 				attackAt: 60 * time.Second,
 				horizon:  120 * time.Second,
 			})
+		}
+	}
+	results := Map(cfgs, runDetectionTrial)
+	for si, scheme := range DetectionSchemes() {
+		var latencies []float64
+		for _, res := range results[si*trials : (si+1)*trials] {
 			if res.detected {
 				latencies = append(latencies, res.latency.Seconds()*1000)
 			}
@@ -248,15 +272,17 @@ func Figure4ChurnFalsePositives(trialsPerPoint int) *Figure {
 		YFmt:   "%.2f",
 	}
 	horizon := 10 * time.Minute
-	for _, scheme := range []string{"arpwatch", "active-probe", "hybrid-guard"} {
-		for _, churnsPerRun := range []int{0, 1, 2, 4, 8, 16} {
-			totalFPs := 0
+	schemesSwept := []string{"arpwatch", "active-probe", "hybrid-guard"}
+	churnRates := []int{0, 1, 2, 4, 8, 16}
+	var cfgs []detectionTrialConfig
+	for _, scheme := range schemesSwept {
+		for _, churnsPerRun := range churnRates {
 			hosts := churnsPerRun + 4
 			if hosts < 8 {
 				hosts = 8
 			}
 			for seed := int64(1); seed <= int64(trialsPerPoint); seed++ {
-				res := runDetectionTrial(detectionTrialConfig{
+				cfgs = append(cfgs, detectionTrialConfig{
 					scheme:   scheme,
 					seed:     seed + 5000,
 					hosts:    hosts,
@@ -264,8 +290,18 @@ func Figure4ChurnFalsePositives(trialsPerPoint int) *Figure {
 					attackAt: horizon + time.Hour, // never: churn only
 					horizon:  horizon,
 				})
+			}
+		}
+	}
+	results := Map(cfgs, runDetectionTrial)
+	cell := 0
+	for _, scheme := range schemesSwept {
+		for _, churnsPerRun := range churnRates {
+			totalFPs := 0
+			for _, res := range results[cell*trialsPerPoint : (cell+1)*trialsPerPoint] {
 				totalFPs += res.fpAlerts
 			}
+			cell++
 			perHourChurn := float64(churnsPerRun) / horizon.Hours()
 			perHourFP := float64(totalFPs) / float64(trialsPerPoint) / horizon.Hours()
 			f.AddPoint(scheme, perHourChurn, perHourFP)

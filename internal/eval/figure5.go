@@ -32,14 +32,25 @@ func Figure5CamFlood(rates []float64, horizon time.Duration) *Figure {
 		XFmt:   "%.0f",
 		YFmt:   "%.3f",
 	}
+	type cell struct {
+		protected bool
+		rate      float64
+	}
+	var cells []cell
 	for _, protected := range []bool{false, true} {
+		for _, rate := range rates {
+			cells = append(cells, cell{protected, rate})
+		}
+	}
+	fractions := Map(cells, func(c cell) float64 {
+		return camFloodPoint(c.rate, horizon, c.protected)
+	})
+	for i, c := range cells {
 		name := "unprotected"
-		if protected {
+		if c.protected {
 			name = "port-security"
 		}
-		for _, rate := range rates {
-			f.AddPoint(name, rate, camFloodPoint(rate, horizon, protected))
-		}
+		f.AddPoint(name, c.rate, fractions[i])
 	}
 	return f
 }

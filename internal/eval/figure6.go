@@ -32,11 +32,21 @@ func Figure6WindowAblation(attemptsPerPoint int) *Figure {
 			"probes repeat every ≤100ms until the window closes, so longer windows buy loss tolerance",
 		},
 	}
+	type cell struct {
+		window time.Duration
+		loss   float64
+	}
+	var cells []cell
 	for _, window := range []time.Duration{100 * time.Millisecond, 300 * time.Millisecond, time.Second} {
-		series := window.String()
 		for _, loss := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
-			f.AddPoint(series, loss, windowAblationPoint(window, loss, attemptsPerPoint))
+			cells = append(cells, cell{window, loss})
 		}
+	}
+	rates := Map(cells, func(c cell) float64 {
+		return windowAblationPoint(c.window, c.loss, attemptsPerPoint)
+	})
+	for i, c := range cells {
+		f.AddPoint(c.window.String(), c.loss, rates[i])
 	}
 	return f
 }

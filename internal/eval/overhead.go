@@ -182,11 +182,16 @@ func Table4Overhead(rounds int) (*Table, error) {
 		{"tarp", "~0 (ticket reuse)", crypto.VerifyPerOp.String()},
 		{"s-arp", crypto.SignPerOp.String(), crypto.VerifyPerOp.String()},
 	}
-	for _, s := range schemesUnderTest {
-		cost := measureResolutions(s.name, rounds)
+	costs := Map(schemesUnderTest, func(s struct {
+		name              string
+		senderCPU, rcvCPU string
+	}) resolutionCost {
+		return measureResolutions(s.name, rounds)
+	})
+	for i, s := range schemesUnderTest {
 		t.AddRow(s.name,
-			fmt.Sprintf("%.0f", cost.wireBytes),
-			cost.latency.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", costs[i].wireBytes),
+			costs[i].latency.Round(time.Microsecond).String(),
 			s.senderCPU, s.rcvCPU,
 		)
 	}
@@ -209,10 +214,21 @@ func Figure3Scaling(sizes []int, horizon time.Duration) *Figure {
 		XFmt:   "%.0f",
 		YFmt:   "%.0f",
 	}
+	type cell struct {
+		scheme string
+		n      int
+	}
+	var cells []cell
 	for _, scheme := range []string{"plain-arp", "middleware", "s-arp", "tarp"} {
 		for _, n := range sizes {
-			f.AddPoint(scheme, float64(n), measureScalingPoint(scheme, n, horizon))
+			cells = append(cells, cell{scheme, n})
 		}
+	}
+	loads := Map(cells, func(c cell) float64 {
+		return measureScalingPoint(c.scheme, c.n, horizon)
+	})
+	for i, c := range cells {
+		f.AddPoint(c.scheme, float64(c.n), loads[i])
 	}
 	return f
 }

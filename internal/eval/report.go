@@ -28,9 +28,11 @@ func (t *Table) AddRow(cells ...any) {
 	t.Rows = append(t.Rows, row)
 }
 
-// Render writes an aligned ASCII table.
+// Render writes an aligned ASCII table. Ragged rows are tolerated: cells
+// beyond the column count are emitted unaligned rather than panicking.
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
+	maxWidth := 0
 	for i, c := range t.Columns {
 		widths[i] = runeLen(c)
 	}
@@ -41,6 +43,15 @@ func (t *Table) Render(w io.Writer) error {
 			}
 		}
 	}
+	for _, wd := range widths {
+		if wd > maxWidth {
+			maxWidth = wd
+		}
+	}
+	// One shared pad buffer; slicing a string is free, so per-cell padding
+	// costs no allocation (strings.Repeat per cell dominated the renderer's
+	// allocs in BenchmarkTable1PropertyMatrix).
+	pad := strings.Repeat(" ", maxWidth)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
 	writeRow := func(cells []string) {
@@ -49,7 +60,11 @@ func (t *Table) Render(w io.Writer) error {
 				b.WriteString("  ")
 			}
 			b.WriteString(cell)
-			b.WriteString(strings.Repeat(" ", widths[i]-runeLen(cell)))
+			if i < len(widths) {
+				if d := widths[i] - runeLen(cell); d > 0 {
+					b.WriteString(pad[:d])
+				}
+			}
 		}
 		b.WriteByte('\n')
 	}

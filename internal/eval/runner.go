@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The trial runner fans independent, seeded simulation trials out across a
+// worker pool. Every trial owns its entire world — one sim.Scheduler, one
+// labnet.LAN, one alert sink, one telemetry registry if any — so trials
+// share no mutable state and can run on any goroutine (the per-trial
+// isolation invariant; see DESIGN.md "Performance"). Results are collected
+// into an index-addressed slice and aggregated in input order by every
+// caller, which makes rendered tables and figures byte-identical to a
+// sequential run at any pool width.
+
+// parallelism is the configured worker-pool width; 0 means GOMAXPROCS.
+var parallelism atomic.Int32
+
+// SetParallelism fixes the number of worker goroutines trial fan-out uses.
+// n <= 0 restores the default (GOMAXPROCS, read at each run). cmd/arpbench
+// sets this once from its -parallel flag; benchmarks pin it per run.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the worker-pool width the next fan-out will use.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunTrials runs one seeded trial per seed 1..trials across the worker pool
+// and returns the results indexed by trial (seed i+1 lands at index i, so
+// aggregation order matches the classic sequential seed loop exactly).
+func RunTrials[R any](trials int, trial func(seed int64) R) []R {
+	if trials < 0 {
+		trials = 0
+	}
+	out := make([]R, trials)
+	forIndexed(trials, func(i int) { out[i] = trial(int64(i) + 1) })
+	return out
+}
+
+// Map runs one trial per config across the worker pool and returns results
+// index-aligned with cfgs. It is the cell-shaped counterpart of RunTrials
+// for experiments that sweep a grid (scheme × size, window × loss, ...).
+func Map[C, R any](cfgs []C, run func(C) R) []R {
+	out := make([]R, len(cfgs))
+	forIndexed(len(cfgs), func(i int) { out[i] = run(cfgs[i]) })
+	return out
+}
+
+// forIndexed dispatches fn(0..n-1) across min(Parallelism(), n) workers fed
+// by an atomic work counter. With one worker (or one item) it degenerates to
+// the plain loop, adding no goroutine or synchronization cost. A panic in
+// any trial stops the dispatch and is re-raised on the caller's goroutine
+// once in-flight trials finish, mirroring a sequential loop's abort.
+func forIndexed(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								panicked = r
+								next.Store(int64(n)) // stop dispatching
+							})
+						}
+					}()
+					fn(int(i))
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

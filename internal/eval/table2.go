@@ -75,14 +75,17 @@ func runPolicyTrial(policy stack.Policy, v attack.Variant, established bool) boo
 	return ok && mac == l.Attacker.MAC()
 }
 
-// runRaceTrial runs `trials` independent reply-race attempts and returns
-// how many the attacker won (the victim cached the forged binding).
-// ownerExtraLatency handicaps the genuine owner's link; attackerDelay is
-// the forger's reaction delay; jitter randomizes both links.
+// runRaceTrial runs `trials` independent reply-race attempts (fanned out
+// across the trial worker pool) and returns how many the attacker won (the
+// victim cached the forged binding). ownerExtraLatency handicaps the
+// genuine owner's link; attackerDelay is the forger's reaction delay;
+// jitter randomizes both links.
 func runRaceTrial(policy stack.Policy, established bool, trials int, attackerDelay, ownerExtraLatency, jitter time.Duration) int {
 	wins := 0
-	for i := 0; i < trials; i++ {
-		if raceOnce(policy, established, int64(i+1), attackerDelay, ownerExtraLatency, jitter) {
+	for _, won := range RunTrials(trials, func(seed int64) bool {
+		return raceOnce(policy, established, seed, attackerDelay, ownerExtraLatency, jitter)
+	}) {
+		if won {
 			wins++
 		}
 	}

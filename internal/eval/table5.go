@@ -107,9 +107,11 @@ func Table5Ablation(trials int) *Table {
 		}},
 	}
 	for _, cfg := range configs {
+		build := cfg.build
 		var detected, confirmed, fps, held int
-		for seed := int64(1); seed <= int64(trials); seed++ {
-			out := runAblation(seed, cfg.build)
+		for _, out := range RunTrials(trials, func(seed int64) ablationOutcome {
+			return runAblation(seed, build)
+		}) {
 			if out.detected {
 				detected++
 			}

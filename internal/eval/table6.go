@@ -40,13 +40,16 @@ func Table6EvasiveAttacker(trials int) *Table {
 		},
 	}
 	for _, scheme := range []string{"arpwatch", "active-probe", "middleware", "hybrid-guard", "dai", "s-arp"} {
+		scheme := scheme
 		var deceived, flagged int
-		for seed := int64(1); seed <= int64(trials); seed++ {
+		for _, out := range RunTrials(trials, func(seed int64) [2]bool {
 			d, f := runEvasiveTrial(scheme, seed)
-			if d {
+			return [2]bool{d, f}
+		}) {
+			if out[0] {
 				deceived++
 			}
-			if f {
+			if out[1] {
 				flagged++
 			}
 		}

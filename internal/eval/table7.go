@@ -31,13 +31,16 @@ func Table7PortStealing(trials int) *Table {
 		},
 	}
 	for _, scheme := range []string{"none", "arpwatch", "dai", "hybrid-guard", "port-security-sticky"} {
+		scheme := scheme
 		var intercepted, flagged int
-		for seed := int64(1); seed <= int64(trials); seed++ {
+		for _, out := range RunTrials(trials, func(seed int64) [2]bool {
 			i, f := runStealTrial(scheme, seed)
-			if i {
+			return [2]bool{i, f}
+		}) {
+			if out[0] {
 				intercepted++
 			}
-			if f {
+			if out[1] {
 				flagged++
 			}
 		}

@@ -78,7 +78,7 @@ type Detector struct {
 	targets  map[ethaddr.MAC]map[ethaddr.IPv4]bool
 	alerted  map[ethaddr.MAC]bool // one scan alert per source per window
 	stats    Stats
-	ticker   *sim.Timer
+	ticker   sim.Timer
 }
 
 var _ schemes.Detector = (*Detector)(nil)
@@ -109,9 +109,7 @@ func (det *Detector) Stats() Stats { return det.stats }
 
 // Stop cancels the window timer.
 func (det *Detector) Stop() {
-	if det.ticker != nil {
-		det.ticker.Stop()
-	}
+	det.ticker.Stop()
 }
 
 // reset clears the per-window state.

@@ -7,7 +7,14 @@
 // that identical seeds and scenarios always replay identically. The engine is
 // single-threaded by design: determinism is what makes the evaluation
 // reproducible, and event-driven execution makes thousand-host scenarios run
-// in milliseconds of wall time.
+// in milliseconds of wall time. (Experiments still exploit every core by
+// running many independent schedulers at once — see internal/eval.RunTrials.)
+//
+// Scheduling is the engine's hottest path: every frame hop, retry timer and
+// probe window is one event. To keep it allocation-free in steady state the
+// scheduler recycles executed events through a free list and hands out Timer
+// handles by value; a per-event generation counter keeps stale handles inert
+// after their event has been recycled.
 package sim
 
 import (
@@ -23,13 +30,24 @@ import (
 // with Stop before the horizon or event budget was reached.
 var ErrStopped = errors.New("simulation stopped")
 
-// event is a scheduled callback.
+// maxFreeEvents bounds the scheduler's event free list so a one-off burst
+// (a flood scenario draining thousands of queued frames) does not pin that
+// much memory for the rest of the run. Steady-state workloads cycle through
+// far fewer live events than this.
+const maxFreeEvents = 1024
+
+// event is a scheduled callback. Events are pooled: once executed (or
+// drained after cancellation) an event returns to the scheduler's free list
+// and a later At/After/Every call may reuse it. gen is bumped on every
+// recycle so Timer handles created for a previous incarnation no-op.
 type event struct {
-	at   time.Duration
-	seq  uint64 // tiebreaker: FIFO among events at the same instant
-	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, -1 when popped
+	at     time.Duration
+	seq    uint64 // tiebreaker: FIFO among events at the same instant
+	fn     func()
+	dead   bool          // cancelled
+	idx    int           // heap index, -1 when popped
+	gen    uint64        // incarnation counter, bumped on recycle
+	period time.Duration // >0: re-arm after each firing (Every)
 }
 
 // eventQueue implements heap.Interface ordered by (at, seq).
@@ -66,16 +84,20 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. It is a
+// plain value: copying is cheap, the zero value is an inert no-op handle,
+// and a handle outliving its event stays safe — when the event is recycled
+// its generation moves on and the stale handle's Stop does nothing.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the event. It reports whether the event had not yet fired
 // (mirroring time.Timer.Stop semantics). Calling Stop from inside a periodic
 // callback created with Every cancels the rescheduling cycle.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	pending := t.ev.idx != -1
@@ -92,6 +114,7 @@ type Scheduler struct {
 	rng      *rand.Rand
 	stopped  bool
 	executed uint64
+	free     []*event // recycled events awaiting reuse
 
 	// Telemetry handles; nil (no-op) unless Instrument is called.
 	mExecuted  *telemetry.Counter
@@ -130,47 +153,84 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // have been cancelled but not yet drained).
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
-// At schedules fn to run at absolute virtual time at. Events scheduled in the
-// past run "now" (at the current clock reading) but never move the clock
-// backwards. It returns a Timer that can cancel the event.
-func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
-	if at < s.now {
-		at = s.now
+// alloc takes an event off the free list, or heap-allocates when empty.
+func (s *Scheduler) alloc() *event {
+	if n := len(s.free) - 1; n >= 0 {
+		ev := s.free[n]
+		s.free[n] = nil
+		s.free = s.free[:n]
+		return ev
 	}
+	return &event{}
+}
+
+// release recycles a finished event onto the free list. The generation bump
+// comes first so every outstanding Timer for this incarnation goes inert.
+func (s *Scheduler) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	ev.period = 0
+	if len(s.free) < maxFreeEvents {
+		s.free = append(s.free, ev)
+	}
+}
+
+// schedule queues fn at the (already clamped) absolute instant at.
+func (s *Scheduler) schedule(at, period time.Duration, fn func()) Timer {
 	s.seq++
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at, ev.seq, ev.fn, ev.period = at, s.seq, fn, period
 	heap.Push(&s.queue, ev)
 	if s.mQueueHigh != nil {
 		s.mQueueHigh.SetMax(float64(len(s.queue)))
 	}
-	return &Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// At schedules fn to run at absolute virtual time at. Events scheduled in the
+// past run "now" (at the current clock reading) but never move the clock
+// backwards. It returns a Timer that can cancel the event.
+func (s *Scheduler) At(at time.Duration, fn func()) Timer {
+	if at < s.now {
+		at = s.now
+	}
+	return s.schedule(at, 0, fn)
 }
 
 // After schedules fn to run d after the current virtual instant.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	return s.schedule(s.now+d, 0, fn)
 }
 
 // Every schedules fn to run every period, starting one period from now,
 // until the returned Timer is stopped or the run ends. The callback observes
-// the clock already advanced to its firing instant.
-func (s *Scheduler) Every(period time.Duration, fn func()) *Timer {
+// the clock already advanced to its firing instant. One event object serves
+// the whole cycle: the run loop re-arms it after each firing.
+func (s *Scheduler) Every(period time.Duration, fn func()) Timer {
 	if period <= 0 {
 		period = time.Nanosecond
 	}
-	t := &Timer{}
-	var tick func()
-	tick = func() {
-		fn()
-		if !t.ev.dead {
-			t.ev = s.After(period, tick).ev
+	return s.schedule(s.now+period, period, fn)
+}
+
+// finish recycles a just-executed event, or re-arms it if it is periodic
+// and its cycle has not been stopped (possibly by its own callback).
+func (s *Scheduler) finish(ev *event) {
+	if ev.period > 0 && !ev.dead {
+		s.seq++
+		ev.at = s.now + ev.period
+		ev.seq = s.seq
+		heap.Push(&s.queue, ev)
+		if s.mQueueHigh != nil {
+			s.mQueueHigh.SetMax(float64(len(s.queue)))
 		}
+		return
 	}
-	t.ev = s.After(period, tick).ev
-	return t
+	s.release(ev)
 }
 
 // Stop halts the run after the currently executing event returns.
@@ -192,12 +252,14 @@ func (s *Scheduler) RunUntil(horizon time.Duration) error {
 		popped, _ := heap.Pop(&s.queue).(*event)
 		if popped.dead {
 			s.mCancelled.Inc()
+			s.release(popped)
 			continue
 		}
 		s.now = popped.at
 		s.executed++
 		s.mExecuted.Inc()
 		popped.fn()
+		s.finish(popped)
 	}
 	if s.now < horizon {
 		s.now = horizon
@@ -215,12 +277,14 @@ func (s *Scheduler) Run() error {
 		popped, _ := heap.Pop(&s.queue).(*event)
 		if popped.dead {
 			s.mCancelled.Inc()
+			s.release(popped)
 			continue
 		}
 		s.now = popped.at
 		s.executed++
 		s.mExecuted.Inc()
 		popped.fn()
+		s.finish(popped)
 	}
 	return nil
 }

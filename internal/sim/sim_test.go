@@ -133,7 +133,7 @@ func TestTimerStop(t *testing.T) {
 func TestEvery(t *testing.T) {
 	s := NewScheduler(1)
 	var count int
-	var tm *Timer
+	var tm Timer
 	tm = s.Every(10*time.Millisecond, func() {
 		count++
 		if count == 5 {
@@ -205,6 +205,132 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds produced identical stochastic traces")
+	}
+}
+
+func TestZeroTimerStopIsInert(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Fatal("zero Timer should report nothing to stop")
+	}
+}
+
+// TestStaleTimerAfterReuse pins the generation-counter contract: once an
+// event has fired and its object has been recycled into a new event, the
+// old handle must not cancel the new incarnation.
+func TestStaleTimerAfterReuse(t *testing.T) {
+	s := NewScheduler(1)
+	first := s.After(time.Millisecond, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The free list now holds the fired event; the next schedule reuses it.
+	fired := false
+	second := s.After(time.Millisecond, func() { fired = true })
+	if second.ev != first.ev {
+		t.Fatal("expected the recycled event object to be reused")
+	}
+	if first.Stop() {
+		t.Fatal("stale handle reported a pending event")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("stale Stop cancelled the reused event")
+	}
+}
+
+// TestEveryReusesOneEvent pins the periodic re-arm optimization: a ticker
+// must cycle a single event object instead of allocating one per period.
+func TestEveryReusesOneEvent(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	tm := s.Every(time.Millisecond, func() { count++ })
+	ev := tm.ev
+	if err := s.RunUntil(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if tm.ev != ev || tm.ev.gen != tm.gen {
+		t.Fatal("periodic event was recycled mid-cycle")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report the pending next tick")
+	}
+	if err := s.RunUntil(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("ticks after Stop: count = %d", count)
+	}
+}
+
+// TestStopInsideEveryCallbackWithReuse re-checks the documented Stop-from-
+// within-Every semantics now that the cycle re-arms one pooled event.
+func TestStopInsideEveryCallbackAllowsReuse(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	var tm Timer
+	tm = s.Every(time.Millisecond, func() {
+		count++
+		tm.Stop()
+	})
+	// A later one-shot that may legitimately reuse the ticker's event.
+	laterRan := false
+	s.At(50*time.Millisecond, func() { laterRan = true })
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (stopped from inside)", count)
+	}
+	if !laterRan {
+		t.Fatal("unrelated later event did not run")
+	}
+}
+
+// TestEventReuseKeepsDeterminism replays a stochastic self-scheduling chain
+// long enough to cycle the free list many times and checks two identically
+// seeded runs still trace identically.
+func TestEventReuseKeepsDeterminism(t *testing.T) {
+	trace := func() []time.Duration {
+		s := NewScheduler(11)
+		var out []time.Duration
+		var step func()
+		step = func() {
+			out = append(out, s.Now())
+			if len(out) < 5000 {
+				s.After(time.Duration(s.Rand().Intn(100))*time.Microsecond, step)
+			}
+		}
+		s.After(0, step)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFreeListBounded guards the memory cap on the recycle pool.
+func TestFreeListBounded(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 10*maxFreeEvents; i++ {
+		s.After(time.Duration(i), func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.free) > maxFreeEvents {
+		t.Fatalf("free list grew to %d, cap is %d", len(s.free), maxFreeEvents)
 	}
 }
 

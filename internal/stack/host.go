@@ -28,7 +28,7 @@ type Stats struct {
 type pending struct {
 	queue     []queuedPacket
 	retries   int
-	timer     *sim.Timer
+	timer     sim.Timer
 	waiters   []func(ethaddr.MAC, bool)
 	startedAt time.Duration
 	span      *telemetry.Span // nil (no-op) when the host is uninstrumented

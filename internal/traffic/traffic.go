@@ -32,7 +32,7 @@ type Flow struct {
 	To      *stack.Host
 	Port    uint16
 	stats   FlowStats
-	timer   *sim.Timer
+	timer   sim.Timer
 	stopped bool
 	payload int
 }
@@ -43,9 +43,7 @@ func (f *Flow) Stats() FlowStats { return f.stats }
 // Stop halts the generator (safe to call from within simulation callbacks).
 func (f *Flow) Stop() {
 	f.stopped = true
-	if f.timer != nil {
-		f.timer.Stop()
-	}
+	f.timer.Stop()
 }
 
 // Option configures a generator.
@@ -137,7 +135,7 @@ func StartFlow(s *sim.Scheduler, id uint32, from, to *stack.Host, period time.Du
 // given mean rate (events per second) and calls fire for each. It is the
 // arrival process for churn and background noise.
 type PoissonSource struct {
-	timer   *sim.Timer
+	timer   sim.Timer
 	stopped bool
 }
 
@@ -164,9 +162,7 @@ func StartPoisson(s *sim.Scheduler, rate float64, fire func()) *PoissonSource {
 // Stop halts the source (safe to call from within fire).
 func (p *PoissonSource) Stop() {
 	p.stopped = true
-	if p.timer != nil {
-		p.timer.Stop()
-	}
+	p.timer.Stop()
 }
 
 // Mesh starts pairwise flows among hosts: each host sends to the next, ring

@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench.sh — record the perf trajectory.
+#
+# Runs every table/figure experiment benchmark plus the scheduler hot-path
+# micro-benchmarks once (-benchtime=1x keeps it cheap enough for CI) and
+# writes (name, ns/op, allocs/op) to BENCH_PR2.json so later PRs can diff
+# against this PR's numbers.
+#
+#   ./scripts/bench.sh                  # writes BENCH_PR2.json
+#   ./scripts/bench.sh out.json        # custom output path
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_PR2.json}
+
+go test -run '^$' -bench 'Table|Figure|Scheduler' -benchtime=1x -benchmem . |
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+		ns = $3
+		allocs = "null"
+		for (i = 4; i <= NF; i++) {
+			if ($i == "allocs/op") allocs = $(i - 1)
+		}
+		if (n++) printf ",\n"
+		printf "  {\"name\": \"%s\", \"nsPerOp\": %s, \"allocsPerOp\": %s}", name, ns, allocs
+	}
+	BEGIN { print "[" }
+	END {
+		if (n == 0) exit 1 # no benchmarks ran: fail loudly
+		print "\n]"
+	}' >"$out"
+
+echo "wrote $out"

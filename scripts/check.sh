@@ -31,4 +31,7 @@ go test ./...
 echo "==> go test -race ./internal/eval ./internal/integration"
 go test -race ./internal/eval ./internal/integration
 
+echo "==> bench smoke (sequential vs parallel Table 3, 1 iteration)"
+go test -run '^$' -bench 'BenchmarkTable3(Sequential|Parallel)$' -benchtime=1x .
+
 echo "==> all checks passed"
