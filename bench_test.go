@@ -147,6 +147,24 @@ func BenchmarkFigure7DefenseWar(b *testing.B) {
 	}
 }
 
+func BenchmarkTable8FaultRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.Table8FaultRobustness(1)
+		if len(t.Rows) != 15 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkFigure8FaultSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := eval.Figure8FaultIntensitySweep(1)
+		if len(f.Series) != 5 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
 func BenchmarkFigure1LatencyCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f := eval.Figure1LatencyCDF(2)

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	arpbench                  # everything, quick trial counts
+//	arpbench -list            # enumerate the tables and figures
 //	arpbench -table 3         # one table
 //	arpbench -figure 2        # one figure
 //	arpbench -trials 20       # more trials per experiment
@@ -60,6 +61,47 @@ func measure(name string, fn func() error) (runMetrics, error) {
 	}, err
 }
 
+// catalogEntry is one line of the -list output.
+type catalogEntry struct {
+	kind string // "table" or "figure"
+	id   int
+	desc string
+}
+
+// catalog enumerates every experiment arpbench can regenerate, in render
+// order. Descriptions are one line each; EXPERIMENTS.md carries the full
+// methodology.
+func catalog() []catalogEntry {
+	return []catalogEntry{
+		{"table", 1, "Property matrix: every scheme vs the survey's comparison criteria (plus deployment recommendations)"},
+		{"table", 2, "Cache-policy matrix: which ARP message shapes create or overwrite entries per kernel policy"},
+		{"table", 3, "Detection quality under churn + MITM: TPR, FP/churn, latency quantiles per scheme"},
+		{"table", 4, "Runtime overhead per scheme: ARP traffic, probe load, CPU-proxy event counts"},
+		{"table", 5, "Hybrid-guard ablation: each layer's contribution to detection and prevention"},
+		{"table", 6, "Evasive attacker strategies vs each scheme's blind spots"},
+		{"table", 7, "Port stealing (CAM theft): interception and flagging per scheme"},
+		{"table", 8, "Detection robustness under injected faults: coverage, FPs, time-to-detect vs intensity"},
+		{"figure", 1, "Detection latency CDF per scheme"},
+		{"figure", 2, "Reply race: victim poisoning probability vs attacker response-time advantage"},
+		{"figure", 3, "Scheme overhead scaling with LAN size"},
+		{"figure", 4, "False positives vs benign binding-churn rate (no attack)"},
+		{"figure", 5, "CAM flooding: eavesdropped fraction vs flood rate"},
+		{"figure", 6, "Probe-window ablation: false rejections vs link loss per window length"},
+		{"figure", 7, "Defense war: poisoned fraction vs attacker re-poison period"},
+		{"figure", 8, "Median time-to-detect vs composite fault intensity per scheme"},
+	}
+}
+
+// printCatalog renders the -list output.
+func printCatalog(w io.Writer) error {
+	for _, e := range catalog() {
+		if _, err := fmt.Fprintf(w, "%-6s %d  %s\n", e.kind, e.id, e.desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // printRecommendation renders the analysis ranking with its rationale.
 func printRecommendation(w io.Writer, envName string) error {
 	var env analysis.Environment
@@ -102,8 +144,9 @@ type renderable interface {
 
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("arpbench", flag.ContinueOnError)
-	table := fs.Int("table", 0, "render only this table (1-7)")
-	figure := fs.Int("figure", 0, "render only this figure (1-7)")
+	table := fs.Int("table", 0, "render only this table (1-8)")
+	figure := fs.Int("figure", 0, "render only this figure (1-8)")
+	list := fs.Bool("list", false, "list every table and figure with a one-line description, then exit")
 	trials := fs.Int("trials", 5, "trials per stochastic experiment")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "trial worker goroutines (1 = sequential; output is identical at any width)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
@@ -111,6 +154,9 @@ func run(w io.Writer, args []string) error {
 	metricsPath := fs.String("metrics", "", "write per-experiment runtime metrics (wall time, allocations, GC) to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return printCatalog(w)
 	}
 	if *recommend != "" {
 		return printRecommendation(w, *recommend)
@@ -157,6 +203,7 @@ func run(w io.Writer, args []string) error {
 		5: func() (renderable, error) { return eval.Table5Ablation(*trials), nil },
 		6: func() (renderable, error) { return eval.Table6EvasiveAttacker(*trials), nil },
 		7: func() (renderable, error) { return eval.Table7PortStealing(*trials), nil },
+		8: func() (renderable, error) { return eval.Table8FaultRobustness(*trials), nil },
 	}
 	figures := map[int]func() (renderable, error){
 		1: func() (renderable, error) { return eval.Figure1LatencyCDF(*trials * 4), nil },
@@ -170,6 +217,7 @@ func run(w io.Writer, args []string) error {
 		},
 		6: func() (renderable, error) { return eval.Figure6WindowAblation(*trials * 4), nil },
 		7: func() (renderable, error) { return eval.Figure7DefenseWar(*trials * 30), nil },
+		8: func() (renderable, error) { return eval.Figure8FaultIntensitySweep(*trials), nil },
 	}
 
 	runOne := func(kind string, builders map[int]func() (renderable, error), id int) error {
@@ -209,12 +257,12 @@ func run(w io.Writer, args []string) error {
 		if err := emit(eval.Table1Recommendations()); err != nil {
 			return err
 		}
-		for id := 2; id <= 7; id++ {
+		for id := 2; id <= 8; id++ {
 			if err := runOne("table", tables, id); err != nil {
 				return err
 			}
 		}
-		for id := 1; id <= 7; id++ {
+		for id := 1; id <= 8; id++ {
 			if err := runOne("figure", figures, id); err != nil {
 				return err
 			}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -62,5 +63,52 @@ func TestUnknownIDs(t *testing.T) {
 	}
 	if err := run(&buf, []string{"-figure", "9"}); err == nil {
 		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got, want := strings.Count(out, "\n"), len(catalog()); got != want {
+		t.Fatalf("list lines = %d, want %d:\n%s", got, want, out)
+	}
+	for _, probe := range []string{"table  1", "table  8", "figure 1", "figure 8"} {
+		if !strings.Contains(out, probe) {
+			t.Fatalf("list missing %q:\n%s", probe, out)
+		}
+	}
+	// -list must short-circuit: no experiment output, no trials run.
+	if strings.Contains(out, "Table 1:") {
+		t.Fatal("list rendered an experiment")
+	}
+}
+
+func TestCatalogMatchesRegisteredExperiments(t *testing.T) {
+	// Every catalogued experiment must actually run (with minimal trials),
+	// so the -list output can never advertise a dangling ID.
+	for _, e := range catalog() {
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"-" + e.kind, fmt.Sprint(e.id), "-trials", "1"}); err != nil {
+			t.Fatalf("catalogued %s %d does not run: %v", e.kind, e.id, err)
+		}
+	}
+}
+
+func TestTable8ParallelByteIdentical(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run(&seq, []string{"-table", "8", "-trials", "2", "-parallel", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&par, []string{"-table", "8", "-trials", "2", "-parallel", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("table 8 differs across parallelism:\n--- seq ---\n%s--- par ---\n%s", seq.String(), par.String())
+	}
+	if !strings.Contains(seq.String(), "Table 8:") {
+		t.Fatalf("missing header:\n%s", seq.String())
 	}
 }

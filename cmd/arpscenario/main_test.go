@@ -19,7 +19,7 @@ func repoScenario(t *testing.T, name string) string {
 }
 
 func TestBundledScenariosRun(t *testing.T) {
-	for _, name := range []string{"soho-guard.json", "enterprise-dai.json", "hardened-access.json", "signature-nids.json"} {
+	for _, name := range []string{"soho-guard.json", "enterprise-dai.json", "hardened-access.json", "signature-nids.json", "lossy-campus.json"} {
 		t.Run(name, func(t *testing.T) {
 			var buf bytes.Buffer
 			if err := run(&buf, []string{repoScenario(t, name)}); err != nil {

@@ -262,3 +262,34 @@ func TestStarvationRetryBehaviour(t *testing.T) {
 		t.Fatal("client bound with empty pool")
 	}
 }
+
+func TestServerDownIgnoresAndCountsClients(t *testing.T) {
+	tn := newTestNet(t, 1, 5)
+	tn.server.SetDown(true)
+	if !tn.server.Down() {
+		t.Fatal("Down() false after SetDown(true)")
+	}
+	tn.clients[0].Acquire()
+	if err := tn.s.RunUntil(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := tn.server.Stats()
+	if st.Offers != 0 || st.Acks != 0 {
+		t.Fatalf("downed server answered: %+v", st)
+	}
+	if st.DroppedWhileDown == 0 {
+		t.Fatal("no client messages counted as dropped while down")
+	}
+	if tn.clients[0].State() == StateBound {
+		t.Fatal("client bound against a downed server")
+	}
+
+	// Service restored: the client's retry loop must complete DORA.
+	tn.server.SetDown(false)
+	if err := tn.s.RunUntil(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tn.clients[0].State() != StateBound {
+		t.Fatalf("client state after restore = %v, want bound", tn.clients[0].State())
+	}
+}

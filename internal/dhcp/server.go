@@ -20,6 +20,7 @@ type Lease struct {
 type ServerStats struct {
 	Discovers, Offers, Requests, Acks, Naks, Releases uint64
 	PoolExhausted                                     uint64 // discovers refused for lack of addresses
+	DroppedWhileDown                                  uint64 // messages ignored during an outage window
 }
 
 // ServerOption configures a Server.
@@ -59,6 +60,7 @@ type Server struct {
 	byMAC   map[ethaddr.MAC]Lease
 	byIP    map[ethaddr.IPv4]Lease
 	offered map[ethaddr.MAC]ethaddr.IPv4
+	down    bool
 	stats   ServerStats
 }
 
@@ -89,6 +91,17 @@ func NewServer(s *sim.Scheduler, host *stack.Host, subnet ethaddr.Subnet, router
 // Stats returns a copy of the counters.
 func (sv *Server) Stats() ServerStats { return sv.stats }
 
+// SetDown starts or ends a service outage. While down the server ignores
+// every client message — the observable behaviour of a crashed or
+// partitioned DHCP server. Leases keep expiring on schedule, so a long
+// enough outage leaves snooping-derived binding tables (DAI) stale: the
+// failure mode the robustness experiments measure. Fault plans use this as
+// the dhcp-outage hook.
+func (sv *Server) SetDown(v bool) { sv.down = v }
+
+// Down reports whether the server is in an outage window.
+func (sv *Server) Down() bool { return sv.down }
+
 // FreeCount returns the number of unallocated pool addresses.
 func (sv *Server) FreeCount() int { return len(sv.free) }
 
@@ -108,6 +121,10 @@ func (sv *Server) Leases() []Lease {
 func (sv *Server) handle(src ethaddr.IPv4, srcPort uint16, payload []byte) {
 	m, err := Decode(payload)
 	if err != nil {
+		return
+	}
+	if sv.down {
+		sv.stats.DroppedWhileDown++
 		return
 	}
 	switch m.Type {

@@ -61,27 +61,7 @@ func runDetectionTrial(cfg detectionTrialConfig) trialResult {
 		attackAt = cfg.attackAt
 	}
 
-	// Deploy the scheme under test.
-	switch cfg.scheme {
-	case "arpwatch":
-		w := arpwatch.New(l.Sched, sink)
-		l.Switch.AddTap(w.Observe)
-	case "snort-like":
-		// The operator configured the critical bindings (gateway, victim
-		// workstation) — the precondition for signature coverage.
-		p := snortlike.New(l.Sched, sink,
-			snortlike.WithBinding(gw.IP(), gw.MAC()),
-			snortlike.WithBinding(victim.IP(), victim.MAC()))
-		l.Switch.AddTap(p.Observe)
-	case "active-probe":
-		p := activeprobe.New(l.Sched, sink, l.Monitor)
-		l.Switch.AddTap(p.Observe)
-	case "middleware":
-		middleware.New(l.Sched, sink, victim)
-	case "hybrid-guard":
-		g := core.New(l.Sched, l.Monitor, core.WithAlertHandler(sink.Report))
-		l.Switch.AddTap(g.Tap())
-	}
+	deployDetectionScheme(l, sink, cfg.scheme)
 
 	// Background: every host re-announces periodically so passive schemes
 	// keep observing bindings (standing in for normal ARP refresh traffic).
@@ -136,6 +116,33 @@ func runDetectionTrial(cfg detectionTrialConfig) trialResult {
 		}
 	}
 	return res
+}
+
+// deployDetectionScheme installs one of the compared detection deployments
+// on an assembled LAN, reporting into sink. Shared by the Table 3/Figure 1/
+// Figure 4 trials and the fault-intensity experiments (Table 8, Figure 8).
+func deployDetectionScheme(l *labnet.LAN, sink *schemes.Sink, scheme string) {
+	gw, victim := l.Gateway(), l.Victim()
+	switch scheme {
+	case "arpwatch":
+		w := arpwatch.New(l.Sched, sink)
+		l.Switch.AddTap(w.Observe)
+	case "snort-like":
+		// The operator configured the critical bindings (gateway, victim
+		// workstation) — the precondition for signature coverage.
+		p := snortlike.New(l.Sched, sink,
+			snortlike.WithBinding(gw.IP(), gw.MAC()),
+			snortlike.WithBinding(victim.IP(), victim.MAC()))
+		l.Switch.AddTap(p.Observe)
+	case "active-probe":
+		p := activeprobe.New(l.Sched, sink, l.Monitor)
+		l.Switch.AddTap(p.Observe)
+	case "middleware":
+		middleware.New(l.Sched, sink, victim)
+	case "hybrid-guard":
+		g := core.New(l.Sched, l.Monitor, core.WithAlertHandler(sink.Report))
+		l.Switch.AddTap(g.Tap())
+	}
 }
 
 // replaceStation swaps a host for a new station with the same IP but a new

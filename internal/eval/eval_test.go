@@ -392,3 +392,61 @@ func TestFigureRenderAndCSV(t *testing.T) {
 func fmtSscan(s string, v *float64) (int, error) {
 	return fmt.Sscan(s, v)
 }
+
+func TestTable8FaultRobustnessShape(t *testing.T) {
+	tbl := Table8FaultRobustness(2)
+	if want := len(DetectionSchemes()) * len(table8Intensities); len(tbl.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), want)
+	}
+	// At intensity 0 the trial is the established-binding MITM with no
+	// impairments: every scheme must detect every time with no false alarms.
+	for _, row := range tbl.Rows {
+		if row[1] != "0.00" {
+			continue
+		}
+		if row[2] != "1.00" {
+			t.Errorf("%s clean-network TPR = %s, want 1.00", row[0], row[2])
+		}
+		if row[3] != "0.00" {
+			t.Errorf("%s clean-network FP/trial = %s, want 0.00", row[0], row[3])
+		}
+	}
+	// Periodic poisoning survives burst loss: the passive single-sighting
+	// schemes must still detect at full intensity (a later round is seen).
+	for _, row := range tbl.Rows {
+		if row[1] == "1.00" && (row[0] == "arpwatch" || row[0] == "snort-like") {
+			if row[2] == "0.00" {
+				t.Errorf("%s detected nothing at full fault intensity: %v", row[0], row)
+			}
+		}
+	}
+}
+
+func TestFigure8FaultSweepShape(t *testing.T) {
+	f := Figure8FaultIntensitySweep(2)
+	for _, scheme := range DetectionSchemes() {
+		pts := seriesPoints(t, f, scheme)
+		if len(pts) != 5 {
+			t.Fatalf("%s has %d points, want 5", scheme, len(pts))
+		}
+		for i, p := range pts {
+			if p.Y <= 0 {
+				t.Errorf("%s point %d: median time-to-detect %v must be positive", scheme, i, p.Y)
+			}
+			// Censoring bounds every median by the observation window.
+			if p.Y > 60_000 {
+				t.Errorf("%s point %d: median %vms exceeds the 60s observation bound", scheme, i, p.Y)
+			}
+		}
+	}
+}
+
+func TestFaultPlanForIntensity(t *testing.T) {
+	if faultPlanForIntensity(0, time.Minute) != nil {
+		t.Fatal("intensity 0 must mean no plan at all")
+	}
+	p := faultPlanForIntensity(1, time.Minute)
+	if p == nil || len(p.Events) != 5 {
+		t.Fatalf("full-intensity plan: %+v", p)
+	}
+}

@@ -1,0 +1,299 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/dhcp"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/telemetry"
+)
+
+// Env is the set of simulation objects a plan may target, assembled by the
+// caller (labnet.LAN.FaultEnv for the standard workbench). Slices are
+// index-addressed from fault events: Links[i] is link target i, Hosts[i] is
+// host target i. Only Sched is mandatory; an event targeting an absent
+// object is an Apply-time error, never a silent no-op.
+type Env struct {
+	Sched *sim.Scheduler
+	// Links are the fault-targetable attachments, in a caller-defined,
+	// deterministic order.
+	Links []*netsim.Link
+	// Switch receives cam-flush events.
+	Switch *netsim.Switch
+	// Hosts receive host-churn events.
+	Hosts []*stack.Host
+	// DHCP servers all go dark together during a dhcp-outage window.
+	DHCP []*dhcp.Server
+	// Registry, when non-nil, receives per-fault-type injection counters
+	// ("faults_injected_total") and a structured event per window edge.
+	Registry *telemetry.Registry
+}
+
+// Stats counts what a plan actually injected during a run.
+type Stats struct {
+	BurstDropped uint64 `json:"burstDropped"` // frames eaten by Gilbert-Elliott loss
+	Duplicated   uint64 `json:"duplicated"`   // extra frame copies delivered
+	Reordered    uint64 `json:"reordered"`    // frames delayed out of order
+	LinkFlaps    uint64 `json:"linkFlaps"`    // flap windows opened
+	FlapDropped  uint64 `json:"flapDropped"`  // frames offered to a downed link
+	HostChurns   uint64 `json:"hostChurns"`   // host power-cycle windows opened
+	CAMFlushes   uint64 `json:"camFlushes"`   // switch station tables cleared
+	DHCPOutages  uint64 `json:"dhcpOutages"`  // DHCP outage windows opened
+	DHCPDropped  uint64 `json:"dhcpDropped"`  // client messages servers ignored while down
+}
+
+// Total returns the number of injected fault effects of every kind.
+func (s Stats) Total() uint64 {
+	return s.BurstDropped + s.Duplicated + s.Reordered + s.LinkFlaps +
+		s.FlapDropped + s.HostChurns + s.CAMFlushes + s.DHCPOutages + s.DHCPDropped
+}
+
+// Controller owns an armed plan's runtime state: the per-link impairment
+// chains and the injection counters.
+type Controller struct {
+	env    Env
+	chains map[int]*chain
+	stats  Stats
+
+	events  *telemetry.EventLog
+	mByType map[string]*telemetry.Counter
+}
+
+// Stats returns a snapshot of everything the plan injected so far,
+// including the frames its flapped links and downed DHCP servers swallowed.
+func (c *Controller) Stats() Stats {
+	out := c.stats
+	for _, l := range c.env.Links {
+		out.FlapDropped += l.Stats().DownDropped
+	}
+	for _, sv := range c.env.DHCP {
+		out.DHCPDropped += sv.Stats().DroppedWhileDown
+	}
+	return out
+}
+
+// counter returns (and lazily registers) the injection counter for one
+// fault type. Nil when the environment carries no registry — the *Counter
+// methods are nil-safe no-ops.
+func (c *Controller) counter(faultType string) *telemetry.Counter {
+	if c.env.Registry == nil {
+		return nil
+	}
+	if m, ok := c.mByType[faultType]; ok {
+		return m
+	}
+	m := c.env.Registry.Counter("faults_injected_total", telemetry.L("type", faultType))
+	c.mByType[faultType] = m
+	return m
+}
+
+// chainFor returns the impairment chain installed on link i, installing an
+// empty one on first use.
+func (c *Controller) chainFor(i int) *chain {
+	if ch, ok := c.chains[i]; ok {
+		return ch
+	}
+	ch := &chain{}
+	c.chains[i] = ch
+	c.env.Links[i].SetImpairment(ch)
+	return ch
+}
+
+// Apply validates the plan against env and arms every event on the
+// scheduler. It returns the controller that tracks what the plan injects.
+// Apply itself draws no randomness and schedules only activation callbacks,
+// so an empty plan leaves the run untouched.
+func Apply(p *Plan, env Env) (*Controller, error) {
+	if env.Sched == nil {
+		return nil, fmt.Errorf("faults: environment has no scheduler")
+	}
+	ctl := &Controller{
+		env:     env,
+		chains:  make(map[int]*chain),
+		mByType: make(map[string]*telemetry.Counter),
+	}
+	if env.Registry != nil {
+		ctl.events = env.Registry.Events()
+	}
+	for i := range p.Events {
+		e := &p.Events[i]
+		if err := e.validate(i); err != nil {
+			return nil, err
+		}
+		if err := ctl.arm(i, e); err != nil {
+			return nil, err
+		}
+	}
+	return ctl, nil
+}
+
+// linkTargets resolves an event's link selector against the environment.
+func (c *Controller) linkTargets(i int, e *Event) ([]int, error) {
+	if e.Link == nil {
+		if len(c.env.Links) == 0 {
+			return nil, fmt.Errorf("fault event %d (%s): environment has no links", i, e.Type)
+		}
+		all := make([]int, len(c.env.Links))
+		for j := range all {
+			all[j] = j
+		}
+		return all, nil
+	}
+	if *e.Link < 0 || *e.Link >= len(c.env.Links) {
+		return nil, fmt.Errorf("fault event %d (%s): link %d out of range [0, %d)",
+			i, e.Type, *e.Link, len(c.env.Links))
+	}
+	return []int{*e.Link}, nil
+}
+
+// arm schedules one validated event.
+func (c *Controller) arm(i int, e *Event) error {
+	switch e.Type {
+	case TypeGilbertElliott, TypeDuplicate, TypeReorder:
+		return c.armImpairment(i, e)
+	case TypeLinkFlap:
+		return c.armFlap(i, e)
+	case TypeHostChurn:
+		return c.armChurn(i, e)
+	case TypeCAMFlush:
+		if c.env.Switch == nil {
+			return fmt.Errorf("fault event %d (cam-flush): environment has no switch", i)
+		}
+		c.env.Sched.At(e.at(), func() {
+			c.env.Switch.FlushCAM()
+			c.stats.CAMFlushes++
+			c.counter(TypeCAMFlush).Inc()
+			c.events.Warnf("faults", "cam-flush: switch station table cleared")
+		})
+		return nil
+	case TypeDHCPOutage:
+		if len(c.env.DHCP) == 0 {
+			return fmt.Errorf("fault event %d (dhcp-outage): environment has no DHCP server", i)
+		}
+		c.env.Sched.At(e.at(), func() {
+			for _, sv := range c.env.DHCP {
+				sv.SetDown(true)
+			}
+			c.stats.DHCPOutages++
+			c.counter(TypeDHCPOutage).Inc()
+			c.events.Warnf("faults", "dhcp-outage: %d server(s) down", len(c.env.DHCP))
+		})
+		if end, ok := e.window(); ok {
+			c.env.Sched.At(end, func() {
+				for _, sv := range c.env.DHCP {
+					sv.SetDown(false)
+				}
+				c.events.Infof("faults", "dhcp-outage: service restored")
+			})
+		}
+		return nil
+	}
+	return fmt.Errorf("fault event %d: unknown type %q", i, e.Type) // unreachable after validate
+}
+
+// armImpairment builds one injector per target link — each with its own
+// derived random stream — and schedules its activation window.
+func (c *Controller) armImpairment(i int, e *Event) error {
+	targets, err := c.linkTargets(i, e)
+	if err != nil {
+		return err
+	}
+	stream := fmt.Sprintf("faults/event%d/%s", i, e.Type)
+	for _, li := range targets {
+		li := li
+		var inj injector
+		switch e.Type {
+		case TypeGilbertElliott:
+			inj = &gilbertElliott{
+				rng:      c.env.Sched.DeriveRand(stream),
+				pGoodBad: e.PGoodBad, pBadGood: e.PBadGood,
+				lossGood: e.LossGood, lossBad: e.LossBad,
+				onDrop: func() {
+					c.stats.BurstDropped++
+					c.counter(TypeGilbertElliott).Inc()
+				},
+			}
+		case TypeDuplicate:
+			inj = &duplicator{
+				rng:      c.env.Sched.DeriveRand(stream),
+				prob:     e.Prob,
+				maxDelay: e.maxDelay(),
+				onInject: func() {
+					c.stats.Duplicated++
+					c.counter(TypeDuplicate).Inc()
+				},
+			}
+		case TypeReorder:
+			inj = &reorderer{
+				rng:      c.env.Sched.DeriveRand(stream),
+				prob:     e.Prob,
+				maxDelay: e.maxDelay(),
+				onInject: func() {
+					c.stats.Reordered++
+					c.counter(TypeReorder).Inc()
+				},
+			}
+		}
+		c.env.Sched.At(e.at(), func() {
+			c.chainFor(li).add(inj)
+			c.events.Warnf("faults", "%s: window opens on link %d", e.Type, li)
+		})
+		if end, ok := e.window(); ok {
+			c.env.Sched.At(end, func() {
+				c.chainFor(li).remove(inj)
+				c.events.Infof("faults", "%s: window closes on link %d", e.Type, li)
+			})
+		}
+	}
+	return nil
+}
+
+// armFlap schedules an administrative down/up cycle on the target links.
+func (c *Controller) armFlap(i int, e *Event) error {
+	targets, err := c.linkTargets(i, e)
+	if err != nil {
+		return err
+	}
+	end, _ := e.window() // validate guarantees a positive duration
+	for _, li := range targets {
+		link := c.env.Links[li]
+		li := li
+		c.env.Sched.At(e.at(), func() {
+			link.SetDown(true)
+			c.stats.LinkFlaps++
+			c.counter(TypeLinkFlap).Inc()
+			c.events.Warnf("faults", "link-flap: link %d down", li)
+		})
+		c.env.Sched.At(end, func() {
+			link.SetDown(false)
+			c.events.Infof("faults", "link-flap: link %d up", li)
+		})
+	}
+	return nil
+}
+
+// armChurn schedules a host power-cycle: NIC down for the window, then NIC
+// up plus a stack restart (cache wiped, binding re-announced).
+func (c *Controller) armChurn(i int, e *Event) error {
+	hi := *e.Host
+	if hi < 0 || hi >= len(c.env.Hosts) {
+		return fmt.Errorf("fault event %d (host-churn): host %d out of range [0, %d)",
+			i, hi, len(c.env.Hosts))
+	}
+	h := c.env.Hosts[hi]
+	end, _ := e.window() // validate guarantees a positive duration
+	c.env.Sched.At(e.at(), func() {
+		h.NIC().SetUp(false)
+		c.stats.HostChurns++
+		c.counter(TypeHostChurn).Inc()
+		c.events.Warnf("faults", "host-churn: %s down", h.Name())
+	})
+	c.env.Sched.At(end, func() {
+		h.NIC().SetUp(true)
+		h.Restart()
+		c.events.Infof("faults", "host-churn: %s back up, cache wiped", h.Name())
+	})
+	return nil
+}

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGilbertElliottLongRunLossMatchesAnalytic pins the simulated channel's
+// empirical loss rate to the closed form (1-πB)·lossGood + πB·lossBad with
+// πB = pGoodBad/(pGoodBad+pBadGood). Half a million frames keeps the
+// standard error of the estimate well under the 1.5-point tolerance even for
+// the burstiest parameter set (sticky states inflate the variance of the
+// loss-count far beyond the i.i.d. binomial value).
+func TestGilbertElliottLongRunLossMatchesAnalytic(t *testing.T) {
+	cases := []struct {
+		name                                  string
+		pGoodBad, pBadGood, lossGood, lossBad float64
+	}{
+		{"mild-wifi", 0.01, 0.30, 0.0, 0.50},
+		{"bursty-backbone", 0.05, 0.25, 0.0, 0.80},
+		{"sticky-bad", 0.02, 0.05, 0.0, 0.90},
+		{"noisy-good-state", 0.10, 0.40, 0.05, 0.60},
+		{"symmetric", 0.20, 0.20, 0.0, 1.0},
+	}
+	const frames = 500_000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := &gilbertElliott{
+				rng:      rand.New(rand.NewSource(12345)),
+				pGoodBad: tc.pGoodBad, pBadGood: tc.pBadGood,
+				lossGood: tc.lossGood, lossBad: tc.lossBad,
+			}
+			dropped := 0
+			for i := 0; i < frames; i++ {
+				if g.Judge(64).Drop {
+					dropped++
+				}
+			}
+			got := float64(dropped) / frames
+			want := g.analyticLossRate()
+			if math.Abs(got-want) > 0.015 {
+				t.Fatalf("empirical loss %.4f, analytic %.4f (|Δ| > 0.015)", got, want)
+			}
+		})
+	}
+}
+
+// TestGilbertElliottDegenerateStationary covers the closed form's edge case:
+// with both transition probabilities zero the channel never leaves its
+// initial state, so the analytic rate must follow that state's loss.
+func TestGilbertElliottDegenerateStationary(t *testing.T) {
+	g := &gilbertElliott{lossGood: 0.1, lossBad: 0.9}
+	if got := g.analyticLossRate(); got != 0.1 {
+		t.Fatalf("stuck-in-good rate = %v, want 0.1", got)
+	}
+	g.bad = true
+	if got := g.analyticLossRate(); got != 0.9 {
+		t.Fatalf("stuck-in-bad rate = %v, want 0.9", got)
+	}
+}
+
+// TestGilbertElliottBurstiness sanity-checks the defining property of the
+// model versus a Bernoulli channel of equal average loss: consecutive drops
+// (bursts) are far more likely. We compare P(drop | previous dropped)
+// against the unconditional loss rate.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	g := &gilbertElliott{
+		rng:      rand.New(rand.NewSource(7)),
+		pGoodBad: 0.02, pBadGood: 0.20, lossBad: 0.9,
+	}
+	const frames = 200_000
+	drops, pairs, chained := 0, 0, 0
+	prev := false
+	for i := 0; i < frames; i++ {
+		d := g.Judge(64).Drop
+		if d {
+			drops++
+		}
+		if prev {
+			pairs++
+			if d {
+				chained++
+			}
+		}
+		prev = d
+	}
+	uncond := float64(drops) / frames
+	cond := float64(chained) / float64(pairs)
+	if cond < 3*uncond {
+		t.Fatalf("P(drop|drop) = %.3f not ≫ P(drop) = %.3f — channel is not bursty", cond, uncond)
+	}
+}

@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// injector is one armed impairment primitive. Each owns a private random
+// stream; Judge is only consulted while the injector's window is active.
+type injector interface {
+	netsim.Impairment
+}
+
+// gilbertElliott is the classic two-state Markov burst-loss channel: a Good
+// state that rarely (or never) loses frames and a Bad state that loses most
+// of them, with per-frame transition probabilities between the two. Mean
+// burst length is 1/pBadGood frames; the stationary probability of Bad is
+// pGoodBad/(pGoodBad+pBadGood), making the long-run loss rate
+//
+//	(1-πB)·lossGood + πB·lossBad
+//
+// which the property test pins against the simulated channel.
+type gilbertElliott struct {
+	rng                *rand.Rand
+	pGoodBad, pBadGood float64
+	lossGood, lossBad  float64
+	bad                bool
+	onDrop             func()
+}
+
+// Judge advances the channel one frame: transition first, then a loss draw
+// in the resulting state.
+func (g *gilbertElliott) Judge(int) netsim.Verdict {
+	if g.bad {
+		if g.rng.Float64() < g.pBadGood {
+			g.bad = false
+		}
+	} else if g.rng.Float64() < g.pGoodBad {
+		g.bad = true
+	}
+	loss := g.lossGood
+	if g.bad {
+		loss = g.lossBad
+	}
+	if loss > 0 && g.rng.Float64() < loss {
+		if g.onDrop != nil {
+			g.onDrop()
+		}
+		return netsim.Verdict{Drop: true}
+	}
+	return netsim.Verdict{}
+}
+
+// analyticLossRate returns the channel's long-run loss probability.
+func (g *gilbertElliott) analyticLossRate() float64 {
+	piBad := 0.0
+	if s := g.pGoodBad + g.pBadGood; s > 0 {
+		piBad = g.pGoodBad / s
+	} else if g.bad {
+		piBad = 1
+	}
+	return (1-piBad)*g.lossGood + piBad*g.lossBad
+}
+
+// duplicator delivers an extra copy of a frame with probability prob, the
+// copy trailing the original by a uniform delay in (0, maxDelay].
+type duplicator struct {
+	rng      *rand.Rand
+	prob     float64
+	maxDelay time.Duration
+	onInject func()
+}
+
+func (d *duplicator) Judge(int) netsim.Verdict {
+	if d.rng.Float64() >= d.prob {
+		return netsim.Verdict{}
+	}
+	if d.onInject != nil {
+		d.onInject()
+	}
+	return netsim.Verdict{
+		Duplicate:      true,
+		DuplicateDelay: uniformDelay(d.rng, d.maxDelay),
+	}
+}
+
+// reorderer holds a frame back by a uniform delay in (0, maxDelay] with
+// probability prob. Because the delay is bounded, so is the reordering
+// depth — frames never starve, they just arrive behind newer traffic.
+type reorderer struct {
+	rng      *rand.Rand
+	prob     float64
+	maxDelay time.Duration
+	onInject func()
+}
+
+func (r *reorderer) Judge(int) netsim.Verdict {
+	if r.rng.Float64() >= r.prob {
+		return netsim.Verdict{}
+	}
+	if r.onInject != nil {
+		r.onInject()
+	}
+	return netsim.Verdict{Delay: uniformDelay(r.rng, r.maxDelay)}
+}
+
+// uniformDelay draws from (0, max], never zero so an injected delay always
+// has an effect.
+func uniformDelay(rng *rand.Rand, max time.Duration) time.Duration {
+	if max <= 0 {
+		return time.Nanosecond
+	}
+	return time.Duration(rng.Int63n(int64(max))) + 1
+}
+
+// chain is the per-link impairment installed into netsim: the ordered set of
+// currently active injectors on that link. Activation windows add and remove
+// injectors; order follows plan order so composition is deterministic.
+type chain struct {
+	active []injector
+}
+
+// Judge consults every active injector. The first drop wins (later
+// injectors never see the frame, as in a real pipeline of impairments);
+// delays add; duplication takes the latest duplicate delay.
+func (c *chain) Judge(wireLen int) netsim.Verdict {
+	var out netsim.Verdict
+	for _, inj := range c.active {
+		v := inj.Judge(wireLen)
+		if v.Drop {
+			return netsim.Verdict{Drop: true}
+		}
+		out.Delay += v.Delay
+		if v.Duplicate {
+			out.Duplicate = true
+			if v.DuplicateDelay > out.DuplicateDelay {
+				out.DuplicateDelay = v.DuplicateDelay
+			}
+		}
+	}
+	return out
+}
+
+// add appends an injector to the active set.
+func (c *chain) add(inj injector) { c.active = append(c.active, inj) }
+
+// remove deletes an injector from the active set, preserving order.
+func (c *chain) remove(inj injector) {
+	for i, cur := range c.active {
+		if cur == inj {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			return
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/ethaddr"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stack"
@@ -62,12 +63,15 @@ type LAN struct {
 	Subnet   ethaddr.Subnet
 	Hosts    []*stack.Host
 	Ports    []*netsim.Port // port of each host, same index
+	Links    []*netsim.Link // link of each host, same index
 	Attacker *attack.Attacker
 	AtkPort  *netsim.Port
+	AtkLink  *netsim.Link
 	// Monitor is the appliance host on the mirror port (promiscuous). Its
 	// traffic reaches the LAN normally, so active schemes can probe.
 	Monitor     *stack.Host
 	MonitorPort *netsim.Port
+	MonitorLink *netsim.Link
 	Gen         *ethaddr.Gen
 }
 
@@ -130,26 +134,27 @@ func New(cfg Config) *LAN {
 		}
 		nic := netsim.NewNIC(s, l.Gen.SeqMAC())
 		port := sw.AddPort()
-		port.Attach(nic, link...)
+		hostLink := port.Attach(nic, link...)
 		h := stack.NewHost(s, name, nic, ip, opts...)
 		if cfg.Telemetry != nil {
 			h.Instrument(cfg.Telemetry)
 		}
 		l.Hosts = append(l.Hosts, h)
 		l.Ports = append(l.Ports, port)
+		l.Links = append(l.Links, hostLink)
 	}
 
 	if cfg.WithAttacker {
 		nic := netsim.NewNIC(s, l.Gen.SeqMAC())
 		l.AtkPort = sw.AddPort()
-		l.AtkPort.Attach(nic, link...)
+		l.AtkLink = l.AtkPort.Attach(nic, link...)
 		l.Attacker = attack.New(s, nic, cfg.Subnet.Host(66))
 	}
 
 	if cfg.WithMonitor {
 		nic := netsim.NewNIC(s, l.Gen.SeqMAC())
 		l.MonitorPort = sw.AddPort()
-		l.MonitorPort.Attach(nic, link...)
+		l.MonitorLink = l.MonitorPort.Attach(nic, link...)
 		l.Monitor = stack.NewHost(s, "monitor", nic, cfg.Subnet.Host(250), opts...)
 		if cfg.Telemetry != nil {
 			l.Monitor.Instrument(cfg.Telemetry)
@@ -182,6 +187,26 @@ func (l *LAN) SeedMutualCaches() {
 				h.Resolve(peer.IP(), nil)
 			}
 		}
+	}
+}
+
+// FaultEnv assembles the fault-injection environment for this LAN: link
+// target i is host i's attachment (0 = gateway), with the monitor's link
+// appended last when present, so faults degrade both the stations and the
+// detector's own vantage point. The attacker's link is deliberately
+// excluded — the attack is the experiments' ground truth, and degrading it
+// would conflate "scheme got worse" with "attack got weaker". Callers add
+// Registry and DHCP servers themselves.
+func (l *LAN) FaultEnv() faults.Env {
+	links := append([]*netsim.Link(nil), l.Links...)
+	if l.MonitorLink != nil {
+		links = append(links, l.MonitorLink)
+	}
+	return faults.Env{
+		Sched:  l.Sched,
+		Links:  links,
+		Switch: l.Switch,
+		Hosts:  l.Hosts,
 	}
 }
 

@@ -9,6 +9,7 @@
 package netsim
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/ethaddr"
@@ -96,7 +97,7 @@ type NIC struct {
 	mac         ethaddr.MAC
 	sched       *sim.Scheduler
 	port        *Port
-	params      linkParams
+	link        *Link
 	handler     func(*frame.Frame)
 	promiscuous bool
 	up          bool
@@ -121,6 +122,9 @@ func (n *NIC) SetPromiscuous(v bool) { n.promiscuous = v }
 // SetUp administratively enables or disables the interface.
 func (n *NIC) SetUp(v bool) { n.up = v }
 
+// Link returns the attachment's shared link state (nil before Attach).
+func (n *NIC) Link() *Link { return n.link }
+
 // Stats returns a copy of the interface counters.
 func (n *NIC) Stats() NICStats { return n.stats }
 
@@ -133,8 +137,8 @@ func (n *NIC) Send(f *frame.Frame) {
 	}
 	n.stats.TxFrames++
 	n.stats.TxBytes += uint64(f.WireLen())
-	port, params := n.port, n.params
-	transmit(n.sched, params, f.WireLen(), func() { port.ingress(f) })
+	port, link := n.port, n.link
+	link.transmit(f.WireLen(), func() { port.ingress(f) })
 }
 
 // deliver is the link-side entry point for frames arriving at the NIC.
@@ -153,10 +157,88 @@ func (n *NIC) deliver(f *frame.Frame) {
 	}
 }
 
-// transmit schedules fn after the link's delay, honouring serialization
-// rate, jitter, and loss.
-func transmit(s *sim.Scheduler, p linkParams, wireLen int, fn func()) {
-	if p.loss > 0 && s.Rand().Float64() < p.loss {
+// Verdict is an Impairment's decision for one frame transmission.
+type Verdict struct {
+	// Drop discards the frame (burst loss).
+	Drop bool
+	// Delay is added on top of the link's own delays, pushing the frame
+	// behind later traffic — bounded reordering.
+	Delay time.Duration
+	// Duplicate delivers a second copy of the frame, DuplicateDelay after
+	// the first copy.
+	Duplicate      bool
+	DuplicateDelay time.Duration
+}
+
+// Impairment is consulted once per frame transmission on a link and decides
+// extra treatment beyond the link's static parameters. Implementations live
+// in internal/faults; netsim defines only the contract so the forwarding
+// path stays ignorant of fault semantics. A nil impairment costs nothing.
+type Impairment interface {
+	Judge(wireLen int) Verdict
+}
+
+// LinkStats counts one attachment's transmission outcomes, both directions
+// combined.
+type LinkStats struct {
+	Delivered    uint64 // frames scheduled for delivery (duplicate copies included)
+	LossDropped  uint64 // dropped by the link's static loss probability
+	FaultDropped uint64 // dropped by an injected impairment (burst loss)
+	DownDropped  uint64 // dropped while the link was administratively down
+	Duplicated   uint64 // extra copies injected by a duplication fault
+	Reordered    uint64 // frames delayed out of order by a reordering fault
+}
+
+// Link is the shared state of one NIC↔port attachment. Both transmission
+// directions consult the same Link, so an administrative flap or a
+// burst-loss episode hits the pair symmetrically, as on a real cable.
+//
+// Static random loss draws from a per-link stream derived from the
+// scheduler's seed (sim.Scheduler.DeriveRand), never from the shared
+// simulation stream: attaching another lossy link, or arming a fault
+// injector, cannot perturb the sequence of drops an existing link sees.
+type Link struct {
+	sched   *sim.Scheduler
+	params  linkParams
+	lossRng *rand.Rand // non-nil iff the link has static loss; assigned at Attach
+	down    bool
+	impair  Impairment
+	stats   LinkStats
+}
+
+// SetDown administratively raises or lowers the link. While down, every
+// frame offered in either direction is counted and discarded — the
+// link-flap fault's hook.
+func (l *Link) SetDown(v bool) { l.down = v }
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// SetImpairment installs (or, with nil, removes) the link's fault hook.
+func (l *Link) SetImpairment(imp Impairment) { l.impair = imp }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// transmit schedules deliver after the link's delay, honouring the
+// administrative state, any installed impairment, serialization rate,
+// jitter, and loss.
+func (l *Link) transmit(wireLen int, deliver func()) {
+	if l.down {
+		l.stats.DownDropped++
+		return
+	}
+	var v Verdict
+	if l.impair != nil {
+		v = l.impair.Judge(wireLen)
+		if v.Drop {
+			l.stats.FaultDropped++
+			return
+		}
+	}
+	p := &l.params
+	if p.loss > 0 && l.lossRng.Float64() < p.loss {
+		l.stats.LossDropped++
 		return
 	}
 	d := p.latency
@@ -164,7 +246,17 @@ func transmit(s *sim.Scheduler, p linkParams, wireLen int, fn func()) {
 		d += time.Duration(int64(wireLen) * 8 * int64(time.Second) / p.bps)
 	}
 	if p.jitter > 0 {
-		d += time.Duration(s.Rand().Int63n(int64(p.jitter)))
+		d += time.Duration(l.sched.Rand().Int63n(int64(p.jitter)))
 	}
-	s.After(d, fn)
+	if v.Delay > 0 {
+		l.stats.Reordered++
+		d += v.Delay
+	}
+	l.stats.Delivered++
+	l.sched.After(d, deliver)
+	if v.Duplicate {
+		l.stats.Duplicated++
+		l.stats.Delivered++
+		l.sched.After(d+v.DuplicateDelay, deliver)
+	}
 }

@@ -18,10 +18,12 @@ type camKey struct {
 	mac  ethaddr.MAC
 }
 
-// camEntry is one learned MAC→port association with an expiry instant.
+// camEntry is one learned MAC→port association with an expiry instant and
+// its position in the insertion-order index (camOrder).
 type camEntry struct {
 	port    int
 	expires time.Duration
+	idx     int
 }
 
 // SwitchStats are forwarding-plane counters for one switch.
@@ -72,9 +74,14 @@ func WithCAMEvictRandom() SwitchOption {
 // Switch is a transparent learning bridge with a bounded CAM table, optional
 // inline filtering, port mirroring, and taps.
 type Switch struct {
-	sched       *sim.Scheduler
-	ports       []*Port
-	cam         map[camKey]camEntry
+	sched *sim.Scheduler
+	ports []*Port
+	cam   map[camKey]camEntry
+	// camOrder indexes cam keys in insertion order so eviction victims
+	// (expired reclaim, random eviction) are chosen deterministically —
+	// iterating the map directly would follow Go's per-process randomized
+	// order and make eviction-heavy runs unreproducible across processes.
+	camOrder    []camKey
 	camCap      int
 	camTTL      time.Duration
 	filter      FilterFunc
@@ -137,18 +144,25 @@ func (p *Port) VLAN() uint16 { return p.vlan }
 func (p *Port) SetVLAN(vid uint16) { p.vlan = vid }
 
 // Attach wires a NIC to this port with the given link characteristics,
-// replacing any previous attachment.
-func (p *Port) Attach(n *NIC, opts ...LinkOption) {
+// replacing any previous attachment. It returns the attachment's Link so
+// callers (labnet, fault plans) can flap it or install impairments later.
+func (p *Port) Attach(n *NIC, opts ...LinkOption) *Link {
 	params := defaultLink()
 	for _, opt := range opts {
 		opt(&params)
 	}
-	n.port = p
-	n.params = params
-	sched := n.sched
-	p.egress = func(f *frame.Frame) {
-		transmit(sched, params, f.WireLen(), func() { n.deliver(f) })
+	l := &Link{sched: n.sched, params: params}
+	if params.loss > 0 {
+		// The loss stream is assigned in attach order, a construction-time
+		// property, so traffic on one link never re-keys another's stream.
+		l.lossRng = n.sched.DeriveRand("netsim/link-loss")
 	}
+	n.port = p
+	n.link = l
+	p.egress = func(f *frame.Frame) {
+		l.transmit(f.WireLen(), func() { n.deliver(f) })
+	}
+	return l
 }
 
 // AddPort creates a new port on the switch, in VLAN 1.
@@ -246,7 +260,34 @@ func (sw *Switch) CAMLookup(mac ethaddr.MAC) (int, bool) {
 }
 
 // FlushCAM clears the table (administrative action).
-func (sw *Switch) FlushCAM() { sw.cam = make(map[camKey]camEntry) }
+func (sw *Switch) FlushCAM() {
+	sw.cam = make(map[camKey]camEntry)
+	sw.camOrder = sw.camOrder[:0]
+}
+
+// camInsert records a new entry and indexes it.
+func (sw *Switch) camInsert(key camKey, port int, expires time.Duration) {
+	sw.cam[key] = camEntry{port: port, expires: expires, idx: len(sw.camOrder)}
+	sw.camOrder = append(sw.camOrder, key)
+}
+
+// camDelete removes an entry, swap-filling its slot in the order index.
+func (sw *Switch) camDelete(key camKey) {
+	e, ok := sw.cam[key]
+	if !ok {
+		return
+	}
+	last := len(sw.camOrder) - 1
+	moved := sw.camOrder[last]
+	sw.camOrder[e.idx] = moved
+	sw.camOrder = sw.camOrder[:last]
+	if moved != key {
+		me := sw.cam[moved]
+		me.idx = e.idx
+		sw.cam[moved] = me
+	}
+	delete(sw.cam, key)
+}
 
 // ingress handles a frame arriving on port id: tap, filter, learn,
 // forward, mirror. The mirror destination receives each frame exactly
@@ -315,26 +356,18 @@ func (sw *Switch) learn(id int, vlan uint16, src ethaddr.MAC, now time.Duration)
 	}
 	if len(sw.cam) >= sw.camCap {
 		reclaimed := false
-		for k, e := range sw.cam {
-			if e.expires <= now {
-				delete(sw.cam, k)
+		for _, k := range sw.camOrder { // oldest-inserted expired entry first
+			if sw.cam[k].expires <= now {
+				sw.camDelete(k)
 				sw.mCAMEvictExp.Inc()
 				reclaimed = true
 				break
 			}
 		}
 		if !reclaimed && sw.evictRandom {
-			victim := sw.sched.Rand().Intn(len(sw.cam))
-			i := 0
-			for k := range sw.cam {
-				if i == victim {
-					delete(sw.cam, k)
-					sw.mCAMEvictRand.Inc()
-					reclaimed = true
-					break
-				}
-				i++
-			}
+			sw.camDelete(sw.camOrder[sw.sched.Rand().Intn(len(sw.camOrder))])
+			sw.mCAMEvictRand.Inc()
+			reclaimed = true
 		}
 		if !reclaimed {
 			sw.stats.LearnMisses++
@@ -349,7 +382,7 @@ func (sw *Switch) learn(id int, vlan uint16, src ethaddr.MAC, now time.Duration)
 			return
 		}
 	}
-	sw.cam[key] = camEntry{port: id, expires: now + sw.camTTL}
+	sw.camInsert(key, id, now+sw.camTTL)
 	sw.stats.Learned++
 	sw.mCAMInserts.Inc()
 	sw.failOpen = false

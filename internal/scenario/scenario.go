@@ -15,6 +15,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/ethaddr"
+	"repro/internal/faults"
 	"repro/internal/labnet"
 	"repro/internal/schemes"
 	"repro/internal/schemes/activeprobe"
@@ -45,6 +46,12 @@ type Spec struct {
 	Schemes []SchemeSpec `json:"schemes"`
 	// Attacks is the attack timeline.
 	Attacks []AttackSpec `json:"attacks"`
+	// Faults is the optional network-failure timeline, injected beneath the
+	// schemes (burst loss, duplication, reordering, link flaps, host churn,
+	// CAM flushes). Link index i targets host i's attachment (0 = gateway);
+	// the monitor's link, when deployed, is index hosts. The dhcp-outage
+	// fault is not available here — scenarios deploy no DHCP server.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // SchemeSpec deploys one defense.
@@ -95,6 +102,9 @@ type Result struct {
 	AttackerSniffed uint64         `json:"attackerSniffedBytes"`
 	SwitchFiltered  uint64         `json:"switchFiltered"`
 	CAMEntries      int            `json:"camEntries"`
+	// FaultStats counts what the fault plan injected; nil when the scenario
+	// declared no faults.
+	FaultStats *faults.Stats `json:"faultStats,omitempty"`
 	// CaptureStats summarizes the frames a full-mirror capture saw during
 	// the run: totals, type and ARP-op breakdowns, ring drops.
 	CaptureStats trace.Stats `json:"captureStats"`
@@ -134,6 +144,11 @@ func (r *Result) Render(w io.Writer) error {
 		r.SwitchFiltered, r.CAMEntries)
 	if r.GuardIncidents > 0 {
 		fmt.Fprintf(w, "  guard: %d incidents (%d confirmed)\n", r.GuardIncidents, r.GuardConfirmed)
+	}
+	if r.FaultStats != nil {
+		fs := r.FaultStats
+		fmt.Fprintf(w, "  faults: %d burst-dropped, %d duplicated, %d reordered, %d flap-dropped, %d churns, %d CAM flushes\n",
+			fs.BurstDropped, fs.Duplicated, fs.Reordered, fs.FlapDropped, fs.HostChurns, fs.CAMFlushes)
 	}
 	schemesSorted := make([]string, 0, len(r.AlertsByScheme))
 	for s := range r.AlertsByScheme {
@@ -317,6 +332,19 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 		l.Sched.At(at, action)
 	}
 
+	// Faults are armed after scheme deployment so injector streams never
+	// depend on which defenses are present, and before the run so every
+	// window edge lands on the timeline. Schemes get no say and no notice.
+	var faultCtl *faults.Controller
+	if spec.Faults != nil {
+		env := l.FaultEnv()
+		env.Registry = reg
+		var err error
+		if faultCtl, err = faults.Apply(spec.Faults, env); err != nil {
+			return nil, err
+		}
+	}
+
 	// Background traffic keeps caches and detectors exercised.
 	for _, h := range l.Hosts[1:] {
 		h := h
@@ -352,6 +380,10 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 	if guard != nil {
 		res.GuardIncidents = len(guard.Incidents())
 		res.GuardConfirmed = guard.ConfirmedCount()
+	}
+	if faultCtl != nil {
+		fs := faultCtl.Stats()
+		res.FaultStats = &fs
 	}
 	return res, nil
 }

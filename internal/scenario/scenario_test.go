@@ -2,6 +2,10 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -158,5 +162,95 @@ func TestAddressDefenseScenario(t *testing.T) {
 	// poisoned.
 	if res.PoisonedHosts != 0 {
 		t.Fatalf("defense failed: %d poisoned", res.PoisonedHosts)
+	}
+}
+
+// TestBundledScenariosRoundTrip walks every shipped scenarios/*.json through
+// load → run → re-marshal → re-load: the Spec must survive a JSON round
+// trip losslessly (no field silently dropped by a missing tag), and every
+// bundled file must actually run.
+func TestBundledScenariosRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("expected the 5 bundled scenarios, found %d: %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := Load(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(spec); err != nil {
+				t.Fatal(err)
+			}
+			remarshaled, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reloaded, err := Load(bytes.NewReader(remarshaled))
+			if err != nil {
+				t.Fatalf("re-marshaled spec does not reload: %v\n%s", err, remarshaled)
+			}
+			if !reflect.DeepEqual(spec, reloaded) {
+				t.Fatalf("spec did not survive the round trip:\n%+v\n%+v", spec, reloaded)
+			}
+		})
+	}
+}
+
+// TestFaultedScenarioReportsStats runs the lossy-campus scenario end to end
+// and checks the fault plan demonstrably executed: injection stats are
+// populated and surfaced both in the structured result and the rendering.
+func TestFaultedScenarioReportsStats(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "scenarios", "lossy-campus.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.FaultStats
+	if fs == nil {
+		t.Fatal("faulted scenario returned no FaultStats")
+	}
+	if fs.BurstDropped == 0 || fs.LinkFlaps != 1 || fs.HostChurns != 1 || fs.CAMFlushes != 1 {
+		t.Fatalf("fault stats: %+v", fs)
+	}
+	// The MITM must still be detected through the degraded network.
+	if res.GuardIncidents == 0 {
+		t.Fatalf("guard saw nothing through the faults: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "faults:") {
+		t.Fatalf("render missing the faults line:\n%s", buf.String())
+	}
+}
+
+// TestFaultSectionValidatedAtRun confirms a scenario with a bad fault event
+// fails loudly at Run, not silently.
+func TestFaultSectionValidatedAtRun(t *testing.T) {
+	spec := load(t, `{
+		"seed": 1, "durationSeconds": 10,
+		"faults": {"events": [{"type": "dhcp-outage", "atSeconds": 1}]}
+	}`)
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "no DHCP server") {
+		t.Fatalf("err = %v, want dhcp-outage rejection (scenarios deploy no DHCP server)", err)
 	}
 }

@@ -19,7 +19,9 @@ package sim
 
 import (
 	"container/heap"
+	"encoding/binary"
 	"errors"
+	"hash/fnv"
 	"math/rand"
 	"time"
 
@@ -108,13 +110,15 @@ func (t Timer) Stop() bool {
 // Scheduler is a deterministic discrete-event scheduler with a virtual clock.
 // The zero value is not usable; construct with NewScheduler.
 type Scheduler struct {
-	now      time.Duration
-	queue    eventQueue
-	seq      uint64
-	rng      *rand.Rand
-	stopped  bool
-	executed uint64
-	free     []*event // recycled events awaiting reuse
+	now       time.Duration
+	queue     eventQueue
+	seq       uint64
+	seed      int64
+	rng       *rand.Rand
+	streamSeq map[string]uint64 // per-name DeriveRand call counters
+	stopped   bool
+	executed  uint64
+	free      []*event // recycled events awaiting reuse
 
 	// Telemetry handles; nil (no-op) unless Instrument is called.
 	mExecuted  *telemetry.Counter
@@ -125,7 +129,7 @@ type Scheduler struct {
 // NewScheduler returns a scheduler whose clock starts at zero and whose
 // random stream is derived from seed.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Instrument attaches the scheduler to a telemetry registry: events
@@ -145,6 +149,29 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // Rand exposes the scheduler's seeded random stream so that every stochastic
 // choice in a scenario flows from the one seed.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// DeriveRand returns an independent deterministic random stream for the
+// named consumer, derived from the scheduler's seed. Repeated calls with the
+// same name yield distinct streams keyed by call order, so deterministic
+// construction (links in attach order, fault injectors in plan order) maps
+// each consumer to a stable stream. Isolated streams are what keep one
+// consumer's draws from perturbing another's: adding a fault injector, or a
+// lossy link, must never shift the random sequence an existing experiment
+// observes through Rand or through its own derived stream.
+func (s *Scheduler) DeriveRand(name string) *rand.Rand {
+	if s.streamSeq == nil {
+		s.streamSeq = make(map[string]uint64)
+	}
+	n := s.streamSeq[name]
+	s.streamSeq[name]++
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(s.seed))
+	binary.LittleEndian.PutUint64(buf[8:], n)
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
 
 // Executed returns the number of events run so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }

@@ -223,6 +223,22 @@ func (h *Host) Start() {
 	}
 }
 
+// Restart models the host coming back from a power cycle: the ARP cache is
+// wiped (kernel caches do not survive a reboot), every in-flight resolution
+// is abandoned, and the host re-announces its binding. Fault plans use this
+// as the host-churn hook; bring the NIC down and up around it to model the
+// offline window itself.
+func (h *Host) Restart() {
+	for ip, pd := range h.pendings {
+		pd.timer.Stop()
+		pd.span.Finish("abandoned")
+		delete(h.pendings, ip)
+	}
+	h.cache.Flush()
+	h.events.Warnf("stack", "%s: restarted (cache wiped)", h.name)
+	h.SendGratuitous()
+}
+
 // SendGratuitous broadcasts a gratuitous ARP request announcing this host's
 // current binding.
 func (h *Host) SendGratuitous() {
