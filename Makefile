@@ -15,7 +15,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/eval ./internal/integration
+	$(GO) test -race ./internal/eval ./internal/integration ./internal/schemes/registry
 
 vet:
 	$(GO) vet ./...

@@ -27,6 +27,8 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/eval"
+	"repro/internal/schemes/registry"
+	_ "repro/internal/schemes/registry/all" // link every scheme factory
 )
 
 // runMetrics records the host-machine cost of regenerating one table or
@@ -81,6 +83,7 @@ func catalog() []catalogEntry {
 		{"table", 6, "Evasive attacker strategies vs each scheme's blind spots"},
 		{"table", 7, "Port stealing (CAM theft): interception and flagging per scheme"},
 		{"table", 8, "Detection robustness under injected faults: coverage, FPs, time-to-detect vs intensity"},
+		{"table", 9, "Defense-in-depth stacks vs their best single member: coverage, FPs, correlated alert load"},
 		{"figure", 1, "Detection latency CDF per scheme"},
 		{"figure", 2, "Reply race: victim poisoning probability vs attacker response-time advantage"},
 		{"figure", 3, "Scheme overhead scaling with LAN size"},
@@ -92,14 +95,18 @@ func catalog() []catalogEntry {
 	}
 }
 
-// printCatalog renders the -list output.
+// printCatalog renders the -list output: the experiments, then the scheme
+// catalogue the stacked deployments draw from.
 func printCatalog(w io.Writer) error {
 	for _, e := range catalog() {
 		if _, err := fmt.Fprintf(w, "%-6s %d  %s\n", e.kind, e.id, e.desc); err != nil {
 			return err
 		}
 	}
-	return nil
+	if _, err := fmt.Fprintf(w, "\nschemes (deployable singly or stacked, e.g. dai+arpwatch+port-security):\n"); err != nil {
+		return err
+	}
+	return registry.WriteCatalogue(w)
 }
 
 // printRecommendation renders the analysis ranking with its rationale.
@@ -144,7 +151,7 @@ type renderable interface {
 
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("arpbench", flag.ContinueOnError)
-	table := fs.Int("table", 0, "render only this table (1-8)")
+	table := fs.Int("table", 0, "render only this table (1-9)")
 	figure := fs.Int("figure", 0, "render only this figure (1-8)")
 	list := fs.Bool("list", false, "list every table and figure with a one-line description, then exit")
 	trials := fs.Int("trials", 5, "trials per stochastic experiment")
@@ -204,6 +211,7 @@ func run(w io.Writer, args []string) error {
 		6: func() (renderable, error) { return eval.Table6EvasiveAttacker(*trials), nil },
 		7: func() (renderable, error) { return eval.Table7PortStealing(*trials), nil },
 		8: func() (renderable, error) { return eval.Table8FaultRobustness(*trials), nil },
+		9: func() (renderable, error) { return eval.Table9Stacks(*trials), nil },
 	}
 	figures := map[int]func() (renderable, error){
 		1: func() (renderable, error) { return eval.Figure1LatencyCDF(*trials * 4), nil },
@@ -257,7 +265,7 @@ func run(w io.Writer, args []string) error {
 		if err := emit(eval.Table1Recommendations()); err != nil {
 			return err
 		}
-		for id := 2; id <= 8; id++ {
+		for id := 2; id <= 9; id++ {
 			if err := runOne("table", tables, id); err != nil {
 				return err
 			}

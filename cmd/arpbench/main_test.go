@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/schemes/registry"
 )
 
 func TestSingleTable(t *testing.T) {
@@ -58,7 +60,7 @@ func TestRecommendFlag(t *testing.T) {
 
 func TestUnknownIDs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, []string{"-table", "9"}); err == nil {
+	if err := run(&buf, []string{"-table", "42"}); err == nil {
 		t.Fatal("unknown table accepted")
 	}
 	if err := run(&buf, []string{"-figure", "9"}); err == nil {
@@ -72,10 +74,14 @@ func TestListFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if got, want := strings.Count(out, "\n"), len(catalog()); got != want {
+	// Experiments, a blank line plus schemes header, then one catalogue line
+	// and one indented description per registered scheme.
+	want := len(catalog()) + 2 + 2*len(registry.Factories())
+	if got := strings.Count(out, "\n"); got != want {
 		t.Fatalf("list lines = %d, want %d:\n%s", got, want, out)
 	}
-	for _, probe := range []string{"table  1", "table  8", "figure 1", "figure 8"} {
+	for _, probe := range []string{"table  1", "table  9", "figure 1", "figure 8",
+		registry.NameHybridGuard, registry.NamePortSecurity} {
 		if !strings.Contains(out, probe) {
 			t.Fatalf("list missing %q:\n%s", probe, out)
 		}
@@ -110,5 +116,21 @@ func TestTable8ParallelByteIdentical(t *testing.T) {
 	}
 	if !strings.Contains(seq.String(), "Table 8:") {
 		t.Fatalf("missing header:\n%s", seq.String())
+	}
+}
+
+func TestTable9ParallelByteIdentical(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run(&seq, []string{"-table", "9", "-trials", "1", "-parallel", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&par, []string{"-table", "9", "-trials", "1", "-parallel", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("table 9 differs across parallelism:\n--- seq ---\n%s--- par ---\n%s", seq.String(), par.String())
+	}
+	if !strings.Contains(seq.String(), "best single:") {
+		t.Fatalf("missing best-single rows:\n%s", seq.String())
 	}
 }

@@ -1,15 +1,17 @@
-// Command arpguard deploys a chosen defense scheme on a simulated LAN,
-// replays a poisoning scenario against it, and reports what the scheme saw
-// and stopped.
+// Command arpguard deploys a chosen defense scheme — or a defense-in-depth
+// stack of them — on a simulated LAN, replays a poisoning scenario against
+// it, and reports what the deployment saw and stopped.
 //
 // Usage:
 //
 //	arpguard -scheme hybrid-guard -attack mitm
 //	arpguard -scheme dai -attack gratuitous
-//	arpguard -scheme s-arp -attack unsolicited-reply
+//	arpguard -scheme dai+arpwatch+port-security -attack mitm
+//	arpguard -schemes
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,14 +24,9 @@ import (
 	"repro/internal/frame"
 	"repro/internal/labnet"
 	"repro/internal/schemes"
-	"repro/internal/schemes/activeprobe"
-	"repro/internal/schemes/arpwatch"
-	"repro/internal/schemes/dai"
-	"repro/internal/schemes/flooddetect"
-	"repro/internal/schemes/middleware"
+	"repro/internal/schemes/registry"
+	_ "repro/internal/schemes/registry/all" // link every scheme factory
 	"repro/internal/schemes/sarp"
-	"repro/internal/schemes/snortlike"
-	"repro/internal/schemes/staticarp"
 	"repro/internal/schemes/tarp"
 	"repro/internal/telemetry"
 )
@@ -41,10 +38,19 @@ func main() {
 	}
 }
 
+// guardParams adjusts registry defaults for this workbench: the NIDS gets
+// only the gateway signature (the attack under test forges the gateway),
+// and the guard also shields the victim host.
+var guardParams = map[string]registry.P{
+	registry.NameSnortLike:   {"bindVictim": false},
+	registry.NameHybridGuard: {"protectVictim": true},
+}
+
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("arpguard", flag.ContinueOnError)
-	scheme := fs.String("scheme", "hybrid-guard",
-		"arpwatch | active-probe | middleware | static-arp | dai | s-arp | tarp | flood-detect | snort-like | hybrid-guard")
+	scheme := fs.String("scheme", registry.NameHybridGuard,
+		"scheme name from -schemes, or a '+'-joined stack (e.g. dai+arpwatch+port-security)")
+	listSchemes := fs.Bool("schemes", false, "print the scheme catalogue (name, vantage, cost, default params) and exit")
 	atk := fs.String("attack", "mitm", "gratuitous | unsolicited-reply | request-spoof | mitm | scan")
 	metricsPath := fs.String("metrics", "", "write the telemetry snapshot to this file (JSON, or Prometheus text with a .prom suffix)")
 	verbose := fs.Bool("v", false, "stream telemetry events to stderr as NDJSON")
@@ -52,82 +58,67 @@ func run(w io.Writer, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *listSchemes {
+		return registry.WriteCatalogue(w)
+	}
+
+	st, err := registry.ParseStack(*scheme)
+	if err != nil {
+		return err
+	}
+	for i, sel := range st.Schemes {
+		if p, ok := guardParams[sel.Name]; ok {
+			resolved, err := registry.ResolveParams(mustFactory(sel.Name), p)
+			if err != nil {
+				return err
+			}
+			raw, err := json.Marshal(resolved)
+			if err != nil {
+				return err
+			}
+			st.Schemes[i].Params = raw
+		}
+	}
+	hostOpts, err := registry.StackHostOptions(st)
+	if err != nil {
+		return err
+	}
 
 	reg := telemetry.New()
 	if *verbose {
 		reg.Events().StreamTo(os.Stderr, telemetry.SevDebug)
 	}
-	l := labnet.New(labnet.Config{Seed: *seed, Hosts: 6, WithAttacker: true, WithMonitor: true, Telemetry: reg})
+	l := labnet.New(labnet.Config{
+		Seed: *seed, Hosts: 6, WithAttacker: true, WithMonitor: true,
+		HostOptions: hostOpts, Telemetry: reg,
+	})
 	gw, victim := l.Gateway(), l.Victim()
 	sink := schemes.NewSink()
 	sink.Instrument(reg)
-	var guard *core.Guard
+	env := l.Env(sink, reg)
 
-	switch *scheme {
-	case "arpwatch":
-		watcher := arpwatch.New(l.Sched, sink)
-		watcher.Seed(gw.IP(), gw.MAC())
-		l.Switch.AddTap(watcher.Observe)
-	case "active-probe":
-		p := activeprobe.New(l.Sched, sink, l.Monitor)
-		p.Instrument(reg)
-		p.Seed(gw.IP(), gw.MAC())
-		l.Switch.AddTap(p.Observe)
-	case "middleware":
-		middleware.New(l.Sched, sink, victim).Instrument(reg)
-	case "static-arp":
-		dir := make(staticarp.Directory)
-		for _, h := range l.Hosts {
-			dir[h.IP()] = h.MAC()
-		}
-		prov := staticarp.NewProvisioner(dir)
-		for _, h := range l.Hosts {
-			prov.Enroll(h)
-		}
-	case "dai":
-		table := dai.NewBindingTable()
-		for _, h := range l.Hosts {
-			table.AddStatic(h.IP(), h.MAC())
-		}
-		table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
-		insp := dai.New(l.Sched, sink, table)
-		l.Switch.SetFilter(schemes.InstrumentFilter(reg, "dai", insp.Filter()))
-	case "s-arp":
-		akd := sarp.NewAKD()
-		for _, h := range append(l.Hosts, l.Monitor) {
-			if _, err := sarp.NewNode(l.Sched, sink, h, akd); err != nil {
+	// A single scheme deploys directly; a '+'-joined stack routes members
+	// through the shared correlator.
+	var guard *core.Guard
+	var stackInst *registry.StackInstance
+	if len(st.Schemes) == 1 {
+		if f := mustFactory(st.Schemes[0].Name); !f.ConstructionOnly() {
+			inst, err := registry.Deploy(env, st.Schemes[0].Name, st.Schemes[0].Params)
+			if err != nil {
 				return err
 			}
+			guard, _ = inst.Handle.(*core.Guard)
 		}
-	case "tarp":
-		lta, err := tarp.NewLTA(l.Sched, time.Hour)
-		if err != nil {
+	} else {
+		if stackInst, err = registry.DeployStack(env, st); err != nil {
 			return err
 		}
-		for _, h := range append(l.Hosts, l.Monitor) {
-			if _, err := tarp.NewNode(l.Sched, sink, h, lta); err != nil {
-				return err
-			}
+		if m := stackInst.Member(registry.NameHybridGuard); m != nil {
+			guard, _ = m.Handle.(*core.Guard)
 		}
-	case "flood-detect":
-		det := flooddetect.New(l.Sched, sink)
-		l.Switch.AddTap(det.Observe)
-	case "snort-like":
-		p := snortlike.New(l.Sched, sink,
-			snortlike.WithBinding(gw.IP(), gw.MAC()))
-		l.Switch.AddTap(p.Observe)
-	case "hybrid-guard":
-		guard = core.New(l.Sched, l.Monitor,
-			core.WithSeedBinding(gw.IP(), gw.MAC()),
-			core.WithAlertHandler(sink.Report),
-			core.WithTelemetry(reg))
-		guard.ProtectHost(victim)
-		l.Switch.AddTap(guard.Tap())
-	default:
-		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
 
-	fmt.Fprintf(w, "scheme %s vs attack %s (victims run the naive cache policy)\n\n", *scheme, *atk)
+	fmt.Fprintf(w, "scheme %s vs attack %s (victims run the naive cache policy)\n\n", st.Label(), *atk)
 
 	// A victim that never resolved its gateway has nothing worth hijacking:
 	// warm the cache with one legitimate resolution, then launch the attack
@@ -135,6 +126,14 @@ func run(w io.Writer, args []string) error {
 	// (Crypto LANs ignore the plain request; their nodes resolve out of band.)
 	victim.Resolve(gw.IP(), nil)
 
+	hasScheme := func(name string) bool {
+		for _, sel := range st.Schemes {
+			if sel.Name == name {
+				return true
+			}
+		}
+		return false
+	}
 	var launch func()
 	switch *atk {
 	case "gratuitous", "unsolicited-reply", "request-spoof":
@@ -148,7 +147,7 @@ func run(w io.Writer, args []string) error {
 			l.Attacker.Poison(v, gw.IP(), l.Attacker.MAC(), victim.MAC(), victim.IP())
 			// Crypto LANs ignore plain ARP; also fire a forged secured reply
 			// so those schemes have something to reject.
-			if *scheme == "s-arp" {
+			if hasScheme(registry.NameSARP) {
 				m := &sarp.Message{
 					ARP:       forgedReply(l),
 					Timestamp: l.Sched.Now(),
@@ -159,7 +158,7 @@ func run(w io.Writer, args []string) error {
 					Type: frame.TypeSARP, Payload: m.Encode(),
 				})
 			}
-			if *scheme == "tarp" {
+			if hasScheme(registry.NameTARP) {
 				m := &tarp.Message{ARP: forgedReply(l)}
 				l.Attacker.NIC().Send(&frame.Frame{
 					Dst: victim.MAC(), Src: l.Attacker.MAC(),
@@ -192,6 +191,11 @@ func run(w io.Writer, args []string) error {
 	for _, a := range sink.Alerts() {
 		fmt.Fprintf(w, "  %s\n", a)
 	}
+	if stackInst != nil {
+		cs := stackInst.Correlation()
+		fmt.Fprintf(w, "correlation: %d forwarded, %d suppressed (%d cross-scheme)\n",
+			cs.Forwarded, cs.Suppressed, cs.CrossScheme)
+	}
 	if guard != nil {
 		for _, inc := range guard.Incidents() {
 			fmt.Fprintf(w, "incident: ip=%s suspect=%s alerts=%d confirmed=%v window=[%v..%v]\n",
@@ -205,6 +209,15 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "metrics written to %s\n", *metricsPath)
 	}
 	return nil
+}
+
+// mustFactory resolves a name ParseStack already validated.
+func mustFactory(name string) *registry.Factory {
+	f, ok := registry.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("arpguard: scheme %q vanished after validation", name))
+	}
+	return f
 }
 
 // forgedReply builds the attacker's claim "gateway is-at attacker".

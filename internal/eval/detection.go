@@ -4,15 +4,12 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/ethaddr"
 	"repro/internal/labnet"
 	"repro/internal/netsim"
 	"repro/internal/schemes"
-	"repro/internal/schemes/activeprobe"
-	"repro/internal/schemes/arpwatch"
-	"repro/internal/schemes/middleware"
-	"repro/internal/schemes/snortlike"
+	"repro/internal/schemes/registry"
+	_ "repro/internal/schemes/registry/all" // link every scheme factory
 	"repro/internal/stack"
 	"repro/internal/stats"
 )
@@ -20,20 +17,29 @@ import (
 // DetectionSchemes lists the detection deployments Table 3 and Figure 1
 // compare.
 func DetectionSchemes() []string {
-	return []string{"arpwatch", "snort-like", "active-probe", "middleware", "hybrid-guard"}
+	return []string{
+		registry.NameArpwatch,
+		registry.NameSnortLike,
+		registry.NameActiveProbe,
+		registry.NameMiddleware,
+		registry.NameHybridGuard,
+	}
 }
 
 // trialResult is one detection trial's outcome.
 type trialResult struct {
-	detected bool
-	latency  time.Duration // first attack alert − attack start
-	fpAlerts int           // alerts attributable to benign churn
-	churns   int
+	detected   bool
+	latency    time.Duration // first attack alert − attack start
+	fpAlerts   int           // alerts attributable to benign churn
+	churns     int
+	alerts     int // alerts delivered to the (outer) sink
+	suppressed int // alerts the stack correlator collapsed (stack trials)
 }
 
 // detectionTrialConfig parameterizes one trial.
 type detectionTrialConfig struct {
 	scheme   string
+	stack    registry.Stack // non-empty: deploy a stack instead of scheme
 	seed     int64
 	hosts    int
 	churns   int           // benign readdressing events before/after attack
@@ -61,7 +67,15 @@ func runDetectionTrial(cfg detectionTrialConfig) trialResult {
 		attackAt = cfg.attackAt
 	}
 
-	deployDetectionScheme(l, sink, cfg.scheme)
+	var si *registry.StackInstance
+	if len(cfg.stack.Schemes) > 0 {
+		var err error
+		if si, err = registry.DeployStack(l.Env(sink, nil), cfg.stack); err != nil {
+			panic(fmt.Sprintf("eval: stack rejected: %v", err)) // a bug, not a result
+		}
+	} else {
+		deployDetectionScheme(l, sink, cfg.scheme)
+	}
 
 	// Background: every host re-announces periodically so passive schemes
 	// keep observing bindings (standing in for normal ARP refresh traffic).
@@ -103,7 +117,10 @@ func runDetectionTrial(cfg detectionTrialConfig) trialResult {
 
 	_ = l.Run(cfg.horizon)
 
-	res := trialResult{churns: churns}
+	res := trialResult{churns: churns, alerts: sink.Len()}
+	if si != nil {
+		res.suppressed = si.Correlation().Suppressed
+	}
 	for _, a := range sink.Alerts() {
 		switch {
 		case (a.IP == gw.IP() || a.IP == victim.IP()) && a.At >= attackAt:
@@ -118,30 +135,22 @@ func runDetectionTrial(cfg detectionTrialConfig) trialResult {
 	return res
 }
 
+// detectionParams holds the per-scheme overrides these trials apply over
+// the registry defaults: the comparison deploys every scheme cold — no
+// operator-seeded bindings — except snort-like, whose configured signatures
+// (gateway + victim, its defaults) are the precondition for any coverage.
+var detectionParams = map[string]registry.P{
+	registry.NameArpwatch:    {"seedGateway": false},
+	registry.NameActiveProbe: {"seedGateway": false},
+	registry.NameHybridGuard: {"seedGateway": false},
+}
+
 // deployDetectionScheme installs one of the compared detection deployments
 // on an assembled LAN, reporting into sink. Shared by the Table 3/Figure 1/
 // Figure 4 trials and the fault-intensity experiments (Table 8, Figure 8).
 func deployDetectionScheme(l *labnet.LAN, sink *schemes.Sink, scheme string) {
-	gw, victim := l.Gateway(), l.Victim()
-	switch scheme {
-	case "arpwatch":
-		w := arpwatch.New(l.Sched, sink)
-		l.Switch.AddTap(w.Observe)
-	case "snort-like":
-		// The operator configured the critical bindings (gateway, victim
-		// workstation) — the precondition for signature coverage.
-		p := snortlike.New(l.Sched, sink,
-			snortlike.WithBinding(gw.IP(), gw.MAC()),
-			snortlike.WithBinding(victim.IP(), victim.MAC()))
-		l.Switch.AddTap(p.Observe)
-	case "active-probe":
-		p := activeprobe.New(l.Sched, sink, l.Monitor)
-		l.Switch.AddTap(p.Observe)
-	case "middleware":
-		middleware.New(l.Sched, sink, victim)
-	case "hybrid-guard":
-		g := core.New(l.Sched, l.Monitor, core.WithAlertHandler(sink.Report))
-		l.Switch.AddTap(g.Tap())
+	if _, err := registry.Deploy(l.Env(sink, nil), scheme, detectionParams[scheme]); err != nil {
+		panic(fmt.Sprintf("eval: deploy %s: %v", scheme, err)) // a bug, not a result
 	}
 }
 

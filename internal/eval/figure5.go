@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/ethaddr"
@@ -8,7 +9,7 @@ import (
 	"repro/internal/ipv4pkt"
 	"repro/internal/netsim"
 	"repro/internal/schemes"
-	"repro/internal/schemes/portsec"
+	"repro/internal/schemes/registry"
 	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/traffic"
@@ -81,11 +82,21 @@ func camFloodPoint(rate float64, horizon time.Duration, protectPorts bool) float
 	atkNIC.SetPromiscuous(true)
 
 	if protectPorts {
-		enforcer := portsec.New(s, schemes.NewSink(),
-			portsec.WithSticky(vp.ID(), victim.MAC()),
-			portsec.WithSticky(sp.ID(), server.MAC()),
-			portsec.WithSticky(atkPort.ID(), atkNIC.MAC()))
-		sw.SetFilter(enforcer.Filter())
+		// This trial's topology is bespoke (no labnet LAN), so the
+		// deployment environment is assembled by hand: two stations plus
+		// the attacker NIC's port, which sticky mode pins like any other.
+		env := &registry.Env{
+			Sched:        s,
+			Switch:       sw,
+			Hosts:        []*stack.Host{victim, server},
+			Ports:        []*netsim.Port{vp, sp},
+			AttackerMAC:  atkNIC.MAC(),
+			AttackerPort: atkPort,
+			Sink:         schemes.NewSink(),
+		}
+		if _, err := registry.Deploy(env, registry.NamePortSecurity, nil); err != nil {
+			panic(fmt.Sprintf("eval: deploy port-security: %v", err)) // a bug, not a result
+		}
 	}
 
 	// Count the flow frames the attacker overhears.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/labnet"
 	"repro/internal/schemes"
 	"repro/internal/schemes/middleware"
+	"repro/internal/schemes/registry"
 )
 
 // Figure6WindowAblation sweeps link loss against the middleware's
@@ -65,7 +66,12 @@ func windowAblationPoint(window time.Duration, loss float64, attempts int) float
 		})
 		victim, gw := l.Victim(), l.Gateway()
 		sink := schemes.NewSink()
-		g := middleware.New(l.Sched, sink, victim, middleware.WithVerifyWindow(window))
+		inst, err := registry.Deploy(l.Env(sink, nil), registry.NameMiddleware,
+			registry.P{"verifyWindowSeconds": window.Seconds()})
+		if err != nil {
+			panic(fmt.Sprintf("eval: deploy middleware: %v", err)) // a bug, not a result
+		}
+		g := inst.Handle.([]*middleware.Guard)[0]
 
 		per := attempts / 4
 		if per < 1 {

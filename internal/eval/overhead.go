@@ -12,10 +12,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/labnet"
 	"repro/internal/schemes"
-	"repro/internal/schemes/activeprobe"
-	"repro/internal/schemes/middleware"
-	"repro/internal/schemes/sarp"
-	"repro/internal/schemes/tarp"
+	"repro/internal/schemes/registry"
 	"repro/internal/stats"
 )
 
@@ -25,6 +22,15 @@ type resolutionCost struct {
 	latency   time.Duration // request→usable binding
 }
 
+// overheadParams: the resolution-cost trials convert only the regular
+// stations to the secured protocols (the monitor stays plain, uninvolved),
+// probe new stations actively, and leave everything else at defaults.
+var overheadParams = map[string]registry.P{
+	registry.NameSARP:        {"includeMonitor": false},
+	registry.NameTARP:        {"includeMonitor": false},
+	registry.NameActiveProbe: {"seedGateway": false, "verifyNewStations": true},
+}
+
 // measureResolutions runs `rounds` cold resolutions of the gateway by the
 // victim under one scheme and returns the mean per-resolution cost.
 func measureResolutions(scheme string, rounds int) resolutionCost {
@@ -32,35 +38,13 @@ func measureResolutions(scheme string, rounds int) resolutionCost {
 	gw, victim := l.Gateway(), l.Victim()
 	sink := schemes.NewSink()
 
-	var sarpNodes []*sarp.Node
-	var tarpNodes []*tarp.Node
-	switch scheme {
-	case "s-arp":
-		akd := sarp.NewAKD()
-		for _, h := range l.Hosts {
-			n, err := sarp.NewNode(l.Sched, sink, h, akd)
-			if err != nil {
-				panic(err) // key generation cannot fail outside OOM
-			}
-			sarpNodes = append(sarpNodes, n)
-		}
-	case "tarp":
-		lta, err := tarp.NewLTA(l.Sched, time.Hour)
+	schemeResolve := victim.Resolve
+	if scheme != "plain-arp" {
+		inst, err := registry.Deploy(l.Env(sink, nil), scheme, overheadParams[scheme])
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("eval: deploy %s: %v", scheme, err)) // a bug, not a result
 		}
-		for _, h := range l.Hosts {
-			n, err := tarp.NewNode(l.Sched, sink, h, lta)
-			if err != nil {
-				panic(err)
-			}
-			tarpNodes = append(tarpNodes, n)
-		}
-	case "middleware":
-		middleware.New(l.Sched, sink, victim)
-	case "active-probe":
-		p := activeprobe.New(l.Sched, sink, l.Monitor, activeprobe.WithVerifyNewStations())
-		l.Switch.AddTap(p.Observe)
+		schemeResolve = inst.ResolverFor(victim)
 	}
 
 	controlBytes := func() float64 {
@@ -78,14 +62,7 @@ func measureResolutions(scheme string, rounds int) resolutionCost {
 			}
 			done()
 		}
-		switch scheme {
-		case "s-arp":
-			sarpNodes[1].Resolve(gw.IP(), cb)
-		case "tarp":
-			tarpNodes[1].Resolve(gw.IP(), cb)
-		default:
-			victim.Resolve(gw.IP(), cb)
-		}
+		schemeResolve(gw.IP(), cb)
 	}
 
 	before := controlBytes()
@@ -244,50 +221,28 @@ func measureScalingPoint(scheme string, n int, horizon time.Duration) float64 {
 	})
 	sink := schemes.NewSink()
 
-	var sarpNodes []*sarp.Node
-	var tarpNodes []*tarp.Node
-	switch scheme {
-	case "s-arp":
-		akd := sarp.NewAKD()
-		for _, h := range l.Hosts {
-			node, err := sarp.NewNode(l.Sched, sink, h, akd)
-			if err != nil {
-				panic(err)
-			}
-			sarpNodes = append(sarpNodes, node)
+	// Every station runs the scheme here — scaling is the whole question.
+	inst := &registry.Instance{}
+	if scheme != "plain-arp" {
+		params := registry.P{}
+		if scheme == registry.NameMiddleware {
+			params["scope"] = "all"
 		}
-	case "tarp":
-		lta, err := tarp.NewLTA(l.Sched, time.Hour)
+		var err error
+		inst, err = registry.Deploy(l.Env(sink, nil), scheme, params)
 		if err != nil {
-			panic(err)
-		}
-		for _, h := range l.Hosts {
-			node, err := tarp.NewNode(l.Sched, sink, h, lta)
-			if err != nil {
-				panic(err)
-			}
-			tarpNodes = append(tarpNodes, node)
-		}
-	case "middleware":
-		for _, h := range l.Hosts {
-			middleware.New(l.Sched, sink, h)
+			panic(fmt.Sprintf("eval: deploy %s: %v", scheme, err)) // a bug, not a result
 		}
 	}
 
 	// Workload: host i re-resolves host (i+1) mod n every 10s; the 8s TTL
 	// guarantees each attempt is cold.
 	for i, h := range l.Hosts {
-		i, h := i, h
+		h := h
 		peer := l.Hosts[(i+1)%n]
+		resolve := inst.ResolverFor(h)
 		l.Sched.Every(10*time.Second, func() {
-			switch scheme {
-			case "s-arp":
-				sarpNodes[i].Resolve(peer.IP(), nil)
-			case "tarp":
-				tarpNodes[i].Resolve(peer.IP(), nil)
-			default:
-				h.Resolve(peer.IP(), nil)
-			}
+			resolve(peer.IP(), nil)
 		})
 	}
 	_ = l.Run(horizon)

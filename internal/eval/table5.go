@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/ethaddr"
 	"repro/internal/labnet"
+	"repro/internal/schemes"
+	"repro/internal/schemes/registry"
 )
 
 // ablationOutcome is one Guard configuration's result on the standard
@@ -18,15 +19,19 @@ type ablationOutcome struct {
 	poisonHeld bool // the victim's cache still held the forgery at the end
 }
 
-// runAblation runs the fixed ablation scenario with one Guard config.
-func runAblation(seed int64, build func(l *labnet.LAN) *core.Guard) ablationOutcome {
+// runAblation runs the fixed ablation scenario with one hybrid-guard
+// parameterization (nil params = no guard at all).
+func runAblation(seed int64, params registry.P) ablationOutcome {
 	l := labnet.New(labnet.Config{Seed: seed, Hosts: 8, WithAttacker: true, WithMonitor: true})
 	gw, victim := l.Gateway(), l.Victim()
 
-	var g *core.Guard
-	if build != nil {
-		g = build(l)
-		l.Switch.AddTap(g.Tap())
+	var inst *registry.Instance
+	if params != nil {
+		var err error
+		inst, err = registry.Deploy(l.Env(schemes.NewSink(), nil), registry.NameHybridGuard, params)
+		if err != nil {
+			panic(fmt.Sprintf("eval: deploy hybrid-guard: %v", err)) // a bug, not a result
+		}
 	}
 
 	for _, h := range l.Hosts {
@@ -56,12 +61,12 @@ func runAblation(seed int64, build func(l *labnet.LAN) *core.Guard) ablationOutc
 	if mac, ok := victim.Cache().Lookup(gw.IP()); ok && mac == l.Attacker.MAC() {
 		out.poisonHeld = true
 	}
-	if g == nil {
+	if inst == nil {
 		return out
 	}
 	// Detection and FP accounting use the incidents an operator would be
 	// paged for: confirmed ones when the verifier runs, all otherwise.
-	for _, inc := range g.ActionableIncidents() {
+	for _, inc := range inst.ActionableIncidents() {
 		switch {
 		case inc.IP == gw.IP() || inc.IP == victim.IP():
 			out.detected = true
@@ -87,30 +92,20 @@ func Table5Ablation(trials int) *Table {
 		Columns: []string{"configuration", "detected", "confirmed", "FP alerts", "victim stayed poisoned"},
 	}
 	configs := []struct {
-		name  string
-		build func(l *labnet.LAN) *core.Guard
+		name   string
+		params registry.P
 	}{
 		{"no guard (baseline)", nil},
-		{"passive only", func(l *labnet.LAN) *core.Guard {
-			return core.New(l.Sched, l.Monitor, core.WithoutActive())
-		}},
-		{"active only", func(l *labnet.LAN) *core.Guard {
-			return core.New(l.Sched, l.Monitor, core.WithoutPassive())
-		}},
-		{"passive + active", func(l *labnet.LAN) *core.Guard {
-			return core.New(l.Sched, l.Monitor)
-		}},
-		{"passive + active + host protection", func(l *labnet.LAN) *core.Guard {
-			g := core.New(l.Sched, l.Monitor)
-			g.ProtectHost(l.Victim())
-			return g
-		}},
+		{"passive only", registry.P{"active": false, "seedGateway": false}},
+		{"active only", registry.P{"passive": false, "seedGateway": false}},
+		{"passive + active", registry.P{"seedGateway": false}},
+		{"passive + active + host protection", registry.P{"seedGateway": false, "protectVictim": true}},
 	}
 	for _, cfg := range configs {
-		build := cfg.build
+		params := cfg.params
 		var detected, confirmed, fps, held int
 		for _, out := range RunTrials(trials, func(seed int64) ablationOutcome {
-			return runAblation(seed, build)
+			return runAblation(seed, params)
 		}) {
 			if out.detected {
 				detected++

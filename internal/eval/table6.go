@@ -5,16 +5,11 @@ import (
 	"time"
 
 	"repro/internal/arppkt"
-	"repro/internal/core"
 	"repro/internal/ethaddr"
 	"repro/internal/frame"
 	"repro/internal/labnet"
 	"repro/internal/schemes"
-	"repro/internal/schemes/activeprobe"
-	"repro/internal/schemes/arpwatch"
-	"repro/internal/schemes/dai"
-	"repro/internal/schemes/middleware"
-	"repro/internal/schemes/sarp"
+	"repro/internal/schemes/registry"
 )
 
 // Table6EvasiveAttacker runs the strongest attacker posture the analysis
@@ -39,7 +34,15 @@ func Table6EvasiveAttacker(trials int) *Table {
 			"active verification is evaded by design here — the blind spot the hybrid inherits",
 		},
 	}
-	for _, scheme := range []string{"arpwatch", "active-probe", "middleware", "hybrid-guard", "dai", "s-arp"} {
+	evasiveSchemes := []string{
+		registry.NameArpwatch,
+		registry.NameActiveProbe,
+		registry.NameMiddleware,
+		registry.NameHybridGuard,
+		registry.NameDAI,
+		registry.NameSARP,
+	}
+	for _, scheme := range evasiveSchemes {
 		scheme := scheme
 		var deceived, flagged int
 		for _, out := range RunTrials(trials, func(seed int64) [2]bool {
@@ -59,53 +62,28 @@ func Table6EvasiveAttacker(trials int) *Table {
 	return t
 }
 
+// evasiveParams: every scheme runs with its registry defaults (the operator
+// seeded the critical gateway binding), except S-ARP, which converts only
+// the regular stations — the monitor plays no role in this scenario.
+var evasiveParams = map[string]registry.P{
+	registry.NameSARP: {"includeMonitor": false},
+}
+
 // runEvasiveTrial runs one impersonation scenario under one scheme and
 // reports (victim deceived, attack flagged).
 func runEvasiveTrial(scheme string, seed int64) (bool, bool) {
 	l := labnet.New(labnet.Config{Seed: seed, Hosts: 6, WithAttacker: true, WithMonitor: true})
 	gw, victim := l.Gateway(), l.Victim()
 	sink := schemes.NewSink()
-	var guard *core.Guard
-	var sarpVictim *sarp.Node
 
-	switch scheme {
-	case "arpwatch":
-		w := arpwatch.New(l.Sched, sink)
-		w.Seed(gw.IP(), gw.MAC())
-		l.Switch.AddTap(w.Observe)
-	case "active-probe":
-		p := activeprobe.New(l.Sched, sink, l.Monitor)
-		p.Seed(gw.IP(), gw.MAC())
-		l.Switch.AddTap(p.Observe)
-	case "middleware":
-		middleware.New(l.Sched, sink, victim)
-	case "hybrid-guard":
-		guard = core.New(l.Sched, l.Monitor, core.WithSeedBinding(gw.IP(), gw.MAC()))
-		l.Switch.AddTap(guard.Tap())
-	case "dai":
-		table := dai.NewBindingTable()
-		for _, h := range l.Hosts {
-			table.AddStatic(h.IP(), h.MAC())
-		}
-		table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
-		table.AddStatic(l.Attacker.IP(), l.Attacker.MAC())
-		insp := dai.New(l.Sched, sink, table)
-		l.Switch.SetFilter(insp.Filter())
-	case "s-arp":
-		akd := sarp.NewAKD()
-		for _, h := range l.Hosts {
-			n, err := sarp.NewNode(l.Sched, sink, h, akd)
-			if err != nil {
-				panic(err)
-			}
-			if h == victim {
-				sarpVictim = n
-			}
-		}
+	inst, err := registry.Deploy(l.Env(sink, nil), scheme, evasiveParams[scheme])
+	if err != nil {
+		panic(fmt.Sprintf("eval: deploy %s: %v", scheme, err)) // a bug, not a result
 	}
 
-	// Victim establishes the genuine binding, then the owner goes dark and
-	// the attacker assumes the address.
+	// Victim establishes the genuine binding (over plain ARP — the secured
+	// schemes convert stations after initial provisioning), then the owner
+	// goes dark and the attacker assumes the address.
 	victim.Resolve(gw.IP(), nil)
 	l.Sched.At(10*time.Second, func() {
 		gw.NIC().SetUp(false)
@@ -115,13 +93,10 @@ func runEvasiveTrial(scheme string, seed int64) (bool, bool) {
 		gratuitous := forgedGratuitous(l)
 		l.Attacker.NIC().Send(gratuitous)
 	})
-	// Past the 60s cache TTL, the victim re-resolves and talks.
+	// Past the 60s cache TTL, the victim re-resolves and talks — through
+	// the scheme's resolution path when it replaces the protocol.
 	l.Sched.At(80*time.Second, func() {
-		if scheme == "s-arp" {
-			sarpVictim.Resolve(gw.IP(), nil)
-			return
-		}
-		victim.Resolve(gw.IP(), nil)
+		inst.ResolverFor(victim)(gw.IP(), nil)
 	})
 	_ = l.Run(2 * time.Minute)
 
@@ -129,8 +104,8 @@ func runEvasiveTrial(scheme string, seed int64) (bool, bool) {
 	deceived := ok && mac == l.Attacker.MAC()
 
 	flagged := false
-	if guard != nil {
-		for _, inc := range guard.ActionableIncidents() {
+	if incs := inst.ActionableIncidents(); inst.IncidentsFn != nil {
+		for _, inc := range incs {
 			if inc.IP == gw.IP() {
 				flagged = true
 			}

@@ -4,13 +4,31 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/labnet"
 	"repro/internal/schemes"
-	"repro/internal/schemes/arpwatch"
-	"repro/internal/schemes/dai"
-	"repro/internal/schemes/portsec"
+	"repro/internal/schemes/registry"
 )
+
+// stealDeployment is one Table 7 row: a display label and the registry
+// deployment behind it (empty scheme = no defense).
+type stealDeployment struct {
+	label  string
+	scheme string
+	params registry.P
+}
+
+// stealDeployments: arpwatch and the guard get both critical bindings
+// seeded — the strongest reasonable ARP-layer posture, to make the point
+// that the attack is invisible to them anyway.
+func stealDeployments() []stealDeployment {
+	return []stealDeployment{
+		{label: "none"},
+		{label: registry.NameArpwatch, scheme: registry.NameArpwatch, params: registry.P{"seedVictim": true}},
+		{label: registry.NameDAI, scheme: registry.NameDAI},
+		{label: registry.NameHybridGuard, scheme: registry.NameHybridGuard, params: registry.P{"seedVictim": true}},
+		{label: "port-security-sticky", scheme: registry.NamePortSecurity},
+	}
+}
 
 // Table7PortStealing runs the port-stealing attack — CAM-table theft with
 // forged *Ethernet* source addresses, no ARP forgery at all — against the
@@ -30,11 +48,11 @@ func Table7PortStealing(trials int) *Table {
 			"ARP-layer schemes see a perfectly healthy ARP conversation throughout",
 		},
 	}
-	for _, scheme := range []string{"none", "arpwatch", "dai", "hybrid-guard", "port-security-sticky"} {
-		scheme := scheme
+	for _, dep := range stealDeployments() {
+		dep := dep
 		var intercepted, flagged int
 		for _, out := range RunTrials(trials, func(seed int64) [2]bool {
-			i, f := runStealTrial(scheme, seed)
+			i, f := runStealTrial(dep, seed)
 			return [2]bool{i, f}
 		}) {
 			if out[0] {
@@ -45,47 +63,25 @@ func Table7PortStealing(trials int) *Table {
 			}
 		}
 		frac := func(k int) string { return fmt.Sprintf("%d/%d", k, trials) }
-		t.AddRow(scheme, frac(intercepted), frac(flagged))
+		t.AddRow(dep.label, frac(intercepted), frac(flagged))
 	}
 	return t
 }
 
-// runStealTrial runs one port-stealing scenario under one scheme and
+// runStealTrial runs one port-stealing scenario under one deployment and
 // reports (traffic intercepted, attack flagged).
-func runStealTrial(scheme string, seed int64) (bool, bool) {
+func runStealTrial(dep stealDeployment, seed int64) (bool, bool) {
 	l := labnet.New(labnet.Config{Seed: seed, Hosts: 4, WithAttacker: true, WithMonitor: true})
 	gw, victim := l.Gateway(), l.Victim()
 	sink := schemes.NewSink()
-	var guard *core.Guard
 
-	switch scheme {
-	case "arpwatch":
-		w := arpwatch.New(l.Sched, sink)
-		w.Seed(victim.IP(), victim.MAC())
-		w.Seed(gw.IP(), gw.MAC())
-		l.Switch.AddTap(w.Observe)
-	case "dai":
-		table := dai.NewBindingTable()
-		for _, h := range l.Hosts {
-			table.AddStatic(h.IP(), h.MAC())
+	var inst *registry.Instance
+	if dep.scheme != "" {
+		var err error
+		inst, err = registry.Deploy(l.Env(sink, nil), dep.scheme, dep.params)
+		if err != nil {
+			panic(fmt.Sprintf("eval: deploy %s: %v", dep.scheme, err)) // a bug, not a result
 		}
-		table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
-		table.AddStatic(l.Attacker.IP(), l.Attacker.MAC())
-		insp := dai.New(l.Sched, sink, table)
-		l.Switch.SetFilter(insp.Filter())
-	case "hybrid-guard":
-		guard = core.New(l.Sched, l.Monitor,
-			core.WithSeedBinding(gw.IP(), gw.MAC()),
-			core.WithSeedBinding(victim.IP(), victim.MAC()))
-		l.Switch.AddTap(guard.Tap())
-	case "port-security-sticky":
-		opts := []portsec.Option{portsec.WithTrustedPorts(l.MonitorPort.ID())}
-		for i, p := range l.Ports {
-			opts = append(opts, portsec.WithSticky(p.ID(), l.Hosts[i].MAC()))
-		}
-		opts = append(opts, portsec.WithSticky(l.AtkPort.ID(), l.Attacker.MAC()))
-		e := portsec.New(l.Sched, sink, opts...)
-		l.Switch.SetFilter(e.Filter())
 	}
 
 	// Gateway→victim flow whose interception is the prize.
@@ -102,8 +98,8 @@ func runStealTrial(scheme string, seed int64) (bool, bool) {
 
 	intercepted := l.Attacker.Stats().Sniffed > before
 	flagged := false
-	if guard != nil {
-		flagged = len(guard.ActionableIncidents()) > 0
+	if inst != nil && inst.IncidentsFn != nil {
+		flagged = len(inst.ActionableIncidents()) > 0
 	} else {
 		flagged = sink.Len() > 0
 	}

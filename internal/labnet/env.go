@@ -1,0 +1,31 @@
+package labnet
+
+import (
+	"repro/internal/schemes"
+	"repro/internal/schemes/registry"
+	"repro/internal/telemetry"
+)
+
+// Env adapts the assembled LAN into a scheme-deployment environment for
+// registry.Deploy / registry.DeployStack. The sink is required; reg may be
+// nil. The attacker station's identity is carried over when present so
+// switch-inline schemes can whitelist its genuine binding (forged claims
+// still violate).
+func (l *LAN) Env(sink *schemes.Sink, reg *telemetry.Registry) *registry.Env {
+	env := &registry.Env{
+		Sched:       l.Sched,
+		Switch:      l.Switch,
+		Hosts:       l.Hosts,
+		Ports:       l.Ports,
+		Monitor:     l.Monitor,
+		MonitorPort: l.MonitorPort,
+		Sink:        sink,
+		Telemetry:   reg,
+	}
+	if l.Attacker != nil {
+		env.AttackerMAC = l.Attacker.MAC()
+		env.AttackerIP = l.Attacker.IP()
+		env.AttackerPort = l.AtkPort
+	}
+	return env
+}

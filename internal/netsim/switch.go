@@ -202,8 +202,30 @@ func (sw *Switch) Instrument(reg *telemetry.Registry) {
 // regardless of filtering outcome. This models a passive inline tap.
 func (sw *Switch) AddTap(fn TapFunc) { sw.taps = append(sw.taps, fn) }
 
-// SetFilter installs or replaces the inline filter.
+// SetFilter installs or replaces the inline filter, discarding any chain
+// built with AddFilter.
 func (sw *Switch) SetFilter(f FilterFunc) { sw.filter = f }
+
+// AddFilter appends an inline filter to the forwarding path. Filters run in
+// installation order and drop wins: a frame dropped by an earlier filter
+// never reaches later ones, modelling serially cascaded inline enforcement
+// (e.g. dynamic ARP inspection behind port security).
+func (sw *Switch) AddFilter(f FilterFunc) {
+	if f == nil {
+		return
+	}
+	if sw.filter == nil {
+		sw.filter = f
+		return
+	}
+	prev := sw.filter
+	sw.filter = func(port int, fr *frame.Frame) FilterVerdict {
+		if prev(port, fr) == VerdictDrop {
+			return VerdictDrop
+		}
+		return f(port, fr)
+	}
+}
 
 // MirrorAllTo copies the ingress traffic of every other port to dst, the
 // configuration used to feed a detector appliance.

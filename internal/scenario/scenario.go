@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/attack"
@@ -18,15 +19,9 @@ import (
 	"repro/internal/faults"
 	"repro/internal/labnet"
 	"repro/internal/schemes"
-	"repro/internal/schemes/activeprobe"
-	"repro/internal/schemes/arpwatch"
-	"repro/internal/schemes/dai"
-	"repro/internal/schemes/flooddetect"
 	"repro/internal/schemes/kernelpolicy"
-	"repro/internal/schemes/middleware"
-	"repro/internal/schemes/portsec"
-	"repro/internal/schemes/snortlike"
-	"repro/internal/schemes/staticarp"
+	"repro/internal/schemes/registry"
+	_ "repro/internal/schemes/registry/all" // link every scheme factory
 	"repro/internal/stack"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -42,8 +37,12 @@ type Spec struct {
 	Policy string `json:"policy"`
 	// DurationSeconds is the simulated run length (default 60).
 	DurationSeconds float64 `json:"durationSeconds"`
-	// Schemes lists the defenses to deploy.
+	// Schemes lists the defenses to deploy, each standing alone.
 	Schemes []SchemeSpec `json:"schemes"`
+	// Stacks lists composed defense-in-depth deployments: each stack's
+	// members share an alert correlator that collapses same-(IP, kind)
+	// duplicates within the correlation window into one attributed alert.
+	Stacks []registry.Stack `json:"stacks,omitempty"`
 	// Attacks is the attack timeline.
 	Attacks []AttackSpec `json:"attacks"`
 	// Faults is the optional network-failure timeline, injected beneath the
@@ -56,10 +55,15 @@ type Spec struct {
 
 // SchemeSpec deploys one defense.
 type SchemeSpec struct {
-	// Name: arpwatch | active-probe | middleware | hybrid-guard | dai |
-	// port-security | flood-detect | snort-like | static-arp |
-	// address-defense.
+	// Name is a registered scheme (`arpbench -list` or `arpguard -schemes`
+	// print the catalogue): arpwatch | active-probe | middleware |
+	// hybrid-guard | dai | port-security | flood-detect | snort-like |
+	// static-arp | address-defense | kernel-policy | s-arp | tarp.
 	Name string `json:"name"`
+	// Params overrides the scheme's default parameters; the catalogue shows
+	// each scheme's parameter fields and defaults. Unknown keys are rejected
+	// at load time.
+	Params json.RawMessage `json:"params,omitempty"`
 }
 
 // AttackSpec schedules one attacker action.
@@ -78,7 +82,9 @@ type AttackSpec struct {
 	PeriodSeconds float64 `json:"periodSeconds,omitempty"`
 }
 
-// Load parses a Spec from JSON.
+// Load parses a Spec from JSON and validates every scheme reference against
+// the registry, so a typo fails here — listing the valid names — rather than
+// minutes into a run.
 func Load(r io.Reader) (*Spec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -86,7 +92,36 @@ func Load(r io.Reader) (*Spec, error) {
 	if err := dec.Decode(&spec); err != nil {
 		return nil, fmt.Errorf("parse scenario: %w", err)
 	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	return &spec, nil
+}
+
+// Validate checks the parts of a Spec that can fail without running
+// anything: scheme names and parameters, stack composition, and the cache
+// policy name. Load calls it; callers assembling Specs in code can too.
+func (spec *Spec) Validate() error {
+	for _, s := range spec.Schemes {
+		if err := registry.ValidateParams(s.Name, s.Params); err != nil {
+			return err
+		}
+	}
+	for i := range spec.Stacks {
+		if err := spec.Stacks[i].Validate(); err != nil {
+			return err
+		}
+	}
+	if spec.Policy != "" {
+		if _, ok := kernelpolicy.Find(spec.Policy); !ok {
+			names := make([]string, 0, len(kernelpolicy.Profiles()))
+			for _, p := range kernelpolicy.Profiles() {
+				names = append(names, p.Name)
+			}
+			return fmt.Errorf("unknown cache policy %q (valid: %s)", spec.Policy, strings.Join(names, ", "))
+		}
+	}
+	return nil
 }
 
 // Result is what one run produced.
@@ -102,6 +137,10 @@ type Result struct {
 	AttackerSniffed uint64         `json:"attackerSniffedBytes"`
 	SwitchFiltered  uint64         `json:"switchFiltered"`
 	CAMEntries      int            `json:"camEntries"`
+	// StackStats reports, per deployed stack, how its alert correlator
+	// collapsed the members' raw alerts; empty when the scenario declared no
+	// stacks.
+	StackStats []StackResult `json:"stackStats,omitempty"`
 	// FaultStats counts what the fault plan injected; nil when the scenario
 	// declared no faults.
 	FaultStats *faults.Stats `json:"faultStats,omitempty"`
@@ -111,6 +150,18 @@ type Result struct {
 	// Telemetry is the end-of-run metrics snapshot covering the scheduler,
 	// switch, hosts, and every deployed scheme.
 	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// StackResult is one stack's correlation summary.
+type StackResult struct {
+	// Stack is the member list joined with "+".
+	Stack string `json:"stack"`
+	// Forwarded alerts reached the operator; Suppressed were collapsed as
+	// duplicates, CrossScheme of those coming from a different member than
+	// the first reporter (vantage redundancy, not noise).
+	Forwarded   int `json:"forwarded"`
+	Suppressed  int `json:"suppressed"`
+	CrossScheme int `json:"crossScheme"`
 }
 
 // RunOption adjusts how Run executes a scenario.
@@ -144,6 +195,10 @@ func (r *Result) Render(w io.Writer) error {
 		r.SwitchFiltered, r.CAMEntries)
 	if r.GuardIncidents > 0 {
 		fmt.Fprintf(w, "  guard: %d incidents (%d confirmed)\n", r.GuardIncidents, r.GuardConfirmed)
+	}
+	for _, st := range r.StackStats {
+		fmt.Fprintf(w, "  stack %s: %d alerts forwarded, %d suppressed (%d cross-scheme)\n",
+			st.Stack, st.Forwarded, st.Suppressed, st.CrossScheme)
 	}
 	if r.FaultStats != nil {
 		fs := r.FaultStats
@@ -188,13 +243,27 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 	if spec.Policy == "" {
 		spec.Policy = "naive"
 	}
-	prof := kernelpolicy.ByName(spec.Policy)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	prof, _ := kernelpolicy.Find(spec.Policy) // Validate vouched for the name
 
+	// Construction-only schemes (kernel policies, address defense) act while
+	// the hosts are being assembled; everything else deploys afterwards.
 	var hostOpts []stack.Option
 	for _, s := range spec.Schemes {
-		if s.Name == "address-defense" {
-			hostOpts = append(hostOpts, stack.WithAddressDefense(time.Second))
+		opts, err := registry.HostOptions(s.Name, s.Params)
+		if err != nil {
+			return nil, err
 		}
+		hostOpts = append(hostOpts, opts...)
+	}
+	for _, st := range spec.Stacks {
+		opts, err := registry.StackHostOptions(st)
+		if err != nil {
+			return nil, err
+		}
+		hostOpts = append(hostOpts, opts...)
 	}
 	l := labnet.New(labnet.Config{
 		Seed:         spec.Seed,
@@ -211,64 +280,36 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 	sink.Instrument(reg)
 	gw, victim := l.Gateway(), l.Victim()
 
+	env := l.Env(sink, reg)
 	var guard *core.Guard
+	noteGuard := func(inst *registry.Instance) {
+		if g, ok := inst.Handle.(*core.Guard); ok {
+			guard = g
+		}
+	}
 	for _, s := range spec.Schemes {
-		switch s.Name {
-		case "arpwatch":
-			w := arpwatch.New(l.Sched, sink)
-			w.Seed(gw.IP(), gw.MAC())
-			l.Switch.AddTap(w.Observe)
-		case "active-probe":
-			p := activeprobe.New(l.Sched, sink, l.Monitor)
-			p.Instrument(reg)
-			p.Seed(gw.IP(), gw.MAC())
-			l.Switch.AddTap(p.Observe)
-		case "middleware":
-			middleware.New(l.Sched, sink, victim).Instrument(reg)
-		case "hybrid-guard":
-			guard = core.New(l.Sched, l.Monitor,
-				core.WithSeedBinding(gw.IP(), gw.MAC()),
-				core.WithAlertHandler(sink.Report),
-				core.WithTelemetry(reg))
-			l.Switch.AddTap(guard.Tap())
-		case "dai":
-			table := dai.NewBindingTable()
-			for _, h := range l.Hosts {
-				table.AddStatic(h.IP(), h.MAC())
-			}
-			table.AddStatic(l.Monitor.IP(), l.Monitor.MAC())
-			table.AddStatic(l.Attacker.IP(), l.Attacker.MAC())
-			insp := dai.New(l.Sched, sink, table, dai.WithDHCPGuard())
-			l.Switch.SetFilter(schemes.InstrumentFilter(reg, "dai", insp.Filter()))
-		case "port-security":
-			opts := []portsec.Option{portsec.WithTrustedPorts(l.MonitorPort.ID())}
-			for i, p := range l.Ports {
-				opts = append(opts, portsec.WithSticky(p.ID(), l.Hosts[i].MAC()))
-			}
-			opts = append(opts, portsec.WithSticky(l.AtkPort.ID(), l.Attacker.MAC()))
-			e := portsec.New(l.Sched, sink, opts...)
-			l.Switch.SetFilter(schemes.InstrumentFilter(reg, "port-security", e.Filter()))
-		case "flood-detect":
-			det := flooddetect.New(l.Sched, sink)
-			l.Switch.AddTap(det.Observe)
-		case "snort-like":
-			p := snortlike.New(l.Sched, sink,
-				snortlike.WithBinding(gw.IP(), gw.MAC()),
-				snortlike.WithBinding(victim.IP(), victim.MAC()))
-			l.Switch.AddTap(p.Observe)
-		case "static-arp":
-			dir := make(staticarp.Directory)
-			for _, h := range l.Hosts {
-				dir[h.IP()] = h.MAC()
-			}
-			prov := staticarp.NewProvisioner(dir)
-			for _, h := range l.Hosts {
-				prov.Enroll(h)
-			}
-		case "address-defense":
-			// handled via host options above
-		default:
-			return nil, fmt.Errorf("unknown scheme %q", s.Name)
+		f, ok := registry.Lookup(s.Name)
+		if !ok {
+			return nil, registry.UnknownSchemeError(s.Name)
+		}
+		if f.ConstructionOnly() {
+			continue // already applied through hostOpts
+		}
+		inst, err := registry.Deploy(env, s.Name, s.Params)
+		if err != nil {
+			return nil, err
+		}
+		noteGuard(inst)
+	}
+	var stackInsts []*registry.StackInstance
+	for _, st := range spec.Stacks {
+		si, err := registry.DeployStack(env, st)
+		if err != nil {
+			return nil, err
+		}
+		stackInsts = append(stackInsts, si)
+		for _, m := range si.Members {
+			noteGuard(m)
 		}
 	}
 
@@ -380,6 +421,15 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 	if guard != nil {
 		res.GuardIncidents = len(guard.Incidents())
 		res.GuardConfirmed = guard.ConfirmedCount()
+	}
+	for _, si := range stackInsts {
+		cs := si.Correlation()
+		res.StackStats = append(res.StackStats, StackResult{
+			Stack:       si.Stack.Label(),
+			Forwarded:   cs.Forwarded,
+			Suppressed:  cs.Suppressed,
+			CrossScheme: cs.CrossScheme,
+		})
 	}
 	if faultCtl != nil {
 		fs := faultCtl.Stats()

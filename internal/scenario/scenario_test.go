@@ -137,9 +137,27 @@ func TestPolicyFieldRespected(t *testing.T) {
 }
 
 func TestUnknownNamesRejected(t *testing.T) {
-	if _, err := Run(load(t, `{"schemes": [{"name": "nope"}]}`)); err == nil {
-		t.Fatal("unknown scheme accepted")
+	// Scheme names, parameters, stacks, and policies fail at load time, with
+	// the error enumerating the valid names.
+	if _, err := Load(strings.NewReader(`{"schemes": [{"name": "nope"}]}`)); err == nil ||
+		!strings.Contains(err.Error(), "valid:") || !strings.Contains(err.Error(), "arpwatch") {
+		t.Fatalf("unknown scheme: %v", err)
 	}
+	if _, err := Load(strings.NewReader(`{"schemes": [{"name": "dai", "params": {"bogus": 1}}]}`)); err == nil {
+		t.Fatal("unknown scheme param accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"stacks": [{"schemes": [{"name": "nope"}]}]}`)); err == nil ||
+		!strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("unknown stack member: %v", err)
+	}
+	if _, err := Load(strings.NewReader(`{"stacks": [{"schemes": []}]}`)); err == nil {
+		t.Fatal("empty stack accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"policy": "nope"}`)); err == nil ||
+		!strings.Contains(err.Error(), "solicited-only") {
+		t.Fatalf("unknown policy: %v", err)
+	}
+	// Attack names still fail at run time.
 	if _, err := Run(load(t, `{"attacks": [{"type": "nope"}]}`)); err == nil {
 		t.Fatal("unknown attack accepted")
 	}
@@ -162,6 +180,45 @@ func TestAddressDefenseScenario(t *testing.T) {
 	// poisoned.
 	if res.PoisonedHosts != 0 {
 		t.Fatalf("defense failed: %d poisoned", res.PoisonedHosts)
+	}
+}
+
+// TestDefenseInDepthScenario runs the bundled three-scheme stack end to end:
+// the correlated deployment must stop the poisoning, surface per-stack
+// correlation stats, and render them.
+func TestDefenseInDepthScenario(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "scenarios", "defense-in-depth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoisonedHosts != 0 {
+		t.Fatalf("stack failed to prevent: %d poisoned", res.PoisonedHosts)
+	}
+	if len(res.StackStats) != 1 {
+		t.Fatalf("stack stats: %+v", res.StackStats)
+	}
+	ss := res.StackStats[0]
+	if ss.Stack != "perimeter" || ss.Forwarded == 0 {
+		t.Fatalf("stack stats: %+v", ss)
+	}
+	if ss.Suppressed == 0 {
+		t.Fatalf("overlapping vantages raised no duplicates to collapse: %+v", ss)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "stack perimeter:") {
+		t.Fatalf("render missing the stack line:\n%s", buf.String())
 	}
 }
 

@@ -1,0 +1,61 @@
+package activeprobe
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/schemes/registry"
+)
+
+// Params configures the active verification prober.
+type Params struct {
+	// SeedGateway pre-loads the gateway's true binding.
+	SeedGateway bool `json:"seedGateway"`
+	// VerifyNewStations probes previously unseen bindings too.
+	VerifyNewStations bool `json:"verifyNewStations"`
+	// VerifyWindowSeconds bounds how long a probed station may take to
+	// answer; 0 keeps the scheme default.
+	VerifyWindowSeconds float64 `json:"verifyWindowSeconds"`
+	// SolicitWindowSeconds is how long a reply stays "solicited" after a
+	// request; 0 keeps the scheme default.
+	SolicitWindowSeconds float64 `json:"solicitWindowSeconds"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:        registry.NameActiveProbe,
+		Package:     "activeprobe",
+		Description: "mirror-port prober that re-asks the station before believing a changed binding",
+		Deployment:  registry.Deployment{Vantage: registry.VantageMirrorPort, Cost: registry.CostPerLAN},
+		DefaultParams: func() any {
+			return &Params{SeedGateway: true}
+		},
+		// Handle is the *Prober.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			if env.Monitor == nil {
+				return nil, fmt.Errorf("active-probe needs a monitor appliance to probe from")
+			}
+			var opts []Option
+			if p.VerifyNewStations {
+				opts = append(opts, WithVerifyNewStations())
+			}
+			if p.VerifyWindowSeconds > 0 {
+				opts = append(opts, WithVerifyWindow(time.Duration(p.VerifyWindowSeconds*float64(time.Second))))
+			}
+			if p.SolicitWindowSeconds > 0 {
+				opts = append(opts, WithSolicitWindow(time.Duration(p.SolicitWindowSeconds*float64(time.Second))))
+			}
+			pr := New(env.Sched, env.Sink, env.Monitor, opts...)
+			if env.Telemetry != nil {
+				pr.Instrument(env.Telemetry)
+			}
+			if p.SeedGateway {
+				gw := env.Gateway()
+				pr.Seed(gw.IP(), gw.MAC())
+			}
+			env.Switch.AddTap(pr.Observe)
+			return &registry.Instance{Handle: pr}, nil
+		},
+	})
+}

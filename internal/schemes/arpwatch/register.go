@@ -1,0 +1,58 @@
+package arpwatch
+
+import (
+	"time"
+
+	"repro/internal/schemes/registry"
+)
+
+// Params configures an arpwatch deployment.
+type Params struct {
+	// SeedGateway pre-loads the gateway's true binding into the database.
+	SeedGateway bool `json:"seedGateway"`
+	// SeedVictim pre-loads the conventional victim's binding.
+	SeedVictim bool `json:"seedVictim"`
+	// HoldDownSeconds suppresses repeat flip-flop alerts for the same
+	// binding; 0 keeps the scheme default (20s).
+	HoldDownSeconds float64 `json:"holdDownSeconds"`
+	// FlipFlopThreshold is how many flips page; 0 keeps the scheme default.
+	FlipFlopThreshold int `json:"flipFlopThreshold"`
+	// NewStationAlerts pages on previously unseen bindings.
+	NewStationAlerts bool `json:"newStationAlerts"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:        registry.NameArpwatch,
+		Package:     "arpwatch",
+		Description: "passive binding database on the mirror port; pages on flip-flops (classic arpwatch)",
+		Deployment:  registry.Deployment{Vantage: registry.VantageMirrorPort, Cost: registry.CostPerLAN},
+		DefaultParams: func() any {
+			return &Params{SeedGateway: true}
+		},
+		// Handle is the *Watcher.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			var opts []Option
+			if p.HoldDownSeconds > 0 {
+				opts = append(opts, WithHoldDown(time.Duration(p.HoldDownSeconds*float64(time.Second))))
+			}
+			if p.FlipFlopThreshold > 0 {
+				opts = append(opts, WithFlipFlopThreshold(p.FlipFlopThreshold))
+			}
+			if p.NewStationAlerts {
+				opts = append(opts, WithNewStationAlerts())
+			}
+			w := New(env.Sched, env.Sink, opts...)
+			if p.SeedGateway {
+				w.Seed(env.Gateway().IP(), env.Gateway().MAC())
+			}
+			if p.SeedVictim {
+				v := env.Victim()
+				w.Seed(v.IP(), v.MAC())
+			}
+			env.Switch.AddTap(w.Observe)
+			return &registry.Instance{Handle: w}, nil
+		},
+	})
+}

@@ -1,0 +1,48 @@
+package dai
+
+import (
+	"repro/internal/ethaddr"
+	"repro/internal/schemes/registry"
+)
+
+// Params configures dynamic ARP inspection.
+type Params struct {
+	// DHCPGuard additionally drops DHCP server traffic from untrusted
+	// ports (rogue-server protection).
+	DHCPGuard bool `json:"dhcpGuard"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:        registry.NameDAI,
+		Package:     "dai",
+		Description: "switch-inline inspection against an authoritative binding table (dynamic ARP inspection)",
+		Deployment:  registry.Deployment{Vantage: registry.VantageSwitchInline, Cost: registry.CostPerLAN},
+		DefaultParams: func() any {
+			return &Params{}
+		},
+		// Handle is the *Inspector. The binding table holds every station's
+		// genuine binding — the attacker's included, so only forged claims
+		// violate.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			table := NewBindingTable()
+			for _, h := range env.Hosts {
+				table.AddStatic(h.IP(), h.MAC())
+			}
+			if env.Monitor != nil {
+				table.AddStatic(env.Monitor.IP(), env.Monitor.MAC())
+			}
+			if env.AttackerMAC != (ethaddr.MAC{}) {
+				table.AddStatic(env.AttackerIP, env.AttackerMAC)
+			}
+			var opts []Option
+			if p.DHCPGuard {
+				opts = append(opts, WithDHCPGuard())
+			}
+			insp := New(env.Sched, env.Sink, table, opts...)
+			env.AddInlineFilter(registry.NameDAI, insp.Filter())
+			return &registry.Instance{Handle: insp}, nil
+		},
+	})
+}

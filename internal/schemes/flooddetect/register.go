@@ -1,0 +1,50 @@
+package flooddetect
+
+import (
+	"time"
+
+	"repro/internal/schemes/registry"
+)
+
+// Params configures the rate-anomaly detector. Zero values keep the scheme
+// defaults.
+type Params struct {
+	// WindowSeconds is the sliding measurement window.
+	WindowSeconds float64 `json:"windowSeconds"`
+	// PacketThreshold is ARP packets per window per source before paging.
+	PacketThreshold int `json:"packetThreshold"`
+	// BindingThreshold is distinct claimed bindings per source per window.
+	BindingThreshold int `json:"bindingThreshold"`
+	// ScanThreshold is distinct probed targets per source per window.
+	ScanThreshold int `json:"scanThreshold"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:          registry.NameFloodDetect,
+		Package:       "flooddetect",
+		Description:   "mirror-port rate anomaly detector for ARP floods and scans",
+		Deployment:    registry.Deployment{Vantage: registry.VantageMirrorPort, Cost: registry.CostPerLAN},
+		DefaultParams: func() any { return &Params{} },
+		// Handle is the *Detector.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			var opts []Option
+			if p.WindowSeconds > 0 {
+				opts = append(opts, WithWindow(time.Duration(p.WindowSeconds*float64(time.Second))))
+			}
+			if p.PacketThreshold > 0 {
+				opts = append(opts, WithPacketThreshold(p.PacketThreshold))
+			}
+			if p.BindingThreshold > 0 {
+				opts = append(opts, WithBindingThreshold(p.BindingThreshold))
+			}
+			if p.ScanThreshold > 0 {
+				opts = append(opts, WithScanThreshold(p.ScanThreshold))
+			}
+			det := New(env.Sched, env.Sink, opts...)
+			env.Switch.AddTap(det.Observe)
+			return &registry.Instance{Handle: det}, nil
+		},
+	})
+}

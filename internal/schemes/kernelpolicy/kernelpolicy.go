@@ -45,12 +45,20 @@ func Profiles() []Profile {
 }
 
 // ByName returns the named profile, defaulting to the naive baseline for
-// unknown names.
+// unknown names. Callers that want typos rejected use Find.
 func ByName(name string) Profile {
-	for _, p := range Profiles() {
-		if p.Name == name {
-			return p
-		}
+	if p, ok := Find(name); ok {
+		return p
 	}
 	return Profiles()[0]
+}
+
+// Find returns the named profile, reporting whether it exists.
+func Find(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
 }

@@ -1,0 +1,41 @@
+package kernelpolicy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schemes/registry"
+	"repro/internal/stack"
+)
+
+// Params selects the cache-policy hardening profile.
+type Params struct {
+	// Profile is one of the named profiles ("naive", "reply-only",
+	// "no-overwrite", "solicited-only").
+	Profile string `json:"profile"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:        registry.NameKernelPolicy,
+		Package:     "kernelpolicy",
+		Description: "hardened kernel ARP cache acceptance rules, applied at host construction",
+		Deployment:  registry.Deployment{Vantage: registry.VantageHostResident, Cost: registry.CostPerHost},
+		DefaultParams: func() any {
+			return &Params{Profile: "solicited-only"}
+		},
+		HostOptions: func(params any) ([]stack.Option, error) {
+			p := params.(*Params)
+			prof, ok := Find(p.Profile)
+			if !ok {
+				var names []string
+				for _, pr := range Profiles() {
+					names = append(names, pr.Name)
+				}
+				return nil, fmt.Errorf("unknown kernel policy profile %q (valid: %s)",
+					p.Profile, strings.Join(names, ", "))
+			}
+			return []stack.Option{stack.WithPolicy(prof.Policy)}, nil
+		},
+	})
+}

@@ -1,0 +1,57 @@
+package middleware
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/schemes/registry"
+	"repro/internal/stack"
+)
+
+// Params configures the host-resident quarantine middleware.
+type Params struct {
+	// Scope selects which stations get the shim: "victim" (the
+	// conventional target only) or "all" (every regular host).
+	Scope string `json:"scope"`
+	// VerifyWindowSeconds bounds the quarantine verification probe; 0
+	// keeps the scheme default.
+	VerifyWindowSeconds float64 `json:"verifyWindowSeconds"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:        registry.NameMiddleware,
+		Package:     "middleware",
+		Description: "host shim that quarantines cache updates until the claimed station confirms them",
+		Deployment:  registry.Deployment{Vantage: registry.VantageHostResident, Cost: registry.CostPerHost},
+		DefaultParams: func() any {
+			return &Params{Scope: "victim"}
+		},
+		// Handle is the []*Guard deployed, in host order.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			var opts []Option
+			if p.VerifyWindowSeconds > 0 {
+				opts = append(opts, WithVerifyWindow(time.Duration(p.VerifyWindowSeconds*float64(time.Second))))
+			}
+			var targets []*stack.Host
+			switch p.Scope {
+			case "", "victim":
+				targets = []*stack.Host{env.Victim()}
+			case "all":
+				targets = env.Hosts
+			default:
+				return nil, fmt.Errorf("middleware scope %q (valid: victim, all)", p.Scope)
+			}
+			var guards []*Guard
+			for _, h := range targets {
+				g := New(env.Sched, env.Sink, h, opts...)
+				if env.Telemetry != nil {
+					g.Instrument(env.Telemetry)
+				}
+				guards = append(guards, g)
+			}
+			return &registry.Instance{Handle: guards}, nil
+		},
+	})
+}

@@ -1,0 +1,64 @@
+package portsec
+
+import (
+	"fmt"
+
+	"repro/internal/ethaddr"
+	"repro/internal/schemes/registry"
+)
+
+// Params configures switch port security.
+type Params struct {
+	// Sticky pins every station's genuine MAC (the attacker's included) to
+	// its port; false leaves ports learning dynamically up to MaxMACs.
+	Sticky bool `json:"sticky"`
+	// MaxMACs bounds dynamically learned MACs per port; 0 keeps the
+	// scheme default.
+	MaxMACs int `json:"maxMACs"`
+	// Mode is the violation response: "restrict" (drop the frame) or
+	// "shutdown" (err-disable the port).
+	Mode string `json:"mode"`
+	// TrustMonitor exempts the mirror port from enforcement.
+	TrustMonitor bool `json:"trustMonitor"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:        registry.NamePortSecurity,
+		Package:     "portsec",
+		Description: "switch-inline per-port MAC limits with sticky pinning (port security)",
+		Deployment:  registry.Deployment{Vantage: registry.VantageSwitchInline, Cost: registry.CostPerLAN},
+		DefaultParams: func() any {
+			return &Params{Sticky: true, Mode: "restrict", TrustMonitor: true}
+		},
+		// Handle is the *Enforcer.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			var opts []Option
+			switch p.Mode {
+			case "", "restrict":
+			case "shutdown":
+				opts = append(opts, WithMode(ModeShutdown))
+			default:
+				return nil, fmt.Errorf("port-security mode %q (valid: restrict, shutdown)", p.Mode)
+			}
+			if p.MaxMACs > 0 {
+				opts = append(opts, WithMaxMACs(p.MaxMACs))
+			}
+			if p.TrustMonitor && env.MonitorPort != nil {
+				opts = append(opts, WithTrustedPorts(env.MonitorPort.ID()))
+			}
+			if p.Sticky {
+				for i, port := range env.Ports {
+					opts = append(opts, WithSticky(port.ID(), env.Hosts[i].MAC()))
+				}
+				if env.AttackerPort != nil && env.AttackerMAC != (ethaddr.MAC{}) {
+					opts = append(opts, WithSticky(env.AttackerPort.ID(), env.AttackerMAC))
+				}
+			}
+			e := New(env.Sched, env.Sink, opts...)
+			env.AddInlineFilter(registry.NamePortSecurity, e.Filter())
+			return &registry.Instance{Handle: e}, nil
+		},
+	})
+}

@@ -1,0 +1,34 @@
+package registry
+
+import (
+	"time"
+
+	"repro/internal/stack"
+)
+
+// AddressDefenseParams configures the host-stack gratuitous-ARP address
+// defense (announce-and-defend, per the host-resident mitigation class).
+type AddressDefenseParams struct {
+	// MinIntervalSeconds rate-limits defensive re-announcements.
+	MinIntervalSeconds float64 `json:"minIntervalSeconds"`
+}
+
+// The address defense is implemented inside internal/stack (it is a host
+// construction option, and stack cannot import the registry without a
+// cycle), so its factory lives here rather than in a scheme sub-package.
+func init() {
+	Register(Factory{
+		Name:        NameAddressDefense,
+		Description: "host stack re-announces its own binding when it sees a conflicting claim for its IP",
+		Deployment:  Deployment{Vantage: VantageHostResident, Cost: CostPerHost},
+		DefaultParams: func() any {
+			return &AddressDefenseParams{MinIntervalSeconds: 1}
+		},
+		HostOptions: func(params any) ([]stack.Option, error) {
+			p := params.(*AddressDefenseParams)
+			return []stack.Option{
+				stack.WithAddressDefense(time.Duration(p.MinIntervalSeconds * float64(time.Second))),
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,61 @@
+package sarp
+
+import (
+	"time"
+
+	"repro/internal/schemes/registry"
+	"repro/internal/stack"
+)
+
+// Params configures an S-ARP rollout with pre-distributed keys.
+type Params struct {
+	// IncludeMonitor also converts the monitor appliance to S-ARP.
+	IncludeMonitor bool `json:"includeMonitor"`
+	// FreshnessSeconds is the accepted timestamp skew.
+	FreshnessSeconds float64 `json:"freshnessSeconds"`
+	// SignDelayMicros is the modelled per-message signing cost.
+	SignDelayMicros float64 `json:"signDelayMicros"`
+	// VerifyDelayMicros is the modelled per-message verification cost.
+	VerifyDelayMicros float64 `json:"verifyDelayMicros"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:        registry.NameSARP,
+		Package:     "sarp",
+		Description: "signed resolution protocol replacing ARP on every enrolled station (S-ARP)",
+		Deployment:  registry.Deployment{Vantage: registry.VantageProtocolReplacement, Cost: registry.CostPerHost},
+		DefaultParams: func() any {
+			// Mirrors the node-level defaults: 5s freshness, 50µs sign,
+			// 120µs verify.
+			return &Params{IncludeMonitor: true, FreshnessSeconds: 5, SignDelayMicros: 50, VerifyDelayMicros: 120}
+		},
+		// Handle is the []*Node in host order (monitor last when included);
+		// Resolvers route each enrolled host through its node.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			akd := NewAKD()
+			opts := []Option{
+				WithFreshness(time.Duration(p.FreshnessSeconds * float64(time.Second))),
+				WithCryptoDelay(
+					time.Duration(p.SignDelayMicros*float64(time.Microsecond)),
+					time.Duration(p.VerifyDelayMicros*float64(time.Microsecond))),
+			}
+			stations := append([]*stack.Host(nil), env.Hosts...)
+			if p.IncludeMonitor && env.Monitor != nil {
+				stations = append(stations, env.Monitor)
+			}
+			var nodes []*Node
+			resolvers := make(map[*stack.Host]registry.ResolveFunc, len(stations))
+			for _, h := range stations {
+				n, err := NewNode(env.Sched, env.Sink, h, akd, opts...)
+				if err != nil {
+					return nil, err
+				}
+				nodes = append(nodes, n)
+				resolvers[h] = n.Resolve
+			}
+			return &registry.Instance{Handle: nodes, Resolvers: resolvers}, nil
+		},
+	})
+}

@@ -192,8 +192,16 @@ func (s *Sink) Alerts() []Alert {
 // Len returns the number of alerts reported.
 func (s *Sink) Len() int { return len(s.alerts) }
 
-// Reset discards retained alerts.
-func (s *Sink) Reset() { s.alerts = s.alerts[:0] }
+// Reset discards retained alerts and, on an instrumented sink, the
+// per-scheme counter attribution built so far — a reused sink must re-create
+// its handles against the registry's current state rather than increment
+// counters captured in an earlier trial.
+func (s *Sink) Reset() {
+	s.alerts = s.alerts[:0]
+	if s.byScheme != nil {
+		s.byScheme = make(map[string]map[AlertKind]*telemetry.Counter)
+	}
+}
 
 // ByKind returns the retained alerts of one kind.
 func (s *Sink) ByKind(k AlertKind) []Alert {

@@ -1,0 +1,44 @@
+package schemes
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// Reset on an instrumented sink must drop the per-scheme counter handles
+// along with the alerts: a handle cached across Reset would keep
+// incrementing a counter captured in an earlier trial's registry state.
+func TestResetClearsTelemetryAttribution(t *testing.T) {
+	s := NewSink()
+	s.Instrument(telemetry.New())
+	s.Report(Alert{Scheme: "arpwatch", Kind: AlertFlipFlop})
+	if len(s.byScheme) == 0 {
+		t.Fatal("instrumented report built no attribution map")
+	}
+
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Reset kept %d alerts", s.Len())
+	}
+	if len(s.byScheme) != 0 {
+		t.Fatalf("Reset kept %d stale per-scheme counter entries", len(s.byScheme))
+	}
+
+	// The sink must still attribute after the reset.
+	s.Report(Alert{Scheme: "arpwatch", Kind: AlertFlipFlop})
+	if got := len(s.byScheme); got != 1 {
+		t.Fatalf("post-reset report attributed to %d schemes, want 1", got)
+	}
+}
+
+// Reset on an uninstrumented sink must stay a no-op for telemetry: no map
+// is conjured where none existed.
+func TestResetUninstrumented(t *testing.T) {
+	s := NewSink()
+	s.Report(Alert{Scheme: "dai", Kind: AlertBindingViolation})
+	s.Reset()
+	if s.byScheme != nil {
+		t.Fatal("Reset created an attribution map on an uninstrumented sink")
+	}
+}

@@ -1,0 +1,44 @@
+package snortlike
+
+import "repro/internal/schemes/registry"
+
+// Params configures the signature-NIDS preprocessor deployment.
+type Params struct {
+	// BindGateway configures the gateway's true binding as a signature.
+	BindGateway bool `json:"bindGateway"`
+	// BindVictim configures the conventional victim's binding.
+	BindVictim bool `json:"bindVictim"`
+	// DisableUnicastRequestCheck turns off the unicast-request signature.
+	DisableUnicastRequestCheck bool `json:"disableUnicastRequestCheck"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:        registry.NameSnortLike,
+		Package:     "snortlike",
+		Description: "signature NIDS preprocessor on the mirror port checking operator-configured bindings",
+		Deployment:  registry.Deployment{Vantage: registry.VantageMirrorPort, Cost: registry.CostPerLAN},
+		DefaultParams: func() any {
+			return &Params{BindGateway: true, BindVictim: true}
+		},
+		// Handle is the *Preprocessor.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			var opts []Option
+			if p.BindGateway {
+				gw := env.Gateway()
+				opts = append(opts, WithBinding(gw.IP(), gw.MAC()))
+			}
+			if p.BindVictim {
+				v := env.Victim()
+				opts = append(opts, WithBinding(v.IP(), v.MAC()))
+			}
+			if p.DisableUnicastRequestCheck {
+				opts = append(opts, WithUnicastRequestCheck(false))
+			}
+			pre := New(env.Sched, env.Sink, opts...)
+			env.Switch.AddTap(pre.Observe)
+			return &registry.Instance{Handle: pre}, nil
+		},
+	})
+}

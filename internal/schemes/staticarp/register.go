@@ -1,0 +1,39 @@
+package staticarp
+
+import "repro/internal/schemes/registry"
+
+// Params configures static ARP provisioning.
+type Params struct {
+	// IncludeMonitor also pins the monitor appliance's binding and enrolls
+	// the appliance itself.
+	IncludeMonitor bool `json:"includeMonitor"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:          registry.NameStaticARP,
+		Package:       "staticarp",
+		Description:   "provisioned immutable ARP entries on every managed host (set-and-forget prevention)",
+		Deployment:    registry.Deployment{Vantage: registry.VantageHostResident, Cost: registry.CostPerHost},
+		DefaultParams: func() any { return &Params{} },
+		// Handle is the *Provisioner.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			dir := make(Directory)
+			for _, h := range env.Hosts {
+				dir[h.IP()] = h.MAC()
+			}
+			if p.IncludeMonitor && env.Monitor != nil {
+				dir[env.Monitor.IP()] = env.Monitor.MAC()
+			}
+			prov := NewProvisioner(dir)
+			for _, h := range env.Hosts {
+				prov.Enroll(h)
+			}
+			if p.IncludeMonitor && env.Monitor != nil {
+				prov.Enroll(env.Monitor)
+			}
+			return &registry.Instance{Handle: prov}, nil
+		},
+	})
+}

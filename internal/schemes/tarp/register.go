@@ -1,0 +1,58 @@
+package tarp
+
+import (
+	"time"
+
+	"repro/internal/schemes/registry"
+	"repro/internal/stack"
+)
+
+// Params configures a TARP rollout with offline-issued tickets.
+type Params struct {
+	// IncludeMonitor also converts the monitor appliance to TARP.
+	IncludeMonitor bool `json:"includeMonitor"`
+	// TicketLifeSeconds is the LTA ticket validity.
+	TicketLifeSeconds float64 `json:"ticketLifeSeconds"`
+	// VerifyDelayMicros is the modelled per-ticket verification cost.
+	VerifyDelayMicros float64 `json:"verifyDelayMicros"`
+}
+
+func init() {
+	registry.Register(registry.Factory{
+		Name:        registry.NameTARP,
+		Package:     "tarp",
+		Description: "LTA-issued binding tickets attached to replies, replacing ARP trust (TARP)",
+		Deployment:  registry.Deployment{Vantage: registry.VantageProtocolReplacement, Cost: registry.CostPerHost},
+		DefaultParams: func() any {
+			// Mirrors the node-level defaults: 1h tickets, 120µs verify.
+			return &Params{IncludeMonitor: true, TicketLifeSeconds: 3600, VerifyDelayMicros: 120}
+		},
+		// Handle is the []*Node in host order (monitor last when included);
+		// Resolvers route each enrolled host through its node.
+		Deploy: func(env *registry.Env, params any) (*registry.Instance, error) {
+			p := params.(*Params)
+			lta, err := NewLTA(env.Sched, time.Duration(p.TicketLifeSeconds*float64(time.Second)))
+			if err != nil {
+				return nil, err
+			}
+			opts := []Option{
+				WithVerifyDelay(time.Duration(p.VerifyDelayMicros * float64(time.Microsecond))),
+			}
+			stations := append([]*stack.Host(nil), env.Hosts...)
+			if p.IncludeMonitor && env.Monitor != nil {
+				stations = append(stations, env.Monitor)
+			}
+			var nodes []*Node
+			resolvers := make(map[*stack.Host]registry.ResolveFunc, len(stations))
+			for _, h := range stations {
+				n, err := NewNode(env.Sched, env.Sink, h, lta, opts...)
+				if err != nil {
+					return nil, err
+				}
+				nodes = append(nodes, n)
+				resolvers[h] = n.Resolve
+			}
+			return &registry.Instance{Handle: nodes, Resolvers: resolvers}, nil
+		},
+	})
+}

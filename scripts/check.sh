@@ -28,8 +28,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/eval ./internal/integration ./internal/faults"
-go test -race ./internal/eval ./internal/integration ./internal/faults
+echo "==> go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry"
+go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry
 
 echo "==> bench smoke (sequential vs parallel Table 3, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkTable3(Sequential|Parallel)$' -benchtime=1x .
