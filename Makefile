@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench benchfull
+.PHONY: check build test race vet fmt bench benchfull regen
 
 check:
 	./scripts/check.sh
@@ -24,10 +24,18 @@ fmt:
 	gofmt -l -w .
 
 # bench runs every experiment benchmark once and records (name, ns/op,
-# allocs/op) to BENCH_PR2.json — the perf trajectory later PRs diff against.
+# allocs/op) to BENCH_PR5.json — the perf trajectory later PRs diff against
+# (BENCH_PR2.json is the earlier recorded point).
 bench:
 	./scripts/bench.sh
 
 # benchfull is the statistically meaningful run (multiple iterations).
 benchfull:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# regen re-renders every registered experiment at the recorded trial count
+# (see EXPERIMENTS.md). Table 4 and Figure 3 use real ECDSA entropy and
+# host timings, so a regenerated evaluation_output.txt differs from the
+# committed one in those artifacts even on the same machine.
+regen:
+	$(GO) run ./cmd/arpbench -trials 10 -cache > evaluation_output.txt

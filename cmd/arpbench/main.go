@@ -3,14 +3,21 @@
 //
 // Usage:
 //
-//	arpbench                  # everything, quick trial counts
-//	arpbench -list            # enumerate the tables and figures
-//	arpbench -table 3         # one table
-//	arpbench -figure 2        # one figure
-//	arpbench -trials 20       # more trials per experiment
-//	arpbench -csv             # machine-readable output
-//	arpbench -parallel 1      # force sequential trial execution
+//	arpbench                      # everything, quick trial counts
+//	arpbench -list                # enumerate the experiment and scheme catalogues
+//	arpbench -run table3          # one experiment by ID
+//	arpbench -run table3,figure2  # several, in the order given
+//	arpbench -table 3             # numeric alias for -run table3
+//	arpbench -figure 2            # numeric alias for -run figure2
+//	arpbench -run figure3 -params '{"sizes":[4,8],"horizonSeconds":30}'
+//	arpbench -trials 20           # more trials per experiment
+//	arpbench -cache               # memoize trial results across experiments
+//	arpbench -csv                 # machine-readable output
+//	arpbench -json                # JSON documents instead of aligned text
+//	arpbench -parallel 1          # force sequential trial execution
 //
+// Experiments come from the declarative registry in
+// internal/eval/experiments; every ID listed by -list is runnable via -run.
 // Trials fan out across a worker pool (default GOMAXPROCS); output is
 // byte-identical at any width because every trial is an isolated seeded
 // simulation and results are aggregated in seed order.
@@ -23,12 +30,15 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/eval"
+	"repro/internal/eval/experiments"
 	"repro/internal/schemes/registry"
 	_ "repro/internal/schemes/registry/all" // link every scheme factory
+	"repro/internal/telemetry"
 )
 
 // runMetrics records the host-machine cost of regenerating one table or
@@ -63,45 +73,15 @@ func measure(name string, fn func() error) (runMetrics, error) {
 	}, err
 }
 
-// catalogEntry is one line of the -list output.
-type catalogEntry struct {
-	kind string // "table" or "figure"
-	id   int
-	desc string
-}
-
-// catalog enumerates every experiment arpbench can regenerate, in render
-// order. Descriptions are one line each; EXPERIMENTS.md carries the full
-// methodology.
-func catalog() []catalogEntry {
-	return []catalogEntry{
-		{"table", 1, "Property matrix: every scheme vs the survey's comparison criteria (plus deployment recommendations)"},
-		{"table", 2, "Cache-policy matrix: which ARP message shapes create or overwrite entries per kernel policy"},
-		{"table", 3, "Detection quality under churn + MITM: TPR, FP/churn, latency quantiles per scheme"},
-		{"table", 4, "Runtime overhead per scheme: ARP traffic, probe load, CPU-proxy event counts"},
-		{"table", 5, "Hybrid-guard ablation: each layer's contribution to detection and prevention"},
-		{"table", 6, "Evasive attacker strategies vs each scheme's blind spots"},
-		{"table", 7, "Port stealing (CAM theft): interception and flagging per scheme"},
-		{"table", 8, "Detection robustness under injected faults: coverage, FPs, time-to-detect vs intensity"},
-		{"table", 9, "Defense-in-depth stacks vs their best single member: coverage, FPs, correlated alert load"},
-		{"figure", 1, "Detection latency CDF per scheme"},
-		{"figure", 2, "Reply race: victim poisoning probability vs attacker response-time advantage"},
-		{"figure", 3, "Scheme overhead scaling with LAN size"},
-		{"figure", 4, "False positives vs benign binding-churn rate (no attack)"},
-		{"figure", 5, "CAM flooding: eavesdropped fraction vs flood rate"},
-		{"figure", 6, "Probe-window ablation: false rejections vs link loss per window length"},
-		{"figure", 7, "Defense war: poisoned fraction vs attacker re-poison period"},
-		{"figure", 8, "Median time-to-detect vs composite fault intensity per scheme"},
-	}
-}
-
-// printCatalog renders the -list output: the experiments, then the scheme
+// printCatalog renders the -list output: the experiment registry (every ID
+// is runnable via -run, shown with its default parameters), then the scheme
 // catalogue the stacked deployments draw from.
 func printCatalog(w io.Writer) error {
-	for _, e := range catalog() {
-		if _, err := fmt.Fprintf(w, "%-6s %d  %s\n", e.kind, e.id, e.desc); err != nil {
-			return err
-		}
+	if _, err := fmt.Fprintf(w, "experiments (runnable via -run <id>, parameters overridable via -params):\n"); err != nil {
+		return err
+	}
+	if err := experiments.WriteCatalogue(w); err != nil {
+		return err
 	}
 	if _, err := fmt.Fprintf(w, "\nschemes (deployable singly or stacked, e.g. dai+arpwatch+port-security):\n"); err != nil {
 		return err
@@ -143,20 +123,46 @@ func main() {
 	}
 }
 
-// renderable is the common surface of tables and figures.
-type renderable interface {
-	Render(io.Writer) error
-	CSV(io.Writer) error
+// selection resolves the -run/-table/-figure flags to descriptors, keeping
+// the order the user gave.
+func selection(runIDs string, table, figure int) ([]*experiments.Descriptor, error) {
+	var ids []string
+	if runIDs != "" {
+		for _, id := range strings.Split(runIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if table != 0 {
+		ids = append(ids, fmt.Sprintf("table%d", table))
+	}
+	if figure != 0 {
+		ids = append(ids, fmt.Sprintf("figure%d", figure))
+	}
+	out := make([]*experiments.Descriptor, 0, len(ids))
+	for _, id := range ids {
+		d, ok := experiments.Lookup(id)
+		if !ok {
+			return nil, experiments.UnknownExperimentError(id)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("arpbench", flag.ContinueOnError)
-	table := fs.Int("table", 0, "render only this table (1-9)")
-	figure := fs.Int("figure", 0, "render only this figure (1-8)")
-	list := fs.Bool("list", false, "list every table and figure with a one-line description, then exit")
+	runIDs := fs.String("run", "", "comma-separated experiment IDs to render (see -list), e.g. table3,figure2")
+	table := fs.Int("table", 0, "render only this table (alias for -run tableN)")
+	figure := fs.Int("figure", 0, "render only this figure (alias for -run figureN)")
+	params := fs.String("params", "", "JSON object overriding the selected experiment's default parameters (single experiment only)")
+	list := fs.Bool("list", false, "list the experiment and scheme catalogues, then exit")
 	trials := fs.Int("trials", 5, "trials per stochastic experiment")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "trial worker goroutines (1 = sequential; output is identical at any width)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := fs.Bool("json", false, "emit JSON documents instead of aligned text")
+	cache := fs.Bool("cache", false, "memoize per-trial results across experiments in this run; hit/miss counts go to -metrics telemetry and stderr")
 	recommend := fs.String("recommend", "", "print the ranked schemes and scoring rationale for an environment: soho | enterprise | open-wifi | lab-static")
 	metricsPath := fs.String("metrics", "", "write per-experiment runtime metrics (wall time, allocations, GC) to this file as JSON")
 	if err := fs.Parse(args); err != nil {
@@ -168,7 +174,26 @@ func run(w io.Writer, args []string) error {
 	if *recommend != "" {
 		return printRecommendation(w, *recommend)
 	}
+	if *csv && *jsonOut {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
 	eval.SetParallelism(*parallel)
+
+	var tel *telemetry.Registry
+	if *cache {
+		tel = telemetry.New()
+		eval.EnableResultCache(tel)
+		defer eval.DisableResultCache()
+	}
+
+	selected, err := selection(*runIDs, *table, *figure)
+	if err != nil {
+		return err
+	}
+	raw := json.RawMessage(*params)
+	if len(raw) > 0 && len(selected) != 1 {
+		return fmt.Errorf("-params needs exactly one selected experiment, got %d", len(selected))
+	}
 
 	var collected []runMetrics
 	writeMetrics := func() error {
@@ -188,57 +213,31 @@ func run(w io.Writer, args []string) error {
 		return f.Close()
 	}
 
-	emit := func(r renderable) error {
-		if *csv {
-			return r.CSV(w)
+	emit := func(a eval.Artifact) error {
+		switch {
+		case *csv:
+			return a.CSV(w)
+		case *jsonOut:
+			return a.JSON(w)
 		}
-		if err := r.Render(w); err != nil {
+		if err := a.Render(w); err != nil {
 			return err
 		}
 		_, err := fmt.Fprintln(w)
 		return err
 	}
 
-	tables := map[int]func() (renderable, error){
-		1: func() (renderable, error) { return eval.Table1PropertyMatrix(), nil },
-		2: func() (renderable, error) { return eval.Table2PolicyMatrix(), nil },
-		3: func() (renderable, error) { return eval.Table3Detection(*trials), nil },
-		4: func() (renderable, error) {
-			t, err := eval.Table4Overhead(*trials * 4)
-			return t, err
-		},
-		5: func() (renderable, error) { return eval.Table5Ablation(*trials), nil },
-		6: func() (renderable, error) { return eval.Table6EvasiveAttacker(*trials), nil },
-		7: func() (renderable, error) { return eval.Table7PortStealing(*trials), nil },
-		8: func() (renderable, error) { return eval.Table8FaultRobustness(*trials), nil },
-		9: func() (renderable, error) { return eval.Table9Stacks(*trials), nil },
-	}
-	figures := map[int]func() (renderable, error){
-		1: func() (renderable, error) { return eval.Figure1LatencyCDF(*trials * 4), nil },
-		2: func() (renderable, error) { return eval.Figure2RaceWindow(*trials * 8), nil },
-		3: func() (renderable, error) {
-			return eval.Figure3Scaling([]int{4, 8, 16, 32, 64}, time.Minute), nil
-		},
-		4: func() (renderable, error) { return eval.Figure4ChurnFalsePositives(*trials), nil },
-		5: func() (renderable, error) {
-			return eval.Figure5CamFlood([]float64{0, 100, 500, 1000, 2000, 5000}, 20*time.Second), nil
-		},
-		6: func() (renderable, error) { return eval.Figure6WindowAblation(*trials * 4), nil },
-		7: func() (renderable, error) { return eval.Figure7DefenseWar(*trials * 30), nil },
-		8: func() (renderable, error) { return eval.Figure8FaultIntensitySweep(*trials), nil },
-	}
-
-	runOne := func(kind string, builders map[int]func() (renderable, error), id int) error {
-		build, ok := builders[id]
-		if !ok {
-			return fmt.Errorf("no such experiment id %d", id)
+	runOne := func(d *experiments.Descriptor) error {
+		p, err := d.Params(*trials, raw)
+		if err != nil {
+			return err
 		}
-		m, err := measure(fmt.Sprintf("%s%d", kind, id), func() error {
-			r, err := build()
+		m, err := measure(d.ID, func() error {
+			a, err := d.Produce(p)
 			if err != nil {
 				return err
 			}
-			return emit(r)
+			return emit(a)
 		})
 		if err != nil {
 			return err
@@ -248,33 +247,17 @@ func run(w io.Writer, args []string) error {
 		return nil
 	}
 
-	switch {
-	case *table != 0:
-		if err := runOne("table", tables, *table); err != nil {
+	if len(selected) == 0 {
+		selected = experiments.List()
+	}
+	for _, d := range selected {
+		if err := runOne(d); err != nil {
 			return err
 		}
-	case *figure != 0:
-		if err := runOne("figure", figures, *figure); err != nil {
-			return err
-		}
-	default:
-		// Table 1b rides along with Table 1 in the full run.
-		if err := runOne("table", tables, 1); err != nil {
-			return err
-		}
-		if err := emit(eval.Table1Recommendations()); err != nil {
-			return err
-		}
-		for id := 2; id <= 9; id++ {
-			if err := runOne("table", tables, id); err != nil {
-				return err
-			}
-		}
-		for id := 1; id <= 8; id++ {
-			if err := runOne("figure", figures, id); err != nil {
-				return err
-			}
-		}
+	}
+	if *cache {
+		hits, misses := eval.ResultCacheStats()
+		fmt.Fprintf(os.Stderr, "result cache: %d hits, %d misses\n", hits, misses)
 	}
 	return writeMetrics()
 }

@@ -2,10 +2,10 @@ package main
 
 import (
 	"bytes"
-	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/eval/experiments"
 	"repro/internal/schemes/registry"
 )
 
@@ -43,6 +43,75 @@ func TestStochasticTableSmall(t *testing.T) {
 	}
 }
 
+func TestRunFlag(t *testing.T) {
+	// -run accepts a comma-separated ID list and renders in the order given,
+	// including suffixed companions that have no numeric alias.
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-run", "table1b,table2", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	i, j := strings.Index(out, "Table 1b:"), strings.Index(out, "Table 2:")
+	if i < 0 || j < 0 || i > j {
+		t.Fatalf("want Table 1b before Table 2:\n%s", out)
+	}
+	if strings.Contains(out, "Table 1:") {
+		t.Fatalf("-run table1b rendered table1 too:\n%s", out)
+	}
+}
+
+func TestRunFlagUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-run", "table42"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("unknown -run ID accepted: %v", err)
+	}
+}
+
+func TestParamsFlag(t *testing.T) {
+	// Explicit JSON overrides the defaults (and the -trials scaling).
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-run", "figure3",
+		"-params", `{"sizes":[4],"horizonSeconds":5}`}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 3:") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if strings.Contains(out, "   64\t") {
+		t.Fatalf("default sizes leaked past -params:\n%s", out)
+	}
+
+	// Unknown fields are load-time errors, mirroring scheme params.
+	if err := run(&buf, []string{"-run", "figure3", "-params", `{"nope":1}`}); err == nil {
+		t.Fatal("unknown param field accepted")
+	}
+	// -params needs exactly one experiment.
+	if err := run(&buf, []string{"-run", "table5,table6", "-params", `{"trials":1}`}); err == nil {
+		t.Fatal("-params with two experiments accepted")
+	}
+	// Experiments without parameters reject -params.
+	if err := run(&buf, []string{"-run", "table1", "-params", `{}`}); err == nil {
+		t.Fatal("-params accepted by a parameterless experiment")
+	}
+}
+
+func TestCacheFlag(t *testing.T) {
+	// A cached run renders the same bytes as an uncached one.
+	var plain, cached bytes.Buffer
+	if err := run(&plain, []string{"-table", "5", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&cached, []string{"-table", "5", "-trials", "1", "-cache"}); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != cached.String() {
+		t.Fatalf("-cache changed rendered output:\n--- plain ---\n%s--- cached ---\n%s",
+			plain.String(), cached.String())
+	}
+}
+
 func TestRecommendFlag(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, []string{"-recommend", "enterprise"}); err != nil {
@@ -74,13 +143,14 @@ func TestListFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	// Experiments, a blank line plus schemes header, then one catalogue line
-	// and one indented description per registered scheme.
-	want := len(catalog()) + 2 + 2*len(registry.Factories())
+	// An experiments header plus one catalogue line and one indented title
+	// per experiment, a blank line plus schemes header, then the same two
+	// lines per registered scheme.
+	want := 1 + 2*len(experiments.List()) + 2 + 2*len(registry.Factories())
 	if got := strings.Count(out, "\n"); got != want {
 		t.Fatalf("list lines = %d, want %d:\n%s", got, want, out)
 	}
-	for _, probe := range []string{"table  1", "table  9", "figure 1", "figure 8",
+	for _, probe := range []string{"table1 ", "table1b", "table9", "figure1", "figure8",
 		registry.NameHybridGuard, registry.NamePortSecurity} {
 		if !strings.Contains(out, probe) {
 			t.Fatalf("list missing %q:\n%s", probe, out)
@@ -93,12 +163,12 @@ func TestListFlag(t *testing.T) {
 }
 
 func TestCatalogMatchesRegisteredExperiments(t *testing.T) {
-	// Every catalogued experiment must actually run (with minimal trials),
+	// Every registered experiment must actually run (with minimal trials),
 	// so the -list output can never advertise a dangling ID.
-	for _, e := range catalog() {
+	for _, d := range experiments.List() {
 		var buf bytes.Buffer
-		if err := run(&buf, []string{"-" + e.kind, fmt.Sprint(e.id), "-trials", "1"}); err != nil {
-			t.Fatalf("catalogued %s %d does not run: %v", e.kind, e.id, err)
+		if err := run(&buf, []string{"-run", d.ID, "-trials", "1"}); err != nil {
+			t.Fatalf("registered experiment %s does not run: %v", d.ID, err)
 		}
 	}
 }

@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestCachedTrialsWarmRunsZeroTrials is the cache's core contract: an
+// unchanged experiment re-runs entirely from cache, executing zero trials.
+func TestCachedTrialsWarmRunsZeroTrials(t *testing.T) {
+	tel := telemetry.New()
+	EnableResultCache(tel)
+	defer DisableResultCache()
+
+	var calls atomic.Int64
+	sc := Scope{Experiment: "testexp", Params: "knob=1"}
+	trial := func(seed int64) int64 {
+		calls.Add(1)
+		return seed * 10
+	}
+
+	cold := CachedTrials(sc, 4, trial)
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("cold run executed %d trials, want 4", got)
+	}
+	warm := CachedTrials(sc, 4, trial)
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("warm run executed %d new trials, want 0", got-4)
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("warm[%d] = %d, want %d", i, warm[i], cold[i])
+		}
+	}
+
+	hits, misses := ResultCacheStats()
+	if hits != 4 || misses != 4 {
+		t.Fatalf("stats = %d hits, %d misses; want 4, 4", hits, misses)
+	}
+	label := telemetry.L("experiment", "testexp")
+	if v := tel.CounterValue(MetricCacheHits, label); v != 4 {
+		t.Fatalf("telemetry hits = %d, want 4", v)
+	}
+	if v := tel.CounterValue(MetricCacheMisses, label); v != 4 {
+		t.Fatalf("telemetry misses = %d, want 4", v)
+	}
+}
+
+// TestCachedTrialsGrowReusesSeeds: raising the trial count re-runs only the
+// new seeds, because the trial count is not part of the scope.
+func TestCachedTrialsGrowReusesSeeds(t *testing.T) {
+	EnableResultCache(nil)
+	defer DisableResultCache()
+
+	var calls atomic.Int64
+	sc := Scope{Experiment: "testexp-grow"}
+	trial := func(seed int64) int64 {
+		calls.Add(1)
+		return seed
+	}
+	CachedTrials(sc, 3, trial)
+	out := CachedTrials(sc, 5, trial)
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("executed %d trials total, want 5 (3 cold + 2 new)", got)
+	}
+	for i, v := range out {
+		if v != int64(i)+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestCachedMapScopesByParams: changing the scope params invalidates every
+// cell; an identical scope reuses all of them.
+func TestCachedMapScopesByParams(t *testing.T) {
+	EnableResultCache(nil)
+	defer DisableResultCache()
+
+	var calls atomic.Int64
+	run := func(c int) int { calls.Add(1); return c * c }
+	cfgs := []int{1, 2, 3}
+
+	CachedMap(Scope{Experiment: "testexp-map", Params: "h=1"}, cfgs, run)
+	CachedMap(Scope{Experiment: "testexp-map", Params: "h=1"}, cfgs, run)
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("same-scope rerun executed %d trials, want 3", got)
+	}
+	CachedMap(Scope{Experiment: "testexp-map", Params: "h=2"}, cfgs, run)
+	if got := calls.Load(); got != 6 {
+		t.Fatalf("changed-scope run executed %d trials total, want 6", got)
+	}
+}
+
+// TestCacheDisabledPassesThrough: with no cache enabled the cached runners
+// are exactly RunTrials/Map and the stats read zero.
+func TestCacheDisabledPassesThrough(t *testing.T) {
+	DisableResultCache()
+	var calls atomic.Int64
+	sc := Scope{Experiment: "testexp-off"}
+	CachedTrials(sc, 2, func(seed int64) int64 { calls.Add(1); return seed })
+	CachedTrials(sc, 2, func(seed int64) int64 { calls.Add(1); return seed })
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("disabled cache executed %d trials, want 4", got)
+	}
+	if h, m := ResultCacheStats(); h != 0 || m != 0 {
+		t.Fatalf("disabled cache stats = %d, %d; want 0, 0", h, m)
+	}
+}
+
+// TestWarmCacheRerenderByteIdenticalZeroTrials re-renders a full experiment
+// against a warm cache and asserts both halves of the acceptance criterion:
+// the rendered artifact is byte-identical and zero new trials ran (no new
+// cache misses in the telemetry counters).
+func TestWarmCacheRerenderByteIdenticalZeroTrials(t *testing.T) {
+	tel := telemetry.New()
+	EnableResultCache(tel)
+	defer DisableResultCache()
+
+	render := func() string {
+		var buf bytes.Buffer
+		if err := Table7PortStealing(1).Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cold := render()
+	_, coldMisses := ResultCacheStats()
+	if coldMisses == 0 {
+		t.Fatal("cold render recorded no cache misses; cache not engaged")
+	}
+	warm := render()
+	if warm != cold {
+		t.Fatalf("warm re-render differs:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+	_, warmMisses := ResultCacheStats()
+	if warmMisses != coldMisses {
+		t.Fatalf("warm re-render ran %d new trials, want 0", warmMisses-coldMisses)
+	}
+	if v := tel.CounterValue(MetricCacheMisses, telemetry.L("experiment", "table7")); v != coldMisses {
+		t.Fatalf("telemetry misses = %d, want %d", v, coldMisses)
+	}
+}

@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"encoding/csv"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTableCSVRoundTripRFC4180: cells containing separators, quotes, and
+// line breaks survive a write → standard-reader parse round trip intact.
+func TestTableCSVRoundTripRFC4180(t *testing.T) {
+	tbl := &Table{
+		ID:      "Table X",
+		Title:   "quoting",
+		Columns: []string{"scheme", "note, with comma", `says "quoted"`},
+	}
+	tbl.AddRow("plain", "has,comma", `has"quote`)
+	tbl.AddRow("multi\nline", "✓/✗", " padded ")
+
+	var b strings.Builder
+	if err := tbl.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("standard CSV reader rejected output: %v\n%s", err, b.String())
+	}
+	want := append([][]string{tbl.Columns}, tbl.Rows...)
+	if !reflect.DeepEqual(records, want) {
+		t.Fatalf("round trip mismatch:\ngot  %q\nwant %q", records, want)
+	}
+}
+
+// TestFigureCSVRoundTripRFC4180: series names and axis labels with commas
+// are quoted, so the long-format rows stay three fields wide.
+func TestFigureCSVRoundTripRFC4180(t *testing.T) {
+	f := &Figure{ID: "Figure X", Title: "quoting", XLabel: "x, axis", YLabel: "y"}
+	f.AddPoint("defended, 1s", 0.5, 0.25)
+	f.AddPoint(`raw "series"`, 1, 2)
+
+	var b strings.Builder
+	if err := f.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("standard CSV reader rejected output: %v\n%s", err, b.String())
+	}
+	want := [][]string{
+		{"series", "x, axis", "y"},
+		{"defended, 1s", "0.5", "0.25"},
+		{`raw "series"`, "1", "2"},
+	}
+	if !reflect.DeepEqual(records, want) {
+		t.Fatalf("round trip mismatch:\ngot  %q\nwant %q", records, want)
+	}
+}

@@ -51,13 +51,7 @@ type detectionTrialConfig struct {
 // gateway-poisoning MITM, one detection scheme deployed, and returns what
 // the scheme reported.
 func runDetectionTrial(cfg detectionTrialConfig) trialResult {
-	l := labnet.New(labnet.Config{
-		Seed:         cfg.seed,
-		Hosts:        cfg.hosts,
-		WithAttacker: true,
-		WithMonitor:  true,
-		LinkJitter:   200 * time.Microsecond,
-	})
+	l := newAttackLAN(cfg.seed, cfg.hosts, 200*time.Microsecond)
 	sink := schemes.NewSink()
 	gw, victim := l.Gateway(), l.Victim()
 	// Randomize the attack's phase relative to probe windows and refresh
@@ -77,13 +71,7 @@ func runDetectionTrial(cfg detectionTrialConfig) trialResult {
 		deployDetectionScheme(l, sink, cfg.scheme)
 	}
 
-	// Background: every host re-announces periodically so passive schemes
-	// keep observing bindings (standing in for normal ARP refresh traffic).
-	for _, h := range l.Hosts {
-		h := h
-		l.Sched.Every(15*time.Second, h.SendGratuitous)
-	}
-	l.SeedMutualCaches()
+	warmAttackLAN(l)
 
 	// Benign churn: replacement stations take over existing addresses at
 	// seeded random instants. Targets are distinct — two replacements
@@ -109,11 +97,7 @@ func runDetectionTrial(cfg detectionTrialConfig) trialResult {
 		})
 	}
 
-	// The attack: periodic bidirectional gateway poisoning with relay.
-	l.Sched.At(attackAt, func() {
-		l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
-		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
-	})
+	launchGatewayMITM(l, attackAt)
 
 	_ = l.Run(cfg.horizon)
 
@@ -196,7 +180,7 @@ func Table3Detection(trials int) *Table {
 			})
 		}
 	}
-	results := Map(cfgs, runDetectionTrial)
+	results := CachedMap(Scope{Experiment: "table3"}, cfgs, runDetectionTrial)
 	for si, scheme := range DetectionSchemes() {
 		var detected, fps, churns int
 		var latencies []float64
@@ -257,7 +241,7 @@ func Figure1LatencyCDF(trials int) *Figure {
 			})
 		}
 	}
-	results := Map(cfgs, runDetectionTrial)
+	results := CachedMap(Scope{Experiment: "figure1"}, cfgs, runDetectionTrial)
 	for si, scheme := range DetectionSchemes() {
 		var latencies []float64
 		for _, res := range results[si*trials : (si+1)*trials] {
@@ -309,7 +293,7 @@ func Figure4ChurnFalsePositives(trialsPerPoint int) *Figure {
 			}
 		}
 	}
-	results := Map(cfgs, runDetectionTrial)
+	results := CachedMap(Scope{Experiment: "figure4"}, cfgs, runDetectionTrial)
 	cell := 0
 	for _, scheme := range schemesSwept {
 		for _, churnsPerRun := range churnRates {

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// renderAtWidth renders one artifact at a fixed worker-pool width.
+func renderAtWidth(t *testing.T, width int, build func() Artifact) string {
+	t.Helper()
+	SetParallelism(width)
+	defer SetParallelism(0)
+	var buf bytes.Buffer
+	if err := build().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// assertByteIdenticalAcrossWidths is the determinism invariant the registry
+// refactor must preserve: rendered output is byte-identical at any pool
+// width because each trial owns its world and aggregation is input-ordered.
+func assertByteIdenticalAcrossWidths(t *testing.T, build func() Artifact) {
+	t.Helper()
+	widths := []int{1, 4, runtime.GOMAXPROCS(0)}
+	ref := renderAtWidth(t, widths[0], build)
+	if ref == "" {
+		t.Fatal("empty render")
+	}
+	for _, w := range widths[1:] {
+		if got := renderAtWidth(t, w, build); got != ref {
+			t.Fatalf("output differs at parallel=%d:\n--- parallel=1 ---\n%s--- parallel=%d ---\n%s",
+				w, ref, w, got)
+		}
+	}
+}
+
+func TestFigure7ByteIdenticalAcrossWidths(t *testing.T) {
+	assertByteIdenticalAcrossWidths(t, func() Artifact { return Figure7DefenseWar(30) })
+}
+
+func TestFigure8ByteIdenticalAcrossWidths(t *testing.T) {
+	assertByteIdenticalAcrossWidths(t, func() Artifact { return Figure8FaultIntensitySweep(1) })
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/eval"
+)
+
+// AttemptsParams parameterizes Figure 6: genuine resolutions per
+// (window, loss) point.
+type AttemptsParams struct {
+	Attempts int `json:"attempts"`
+}
+
+// SamplesParams parameterizes Figure 7: cache samples per (defense, period)
+// cell over the fixed 60s horizon.
+type SamplesParams struct {
+	Samples int `json:"samples"`
+}
+
+// ScalingParams parameterizes Figure 3: the LAN sizes swept and the
+// steady-state horizon each point is measured over.
+type ScalingParams struct {
+	Sizes          []int   `json:"sizes"`
+	HorizonSeconds float64 `json:"horizonSeconds"`
+}
+
+// FloodParams parameterizes Figure 5: the flood rates swept and the horizon
+// each point observes the victim flow for.
+type FloodParams struct {
+	Rates          []float64 `json:"rates"`
+	HorizonSeconds float64   `json:"horizonSeconds"`
+}
+
+// seconds converts a JSON horizon to a duration.
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+func init() {
+	Register(Descriptor{
+		ID: "figure1", Kind: KindFigure, Num: 1,
+		Title:         "Detection latency CDF per scheme",
+		DefaultParams: trialsParams(4),
+		ApplyTrials:   scaleTrials(4),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Figure1LatencyCDF(p.(*TrialsParams).Trials), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "figure2", Kind: KindFigure, Num: 2,
+		Title:         "Reply race: victim poisoning probability vs attacker response-time advantage",
+		DefaultParams: trialsParams(8),
+		ApplyTrials:   scaleTrials(8),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Figure2RaceWindow(p.(*TrialsParams).Trials), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "figure3", Kind: KindFigure, Num: 3,
+		Title: "Scheme overhead scaling with LAN size",
+		DefaultParams: func() any {
+			return &ScalingParams{Sizes: []int{4, 8, 16, 32, 64}, HorizonSeconds: 60}
+		},
+		Produce: func(p any) (eval.Artifact, error) {
+			sp := p.(*ScalingParams)
+			return eval.Figure3Scaling(sp.Sizes, seconds(sp.HorizonSeconds)), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "figure4", Kind: KindFigure, Num: 4,
+		Title:         "False positives vs benign binding-churn rate (no attack)",
+		DefaultParams: trialsParams(1),
+		ApplyTrials:   scaleTrials(1),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Figure4ChurnFalsePositives(p.(*TrialsParams).Trials), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "figure5", Kind: KindFigure, Num: 5,
+		Title: "CAM flooding: eavesdropped fraction vs flood rate",
+		DefaultParams: func() any {
+			return &FloodParams{Rates: []float64{0, 100, 500, 1000, 2000, 5000}, HorizonSeconds: 20}
+		},
+		Produce: func(p any) (eval.Artifact, error) {
+			fp := p.(*FloodParams)
+			return eval.Figure5CamFlood(fp.Rates, seconds(fp.HorizonSeconds)), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "figure6", Kind: KindFigure, Num: 6,
+		Title:         "Probe-window ablation: false rejections vs link loss per window length",
+		DefaultParams: func() any { return &AttemptsParams{Attempts: 20} },
+		ApplyTrials:   func(p any, trials int) { p.(*AttemptsParams).Attempts = trials * 4 },
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Figure6WindowAblation(p.(*AttemptsParams).Attempts), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "figure7", Kind: KindFigure, Num: 7,
+		Title:         "Defense war: poisoned fraction vs attacker re-poison period",
+		DefaultParams: func() any { return &SamplesParams{Samples: 150} },
+		ApplyTrials:   func(p any, trials int) { p.(*SamplesParams).Samples = trials * 30 },
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Figure7DefenseWar(p.(*SamplesParams).Samples), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "figure8", Kind: KindFigure, Num: 8,
+		Title:         "Median time-to-detect vs composite fault intensity per scheme",
+		DefaultParams: trialsParams(1),
+		ApplyTrials:   scaleTrials(1),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Figure8FaultIntensitySweep(p.(*TrialsParams).Trials), nil
+		},
+	})
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"repro/internal/eval"
+)
+
+// TrialsParams parameterizes the seed-swept experiments: how many
+// independent seeded trials feed each aggregate (row, cell, or point).
+type TrialsParams struct {
+	Trials int `json:"trials"`
+}
+
+// RoundsParams parameterizes Table 4: how many cold resolutions each
+// scheme's per-resolution cost is averaged over.
+type RoundsParams struct {
+	Rounds int `json:"rounds"`
+}
+
+// trialsParams returns a fresh TrialsParams at the historical default (the
+// value a plain `arpbench` run used at -trials 5 with multiplier mult).
+func trialsParams(mult int) func() any {
+	return func() any { return &TrialsParams{Trials: 5 * mult} }
+}
+
+// scaleTrials applies the CLI -trials knob with the experiment's
+// historical multiplier.
+func scaleTrials(mult int) func(any, int) {
+	return func(p any, trials int) { p.(*TrialsParams).Trials = trials * mult }
+}
+
+func init() {
+	Register(Descriptor{
+		ID: "table1", Kind: KindTable, Num: 1,
+		Title:   "Property matrix: every scheme vs the survey's comparison criteria (plus deployment recommendations)",
+		Produce: func(any) (eval.Artifact, error) { return eval.Table1PropertyMatrix(), nil },
+	})
+	Register(Descriptor{
+		ID: "table1b", Kind: KindTable, Num: 1,
+		Title:   "Deployment recommendations per environment, derived from the property matrix",
+		Produce: func(any) (eval.Artifact, error) { return eval.Table1Recommendations(), nil },
+	})
+	Register(Descriptor{
+		ID: "table2", Kind: KindTable, Num: 2,
+		Title:   "Cache-policy matrix: which ARP message shapes create or overwrite entries per kernel policy",
+		Produce: func(any) (eval.Artifact, error) { return eval.Table2PolicyMatrix(), nil },
+	})
+	Register(Descriptor{
+		ID: "table3", Kind: KindTable, Num: 3,
+		Title:         "Detection quality under churn + MITM: TPR, FP/churn, latency quantiles per scheme",
+		DefaultParams: trialsParams(1),
+		ApplyTrials:   scaleTrials(1),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Table3Detection(p.(*TrialsParams).Trials), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "table4", Kind: KindTable, Num: 4,
+		Title:         "Runtime overhead per scheme: ARP traffic, probe load, CPU-proxy event counts",
+		DefaultParams: func() any { return &RoundsParams{Rounds: 20} },
+		ApplyTrials:   func(p any, trials int) { p.(*RoundsParams).Rounds = trials * 4 },
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Table4Overhead(p.(*RoundsParams).Rounds)
+		},
+	})
+	Register(Descriptor{
+		ID: "table5", Kind: KindTable, Num: 5,
+		Title:         "Hybrid-guard ablation: each layer's contribution to detection and prevention",
+		DefaultParams: trialsParams(1),
+		ApplyTrials:   scaleTrials(1),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Table5Ablation(p.(*TrialsParams).Trials), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "table6", Kind: KindTable, Num: 6,
+		Title:         "Evasive attacker strategies vs each scheme's blind spots",
+		DefaultParams: trialsParams(1),
+		ApplyTrials:   scaleTrials(1),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Table6EvasiveAttacker(p.(*TrialsParams).Trials), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "table7", Kind: KindTable, Num: 7,
+		Title:         "Port stealing (CAM theft): interception and flagging per scheme",
+		DefaultParams: trialsParams(1),
+		ApplyTrials:   scaleTrials(1),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Table7PortStealing(p.(*TrialsParams).Trials), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "table8", Kind: KindTable, Num: 8,
+		Title:         "Detection robustness under injected faults: coverage, FPs, time-to-detect vs intensity",
+		DefaultParams: trialsParams(1),
+		ApplyTrials:   scaleTrials(1),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Table8FaultRobustness(p.(*TrialsParams).Trials), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "table9", Kind: KindTable, Num: 9,
+		Title:         "Defense-in-depth stacks vs their best single member: coverage, FPs, correlated alert load",
+		DefaultParams: trialsParams(1),
+		ApplyTrials:   scaleTrials(1),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Table9Stacks(p.(*TrialsParams).Trials), nil
+		},
+	})
+}

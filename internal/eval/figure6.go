@@ -43,7 +43,8 @@ func Figure6WindowAblation(attemptsPerPoint int) *Figure {
 			cells = append(cells, cell{window, loss})
 		}
 	}
-	rates := Map(cells, func(c cell) float64 {
+	scope := Scope{Experiment: "figure6", Params: fmt.Sprintf("attempts=%d", attemptsPerPoint)}
+	rates := CachedMap(scope, cells, func(c cell) float64 {
 		return windowAblationPoint(c.window, c.loss, attemptsPerPoint)
 	})
 	for i, c := range cells {

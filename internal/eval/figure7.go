@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/attack"
@@ -36,15 +37,26 @@ func Figure7DefenseWar(samplesPerCell int) *Figure {
 		200 * time.Millisecond, 500 * time.Millisecond,
 		time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
 	}
+	type cell struct {
+		defended bool
+		period   time.Duration
+	}
+	var cells []cell
 	for _, defended := range []bool{false, true} {
+		for _, period := range periods {
+			cells = append(cells, cell{defended, period})
+		}
+	}
+	scope := Scope{Experiment: "figure7", Params: fmt.Sprintf("samples=%d", samplesPerCell)}
+	fracs := CachedMap(scope, cells, func(c cell) float64 {
+		return defenseWarPoint(c.period, c.defended, samplesPerCell)
+	})
+	for i, c := range cells {
 		name := "no-defense"
-		if defended {
+		if c.defended {
 			name = "defense-1s"
 		}
-		for _, period := range periods {
-			frac := defenseWarPoint(period, defended, samplesPerCell)
-			f.AddPoint(name, period.Seconds(), frac)
-		}
+		f.AddPoint(name, c.period.Seconds(), fracs[i])
 	}
 	return f
 }

@@ -45,7 +45,7 @@ func Figure8FaultIntensitySweep(trialsPerPoint int) *Figure {
 			}
 		}
 	}
-	results := Map(cfgs, runFaultTrial)
+	results := CachedMap(Scope{Experiment: "figure8"}, cfgs, runFaultTrial)
 	cell := 0
 	for _, scheme := range DetectionSchemes() {
 		for _, x := range intensities {

@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"time"
+
+	"repro/internal/labnet"
+)
+
+// The standard attack testbed shared by Tables 5–9 and the detection trials
+// (Table 3, Figures 1/4/8): an n-station LAN with an attacker and a
+// mirror-port monitor, periodic gratuitous refresh keeping passive observers
+// fed, mutually seeded caches, and the periodic gateway-poisoning MITM.
+// Each trial composes these pieces in its own order; the helpers never draw
+// from the scheduler's RNG themselves, so extracting them preserves every
+// trial's event sequence byte for byte.
+
+// newAttackLAN builds the standard testbed topology: hosts regular stations
+// (gateway first, conventional victim second), one attacker station, and
+// the monitoring appliance on the mirror port.
+func newAttackLAN(seed int64, hosts int, jitter time.Duration) *labnet.LAN {
+	return labnet.New(labnet.Config{
+		Seed:         seed,
+		Hosts:        hosts,
+		WithAttacker: true,
+		WithMonitor:  true,
+		LinkJitter:   jitter,
+	})
+}
+
+// warmAttackLAN installs the standard background workload: every station
+// re-announces every 15s (standing in for normal ARP refresh traffic, and
+// keeping passive schemes observing bindings), and all caches are mutually
+// seeded so the attacked binding is long established before any attack.
+func warmAttackLAN(l *labnet.LAN) {
+	for _, h := range l.Hosts {
+		h := h
+		l.Sched.Every(15*time.Second, h.SendGratuitous)
+	}
+	l.SeedMutualCaches()
+}
+
+// launchGatewayMITM schedules the standard attack at the given instant:
+// periodic bidirectional gateway↔victim poisoning with a relay, the
+// man-in-the-middle posture every detection experiment measures against.
+func launchGatewayMITM(l *labnet.LAN, at time.Duration) {
+	gw, victim := l.Gateway(), l.Victim()
+	l.Sched.At(at, func() {
+		l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+	})
+}

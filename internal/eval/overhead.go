@@ -159,11 +159,13 @@ func Table4Overhead(rounds int) (*Table, error) {
 		{"tarp", "~0 (ticket reuse)", crypto.VerifyPerOp.String()},
 		{"s-arp", crypto.SignPerOp.String(), crypto.VerifyPerOp.String()},
 	}
-	costs := Map(schemesUnderTest, func(s struct {
-		name              string
-		senderCPU, rcvCPU string
-	}) resolutionCost {
-		return measureResolutions(s.name, rounds)
+	names := make([]string, len(schemesUnderTest))
+	for i, s := range schemesUnderTest {
+		names[i] = s.name
+	}
+	scope := Scope{Experiment: "table4", Params: fmt.Sprintf("rounds=%d", rounds)}
+	costs := CachedMap(scope, names, func(name string) resolutionCost {
+		return measureResolutions(name, rounds)
 	})
 	for i, s := range schemesUnderTest {
 		t.AddRow(s.name,
@@ -201,7 +203,8 @@ func Figure3Scaling(sizes []int, horizon time.Duration) *Figure {
 			cells = append(cells, cell{scheme, n})
 		}
 	}
-	loads := Map(cells, func(c cell) float64 {
+	scope := Scope{Experiment: "figure3", Params: fmt.Sprintf("horizon=%v", horizon)}
+	loads := CachedMap(scope, cells, func(c cell) float64 {
 		return measureScalingPoint(c.scheme, c.n, horizon)
 	})
 	for i, c := range cells {

@@ -5,10 +5,27 @@
 package eval
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 )
+
+// Artifact is the unified surface of every rendered experiment result.
+// Tables and figures both implement it, so writers (aligned text, CSV,
+// JSON) are chosen once by the caller — cmd/arpbench's emit path, the
+// experiment registry — instead of per concrete type at every call site.
+type Artifact interface {
+	// ArtifactID returns the display identifier ("Table 3", "Figure 8").
+	ArtifactID() string
+	// Render writes the human-readable aligned-text form.
+	Render(w io.Writer) error
+	// CSV writes the machine-readable comma-separated form (RFC 4180
+	// quoting: cells containing commas, quotes, or newlines are quoted).
+	CSV(w io.Writer) error
+	// JSON writes the artifact as one indented JSON document.
+	JSON(w io.Writer) error
+}
 
 // Table is a rendered experiment table.
 type Table struct {
@@ -85,17 +102,52 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
-// CSV writes the table as comma-separated values.
+// ArtifactID returns the table's display identifier.
+func (t *Table) ArtifactID() string { return t.ID }
+
+// CSV writes the table as RFC-4180 comma-separated values.
 func (t *Table) CSV(w io.Writer) error {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Columns, ","))
-	b.WriteByte('\n')
+	writeCSVRow(&b, t.Columns)
 	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
-		b.WriteByte('\n')
+		writeCSVRow(&b, row)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// JSON writes the table as one indented JSON document.
+func (t *Table) JSON(w io.Writer) error {
+	doc := struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// csvField quotes one cell per RFC 4180: cells containing the separator, a
+// quote, or a line break are wrapped in quotes with inner quotes doubled.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// writeCSVRow appends one quoted CSV record.
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvField(c))
+	}
+	b.WriteByte('\n')
 }
 
 // runeLen counts display runes (the coverage symbols are multi-byte).
@@ -103,13 +155,14 @@ func runeLen(s string) int { return len([]rune(s)) }
 
 // Point is one (x, y) sample of a figure series.
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one named line of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Figure is a rendered experiment figure: series of points, printed as
@@ -164,15 +217,33 @@ func (f *Figure) Render(w io.Writer) error {
 	return err
 }
 
-// CSV writes long-format rows: series,x,y.
+// ArtifactID returns the figure's display identifier.
+func (f *Figure) ArtifactID() string { return f.ID }
+
+// CSV writes long-format RFC-4180 rows: series,x,y.
 func (f *Figure) CSV(w io.Writer) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "series,%s,%s\n", f.XLabel, f.YLabel)
+	fmt.Fprintf(&b, "series,%s,%s\n", csvField(f.XLabel), csvField(f.YLabel))
 	for _, s := range f.Series {
 		for _, p := range s.Points {
-			fmt.Fprintf(&b, "%s,%g,%g\n", s.Name, p.X, p.Y)
+			fmt.Fprintf(&b, "%s,%g,%g\n", csvField(s.Name), p.X, p.Y)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// JSON writes the figure as one indented JSON document.
+func (f *Figure) JSON(w io.Writer) error {
+	doc := struct {
+		ID     string   `json:"id"`
+		Title  string   `json:"title"`
+		XLabel string   `json:"xLabel"`
+		YLabel string   `json:"yLabel"`
+		Series []Series `json:"series"`
+		Notes  []string `json:"notes,omitempty"`
+	}{f.ID, f.Title, f.XLabel, f.YLabel, f.Series, f.Notes}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

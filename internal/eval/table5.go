@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/ethaddr"
-	"repro/internal/labnet"
 	"repro/internal/schemes"
 	"repro/internal/schemes/registry"
 )
@@ -22,7 +21,7 @@ type ablationOutcome struct {
 // runAblation runs the fixed ablation scenario with one hybrid-guard
 // parameterization (nil params = no guard at all).
 func runAblation(seed int64, params registry.P) ablationOutcome {
-	l := labnet.New(labnet.Config{Seed: seed, Hosts: 8, WithAttacker: true, WithMonitor: true})
+	l := newAttackLAN(seed, 8, 0)
 	gw, victim := l.Gateway(), l.Victim()
 
 	var inst *registry.Instance
@@ -34,11 +33,7 @@ func runAblation(seed int64, params registry.P) ablationOutcome {
 		}
 	}
 
-	for _, h := range l.Hosts {
-		h := h
-		l.Sched.Every(15*time.Second, h.SendGratuitous)
-	}
-	l.SeedMutualCaches()
+	warmAttackLAN(l)
 
 	// Two benign churn events.
 	churned := make(map[ethaddr.IPv4]bool)
@@ -51,10 +46,7 @@ func runAblation(seed int64, params registry.P) ablationOutcome {
 	}
 
 	// The MITM at t=60s.
-	l.Sched.At(60*time.Second, func() {
-		l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
-		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
-	})
+	launchGatewayMITM(l, 60*time.Second)
 	_ = l.Run(2 * time.Minute)
 
 	out := ablationOutcome{}
@@ -103,8 +95,9 @@ func Table5Ablation(trials int) *Table {
 	}
 	for _, cfg := range configs {
 		params := cfg.params
+		scope := Scope{Experiment: "table5", Params: fmt.Sprintf("%s %+v", cfg.name, params)}
 		var detected, confirmed, fps, held int
-		for _, out := range RunTrials(trials, func(seed int64) ablationOutcome {
+		for _, out := range CachedTrials(scope, trials, func(seed int64) ablationOutcome {
 			return runAblation(seed, params)
 		}) {
 			if out.detected {

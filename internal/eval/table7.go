@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/labnet"
 	"repro/internal/schemes"
 	"repro/internal/schemes/registry"
 )
@@ -50,8 +49,9 @@ func Table7PortStealing(trials int) *Table {
 	}
 	for _, dep := range stealDeployments() {
 		dep := dep
+		scope := Scope{Experiment: "table7", Params: fmt.Sprintf("%+v", dep)}
 		var intercepted, flagged int
-		for _, out := range RunTrials(trials, func(seed int64) [2]bool {
+		for _, out := range CachedTrials(scope, trials, func(seed int64) [2]bool {
 			i, f := runStealTrial(dep, seed)
 			return [2]bool{i, f}
 		}) {
@@ -71,7 +71,7 @@ func Table7PortStealing(trials int) *Table {
 // runStealTrial runs one port-stealing scenario under one deployment and
 // reports (traffic intercepted, attack flagged).
 func runStealTrial(dep stealDeployment, seed int64) (bool, bool) {
-	l := labnet.New(labnet.Config{Seed: seed, Hosts: 4, WithAttacker: true, WithMonitor: true})
+	l := newAttackLAN(seed, 4, 0)
 	gw, victim := l.Gateway(), l.Victim()
 	sink := schemes.NewSink()
 

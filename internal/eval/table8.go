@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/faults"
-	"repro/internal/labnet"
 	"repro/internal/schemes"
 	"repro/internal/stats"
 )
@@ -58,24 +57,14 @@ func intPtr(i int) *int { return &i }
 // attack start count as detection; every other alert is a false positive —
 // under faults there is no benign-churn bookkeeping to excuse them.
 func runFaultTrial(cfg faultTrialConfig) faultTrialResult {
-	l := labnet.New(labnet.Config{
-		Seed:         cfg.seed,
-		Hosts:        cfg.hosts,
-		WithAttacker: true,
-		WithMonitor:  true,
-		LinkJitter:   200 * time.Microsecond,
-	})
+	l := newAttackLAN(cfg.seed, cfg.hosts, 200*time.Microsecond)
 	sink := schemes.NewSink()
 	gw, victim := l.Gateway(), l.Victim()
 	attackAt := cfg.attackAt + time.Duration(l.Sched.Rand().Int63n(int64(5*time.Second)))
 
 	deployDetectionScheme(l, sink, cfg.scheme)
 
-	for _, h := range l.Hosts {
-		h := h
-		l.Sched.Every(15*time.Second, h.SendGratuitous)
-	}
-	l.SeedMutualCaches()
+	warmAttackLAN(l)
 
 	if plan := faultPlanForIntensity(cfg.intensity, attackAt); plan != nil {
 		if _, err := faults.Apply(plan, l.FaultEnv()); err != nil {
@@ -83,10 +72,7 @@ func runFaultTrial(cfg faultTrialConfig) faultTrialResult {
 		}
 	}
 
-	l.Sched.At(attackAt, func() {
-		l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
-		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
-	})
+	launchGatewayMITM(l, attackAt)
 
 	_ = l.Run(cfg.horizon)
 
@@ -145,7 +131,7 @@ func Table8FaultRobustness(trials int) *Table {
 			}
 		}
 	}
-	results := Map(cfgs, runFaultTrial)
+	results := CachedMap(Scope{Experiment: "table8"}, cfgs, runFaultTrial)
 	cell := 0
 	for _, scheme := range DetectionSchemes() {
 		for _, x := range table8Intensities {

@@ -116,7 +116,7 @@ func Table9Stacks(trials int) *Table {
 			})
 		}
 	}
-	results := Map(cfgs, runDetectionTrial)
+	results := CachedMap(Scope{Experiment: "table9"}, cfgs, runDetectionTrial)
 
 	rowStats := make([]stackRowStats, len(deployments))
 	for di := range deployments {

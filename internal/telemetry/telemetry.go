@@ -240,6 +240,20 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	return e.m
 }
 
+// CounterValue reads the current value of the counter with this identity
+// without creating it: zero for an unknown identity or a nil registry. It
+// is the read-side counterpart of Counter for assertions and summaries.
+func (r *Registry) CounterValue(name string, labels ...Label) uint64 {
+	if r == nil {
+		return 0
+	}
+	labels = sortLabels(labels)
+	if e, ok := r.counters[metricID(name, labels)]; ok {
+		return e.m.Value()
+	}
+	return 0
+}
+
 // Gauge returns (creating if needed) the gauge with this identity.
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {

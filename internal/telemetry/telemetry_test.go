@@ -30,6 +30,31 @@ func TestCounterTableDriven(t *testing.T) {
 	}
 }
 
+func TestCounterValueReadsWithoutCreating(t *testing.T) {
+	r := New()
+	r.Counter("hits_total", L("experiment", "table3")).Add(7)
+
+	if got := r.CounterValue("hits_total", L("experiment", "table3")); got != 7 {
+		t.Fatalf("CounterValue = %d, want 7", got)
+	}
+	// Label order must not matter (identities sort labels).
+	r.Counter("multi_total", L("b", "2"), L("a", "1")).Inc()
+	if got := r.CounterValue("multi_total", L("a", "1"), L("b", "2")); got != 1 {
+		t.Fatalf("CounterValue with reordered labels = %d, want 1", got)
+	}
+	// Reads of unknown identities return zero and register nothing.
+	if got := r.CounterValue("hits_total", L("experiment", "nope")); got != 0 {
+		t.Fatalf("unknown identity CounterValue = %d, want 0", got)
+	}
+	if n := len(r.Snapshot().Counters); n != 2 {
+		t.Fatalf("read created a counter: %d registered, want 2", n)
+	}
+	var nilReg *Registry
+	if got := nilReg.CounterValue("hits_total"); got != 0 {
+		t.Fatalf("nil registry CounterValue = %d, want 0", got)
+	}
+}
+
 func TestGaugeTableDriven(t *testing.T) {
 	tests := []struct {
 		name string

@@ -1,9 +1,11 @@
 #!/bin/sh
 # check.sh — the repository's CI gate, runnable locally.
 #
-# Runs, in order: formatting check, vet, build, the full test suite, and a
+# Runs, in order: formatting check, vet, build, the full test suite, a
 # race-detector pass over the packages that exercise the whole stack at
-# once. Any failure stops the run with a non-zero exit.
+# once, and an experiment-registry completeness leg (a small-trial pass of
+# every experiment, diffed against the arpbench -list catalogue). Any
+# failure stops the run with a non-zero exit.
 #
 #   ./scripts/check.sh          # the full gate
 #   make check                  # same, via the Makefile
@@ -33,5 +35,19 @@ go test -race ./internal/eval ./internal/integration ./internal/faults ./interna
 
 echo "==> bench smoke (sequential vs parallel Table 3, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkTable3(Sequential|Parallel)$' -benchtime=1x .
+
+echo "==> experiment registry completeness (-list vs a -trials 1 pass of every experiment)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/arpbench" ./cmd/arpbench
+"$tmpdir/arpbench" -list |
+	awk '$1 ~ /^(table|figure)[0-9]/ { print $1 }' | sort >"$tmpdir/listed"
+"$tmpdir/arpbench" -trials 1 -cache >"$tmpdir/full.txt"
+grep -E '^(Table|Figure) [0-9]+b?:' "$tmpdir/full.txt" |
+	awk '{ id = tolower($1) $2; sub(/:$/, "", id); print id }' | sort >"$tmpdir/rendered"
+if ! diff -u "$tmpdir/listed" "$tmpdir/rendered"; then
+	echo "arpbench -list catalogue and rendered artifacts disagree" >&2
+	exit 1
+fi
 
 echo "==> all checks passed"
