@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench benchfull regen
+.PHONY: check build test race vet fmt bench benchfull regen profile
 
 check:
 	./scripts/check.sh
@@ -15,7 +15,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/eval ./internal/integration ./internal/schemes/registry
+	$(GO) test -race ./internal/eval ./internal/integration ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops
 
 vet:
 	$(GO) vet ./...
@@ -24,14 +24,23 @@ fmt:
 	gofmt -l -w .
 
 # bench runs every experiment benchmark once and records (name, ns/op,
-# allocs/op) to BENCH_PR5.json — the perf trajectory later PRs diff against
-# (BENCH_PR2.json is the earlier recorded point).
+# allocs/op) to BENCH_PR6.json — the perf trajectory later PRs diff against
+# (BENCH_PR2.json and BENCH_PR5.json are the earlier recorded points).
 bench:
 	./scripts/bench.sh
 
 # benchfull is the statistically meaningful run (multiple iterations).
 benchfull:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# profile regenerates the heaviest experiment under the CPU and heap
+# profilers; inspect with `go tool pprof cpu.prof` (or mem.prof). For live
+# profiling of a long run, use `arpbench -http localhost:6060` and hit
+# /debug/pprof instead.
+profile:
+	$(GO) run ./cmd/arpbench -run table3 -trials 5 -cache \
+		-cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
 # regen re-renders every registered experiment at the recorded trial count
 # (see EXPERIMENTS.md). Table 4 and Figure 3 use real ECDSA entropy and

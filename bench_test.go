@@ -165,6 +165,15 @@ func BenchmarkFigure8FaultSweep(b *testing.B) {
 	}
 }
 
+func BenchmarkTable10StageAttribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.Table10StageAttribution(1)
+		if len(t.Rows) != 5 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
 func BenchmarkFigure1LatencyCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f := eval.Figure1LatencyCDF(2)
@@ -393,7 +402,7 @@ func BenchmarkPoisoningAttack(b *testing.B) {
 // percent of the bare one (nil-registry calls compile to no-op method calls
 // on nil instruments) ---
 
-func benchmarkMITM16(b *testing.B, instrumented bool) {
+func benchmarkMITM16(b *testing.B, instrumented, traced bool) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var reg *telemetry.Registry
@@ -401,7 +410,7 @@ func benchmarkMITM16(b *testing.B, instrumented bool) {
 			reg = telemetry.New()
 		}
 		l := labnet.New(labnet.Config{Seed: 1, Hosts: 16, WithAttacker: true,
-			WithMonitor: true, Telemetry: reg})
+			WithMonitor: true, Telemetry: reg, Tracing: traced})
 		gw, victim := l.Gateway(), l.Victim()
 		l.SeedMutualCaches()
 		l.Attacker.PoisonPeriodically(time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
@@ -414,9 +423,14 @@ func benchmarkMITM16(b *testing.B, instrumented bool) {
 
 // BenchmarkMITM16Bare and BenchmarkMITM16Instrumented run the same 16-host
 // MITM scenario with and without a live telemetry registry; compare ns/op
-// to price the instrumentation (expected within ~5%).
-func BenchmarkMITM16Bare(b *testing.B)         { benchmarkMITM16(b, false) }
-func BenchmarkMITM16Instrumented(b *testing.B) { benchmarkMITM16(b, true) }
+// to price the instrumentation (expected within ~5%). Traced stacks the
+// causal span recorder on top of the instrumented run — the enabled-tracing
+// premium is Traced minus Instrumented, and the disabled path (Bare,
+// Instrumented, and every other benchmark here) pays only a nil check per
+// hop: check.sh holds BenchmarkSchedulerSteadyState to 0 allocs/op.
+func BenchmarkMITM16Bare(b *testing.B)         { benchmarkMITM16(b, false, false) }
+func BenchmarkMITM16Instrumented(b *testing.B) { benchmarkMITM16(b, true, false) }
+func BenchmarkMITM16Traced(b *testing.B)       { benchmarkMITM16(b, true, true) }
 
 func BenchmarkECDSASign(b *testing.B) {
 	// The per-reply cost S-ARP charges the sender.

@@ -33,9 +33,12 @@ import (
 	"strings"
 	"time"
 
+	"runtime/pprof"
+
 	"repro/internal/analysis"
 	"repro/internal/eval"
 	"repro/internal/eval/experiments"
+	"repro/internal/ops"
 	"repro/internal/schemes/registry"
 	_ "repro/internal/schemes/registry/all" // link every scheme factory
 	"repro/internal/telemetry"
@@ -165,8 +168,36 @@ func run(w io.Writer, args []string) error {
 	cache := fs.Bool("cache", false, "memoize per-trial results across experiments in this run; hit/miss counts go to -metrics telemetry and stderr")
 	recommend := fs.String("recommend", "", "print the ranked schemes and scoring rationale for an environment: soho | enterprise | open-wifi | lab-static")
 	metricsPath := fs.String("metrics", "", "write per-experiment runtime metrics (wall time, allocations, GC) to this file as JSON")
+	httpAddr := fs.String("http", "", "serve /metrics, /healthz, /debug/pprof and /debug/flight on this address while experiments run (e.g. localhost:6060)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arpbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "arpbench: write heap profile:", err)
+			}
+		}()
 	}
 	if *list {
 		return printCatalog(w)
@@ -184,6 +215,28 @@ func run(w io.Writer, args []string) error {
 		tel = telemetry.New()
 		eval.EnableResultCache(tel)
 		defer eval.DisableResultCache()
+	}
+
+	var srv *ops.Server
+	if *httpAddr != "" {
+		if tel == nil {
+			tel = telemetry.New() // something to publish even without -cache
+		}
+		s, err := ops.Serve(*httpAddr)
+		if err != nil {
+			return err
+		}
+		srv = s
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops: serving http://%s\n", srv.Addr())
+		// The pprof endpoints profile the live run; /metrics re-renders
+		// after every finished experiment (trial registries are per-trial
+		// and private — the published registry carries the harness's own
+		// counters, e.g. the result cache's hits and misses).
+		defer func() {
+			srv.Publish(tel)
+			srv.PublishFlight(tel, 0, "final", "all experiments rendered")
+		}()
 	}
 
 	selected, err := selection(*runIDs, *table, *figure)
@@ -244,6 +297,7 @@ func run(w io.Writer, args []string) error {
 		}
 		m.Parallel = eval.Parallelism()
 		collected = append(collected, m)
+		srv.Publish(tel)
 		return nil
 	}
 

@@ -21,8 +21,10 @@ import (
 	"repro/internal/arppkt"
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/frame"
 	"repro/internal/labnet"
+	"repro/internal/ops"
 	"repro/internal/schemes"
 	"repro/internal/schemes/registry"
 	_ "repro/internal/schemes/registry/all" // link every scheme factory
@@ -53,6 +55,8 @@ func run(w io.Writer, args []string) error {
 	listSchemes := fs.Bool("schemes", false, "print the scheme catalogue (name, vantage, cost, default params) and exit")
 	atk := fs.String("attack", "mitm", "gratuitous | unsolicited-reply | request-spoof | mitm | scan")
 	metricsPath := fs.String("metrics", "", "write the telemetry snapshot to this file (JSON, or Prometheus text with a .prom suffix)")
+	httpAddr := fs.String("http", "", "serve /metrics, /healthz, /debug/pprof and /debug/flight on this address for the run (e.g. localhost:6060)")
+	traceRun := fs.Bool("trace", false, "enable causal tracing: print the attack's span tree and its detection-latency stage attribution")
 	verbose := fs.Bool("v", false, "stream telemetry events to stderr as NDJSON")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	if err := fs.Parse(args); err != nil {
@@ -90,12 +94,34 @@ func run(w io.Writer, args []string) error {
 	}
 	l := labnet.New(labnet.Config{
 		Seed: *seed, Hosts: 6, WithAttacker: true, WithMonitor: true,
-		HostOptions: hostOpts, Telemetry: reg,
+		HostOptions: hostOpts, Telemetry: reg, Tracing: *traceRun,
 	})
 	gw, victim := l.Gateway(), l.Victim()
 	sink := schemes.NewSink()
 	sink.Instrument(reg)
 	env := l.Env(sink, reg)
+
+	if *httpAddr != "" {
+		srv, err := ops.Serve(*httpAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops: serving http://%s\n", srv.Addr())
+		l.Sched.Every(time.Second, func() { srv.Publish(reg) })
+		// Every alert trips the flight recorder: the dump holds the spans
+		// and events leading up to the detection, queryable while the run
+		// is live and after it ends.
+		sink.OnAlert(func(a schemes.Alert) {
+			srv.PublishFlight(reg, l.Sched.Now(), "alert", a.Scheme+": "+a.Detail)
+		})
+		defer func() {
+			srv.Publish(reg)
+			if _, ok := srv.LastFlight(); !ok {
+				srv.PublishFlight(reg, l.Sched.Now(), "final", "end of run, no alerts")
+			}
+		}()
+	}
 
 	// A single scheme deploys directly; a '+'-joined stack routes members
 	// through the shared correlator.
@@ -202,11 +228,49 @@ func run(w io.Writer, args []string) error {
 				inc.IP, inc.Suspect, inc.Alerts, inc.Confirmed, inc.FirstAt, inc.LastAt)
 		}
 	}
+	if *traceRun {
+		if err := reportTrace(w, reg, st.Label(), gw.IP().String(), victim.IP().String()); err != nil {
+			return err
+		}
+	}
 	if *metricsPath != "" {
 		if err := reg.WriteFile(*metricsPath); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "metrics written to %s\n", *metricsPath)
+	}
+	return nil
+}
+
+// reportTrace renders the causal evidence a traced run collected: the span
+// tree of the first injected attack, and — when an alert chains back to it —
+// the detection latency charged per pipeline stage. The attribution is also
+// observed into the registry, so a -metrics snapshot (or a live /metrics
+// scrape) carries detection_stage_seconds{scheme,stage} for the same run.
+func reportTrace(w io.Writer, reg *telemetry.Registry, deployment string, ips ...string) error {
+	rec := reg.Causal()
+	if rec == nil {
+		return nil
+	}
+	fmt.Fprintf(w, "\ncausal trace (%d spans recorded, %d dropped):\n", rec.Started(), rec.Dropped())
+	for _, root := range rec.Roots() {
+		if root.Kind != "attack" {
+			continue
+		}
+		if err := rec.WriteTree(w, root.ID); err != nil {
+			return err
+		}
+		break // the first injected attack is the story; the rest repeat it
+	}
+	if stages, total, ok := eval.AttributeFirstDetection(rec, 0, ips...); ok {
+		eval.ObserveDetectionStages(reg, deployment, stages, total)
+		fmt.Fprintf(w, "detection latency %v:", total)
+		for _, stage := range []string{"inject", "queue", "wire", "switch", "inspect"} {
+			fmt.Fprintf(w, " %s=%v", stage, stages[stage])
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintln(w, "no alert chains back to an injected attack frame")
 	}
 	return nil
 }

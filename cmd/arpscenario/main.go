@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/ops"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
 )
@@ -29,6 +30,7 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("arpscenario", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	httpAddr := fs.String("http", "", "serve /metrics, /healthz, /debug/pprof and /debug/flight on this address for the run (e.g. localhost:6060)")
 	metricsPath := fs.String("metrics", "", "write the telemetry snapshot to this file (JSON, or Prometheus text with a .prom suffix)")
 	verbose := fs.Bool("v", false, "stream telemetry events to stderr as NDJSON")
 	if err := fs.Parse(args); err != nil {
@@ -56,10 +58,22 @@ func run(w io.Writer, args []string) error {
 	if *verbose {
 		opts = append(opts, scenario.WithEventStream(os.Stderr, telemetry.SevDebug))
 	}
+	var srv *ops.Server
+	if *httpAddr != "" {
+		if srv, err = ops.Serve(*httpAddr); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops: serving http://%s\n", srv.Addr())
+	}
 	res, err := scenario.Run(spec, opts...)
 	if err != nil {
 		return err
 	}
+	// The scenario engine owns its scheduler internally, so the ops surface
+	// publishes once with the completed run's registry state.
+	srv.Publish(reg)
+	srv.PublishFlight(reg, 0, "final", "scenario complete")
 	if *metricsPath != "" {
 		if err := reg.WriteFile(*metricsPath); err != nil {
 			return err

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dhcp"
 	"repro/internal/ethaddr"
 	"repro/internal/labnet"
+	"repro/internal/ops"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -40,6 +41,7 @@ func run(w io.Writer, args []string) error {
 	jsonPath := fs.String("json", "", "write the packet capture to this file as JSON")
 	pcapPath := fs.String("pcap", "", "write the packet capture to this file as a Wireshark-compatible pcap")
 	metricsPath := fs.String("metrics", "", "write the telemetry snapshot to this file (JSON, or Prometheus text with a .prom suffix)")
+	httpAddr := fs.String("http", "", "serve /metrics, /healthz, /debug/pprof and /debug/flight on this address for the run (e.g. localhost:6060)")
 	verbose := fs.Bool("v", false, "stream telemetry events to stderr as NDJSON")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +59,22 @@ func run(w io.Writer, args []string) error {
 		WithMonitor:  false,
 		Telemetry:    reg,
 	})
+	if *httpAddr != "" {
+		srv, err := ops.Serve(*httpAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops: serving http://%s\n", srv.Addr())
+		// Re-render /metrics once per simulated second (from the scheduler
+		// goroutine — the registry has a single owner) and leave a final
+		// snapshot plus a flight dump behind when the run completes.
+		l.Sched.Every(time.Second, func() { srv.Publish(reg) })
+		defer func() {
+			srv.Publish(reg)
+			srv.PublishFlight(reg, l.Sched.Now(), "final", "end of run")
+		}()
+	}
 	cap := trace.NewCapture(0)
 	l.Switch.AddTap(cap.Tap())
 

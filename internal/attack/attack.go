@@ -18,6 +18,7 @@ import (
 	"repro/internal/ipv4pkt"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry/causal"
 )
 
 // Variant names a poisoning delivery technique. The policy-matrix
@@ -79,6 +80,7 @@ type Attacker struct {
 	nic   *netsim.NIC
 	ip    ethaddr.IPv4 // the attacker's own (legitimate) address
 	stats Stats
+	rec   *causal.Recorder // causal tracing; nil (no-op) when disabled
 
 	onFrame      []func(*frame.Frame)
 	repoison     sim.Timer
@@ -114,6 +116,7 @@ func New(s *sim.Scheduler, nic *netsim.NIC, ip ethaddr.IPv4) *Attacker {
 		sched:        s,
 		nic:          nic,
 		ip:           ip,
+		rec:          causal.Of(s),
 		racing:       make(map[ethaddr.IPv4]raceSpec),
 		relaying:     make(map[relayKey]relaySpec),
 		blackhole:    make(map[ethaddr.IPv4]bool),
@@ -156,6 +159,16 @@ func (a *Attacker) sendARP(p *arppkt.Packet, dstMAC, srcMAC ethaddr.MAC) {
 // reply-race variant arms a trigger instead of sending immediately — see
 // ArmReplyRace.
 func (a *Attacker) Poison(v Variant, spoofedIP ethaddr.IPv4, asMAC ethaddr.MAC, victimMAC ethaddr.MAC, victimIP ethaddr.IPv4) {
+	// Each poisoning attempt roots a causal trace: everything it sets in
+	// motion — wire hops, the victim's cache overwrite, probes a scheme
+	// launches in response, the eventual alert — descends from this span.
+	sp := a.rec.Begin("attack", v.String())
+	if sp != nil {
+		sp.Attr("spoofed", spoofedIP.String()).
+			Attr("as", asMAC.String()).
+			Attr("victim", victimIP.String())
+	}
+	defer sp.End()
 	switch v {
 	case VariantGratuitous:
 		p := arppkt.NewGratuitousRequest(asMAC, spoofedIP)
@@ -346,12 +359,15 @@ func (a *Attacker) handleARP(f *frame.Frame) {
 	// (solicited-only, no-overwrite), the second wins last-writer policies
 	// (anything that accepts unsolicited overwrites) even when the genuine
 	// reply lands in between.
-	a.sched.After(spec.delay, func() {
+	race := func() {
+		// The race forgery is a child of the victim's own request trace —
+		// the request is literally what caused it.
+		sp := a.rec.Begin("attack", "reply-race")
 		a.sendARP(forged, victimMAC, a.MAC())
-	})
-	a.sched.After(spec.delay+15*time.Millisecond, func() {
-		a.sendARP(forged, victimMAC, a.MAC())
-	})
+		sp.End()
+	}
+	a.sched.After(spec.delay, race)
+	a.sched.After(spec.delay+15*time.Millisecond, race)
 }
 
 // handleIPv4 relays or blackholes intercepted traffic. Only frames actually

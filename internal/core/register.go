@@ -70,7 +70,7 @@ func init() {
 				opts = append(opts, WithTelemetry(env.Telemetry))
 			}
 			g := New(env.Sched, env.Monitor, opts...)
-			env.Switch.AddTap(g.Tap())
+			env.AddTap(registry.NameHybridGuard, g.Tap())
 			if p.ProtectVictim {
 				g.ProtectHost(env.Victim())
 			}

@@ -107,4 +107,13 @@ func init() {
 			return eval.Table9Stacks(p.(*TrialsParams).Trials), nil
 		},
 	})
+	Register(Descriptor{
+		ID: "table10", Kind: KindTable, Num: 10,
+		Title:         "Detection-latency attribution: causal-trace breakdown of each scheme's alert path per pipeline stage",
+		DefaultParams: trialsParams(1),
+		ApplyTrials:   scaleTrials(1),
+		Produce: func(p any) (eval.Artifact, error) {
+			return eval.Table10StageAttribution(p.(*TrialsParams).Trials), nil
+		},
+	})
 }

@@ -1,0 +1,253 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+	"repro/internal/schemes/registry"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/causal"
+)
+
+// Detection-latency attribution (Table 10). Every other latency number in
+// the evaluation treats "attack frame in → alert out" as a black box; this
+// experiment opens it with the causal tracer. Each trial runs the standard
+// gateway MITM with span tracing enabled, takes the first alert naming the
+// attacked binding whose span chain reaches the injected attack frame, and
+// charges each hop-to-hop gap along that chain to a pipeline stage.
+
+// detectionStages is the stage taxonomy, in pipeline order. Each Breakdown
+// kind (the span kinds the fabric emits) maps onto one stage:
+//
+//	inject  — attacker-side frame construction (attack → tx gap)
+//	queue   — NIC-to-wire handoff (tx → link gap)
+//	wire    — link transit: latency + serialization + jitter (link → switch)
+//	switch  — CAM lookup, filters, mirror fan-out (switch → scheme)
+//	inspect — the scheme's own analysis, including any probe round-trip it
+//	          schedules before committing to an alert (scheme → alert)
+var detectionStages = []string{"inject", "queue", "wire", "switch", "inspect"}
+
+// StageOfKind maps a causal span kind to its pipeline stage name. Unknown
+// kinds map to themselves so novel hops surface rather than vanish.
+func StageOfKind(kind string) string {
+	switch kind {
+	case "attack":
+		return "inject"
+	case "tx":
+		return "queue"
+	case "link":
+		return "wire"
+	case "switch":
+		return "switch"
+	case "scheme":
+		return "inspect"
+	}
+	return kind
+}
+
+// Metric names for the live attribution surface (arpguard, the ops
+// endpoint) — the same numbers Table 10 aggregates offline.
+const (
+	MetricDetectionStage = "detection_stage_seconds"
+	MetricDetectionTotal = "detection_total_seconds"
+)
+
+// DetectionStageBuckets spans the fabric's dynamic range: microsecond wire
+// hops up to multi-second probe windows.
+var DetectionStageBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 5, 15,
+}
+
+// ObserveDetectionStages records one attributed detection into reg:
+// detection_stage_seconds{scheme,stage} per stage plus
+// detection_total_seconds{scheme} end-to-end. stages is keyed by stage name
+// (StageOfKind output). Shared by the Table 10 trials and the live tracing
+// mode, so offline tables and scraped metrics agree by construction.
+func ObserveDetectionStages(reg *telemetry.Registry, scheme string, stages map[string]time.Duration, total time.Duration) {
+	if reg == nil {
+		return
+	}
+	for stage, d := range stages {
+		reg.Histogram(MetricDetectionStage, DetectionStageBuckets,
+			telemetry.L("scheme", scheme), telemetry.L("stage", stage)).ObserveDuration(d)
+	}
+	reg.Histogram(MetricDetectionTotal, DetectionStageBuckets,
+		telemetry.L("scheme", scheme)).ObserveDuration(total)
+}
+
+// AttributeFirstDetection finds the first alert span in rec that names one
+// of the given IPs at or after `after` and whose causal chain reaches an
+// "attack" root, and returns its stage-charged latency breakdown. ok is
+// false when no alert chains back to an injected frame (not detected, or
+// the chain fell out of the span ring).
+func AttributeFirstDetection(rec *causal.Recorder, after time.Duration, ips ...string) (stages map[string]time.Duration, total time.Duration, ok bool) {
+	named := func(ip string) bool {
+		for _, want := range ips {
+			if ip == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, al := range rec.Find(func(sp causal.Span) bool {
+		return sp.Kind == "alert" && sp.Start >= after && named(sp.Attr("ip"))
+	}) {
+		path := rec.PathToRoot(al.ID)
+		if len(path) == 0 || path[0].Kind != "attack" {
+			continue
+		}
+		kinds, tot, bok := rec.Breakdown(al.ID)
+		if !bok {
+			continue
+		}
+		out := make(map[string]time.Duration, len(kinds))
+		for kind, d := range kinds {
+			out[StageOfKind(kind)] += d
+		}
+		return out, tot, true
+	}
+	return nil, 0, false
+}
+
+// stageTrialConfig parameterizes one traced attribution trial.
+type stageTrialConfig struct {
+	scheme   string
+	seed     int64
+	hosts    int
+	attackAt time.Duration
+	horizon  time.Duration
+}
+
+// stageAttribution is one trial's outcome: the first attack-correlated
+// alert's latency, charged per stage.
+type stageAttribution struct {
+	attributed bool
+	stages     map[string]time.Duration
+	total      time.Duration
+}
+
+// runStageTrial runs the standard gateway MITM with causal tracing on and
+// attributes the first correlated detection. The topology, warm-up, jitter,
+// and attack-phase randomization mirror runDetectionTrial so the latencies
+// decomposed here are the same population Table 3 quantizes.
+func runStageTrial(cfg stageTrialConfig) stageAttribution {
+	reg := telemetry.New()
+	l := labnet.New(labnet.Config{
+		Seed:         cfg.seed,
+		Hosts:        cfg.hosts,
+		WithAttacker: true,
+		WithMonitor:  true,
+		LinkJitter:   200 * time.Microsecond,
+		Telemetry:    reg,
+		Tracing:      true,
+		// Deep enough that the attack chain is still resident when the run
+		// ends: the horizon is cut short after the attack so the tail of
+		// benign traffic cannot evict the spans under analysis.
+		TracingLimit: 1 << 16,
+	})
+	sink := schemes.NewSink()
+	sink.Instrument(reg)
+	// Deploy against the instrumented environment (not deployDetectionScheme,
+	// which passes a nil registry): the scheme's tap only wraps itself in a
+	// "scheme" span when the environment carries the causal recorder, and
+	// without that hop every probe window would be charged to the switch.
+	if _, err := registry.Deploy(l.Env(sink, reg), cfg.scheme, detectionParams[cfg.scheme]); err != nil {
+		panic(fmt.Sprintf("eval: deploy %s: %v", cfg.scheme, err)) // a bug, not a result
+	}
+	warmAttackLAN(l)
+	attackAt := cfg.attackAt + time.Duration(l.Sched.Rand().Int63n(int64(5*time.Second)))
+	launchGatewayMITM(l, attackAt)
+	_ = l.Run(cfg.horizon)
+
+	gw, victim := l.Gateway(), l.Victim()
+	stages, total, ok := AttributeFirstDetection(reg.Causal(), attackAt,
+		gw.IP().String(), victim.IP().String())
+	if !ok {
+		return stageAttribution{}
+	}
+	ObserveDetectionStages(reg, cfg.scheme, stages, total)
+	return stageAttribution{attributed: true, stages: stages, total: total}
+}
+
+// stageCell renders one stage-latency quantile in ms (µs-scale hops keep
+// three decimals so the wire stage doesn't round to zero).
+func stageCell(vals []float64, q float64) string {
+	if len(vals) == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3fms", stats.Quantile(vals, q))
+}
+
+// Table10StageAttribution decomposes each scheme's detection latency into
+// pipeline stages via causal tracing: where does the time between the
+// injected poison frame and the alert actually go?
+//
+// Expected shape: the fabric stages (queue, wire, switch) are microseconds
+// and near-identical across schemes — the pipeline's fixed cost. The spread
+// lives entirely in inspect: passive schemes alert within the inspection
+// event itself (~0), while verifying schemes pay their probe round-trip
+// there, so inspect share ≈ 1 for every scheme that waits before alerting.
+func Table10StageAttribution(trials int) *Table {
+	t := &Table{
+		ID: "Table 10",
+		Title: fmt.Sprintf(
+			"Detection-latency attribution per pipeline stage (%d traced trials, 8 hosts)", trials),
+		Columns: []string{"scheme", "attributed", "queue p50", "wire p50", "switch p50", "inspect p50", "end-to-end p50", "inspect share"},
+		Notes: []string{
+			"each trial traces the standard gateway MITM and charges the first correlated alert's span chain per stage",
+			"attributed: trials whose first attack alert causally chains to the injected frame",
+			"inspect includes any probe round-trip the scheme schedules before alerting; share = inspect / end-to-end (mean)",
+		},
+	}
+
+	var cfgs []stageTrialConfig
+	for _, scheme := range DetectionSchemes() {
+		for seed := int64(1); seed <= int64(trials); seed++ {
+			cfgs = append(cfgs, stageTrialConfig{
+				scheme:   scheme,
+				seed:     seed + 10000, // distinct seed space from Tables 3/7/8/9
+				hosts:    8,
+				attackAt: 60 * time.Second,
+				horizon:  90 * time.Second,
+			})
+		}
+	}
+	results := CachedMap(Scope{Experiment: "table10"}, cfgs, runStageTrial)
+
+	for si, scheme := range DetectionSchemes() {
+		attributed := 0
+		per := make(map[string][]float64, len(detectionStages))
+		var totals []float64
+		var shareSum float64
+		for _, res := range results[si*trials : (si+1)*trials] {
+			if !res.attributed {
+				continue
+			}
+			attributed++
+			for _, st := range detectionStages {
+				per[st] = append(per[st], res.stages[st].Seconds()*1000)
+			}
+			totals = append(totals, res.total.Seconds()*1000)
+			if res.total > 0 {
+				shareSum += res.stages["inspect"].Seconds() / res.total.Seconds()
+			}
+		}
+		share := "n/a"
+		if attributed > 0 {
+			share = fmt.Sprintf("%.2f", shareSum/float64(attributed))
+		}
+		t.AddRow(scheme,
+			fmt.Sprintf("%d/%d", attributed, trials),
+			stageCell(per["queue"], 0.5),
+			stageCell(per["wire"], 0.5),
+			stageCell(per["switch"], 0.5),
+			stageCell(per["inspect"], 0.5),
+			stageCell(totals, 0.5),
+			share,
+		)
+	}
+	return t
+}

@@ -54,6 +54,15 @@ type Config struct {
 	// Telemetry, when non-nil, instruments the scheduler, the switch, and
 	// every assembled host (including the monitor) against this registry.
 	Telemetry *telemetry.Registry
+	// Tracing enables causal span tracing (attack frame → cache overwrite →
+	// alert trees). It requires Telemetry; the recorder is attached to the
+	// scheduler before the fabric is assembled so every NIC, link, switch,
+	// cache, and attacker picks it up at construction. Off by default: the
+	// disabled path costs one nil check per hop and zero allocations.
+	Tracing bool
+	// TracingLimit bounds the recorder's span ring (causal.DefaultLimit
+	// when zero) — the flight-recorder depth of "recent spans".
+	TracingLimit int
 }
 
 // LAN is the assembled environment.
@@ -100,6 +109,15 @@ func New(cfg Config) *LAN {
 	}
 
 	s := sim.NewScheduler(cfg.Seed)
+	if cfg.Telemetry != nil {
+		s.Instrument(cfg.Telemetry)
+		if cfg.Tracing {
+			// Attach the recorder before any fabric component exists:
+			// NICs, links, the switch, caches, and the attacker all cache
+			// causal.Of(scheduler) at construction time.
+			s.SetTraceRecorder(cfg.Telemetry.EnableCausal(s, cfg.TracingLimit))
+		}
+	}
 	sw := netsim.NewSwitch(s, netsim.WithCAMCapacity(cfg.CAMCapacity))
 	l := &LAN{
 		Sched:  s,
@@ -108,7 +126,6 @@ func New(cfg Config) *LAN {
 		Gen:    ethaddr.NewGen(cfg.Seed),
 	}
 	if cfg.Telemetry != nil {
-		s.Instrument(cfg.Telemetry)
 		sw.Instrument(cfg.Telemetry)
 	}
 

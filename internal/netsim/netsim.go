@@ -15,6 +15,7 @@ import (
 	"repro/internal/ethaddr"
 	"repro/internal/frame"
 	"repro/internal/sim"
+	"repro/internal/telemetry/causal"
 )
 
 // TapEvent is one frame observed at a monitoring point (a mirror port or an
@@ -102,11 +103,14 @@ type NIC struct {
 	promiscuous bool
 	up          bool
 	stats       NICStats
+	rec         *causal.Recorder // causal tracing; nil (no-op) when disabled
 }
 
-// NewNIC creates an interface with the given hardware address.
+// NewNIC creates an interface with the given hardware address. If a causal
+// recorder is attached to the scheduler at this point, the NIC's
+// transmissions are traced.
 func NewNIC(s *sim.Scheduler, mac ethaddr.MAC) *NIC {
-	return &NIC{mac: mac, sched: s, up: true}
+	return &NIC{mac: mac, sched: s, up: true, rec: causal.Of(s)}
 }
 
 // MAC returns the burned-in hardware address.
@@ -137,8 +141,16 @@ func (n *NIC) Send(f *frame.Frame) {
 	}
 	n.stats.TxFrames++
 	n.stats.TxBytes += uint64(f.WireLen())
+	// A tx span anchors the frame in the causal graph: a root when nothing
+	// is active (ordinary host traffic), a child of the attack or
+	// resolution span otherwise.
+	sp := n.rec.Begin("tx", f.Type.String())
+	if sp != nil {
+		sp.Attr("src", f.Src.String()).Attr("dst", f.Dst.String())
+	}
 	port, link := n.port, n.link
 	link.transmit(f.WireLen(), func() { port.ingress(f) })
+	sp.End()
 }
 
 // deliver is the link-side entry point for frames arriving at the NIC.
@@ -204,6 +216,7 @@ type Link struct {
 	down    bool
 	impair  Impairment
 	stats   LinkStats
+	rec     *causal.Recorder // causal tracing; nil (no-op) when disabled
 }
 
 // SetDown administratively raises or lowers the link. While down, every
@@ -224,8 +237,13 @@ func (l *Link) Stats() LinkStats { return l.stats }
 // administrative state, any installed impairment, serialization rate,
 // jitter, and loss.
 func (l *Link) transmit(wireLen int, deliver func()) {
+	// The transit span stays open across the scheduled delay and is finished
+	// by the delivery-side wrapper, so its extent is the frame's actual time
+	// on the wire; a dropped frame closes it immediately with the reason.
+	sp := l.rec.Begin("link", "transit")
 	if l.down {
 		l.stats.DownDropped++
+		sp.Attr("drop", "down").End()
 		return
 	}
 	var v Verdict
@@ -233,12 +251,14 @@ func (l *Link) transmit(wireLen int, deliver func()) {
 		v = l.impair.Judge(wireLen)
 		if v.Drop {
 			l.stats.FaultDropped++
+			sp.Attr("drop", "fault").End()
 			return
 		}
 	}
 	p := &l.params
 	if p.loss > 0 && l.lossRng.Float64() < p.loss {
 		l.stats.LossDropped++
+		sp.Attr("drop", "loss").End()
 		return
 	}
 	d := p.latency
@@ -253,10 +273,15 @@ func (l *Link) transmit(wireLen int, deliver func()) {
 		d += v.Delay
 	}
 	l.stats.Delivered++
+	if sp != nil {
+		inner := deliver
+		deliver = func() { sp.Finish(); inner() }
+	}
 	l.sched.After(d, deliver)
 	if v.Duplicate {
 		l.stats.Duplicated++
 		l.stats.Delivered++
 		l.sched.After(d+v.DuplicateDelay, deliver)
 	}
+	sp.Detach()
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/causal"
 )
 
 // camKey scopes learned stations per VLAN: the same MAC may legitimately
@@ -90,6 +91,7 @@ type Switch struct {
 	mirrSrc     map[int]bool
 	evictRandom bool
 	stats       SwitchStats
+	rec         *causal.Recorder // causal tracing; nil (no-op) when disabled
 
 	// Telemetry handles; nil (no-op) unless Instrument is called.
 	reg            *telemetry.Registry
@@ -109,6 +111,7 @@ type Switch struct {
 func NewSwitch(s *sim.Scheduler, opts ...SwitchOption) *Switch {
 	sw := &Switch{
 		sched:   s,
+		rec:     causal.Of(s),
 		cam:     make(map[camKey]camEntry),
 		camCap:  1024,
 		camTTL:  300 * time.Second,
@@ -151,7 +154,7 @@ func (p *Port) Attach(n *NIC, opts ...LinkOption) *Link {
 	for _, opt := range opts {
 		opt(&params)
 	}
-	l := &Link{sched: n.sched, params: params}
+	l := &Link{sched: n.sched, params: params, rec: causal.Of(n.sched)}
 	if params.loss > 0 {
 		// The loss stream is assigned in attach order, a construction-time
 		// property, so traffic on one link never re-keys another's stream.
@@ -316,6 +319,19 @@ func (sw *Switch) camDelete(key camKey) {
 // once: the SPAN copy is suppressed when normal forwarding already
 // delivers the frame to the mirror port.
 func (sw *Switch) ingress(id int, f *frame.Frame) {
+	// The ingress span covers the whole forwarding decision, so taps (the
+	// detectors' vantage) and egress transmissions hang off it in the trace.
+	sp := sw.rec.Begin("switch", "ingress")
+	if sp != nil {
+		sp.Attr("port", strconv.Itoa(id))
+	}
+	sw.forward(id, f)
+	sp.End()
+}
+
+// forward is the forwarding decision itself: tap, filter, learn, forward,
+// mirror.
+func (sw *Switch) forward(id int, f *frame.Frame) {
 	now := sw.sched.Now()
 	wire := f.WireLen()
 	sw.stats.BytesByType[f.Type] += uint64(wire)

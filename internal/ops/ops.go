@@ -1,0 +1,181 @@
+// Package ops is the shared operational surface of the CLIs: one flag
+// (-http) turns any run into an inspectable process serving Prometheus
+// metrics, Go profiling endpoints, a health check, and a bounded
+// flight-recorder dump of the most recent causal spans and telemetry
+// events.
+//
+// The simulation is single-threaded and its telemetry registry is owned by
+// that one goroutine, so HTTP handlers never touch the registry. Instead
+// the owning goroutine calls Publish (and PublishFlight) at points it
+// chooses — on a periodic virtual-time tick, on an alert, on a fault, at
+// the end of the run — each of which renders the state to bytes and swaps
+// them into an atomic cell the handlers serve. Readers always get a
+// complete, consistent document; the simulation never blocks on a scrape.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition 0.0.4 (last published)
+//	/healthz       liveness: 200 "ok"
+//	/debug/flight  most recent flight-recorder dump (JSON)
+//	/debug/pprof/  the standard Go profiling endpoints
+package ops
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/causal"
+)
+
+// ContentTypePrometheus is the exposition-format content type /metrics
+// serves, version pinned so scrapers negotiate correctly.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// FlightDump is one flight-recorder snapshot: why it was captured, when
+// (virtual time), and the most recent spans and events at that instant.
+type FlightDump struct {
+	Reason string            `json:"reason"`         // "alert", "fault", "final", ...
+	At     time.Duration     `json:"at"`             // virtual time of capture
+	Spans  []causal.Span     `json:"spans"`          // oldest..newest retained spans
+	Events []telemetry.Event `json:"events"`         // oldest..newest retained events
+	Note   string            `json:"note,omitempty"` // free-form trigger detail
+}
+
+// Server is the ops HTTP server. The zero value is not usable; construct
+// with New (handler only) or Serve (bound listener).
+type Server struct {
+	mux     *http.ServeMux
+	metrics atomic.Value // []byte: last published Prometheus exposition
+	flight  atomic.Value // []byte: last published flight dump (JSON)
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds a Server with no listener: the handler is served by tests via
+// httptest or mounted by a caller that owns its own listener.
+func New() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.metrics.Store([]byte(nil))
+	s.flight.Store([]byte(nil))
+
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		w.Write(s.metrics.Load().([]byte))
+	})
+	s.mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if b := s.flight.Load().([]byte); len(b) > 0 {
+			w.Write(b)
+			return
+		}
+		fmt.Fprintln(w, "{}")
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Serve binds addr (host:port; :0 picks a free port) and serves the ops
+// surface on a background goroutine until Close.
+func Serve(addr string) (*Server, error) {
+	s := New()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go s.httpSrv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address ("" without a listener) — the
+// resolved port when Serve was given :0.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Handler returns the ops mux for mounting or for httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the listener. Published state stays readable through the
+// handler for callers holding it (tests).
+func (s *Server) Close() error {
+	if s == nil || s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
+}
+
+// Publish renders reg's current state to Prometheus text and makes it the
+// document /metrics serves. Call from the goroutine that owns the registry
+// — typically on a periodic simulation tick and once after the run.
+func (s *Server) Publish(reg *telemetry.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return // leave the previous good document in place
+	}
+	s.metrics.Store(buf.Bytes())
+}
+
+// PublishFlight captures a flight-recorder dump — the registry's retained
+// events plus, with tracing enabled, the causal recorder's retained spans,
+// both bounded by their rings — and makes it the document /debug/flight
+// serves. reason and note say what tripped the capture. Call from the
+// owning goroutine (an alert callback, a fault hook, end of run).
+func (s *Server) PublishFlight(reg *telemetry.Registry, now time.Duration, reason, note string) {
+	if s == nil || reg == nil {
+		return
+	}
+	dump := FlightDump{
+		Reason: reason,
+		At:     now,
+		Events: reg.Events().Events(),
+		Note:   note,
+	}
+	if rec := reg.Causal(); rec != nil {
+		dump.Spans = rec.Spans()
+	}
+	b, err := json.Marshal(dump)
+	if err != nil {
+		return
+	}
+	s.flight.Store(b)
+}
+
+// LastFlight decodes the currently published flight dump; ok is false when
+// nothing has been published yet.
+func (s *Server) LastFlight() (FlightDump, bool) {
+	if s == nil {
+		return FlightDump{}, false
+	}
+	b := s.flight.Load().([]byte)
+	if len(b) == 0 {
+		return FlightDump{}, false
+	}
+	var d FlightDump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return FlightDump{}, false
+	}
+	return d, true
+}

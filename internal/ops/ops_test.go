@@ -1,0 +1,186 @@
+package ops
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/labnet"
+	"repro/internal/schemes"
+	"repro/internal/telemetry"
+)
+
+// tracedRun produces a registry with real state to publish: a short traced
+// MITM run with alerts, spans, and events.
+func tracedRun(t *testing.T) *telemetry.Registry {
+	t.Helper()
+	reg := telemetry.New()
+	l := labnet.New(labnet.Config{
+		Seed: 3, Hosts: 4, WithAttacker: true, WithMonitor: true,
+		Telemetry: reg, Tracing: true,
+	})
+	sink := schemes.NewSink()
+	sink.Instrument(reg)
+	l.SeedMutualCaches()
+	gw, victim := l.Gateway(), l.Victim()
+	l.Sched.At(time.Second, func() {
+		l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+	})
+	if err := l.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	s := New()
+	resp, body := get(t, s.Handler(), "/healthz")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsServesPublishedExposition(t *testing.T) {
+	s := New()
+	// Before any publish: valid response, empty document.
+	resp, body := get(t, s.Handler(), "/metrics")
+	if resp.StatusCode != http.StatusOK || body != "" {
+		t.Fatalf("unpublished /metrics: %d %q", resp.StatusCode, body)
+	}
+
+	reg := tracedRun(t)
+	s.Publish(reg)
+	resp, body = get(t, s.Handler(), "/metrics")
+	if got := resp.Header.Get("Content-Type"); got != ContentTypePrometheus {
+		t.Fatalf("content type = %q, want %q", got, ContentTypePrometheus)
+	}
+	for _, want := range []string{"sim_events_executed_total", "# TYPE"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body[:min(len(body), 400)])
+		}
+	}
+
+	// A later publish replaces the document.
+	reg.Counter("ops_test_counter_total").Inc()
+	s.Publish(reg)
+	_, body = get(t, s.Handler(), "/metrics")
+	if !strings.Contains(body, "ops_test_counter_total") {
+		t.Fatal("republished document missing new counter")
+	}
+}
+
+func TestFlightDumpRoundTrips(t *testing.T) {
+	s := New()
+	resp, body := get(t, s.Handler(), "/debug/flight")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("unpublished /debug/flight: %d %q", resp.StatusCode, body)
+	}
+	if _, ok := s.LastFlight(); ok {
+		t.Fatal("LastFlight ok before any publish")
+	}
+
+	reg := tracedRun(t)
+	s.PublishFlight(reg, 5*time.Second, "alert", "test trigger")
+	resp, body = get(t, s.Handler(), "/debug/flight")
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("content type = %q", got)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", err)
+	}
+	if dump.Reason != "alert" || dump.At != 5*time.Second || dump.Note != "test trigger" {
+		t.Fatalf("dump header = %+v", dump)
+	}
+	if len(dump.Spans) == 0 {
+		t.Fatal("traced run published no spans")
+	}
+	if len(dump.Events) == 0 {
+		t.Fatal("run published no events")
+	}
+	// The span schema round-trips: the attack must be in there.
+	found := false
+	for _, sp := range dump.Spans {
+		if sp.Kind == "attack" && sp.ID != 0 && sp.Trace == sp.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no attack root span in the flight dump")
+	}
+
+	got, ok := s.LastFlight()
+	if !ok || got.Reason != "alert" || len(got.Spans) != len(dump.Spans) {
+		t.Fatalf("LastFlight = %+v ok=%v", got.Reason, ok)
+	}
+}
+
+func TestPprofEndpointsRespond(t *testing.T) {
+	s := New()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, _ := get(t, s.Handler(), path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if addr == "" {
+		t.Fatal("no resolved address")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over TCP: %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}
+
+func TestNilServerIsNoOp(t *testing.T) {
+	var s *Server
+	s.Publish(telemetry.New())
+	s.PublishFlight(telemetry.New(), 0, "x", "")
+	if s.Addr() != "" {
+		t.Fatal("nil Addr")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LastFlight(); ok {
+		t.Fatal("nil LastFlight ok")
+	}
+}

@@ -54,7 +54,7 @@ func init() {
 				gw := env.Gateway()
 				pr.Seed(gw.IP(), gw.MAC())
 			}
-			env.Switch.AddTap(pr.Observe)
+			env.AddTap(registry.NameActiveProbe, pr.Observe)
 			return &registry.Instance{Handle: pr}, nil
 		},
 	})

@@ -51,7 +51,7 @@ func init() {
 				v := env.Victim()
 				w.Seed(v.IP(), v.MAC())
 			}
-			env.Switch.AddTap(w.Observe)
+			env.AddTap(registry.NameArpwatch, w.Observe)
 			return &registry.Instance{Handle: w}, nil
 		},
 	})

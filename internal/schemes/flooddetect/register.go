@@ -43,7 +43,7 @@ func init() {
 				opts = append(opts, WithScanThreshold(p.ScanThreshold))
 			}
 			det := New(env.Sched, env.Sink, opts...)
-			env.Switch.AddTap(det.Observe)
+			env.AddTap(registry.NameFloodDetect, det.Observe)
 			return &registry.Instance{Handle: det}, nil
 		},
 	})

@@ -24,6 +24,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/causal"
 )
 
 // Option configures the Guard.
@@ -60,6 +61,7 @@ type Guard struct {
 	window   time.Duration
 	sessions map[ethaddr.IPv4]*session
 	stats    Stats
+	rec      *causal.Recorder
 
 	// Telemetry handles; nil (no-op) unless Instrument is called.
 	tracer       *telemetry.Tracer
@@ -77,6 +79,7 @@ func New(s *sim.Scheduler, sink *schemes.Sink, host *stack.Host, opts ...Option)
 		host:     host,
 		window:   300 * time.Millisecond,
 		sessions: make(map[ethaddr.IPv4]*session),
+		rec:      causal.Of(s),
 	}
 	for _, opt := range opts {
 		opt(g)
@@ -104,9 +107,23 @@ func (g *Guard) Instrument(reg *telemetry.Registry) {
 	g.mRejected = reg.Counter("scheme_quarantines_total", label, telemetry.L("outcome", "rejected"))
 }
 
-// hook intercepts every inbound ARP packet before the cache sees it.
+// hook intercepts every inbound ARP packet before the cache sees it,
+// running the inspection inside a "scheme" span — the host-resident
+// counterpart of schemes.CausalTap, so the quarantine window this scheme
+// imposes is attributed to inspection rather than to the delivering link.
 // Returning true lets normal processing proceed; false suppresses it.
 func (g *Guard) hook(p *arppkt.Packet, f *frame.Frame) bool {
+	sp := g.rec.Begin("scheme", "inspect")
+	if sp != nil {
+		sp.Attr("scheme", g.Name())
+	}
+	ok := g.inspect(p, f)
+	sp.End()
+	return ok
+}
+
+// inspect is the hook body: classify, quarantine, or pass.
+func (g *Guard) inspect(p *arppkt.Packet, f *frame.Frame) bool {
 	// Answers to our verification probes: replies addressed to us with a
 	// zero target protocol address (we probe with a zero sender address).
 	if p.Op == arppkt.OpReply && p.TargetIP.IsZero() {

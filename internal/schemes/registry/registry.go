@@ -130,6 +130,14 @@ func (e *Env) AddInlineFilter(scheme string, f netsim.FilterFunc) {
 	e.Switch.AddFilter(schemes.InstrumentFilter(e.Telemetry, scheme, f))
 }
 
+// AddTap installs a tap observer for the named scheme, wrapped in a causal
+// inspection span when the environment's telemetry has tracing enabled —
+// the seam that lets detection-latency attribution charge time to the
+// scheme rather than the fabric.
+func (e *Env) AddTap(scheme string, fn netsim.TapFunc) {
+	e.Switch.AddTap(schemes.CausalTap(e.Telemetry.Causal(), scheme, fn))
+}
+
 // check validates the fields every deployment needs.
 func (e *Env) check() error {
 	if e == nil || e.Sched == nil || e.Switch == nil || len(e.Hosts) == 0 || e.Sink == nil {

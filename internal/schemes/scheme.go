@@ -16,6 +16,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/causal"
 )
 
 // AlertKind classifies what a detector believes it saw.
@@ -134,6 +135,7 @@ type Sink struct {
 	reg      *telemetry.Registry
 	events   *telemetry.EventLog
 	byScheme map[string]map[AlertKind]*telemetry.Counter
+	rec      *causal.Recorder
 }
 
 // NewSink returns an empty sink.
@@ -150,6 +152,7 @@ func (s *Sink) Instrument(reg *telemetry.Registry) {
 	s.reg = reg
 	s.events = reg.Events()
 	s.byScheme = make(map[string]map[AlertKind]*telemetry.Counter)
+	s.rec = reg.Causal()
 }
 
 // alertCounter returns (lazily creating) the counter for one alert source.
@@ -168,8 +171,18 @@ func (s *Sink) alertCounter(scheme string, kind AlertKind) *telemetry.Counter {
 	return c
 }
 
-// Report adds an alert.
+// Report adds an alert. With causal tracing enabled it also files an
+// instantaneous "alert" span under the current cause — the leaf that ties a
+// detection back to the injected frame that provoked it.
 func (s *Sink) Report(a Alert) {
+	if s.rec != nil {
+		s.rec.Begin("alert", a.Kind.String()).
+			Attr("scheme", a.Scheme).
+			Attr("ip", a.IP.String()).
+			Attr("old", a.OldMAC.String()).
+			Attr("new", a.NewMAC.String()).
+			End()
+	}
 	s.alerts = append(s.alerts, a)
 	if s.byScheme != nil {
 		s.alertCounter(a.Scheme, a.Kind).Inc()
@@ -223,6 +236,22 @@ func (s *Sink) FirstFor(ip ethaddr.IPv4) (Alert, bool) {
 		}
 	}
 	return Alert{}, false
+}
+
+// CausalTap wraps a detector's tap callback so each inspection runs inside
+// a "scheme" span naming the scheme — the hop that lets detection-latency
+// attribution separate inspection (and any probe round-trip a scheme
+// schedules from inside Observe) from time on the wire. A nil recorder
+// returns fn unchanged, so the disabled path costs nothing.
+func CausalTap(rec *causal.Recorder, scheme string, fn netsim.TapFunc) netsim.TapFunc {
+	if rec == nil || fn == nil {
+		return fn
+	}
+	return func(ev netsim.TapEvent) {
+		sp := rec.Begin("scheme", "inspect").Attr("scheme", scheme)
+		fn(ev)
+		sp.End()
+	}
 }
 
 // InstrumentFilter wraps an inline filter so every verdict is counted as

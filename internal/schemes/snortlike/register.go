@@ -37,7 +37,7 @@ func init() {
 				opts = append(opts, WithUnicastRequestCheck(false))
 			}
 			pre := New(env.Sched, env.Sink, opts...)
-			env.Switch.AddTap(pre.Observe)
+			env.AddTap(registry.NameSnortLike, pre.Observe)
 			return &registry.Instance{Handle: pre}, nil
 		},
 	})

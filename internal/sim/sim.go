@@ -50,6 +50,7 @@ type event struct {
 	idx    int           // heap index, -1 when popped
 	gen    uint64        // incarnation counter, bumped on recycle
 	period time.Duration // >0: re-arm after each firing (Every)
+	cause  uint64        // causal span active when the event was scheduled
 }
 
 // eventQueue implements heap.Interface ordered by (at, seq).
@@ -120,6 +121,13 @@ type Scheduler struct {
 	executed  uint64
 	free      []*event // recycled events awaiting reuse
 
+	// Causal context: the span ID under which the current event runs.
+	// schedule captures it into each new event and the run loops restore it
+	// before every callback, so causality flows across timer hops for free —
+	// one uint64 copy per event, no allocation, zero when tracing is off.
+	cause    uint64
+	traceRec any // opaque recorder attachment, see SetTraceRecorder
+
 	// Telemetry handles; nil (no-op) unless Instrument is called.
 	mExecuted  *telemetry.Counter
 	mCancelled *telemetry.Counter
@@ -173,6 +181,31 @@ func (s *Scheduler) DeriveRand(name string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
+// Cause returns the causal span ID the currently executing event carries
+// (zero when no trace is active). Components use it as the parent for spans
+// they open; the propagation itself needs no participation from them.
+func (s *Scheduler) Cause() uint64 { return s.cause }
+
+// SetCause replaces the active causal span ID and returns the previous one,
+// so instrumentation can scope a span to a synchronous section and restore
+// the caller's context afterwards.
+func (s *Scheduler) SetCause(id uint64) (prev uint64) {
+	prev = s.cause
+	s.cause = id
+	return prev
+}
+
+// SetTraceRecorder attaches an opaque causal recorder to the scheduler.
+// The sim package never looks inside it — components that understand the
+// concrete type (internal/telemetry/causal) retrieve it with TraceRecorder
+// and type-assert. Keeping the attachment opaque spares this hot package an
+// import it does not need.
+func (s *Scheduler) SetTraceRecorder(rec any) { s.traceRec = rec }
+
+// TraceRecorder returns the attachment set by SetTraceRecorder (nil when
+// tracing was never enabled).
+func (s *Scheduler) TraceRecorder() any { return s.traceRec }
+
 // Executed returns the number of events run so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
@@ -198,6 +231,7 @@ func (s *Scheduler) release(ev *event) {
 	ev.fn = nil
 	ev.dead = false
 	ev.period = 0
+	ev.cause = 0
 	if len(s.free) < maxFreeEvents {
 		s.free = append(s.free, ev)
 	}
@@ -207,7 +241,7 @@ func (s *Scheduler) release(ev *event) {
 func (s *Scheduler) schedule(at, period time.Duration, fn func()) Timer {
 	s.seq++
 	ev := s.alloc()
-	ev.at, ev.seq, ev.fn, ev.period = at, s.seq, fn, period
+	ev.at, ev.seq, ev.fn, ev.period, ev.cause = at, s.seq, fn, period, s.cause
 	heap.Push(&s.queue, ev)
 	if s.mQueueHigh != nil {
 		s.mQueueHigh.SetMax(float64(len(s.queue)))
@@ -285,7 +319,9 @@ func (s *Scheduler) RunUntil(horizon time.Duration) error {
 		s.now = popped.at
 		s.executed++
 		s.mExecuted.Inc()
+		s.cause = popped.cause
 		popped.fn()
+		s.cause = 0
 		s.finish(popped)
 	}
 	if s.now < horizon {
@@ -310,7 +346,9 @@ func (s *Scheduler) Run() error {
 		s.now = popped.at
 		s.executed++
 		s.mExecuted.Inc()
+		s.cause = popped.cause
 		popped.fn()
+		s.cause = 0
 		s.finish(popped)
 	}
 	return nil

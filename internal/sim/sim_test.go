@@ -395,3 +395,87 @@ func TestDeriveRandSeedSensitivity(t *testing.T) {
 		t.Fatal("different seeds produced the same derived stream")
 	}
 }
+
+func TestCausePropagatesAcrossScheduledEvents(t *testing.T) {
+	s := NewScheduler(1)
+	var hops []uint64
+	s.After(0, func() {
+		prev := s.SetCause(42)
+		if prev != 0 {
+			t.Fatalf("initial cause = %d, want 0", prev)
+		}
+		s.After(time.Millisecond, func() {
+			hops = append(hops, s.Cause())
+			// A nested hop inherits transitively.
+			s.After(time.Millisecond, func() { hops = append(hops, s.Cause()) })
+		})
+		s.SetCause(prev)
+		// Scheduled after restoring: carries no cause.
+		s.After(time.Millisecond, func() { hops = append(hops, s.Cause()) })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{42, 0, 42}
+	if len(hops) != len(want) {
+		t.Fatalf("hops = %v, want %v", hops, want)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("hops = %v, want %v", hops, want)
+		}
+	}
+}
+
+func TestCauseResetBetweenTopLevelEvents(t *testing.T) {
+	s := NewScheduler(1)
+	s.After(0, func() { s.SetCause(7) }) // leaks deliberately
+	s.After(time.Millisecond, func() {
+		if c := s.Cause(); c != 0 {
+			t.Fatalf("cause leaked across events: %d", c)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodicEventKeepsItsCause(t *testing.T) {
+	s := NewScheduler(1)
+	var seen []uint64
+	var tick Timer
+	s.After(0, func() {
+		prev := s.SetCause(9)
+		n := 0
+		tick = s.Every(time.Millisecond, func() {
+			seen = append(seen, s.Cause())
+			if n++; n == 3 {
+				tick.Stop()
+			}
+		})
+		s.SetCause(prev)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range seen {
+		if c != 9 {
+			t.Fatalf("periodic cause = %v, want all 9", seen)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("fired %d times, want 3", len(seen))
+	}
+}
+
+func TestTraceRecorderAttachment(t *testing.T) {
+	s := NewScheduler(1)
+	if s.TraceRecorder() != nil {
+		t.Fatal("fresh scheduler has a trace recorder")
+	}
+	v := &struct{ x int }{1}
+	s.SetTraceRecorder(v)
+	if s.TraceRecorder() != any(v) {
+		t.Fatal("attachment not returned")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ethaddr"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/causal"
 )
 
 // Policy controls which ARP messages may create, refresh, or replace cache
@@ -143,6 +144,7 @@ type Cache struct {
 	ttl     time.Duration
 	entries map[ethaddr.IPv4]Entry
 	onEvent func(Event)
+	rec     *causal.Recorder // causal tracing; nil (no-op) when disabled
 
 	// Telemetry handles; nil (no-op) unless Instrument is called.
 	mHits       *telemetry.Counter
@@ -161,6 +163,7 @@ func NewCache(s *sim.Scheduler, policy Policy, ttl time.Duration) *Cache {
 		policy:  policy,
 		ttl:     ttl,
 		entries: make(map[ethaddr.IPv4]Entry),
+		rec:     causal.Of(s),
 	}
 }
 
@@ -248,8 +251,17 @@ func (c *Cache) Flush() {
 	}
 }
 
-// emit reports a mutation attempt to the observer.
+// emit reports a mutation attempt to the observer and, when tracing is
+// enabled, records it as an instantaneous causal span — the "victim cache
+// overwrite" hop of an attack trace.
 func (c *Cache) emit(kind EventKind, ip ethaddr.IPv4, oldMAC, newMAC ethaddr.MAC, op arppkt.Op, solicited bool) {
+	if c.rec != nil {
+		c.rec.Begin("cache", kind.String()).
+			Attr("ip", ip.String()).
+			Attr("old", oldMAC.String()).
+			Attr("new", newMAC.String()).
+			End()
+	}
 	if c.onEvent == nil {
 		return
 	}

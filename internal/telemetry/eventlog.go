@@ -37,6 +37,28 @@ func (s Severity) String() string {
 // MarshalJSON encodes the severity as its name.
 func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
+// UnmarshalJSON decodes the string form written by MarshalJSON, so event
+// streams (NDJSON, flight-recorder dumps) round-trip.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "debug":
+		*s = SevDebug
+	case "info":
+		*s = SevInfo
+	case "warn":
+		*s = SevWarn
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("unknown severity %q", name)
+	}
+	return nil
+}
+
 // Event is one structured log record stamped with virtual time.
 type Event struct {
 	At        time.Duration     `json:"at"`

@@ -14,6 +14,32 @@ import (
 var sampleLine = regexp.MustCompile(
 	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\+Inf|-Inf|NaN|[0-9eE.+-]+)$`)
 
+// metricName and labelName are the exposition format's identifier grammars;
+// labelPair is one k="v" with only valid escapes (\\, \n, \") in the value.
+var (
+	metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	labelPair  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\\\|\\n|\\")*)"(,|$)`)
+)
+
+// checkLabelBlock validates a {k="v",...} block character by character
+// against the label grammar; scrapers parse this with exactly this grammar,
+// so any drift (bad name, raw quote or newline in a value) is a hard fail.
+func checkLabelBlock(t *testing.T, line, block string) {
+	t.Helper()
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	for inner != "" {
+		m := labelPair.FindStringSubmatch(inner)
+		if m == nil {
+			t.Fatalf("malformed label pair at %q in line %q", inner, line)
+		}
+		if !labelName.MatchString(m[1]) {
+			t.Fatalf("invalid label name %q in %q", m[1], line)
+		}
+		inner = inner[len(m[0]):]
+	}
+}
+
 // parseExposition validates the text exposition format strictly enough to
 // catch malformed output: every line is a well-formed TYPE comment or
 // sample, every sample's family has a preceding TYPE line, and histogram
@@ -53,6 +79,12 @@ func parseExposition(t *testing.T, text string) map[string]string {
 			t.Fatalf("malformed sample line: %q", line)
 		}
 		name, labels, value := m[1], m[2], m[3]
+		if !metricName.MatchString(name) {
+			t.Fatalf("invalid metric name %q in %q", name, line)
+		}
+		if labels != "" {
+			checkLabelBlock(t, line, labels)
+		}
 		if value != "+Inf" && value != "-Inf" && value != "NaN" {
 			if _, err := strconv.ParseFloat(value, 64); err != nil {
 				t.Fatalf("unparseable value in %q: %v", line, err)
@@ -138,6 +170,45 @@ func TestWritePrometheusValidFormat(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// TestPrometheusDetectionStageFamilies strict-parses a document shaped like
+// the ops surface's real output — the detection-latency attribution
+// histograms a traced run observes (detection_stage_seconds{scheme,stage}
+// and detection_total_seconds{scheme}) alongside fabric counters — and
+// checks every metric and label name against the exposition grammar.
+func TestPrometheusDetectionStageFamilies(t *testing.T) {
+	r := New()
+	buckets := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 5, 15}
+	for _, scheme := range []string{"active-probe", "arpwatch", "hybrid-guard"} {
+		for _, stage := range []string{"inject", "queue", "wire", "switch", "inspect"} {
+			r.Histogram("detection_stage_seconds", buckets,
+				L("scheme", scheme), L("stage", stage)).Observe(0.0005)
+		}
+		r.Histogram("detection_total_seconds", buckets, L("scheme", scheme)).Observe(0.5)
+		r.Counter("scheme_alerts_total", L("scheme", scheme)).Inc()
+	}
+	r.Counter("sim_events_executed_total").Add(12345)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types := parseExposition(t, buf.String())
+	for family, typ := range map[string]string{
+		"detection_stage_seconds":   "histogram",
+		"detection_total_seconds":   "histogram",
+		"scheme_alerts_total":       "counter",
+		"sim_events_executed_total": "counter",
+	} {
+		if types[family] != typ {
+			t.Fatalf("family %s = %q, want %q", family, types[family], typ)
+		}
+	}
+	want := `detection_stage_seconds_bucket{scheme="active-probe",stage="inspect",le="0.001"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("missing %q in:\n%s", want, buf.String())
 	}
 }
 

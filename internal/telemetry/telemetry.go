@@ -20,8 +20,11 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/telemetry/causal"
 )
 
 // Label is one key=value dimension attached to a metric.
@@ -161,6 +164,7 @@ type Registry struct {
 	histograms map[string]*entry[*Histogram]
 	tracer     *Tracer
 	events     *EventLog
+	causal     *causal.Recorder
 }
 
 // New creates an empty registry whose clock reads zero until SetNow.
@@ -199,6 +203,40 @@ func (r *Registry) Events() *EventLog {
 		return nil
 	}
 	return r.events
+}
+
+// EnableCausal attaches a causal span recorder to the registry, bound to
+// the given propagation context (a *sim.Scheduler) and retaining at most
+// limit finished spans (causal.DefaultLimit when <= 0). Every finished span
+// is mirrored into the event log as a debug-severity "causal" event, so the
+// NDJSON event stream interleaves hop spans with the rest of the run's
+// structured log. Calling it again replaces the recorder. A nil Registry
+// returns nil.
+func (r *Registry) EnableCausal(ctx causal.Context, limit int) *causal.Recorder {
+	if r == nil {
+		return nil
+	}
+	rec := causal.New(ctx, limit)
+	rec.OnFinish(func(sp causal.Span) {
+		r.events.Log(SevDebug, "causal", sp.Kind+"/"+sp.Name,
+			"trace", strconv.FormatUint(uint64(sp.Trace), 10),
+			"span", strconv.FormatUint(uint64(sp.ID), 10),
+			"parent", strconv.FormatUint(uint64(sp.Parent), 10),
+			"start", sp.Start.String(),
+			"end", sp.End.String(),
+		)
+	})
+	r.causal = rec
+	return rec
+}
+
+// Causal returns the recorder installed by EnableCausal — nil when tracing
+// is disabled, which every call site treats as the no-op recorder.
+func (r *Registry) Causal() *causal.Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.causal
 }
 
 // metricID builds the registry key: name plus sorted labels.
@@ -293,6 +331,32 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	}}
 	r.histograms[id] = e
 	return e.m
+}
+
+// HistogramSnapshot reads the current state of the histogram with this
+// identity without creating it, as the same cumulative-bucket point
+// Snapshot exports. ok is false for an unknown identity or a nil registry.
+// It is the read-side counterpart of Histogram, mirroring CounterValue.
+func (r *Registry) HistogramSnapshot(name string, labels ...Label) (HistogramPoint, bool) {
+	if r == nil {
+		return HistogramPoint{}, false
+	}
+	labels = sortLabels(labels)
+	e, ok := r.histograms[metricID(name, labels)]
+	if !ok {
+		return HistogramPoint{}, false
+	}
+	h := e.m
+	buckets := make([]Bucket, len(h.bounds))
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		buckets[i] = Bucket{LE: b, Count: cum}
+	}
+	return HistogramPoint{
+		Name: e.name, Labels: labelMap(e.labels),
+		Buckets: buckets, Sum: h.sum, Count: h.count,
+	}, true
 }
 
 // CounterPoint is one exported counter sample.

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"testing"
 	"time"
 )
@@ -52,6 +53,48 @@ func TestCounterValueReadsWithoutCreating(t *testing.T) {
 	var nilReg *Registry
 	if got := nilReg.CounterValue("hits_total"); got != 0 {
 		t.Fatalf("nil registry CounterValue = %d, want 0", got)
+	}
+}
+
+func TestHistogramSnapshotReadsWithoutCreating(t *testing.T) {
+	r := New()
+	h := r.Histogram("stage_seconds", []float64{0.001, 0.1, 1}, L("stage", "wire"))
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	// Label order must not matter (identities sort labels); the point must
+	// match what Snapshot exports: cumulative buckets, sum, count.
+	p, ok := r.HistogramSnapshot("stage_seconds", L("stage", "wire"))
+	if !ok {
+		t.Fatal("known identity not found")
+	}
+	if p.Name != "stage_seconds" || p.Labels["stage"] != "wire" {
+		t.Fatalf("identity = %s %v", p.Name, p.Labels)
+	}
+	if p.Count != 3 || math.Abs(p.Sum-5.0505) > 1e-12 {
+		t.Fatalf("count=%d sum=%v, want 3 and 5.0505", p.Count, p.Sum)
+	}
+	wantBuckets := []Bucket{{LE: 0.001, Count: 1}, {LE: 0.1, Count: 2}, {LE: 1, Count: 2}}
+	if len(p.Buckets) != len(wantBuckets) {
+		t.Fatalf("buckets = %v", p.Buckets)
+	}
+	for i, b := range wantBuckets {
+		if p.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, p.Buckets[i], b)
+		}
+	}
+
+	// Reads of unknown identities report !ok and register nothing.
+	if _, ok := r.HistogramSnapshot("stage_seconds", L("stage", "nope")); ok {
+		t.Fatal("unknown identity reported ok")
+	}
+	if n := len(r.Snapshot().Histograms); n != 1 {
+		t.Fatalf("read created a histogram: %d registered, want 1", n)
+	}
+	var nilReg *Registry
+	if _, ok := nilReg.HistogramSnapshot("stage_seconds"); ok {
+		t.Fatal("nil registry reported ok")
 	}
 }
 

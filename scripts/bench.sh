@@ -1,21 +1,21 @@
 #!/bin/sh
 # bench.sh — record the perf trajectory.
 #
-# Runs every table/figure experiment benchmark plus the scheduler hot-path
-# micro-benchmarks once (-benchtime=1x keeps it cheap enough for CI) and
-# writes (name, ns/op, allocs/op) to BENCH_PR5.json so later PRs can diff
-# against this PR's numbers (BENCH_PR2.json holds the earlier recorded
-# trajectory point).
+# Runs every table/figure experiment benchmark plus the scheduler and MITM
+# hot-path micro-benchmarks once (-benchtime=1x keeps it cheap enough for
+# CI) and writes (name, ns/op, allocs/op) to BENCH_PR6.json so later PRs
+# can diff against this PR's numbers (BENCH_PR2.json and BENCH_PR5.json
+# hold the earlier recorded trajectory points).
 #
-#   ./scripts/bench.sh                  # writes BENCH_PR5.json
+#   ./scripts/bench.sh                  # writes BENCH_PR6.json
 #   ./scripts/bench.sh out.json        # custom output path
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR5.json}
+out=${1:-BENCH_PR6.json}
 
-go test -run '^$' -bench 'Table|Figure|Scheduler' -benchtime=1x -benchmem . |
+go test -run '^$' -bench 'Table|Figure|Scheduler|MITM16' -benchtime=1x -benchmem . |
 	awk '
 	/^Benchmark/ {
 		name = $1

@@ -30,11 +30,22 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry"
-go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry
+echo "==> go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops"
+go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops
 
 echo "==> bench smoke (sequential vs parallel Table 3, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkTable3(Sequential|Parallel)$' -benchtime=1x .
+
+echo "==> tracing-disabled hot path stays allocation-free (scheduler steady state)"
+steady=$(go test -run '^$' -bench 'BenchmarkSchedulerSteadyState$' -benchmem -benchtime=100000x .)
+echo "$steady"
+allocs=$(echo "$steady" | awk '/^BenchmarkSchedulerSteadyState/ {
+	for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i - 1)
+}')
+if [ "$allocs" != "0" ]; then
+	echo "scheduler steady state allocates with tracing disabled: ${allocs:-?} allocs/op" >&2
+	exit 1
+fi
 
 echo "==> experiment registry completeness (-list vs a -trials 1 pass of every experiment)"
 tmpdir=$(mktemp -d)
