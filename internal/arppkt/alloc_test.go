@@ -1,0 +1,38 @@
+package arppkt
+
+import (
+	"testing"
+
+	"repro/internal/ethaddr"
+)
+
+// Allocation gates for the ARP codec hot path (PR 7): the pooled
+// encode/decode entry points must be allocation-free when the caller reuses
+// its buffers. Run as ordinary tests so regressions fail scripts/check.sh.
+
+func TestAppendEncodeAllocFree(t *testing.T) {
+	p := NewReply(
+		ethaddr.MAC{0x02, 0, 0, 0, 0, 1}, ethaddr.MustParseIPv4("10.0.0.1"),
+		ethaddr.MAC{0x02, 0, 0, 0, 0, 2}, ethaddr.MustParseIPv4("10.0.0.2"),
+	)
+	buf := make([]byte, 0, PacketLen)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = p.AppendEncode(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode into reused buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestDecodeIntoAllocFree(t *testing.T) {
+	wire := NewGratuitousRequest(ethaddr.MAC{0x02, 0, 0, 0, 0, 1}, ethaddr.MustParseIPv4("10.0.0.1")).Encode()
+	var p Packet
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := DecodeInto(&p, wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeInto reused packet: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,83 @@
+package arppkt
+
+import (
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Arena is a per-scheduler bump allocator for arpFrames. ARP frames are the
+// dominant allocation of every experiment (the build-and-send sequence is
+// one arpFrame per wire transmission), and their lifetime has a convenient
+// shape: within a trial frames are shared read-only and may be referenced
+// until the trial ends, but nothing a trial returns — alerts, latencies,
+// verdicts, trace attributes — holds a frame pointer. The arena exploits
+// that: frames are carved monotonically (never reused within a trial, so
+// in-trial sharing is untouched), and labnet's Recycle resets the arena
+// wholesale when the trial's LAN is torn down, so the next trial on the
+// pooled scheduler rewrites the same slabs instead of re-allocating ~75%
+// of its working set.
+//
+// The arena lives in the scheduler's ScratchFrames slot and is
+// single-threaded like everything else on a scheduler. Schedulers that are
+// never recycled (long-running examples, one-shot sims) cap the arena at
+// arenaMaxSlabs and fall back to plain heap frames beyond it, degrading to
+// the unpooled behavior instead of growing without bound.
+type Arena struct {
+	slabs [][]arpFrame
+	n     int // frames handed out since the last Reset
+}
+
+const (
+	arenaSlabSize = 64   // frames per slab (~11 KiB)
+	arenaMaxSlabs = 1024 // ~11 MiB cap per scheduler, then heap fallback
+)
+
+// ArenaOf returns the scheduler's frame arena, installing one on first use.
+// Call it at setup time and keep the pointer; the hot path should not
+// re-resolve the scratch slot per frame.
+func ArenaOf(s *sim.Scheduler) *Arena {
+	if a, ok := s.Scratch(sim.ScratchFrames).(*Arena); ok {
+		return a
+	}
+	a := &Arena{}
+	s.SetScratch(sim.ScratchFrames, a)
+	return a
+}
+
+// next hands out the next frame slot, carving a slab when needed. A nil
+// arena (or one past its cap) falls back to the heap, which keeps direct
+// NewFrame callers and unbounded sims correct at the old cost.
+func (a *Arena) next() *arpFrame {
+	if a == nil {
+		return &arpFrame{}
+	}
+	slab := a.n / arenaSlabSize
+	if slab >= len(a.slabs) {
+		if slab >= arenaMaxSlabs {
+			return &arpFrame{}
+		}
+		a.slabs = append(a.slabs, make([]arpFrame, arenaSlabSize))
+	}
+	af := &a.slabs[slab][a.n%arenaSlabSize]
+	a.n++
+	return af
+}
+
+// NewFrame is NewFrame carved from the arena: identical frame, memo and
+// payload semantics, but the backing memory is recycled across trials. The
+// returned frame must not be referenced after the arena's Reset — the same
+// contract as the scheduler teardown it rides on.
+func (a *Arena) NewFrame(p *Packet, src, dst ethaddr.MAC) *frame.Frame {
+	af := a.next()
+	af.pkt = *p
+	af.f = frame.Frame{Dst: dst, Src: src, Type: frame.TypeARP, Payload: af.pkt.AppendEncode(af.buf[:0])}
+	af.f.SetMemo(&af.pkt)
+	return &af.f
+}
+
+// Reset returns every carved frame to the arena. The caller owns the proof
+// that no frame handed out since the last Reset is still referenced;
+// labnet calls this from LAN.Recycle, where the whole trial topology is
+// being dropped anyway.
+func (a *Arena) Reset() { a.n = 0 }

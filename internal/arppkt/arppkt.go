@@ -151,7 +151,21 @@ func (p *Packet) String() string {
 
 // Encode serializes the packet into RFC 826 wire format.
 func (p *Packet) Encode() []byte {
-	buf := make([]byte, PacketLen)
+	return p.AppendEncode(make([]byte, 0, PacketLen))
+}
+
+// AppendEncode serializes the packet onto dst and returns the extended
+// slice, laid out exactly as Encode. Passing a reused buffer (dst[:0])
+// makes repeated encoding allocation-free.
+func (p *Packet) AppendEncode(dst []byte) []byte {
+	off := len(dst)
+	if cap(dst)-off < PacketLen {
+		grown := make([]byte, off, off+PacketLen)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+PacketLen]
+	buf := dst[off:]
 	binary.BigEndian.PutUint16(buf[0:2], HTypeEthernet)
 	binary.BigEndian.PutUint16(buf[2:4], PTypeIPv4)
 	buf[4] = HLenEthernet
@@ -161,27 +175,37 @@ func (p *Packet) Encode() []byte {
 	copy(buf[14:18], p.SenderIP[:])
 	copy(buf[18:24], p.TargetMAC[:])
 	copy(buf[24:28], p.TargetIP[:])
-	return buf
+	return dst
 }
 
 // Decode parses a wire-format ARP packet, tolerating trailing Ethernet
 // padding, and rejects non-Ethernet/IPv4 variants.
 func Decode(buf []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := DecodeInto(p, buf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeInto parses a wire-format ARP packet into p, the allocation-free
+// counterpart of Decode for callers that recycle Packet values.
+func DecodeInto(p *Packet, buf []byte) error {
 	if len(buf) < PacketLen {
-		return nil, fmt.Errorf("%w: %d octets", ErrTruncated, len(buf))
+		return fmt.Errorf("%w: %d octets", ErrTruncated, len(buf))
 	}
 	if binary.BigEndian.Uint16(buf[0:2]) != HTypeEthernet || buf[4] != HLenEthernet {
-		return nil, ErrNotEthernet
+		return ErrNotEthernet
 	}
 	if binary.BigEndian.Uint16(buf[2:4]) != PTypeIPv4 || buf[5] != PLenIPv4 {
-		return nil, ErrNotIPv4
+		return ErrNotIPv4
 	}
-	p := &Packet{Op: Op(binary.BigEndian.Uint16(buf[6:8]))}
+	p.Op = Op(binary.BigEndian.Uint16(buf[6:8]))
 	copy(p.SenderMAC[:], buf[8:14])
 	copy(p.SenderIP[:], buf[14:18])
 	copy(p.TargetMAC[:], buf[18:24])
 	copy(p.TargetIP[:], buf[24:28])
-	return p, nil
+	return nil
 }
 
 // Validate performs the semantic checks an inspection point (for example

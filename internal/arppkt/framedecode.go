@@ -1,0 +1,54 @@
+package arppkt
+
+import (
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+)
+
+// DecodeFrame decodes the ARP payload of an Ethernet frame, memoizing the
+// result on the frame itself. Broadcast fan-out delivers one shared *Frame
+// to every station on the segment, and each receiving stack, attacker tool
+// and detector wants the same decode — the memo makes the first receiver
+// pay for it and every later one reuse it. Frames built by the stack's own
+// send paths arrive with the memo pre-attached (the sender had the Packet
+// in hand), so the common case decodes zero times.
+//
+// The returned packet is shared: receivers must treat it as read-only,
+// exactly as they must the frame.
+func DecodeFrame(f *frame.Frame) (*Packet, error) {
+	switch m := f.Memo().(type) {
+	case *Packet:
+		return m, nil
+	case error:
+		return nil, m
+	}
+	p, err := Decode(f.Payload)
+	if err != nil {
+		f.SetMemo(err)
+		return nil, err
+	}
+	f.SetMemo(p)
+	return p, nil
+}
+
+// arpFrame packs a frame, its ARP payload bytes, and the decoded packet the
+// memo points at into a single allocation — the send path's whole working
+// set. The frame's Payload aliases buf and the memo aliases pkt, so the
+// object lives exactly as long as any reference to the frame does.
+type arpFrame struct {
+	f   frame.Frame
+	pkt Packet
+	buf [PacketLen]byte
+}
+
+// NewFrame wraps the packet in a broadcast- or unicast-addressed Ethernet
+// frame with the decode memo pre-attached, the shape every ARP send path
+// uses. The packet is copied, so p itself need not escape (the usual
+// build-and-send sequence costs one allocation total); the frame is shared
+// read-only state once sent.
+func NewFrame(p *Packet, src, dst ethaddr.MAC) *frame.Frame {
+	af := &arpFrame{pkt: *p}
+	af.f = frame.Frame{Dst: dst, Src: src, Type: frame.TypeARP, Payload: af.pkt.AppendEncode(af.buf[:0])}
+	af.f.SetMemo(&af.pkt)
+	return &af.f
+}

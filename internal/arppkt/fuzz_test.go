@@ -48,3 +48,67 @@ func TestValidateNeverPanics(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAppendEncodeMatchesEncode: the pooled encoder must be byte-identical
+// with Encode for every packet, even when writing over a dirty reused
+// buffer, and must preserve any bytes already in dst.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	dirty := make([]byte, 0, 4*PacketLen)
+	f := func(op uint16, sm, tm [6]byte, si, ti [4]byte, prefix []byte) bool {
+		p := &Packet{Op: Op(op), SenderMAC: sm, SenderIP: si, TargetMAC: tm, TargetIP: ti}
+		want := p.Encode()
+		// Poison the reused buffer so stale bytes would be caught.
+		for i := range dirty[:cap(dirty)] {
+			dirty = dirty[:cap(dirty)]
+			dirty[i] = 0xFF
+		}
+		got := p.AppendEncode(dirty[:0])
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Appending after a prefix keeps the prefix and lays the packet after it.
+		withPrefix := p.AppendEncode(append([]byte(nil), prefix...))
+		if len(withPrefix) != len(prefix)+PacketLen {
+			return false
+		}
+		for i := range prefix {
+			if withPrefix[i] != prefix[i] {
+				return false
+			}
+		}
+		for i := range want {
+			if withPrefix[len(prefix)+i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeIntoMatchesDecode: the in-place decoder must agree with Decode
+// on every input — same error, same packet — including garbage.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	var reused Packet
+	f := func(buf []byte) bool {
+		p1, err1 := Decode(buf)
+		err2 := DecodeInto(&reused, buf)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return err1.Error() == err2.Error()
+		}
+		return *p1 == reused
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

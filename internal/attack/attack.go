@@ -79,6 +79,7 @@ type Attacker struct {
 	sched *sim.Scheduler
 	nic   *netsim.NIC
 	ip    ethaddr.IPv4 // the attacker's own (legitimate) address
+	arena *arppkt.Arena
 	stats Stats
 	rec   *causal.Recorder // causal tracing; nil (no-op) when disabled
 
@@ -116,6 +117,7 @@ func New(s *sim.Scheduler, nic *netsim.NIC, ip ethaddr.IPv4) *Attacker {
 		sched:        s,
 		nic:          nic,
 		ip:           ip,
+		arena:        arppkt.ArenaOf(s),
 		rec:          causal.Of(s),
 		racing:       make(map[ethaddr.IPv4]raceSpec),
 		relaying:     make(map[relayKey]relaySpec),
@@ -150,7 +152,7 @@ func (a *Attacker) send(f *frame.Frame) { a.nic.Send(f) }
 // sendARP wraps and transmits a forged ARP packet.
 func (a *Attacker) sendARP(p *arppkt.Packet, dstMAC, srcMAC ethaddr.MAC) {
 	a.stats.Forged++
-	a.send(&frame.Frame{Dst: dstMAC, Src: srcMAC, Type: frame.TypeARP, Payload: p.Encode()})
+	a.send(a.arena.NewFrame(p, srcMAC, dstMAC))
 }
 
 // Poison delivers one poisoning packet asserting "spoofedIP is-at asMAC"
@@ -330,7 +332,7 @@ func (a *Attacker) StopImpersonating(ip ethaddr.IPv4) { delete(a.impersonated, i
 
 // handleARP fires armed reply races and answers for impersonated addresses.
 func (a *Attacker) handleARP(f *frame.Frame) {
-	p, err := arppkt.Decode(f.Payload)
+	p, err := arppkt.DecodeFrame(f)
 	if err != nil || p.Op != arppkt.OpRequest || p.IsGratuitous() {
 		return
 	}

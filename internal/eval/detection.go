@@ -52,6 +52,7 @@ type detectionTrialConfig struct {
 // the scheme reported.
 func runDetectionTrial(cfg detectionTrialConfig) trialResult {
 	l := newAttackLAN(cfg.seed, cfg.hosts, 200*time.Microsecond)
+	defer l.Recycle()
 	sink := schemes.NewSink()
 	gw, victim := l.Gateway(), l.Victim()
 	// Randomize the attack's phase relative to probe windows and refresh

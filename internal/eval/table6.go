@@ -124,8 +124,5 @@ func runEvasiveTrial(scheme string, seed int64) (bool, bool) {
 // forgedGratuitous builds the impersonator's takeover broadcast.
 func forgedGratuitous(l *labnet.LAN) *frame.Frame {
 	p := arppkt.NewGratuitousRequest(l.Attacker.MAC(), l.Gateway().IP())
-	return &frame.Frame{
-		Dst: ethaddr.BroadcastMAC, Src: l.Attacker.MAC(),
-		Type: frame.TypeARP, Payload: p.Encode(),
-	}
+	return arppkt.ArenaOf(l.Sched).NewFrame(p, l.Attacker.MAC(), ethaddr.BroadcastMAC)
 }

@@ -58,6 +58,7 @@ func intPtr(i int) *int { return &i }
 // under faults there is no benign-churn bookkeeping to excuse them.
 func runFaultTrial(cfg faultTrialConfig) faultTrialResult {
 	l := newAttackLAN(cfg.seed, cfg.hosts, 200*time.Microsecond)
+	defer l.Recycle()
 	sink := schemes.NewSink()
 	gw, victim := l.Gateway(), l.Victim()
 	attackAt := cfg.attackAt + time.Duration(l.Sched.Rand().Int63n(int64(5*time.Second)))

@@ -89,15 +89,14 @@ func (c *Controller) counter(faultType string) *telemetry.Counter {
 	return m
 }
 
-// chainFor returns the impairment chain installed on link i, installing an
-// empty one on first use.
+// chainFor returns the impairment chain for link i, creating it on first
+// use. The chain attaches to the link only while it has active injectors.
 func (c *Controller) chainFor(i int) *chain {
 	if ch, ok := c.chains[i]; ok {
 		return ch
 	}
-	ch := &chain{}
+	ch := &chain{link: c.env.Links[i]}
 	c.chains[i] = ch
-	c.env.Links[i].SetImpairment(ch)
 	return ch
 }
 

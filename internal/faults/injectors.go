@@ -117,8 +117,12 @@ func uniformDelay(rng *rand.Rand, max time.Duration) time.Duration {
 
 // chain is the per-link impairment installed into netsim: the ordered set of
 // currently active injectors on that link. Activation windows add and remove
-// injectors; order follows plan order so composition is deterministic.
+// injectors; order follows plan order so composition is deterministic. The
+// chain installs itself on the link only while injectors are active: outside
+// every window the link reverts to a plain pipe, so the forwarding hot path
+// (and its batched-flood fast path) pays for faults only while they exist.
 type chain struct {
+	link   *netsim.Link
 	active []injector
 }
 
@@ -143,14 +147,23 @@ func (c *chain) Judge(wireLen int) netsim.Verdict {
 	return out
 }
 
-// add appends an injector to the active set.
-func (c *chain) add(inj injector) { c.active = append(c.active, inj) }
+// add appends an injector to the active set, installing the chain on its
+// link when this opens the first window.
+func (c *chain) add(inj injector) {
+	if len(c.active) == 0 {
+		c.link.SetImpairment(c)
+	}
+	c.active = append(c.active, inj)
+}
 
 // remove deletes an injector from the active set, preserving order.
 func (c *chain) remove(inj injector) {
 	for i, cur := range c.active {
 		if cur == inj {
 			c.active = append(c.active[:i], c.active[i+1:]...)
+			if len(c.active) == 0 {
+				c.link.SetImpairment(nil)
+			}
 			return
 		}
 	}

@@ -1,0 +1,53 @@
+package frame
+
+import (
+	"testing"
+
+	"repro/internal/ethaddr"
+)
+
+// The hot path budgets (PR 7): encoding into a reused buffer and decoding
+// into a reused Frame must not allocate. These gates run as ordinary tests
+// so any regression fails scripts/check.sh, not just a benchmark diff.
+
+func TestAppendEncodeAllocFree(t *testing.T) {
+	f := &Frame{
+		Dst:     ethaddr.BroadcastMAC,
+		Src:     ethaddr.MAC{0x02, 0, 0, 0, 0, 1},
+		Type:    TypeARP,
+		Payload: make([]byte, 28),
+	}
+	buf := make([]byte, 0, MaxFrameLen)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var err error
+		buf, err = f.AppendEncode(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode into reused buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestDecodeIntoAllocFree(t *testing.T) {
+	src := &Frame{
+		Dst:     ethaddr.BroadcastMAC,
+		Src:     ethaddr.MAC{0x02, 0, 0, 0, 0, 1},
+		Type:    TypeARP,
+		Payload: make([]byte, 28),
+	}
+	wire, err := src.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := DecodeInto(&f, wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeInto reused frame: %v allocs/op, want 0", allocs)
+	}
+}

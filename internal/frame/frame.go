@@ -62,12 +62,33 @@ var (
 )
 
 // Frame is a decoded Ethernet II frame.
+//
+// Once handed to a NIC a frame is shared read-only state: broadcast fan-out
+// delivers the same *Frame to every receiver instead of cloning per port,
+// so neither the header fields nor the payload may be mutated after Send.
+// Paths that genuinely need a mutable copy (attack relays that rewrite
+// addresses, anything retaining a frame past its delivery) must Clone.
 type Frame struct {
 	Dst     ethaddr.MAC
 	Src     ethaddr.MAC
 	Type    EtherType
 	Payload []byte
+
+	// memo is an opaque decode memo attached by upper layers (see
+	// arppkt.DecodeFrame): with fan-out sharing one frame across N
+	// receivers, the first decode of the payload is cached here and the
+	// other N-1 receivers reuse it. The memo describes the payload bytes,
+	// so any path that obtains a mutable frame (Clone) drops it.
+	memo any
 }
+
+// Memo returns the decode memo attached to the frame, or nil.
+func (f *Frame) Memo() any { return f.memo }
+
+// SetMemo attaches a decode memo describing the current payload. Callers
+// own the invariant that the memo matches the payload bytes exactly; the
+// frame only stores it.
+func (f *Frame) SetMemo(m any) { f.memo = m }
 
 // WireLen returns the number of octets the frame occupies on the wire,
 // accounting for minimum-size padding. This is the figure the overhead
@@ -83,10 +104,14 @@ func (f *Frame) WireLen() int {
 // IsBroadcast reports whether the frame is addressed to all stations.
 func (f *Frame) IsBroadcast() bool { return f.Dst.IsBroadcast() }
 
-// Clone returns a deep copy of the frame. Simulated fan-out (hubs, broadcast
-// on switches) clones so receivers cannot alias each other's payloads.
+// Clone returns a deep copy of the frame for the paths that escape the
+// read-only transit contract: attack replay (which rewrites addresses
+// before re-sending) and captures that outlive the delivery. The decode
+// memo is dropped — the clone exists to be mutated, which would let the
+// memo go stale.
 func (f *Frame) Clone() *Frame {
 	c := *f
+	c.memo = nil
 	c.Payload = make([]byte, len(f.Payload))
 	copy(c.Payload, f.Payload)
 	return &c
@@ -100,34 +125,62 @@ func (f *Frame) String() string {
 // Encode serializes the frame, padding the payload to the Ethernet minimum.
 // It fails if the payload exceeds the MTU.
 func (f *Frame) Encode() ([]byte, error) {
+	return f.AppendEncode(make([]byte, 0, f.WireLen()))
+}
+
+// AppendEncode serializes the frame onto dst and returns the extended
+// slice, exactly as Encode would lay it out (minimum-size padding
+// included). Passing a reused buffer (dst[:0]) makes repeated encoding
+// allocation-free; the capture and replay paths lean on this.
+func (f *Frame) AppendEncode(dst []byte) ([]byte, error) {
 	if len(f.Payload) > MaxPayloadLen {
 		return nil, fmt.Errorf("%w: payload %d octets", ErrOversize, len(f.Payload))
 	}
+	off := len(dst)
 	n := f.WireLen()
-	buf := make([]byte, n)
+	if cap(dst)-off < n {
+		grown := make([]byte, off, off+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+n]
+	buf := dst[off:]
 	copy(buf[0:6], f.Dst[:])
 	copy(buf[6:12], f.Src[:])
 	binary.BigEndian.PutUint16(buf[12:14], uint16(f.Type))
 	copy(buf[HeaderLen:], f.Payload)
-	return buf, nil
+	for i := HeaderLen + len(f.Payload); i < n; i++ {
+		buf[i] = 0 // min-size padding; recycled buffers carry old bytes
+	}
+	return dst, nil
 }
 
 // Decode parses a wire-format frame. The payload is aliased into buf (frames
 // are treated as immutable once on the wire); callers who mutate must Clone.
 func Decode(buf []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := DecodeInto(f, buf); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeInto parses a wire-format frame into f, the allocation-free
+// counterpart of Decode for callers that recycle Frame values. The payload
+// aliases buf exactly as in Decode; any previous decode memo is dropped.
+func DecodeInto(f *Frame, buf []byte) error {
 	if len(buf) < HeaderLen {
-		return nil, fmt.Errorf("%w: %d octets", ErrTruncated, len(buf))
+		return fmt.Errorf("%w: %d octets", ErrTruncated, len(buf))
 	}
 	if len(buf) > MaxFrameLen {
-		return nil, fmt.Errorf("%w: %d octets", ErrOversize, len(buf))
-	}
-	f := &Frame{
-		Type:    EtherType(binary.BigEndian.Uint16(buf[12:14])),
-		Payload: buf[HeaderLen:],
+		return fmt.Errorf("%w: %d octets", ErrOversize, len(buf))
 	}
 	copy(f.Dst[:], buf[0:6])
 	copy(f.Src[:], buf[6:12])
-	return f, nil
+	f.Type = EtherType(binary.BigEndian.Uint16(buf[12:14]))
+	f.Payload = buf[HeaderLen:]
+	f.memo = nil
+	return nil
 }
 
 // Checksum computes the IEEE CRC32 (the FCS polynomial) over the encoded

@@ -1,0 +1,109 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ethaddr"
+)
+
+// TestAppendEncodeMatchesEncode: the pooled encoder must be byte-identical
+// with Encode for every frame — minimum-size padding included — even when
+// writing over a dirty reused buffer that carries stale bytes from a
+// previous frame.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	dirty := make([]byte, 0, MaxFrameLen)
+	f := func(dst, src ethaddr.MAC, typ uint16, payload []byte) bool {
+		if len(payload) > MaxPayloadLen {
+			payload = payload[:MaxPayloadLen]
+		}
+		fr := &Frame{Dst: dst, Src: src, Type: EtherType(typ), Payload: payload}
+		want, err := fr.Encode()
+		if err != nil {
+			return false
+		}
+		dirty = dirty[:cap(dirty)]
+		for i := range dirty {
+			dirty[i] = 0xFF // stale bytes must not leak into padding
+		}
+		got, err := fr.AppendEncode(dirty[:0])
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendEncodePadsShortPayloads: short payloads are padded with zeros to
+// the Ethernet minimum even on a recycled buffer full of garbage.
+func TestAppendEncodePadsShortPayloads(t *testing.T) {
+	fr := &Frame{Dst: ethaddr.BroadcastMAC, Src: ethaddr.MAC{0x02, 0, 0, 0, 0, 1}, Type: TypeARP, Payload: []byte{1, 2, 3}}
+	buf := make([]byte, 0, MaxFrameLen)
+	buf = buf[:cap(buf)]
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	got, err := fr.AppendEncode(buf[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MinFrameLen {
+		t.Fatalf("len = %d, want %d", len(got), MinFrameLen)
+	}
+	for i := HeaderLen + len(fr.Payload); i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("padding byte %d = %#x, want 0", i, got[i])
+		}
+	}
+}
+
+// TestAppendEncodeRejectsOversize: both encoders must refuse payloads over
+// the MTU identically.
+func TestAppendEncodeRejectsOversize(t *testing.T) {
+	fr := &Frame{Type: TypeIPv4, Payload: make([]byte, MaxPayloadLen+1)}
+	if _, err := fr.Encode(); err == nil {
+		t.Fatal("Encode accepted oversize payload")
+	}
+	if _, err := fr.AppendEncode(nil); err == nil {
+		t.Fatal("AppendEncode accepted oversize payload")
+	}
+}
+
+// TestDecodeIntoMatchesDecode: the in-place decoder must agree with Decode
+// on every input — same error, same frame — including garbage.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	var reused Frame
+	f := func(buf []byte) bool {
+		f1, err1 := Decode(buf)
+		err2 := DecodeInto(&reused, buf)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return err1.Error() == err2.Error()
+		}
+		return f1.Dst == reused.Dst && f1.Src == reused.Src &&
+			f1.Type == reused.Type && bytes.Equal(f1.Payload, reused.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeIntoDropsMemo: a recycled frame must not carry a decode memo
+// from its previous payload.
+func TestDecodeIntoDropsMemo(t *testing.T) {
+	var f Frame
+	f.SetMemo("stale")
+	wire, err := (&Frame{Dst: ethaddr.BroadcastMAC, Type: TypeARP, Payload: []byte{1}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeInto(&f, wire); err != nil {
+		t.Fatal(err)
+	}
+	if f.Memo() != nil {
+		t.Fatal("memo survived DecodeInto")
+	}
+}

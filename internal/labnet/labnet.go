@@ -9,8 +9,10 @@ package labnet
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/arppkt"
 	"repro/internal/attack"
 	"repro/internal/ethaddr"
 	"repro/internal/faults"
@@ -65,6 +67,41 @@ type Config struct {
 	TracingLimit int
 }
 
+// schedPool recycles schedulers across trials. Each trial builds a fresh
+// LAN on a fresh-seeded scheduler; the event population and queue capacity
+// a scheduler grows during one trial are exactly what the next trial needs,
+// so Reset-and-reuse removes the dominant per-trial setup allocations.
+var schedPool sync.Pool
+
+// acquireScheduler takes a recycled scheduler from the pool (reset for the
+// seed) or constructs a new one.
+func acquireScheduler(seed int64) *sim.Scheduler {
+	if s, ok := schedPool.Get().(*sim.Scheduler); ok {
+		s.Reset(seed)
+		return s
+	}
+	return sim.NewScheduler(seed)
+}
+
+// Recycle returns the LAN's scheduler to the trial pool. Call it (typically
+// deferred) once the trial is finished with the LAN and every component
+// built on it — afterwards the scheduler may restart at any moment under a
+// different seed.
+func (l *LAN) Recycle() {
+	if l.Sched == nil {
+		return
+	}
+	// The trial's ARP frames all came from the scheduler's arena and nothing
+	// the trial returned can reference them (alerts, latencies and traces
+	// carry values, not frame pointers) — reclaim them wholesale so the next
+	// trial rewrites the same slabs.
+	if a, ok := l.Sched.Scratch(sim.ScratchFrames).(*arppkt.Arena); ok {
+		a.Reset()
+	}
+	schedPool.Put(l.Sched)
+	l.Sched = nil
+}
+
 // LAN is the assembled environment.
 type LAN struct {
 	Sched    *sim.Scheduler
@@ -108,7 +145,7 @@ func New(cfg Config) *LAN {
 		cfg.LinkLatency = 50 * time.Microsecond
 	}
 
-	s := sim.NewScheduler(cfg.Seed)
+	s := acquireScheduler(cfg.Seed)
 	if cfg.Telemetry != nil {
 		s.Instrument(cfg.Telemetry)
 		if cfg.Tracing {
@@ -132,6 +169,9 @@ func New(cfg Config) *LAN {
 	opts := append([]stack.Option{
 		stack.WithPolicy(cfg.Policy),
 		stack.WithCacheTTL(cfg.CacheTTL),
+		// Full-mesh seeding fills every cache with Hosts-1 peers (+ the
+		// attacker and monitor); size the slot arrays once up front.
+		stack.WithCacheCapacity(cfg.Hosts + 2),
 	}, cfg.HostOptions...)
 
 	link := []netsim.LinkOption{netsim.WithLatency(cfg.LinkLatency)}

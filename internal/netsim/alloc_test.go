@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Allocation gates for the forwarding hot path (PR 7). The CAM refresh runs
+// once per frame per switch hop, and the full NIC→link→switch→link→NIC
+// unicast transit is the inner loop of every experiment — both must be
+// allocation-free in steady state (pooled transits, pooled scheduler
+// events, shared read-only frames).
+
+func TestCAMLearnRefreshAllocFree(t *testing.T) {
+	s := sim.NewScheduler(1)
+	sw := NewSwitch(s)
+	src := ethaddr.MAC{0x02, 0, 0, 0, 0, 1}
+	sw.learn(0, 0, src, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sw.learn(0, 0, src, s.Now())
+	})
+	if allocs != 0 {
+		t.Fatalf("CAM refresh: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestUnicastTransitAllocFree(t *testing.T) {
+	s := sim.NewScheduler(1)
+	sw := NewSwitch(s)
+	st := newLAN(t, s, sw, 2)
+	for _, station := range st {
+		station.nic.SetHandler(func(*frame.Frame) {})
+	}
+	// Teach the CAM both stations so forwarding is pure unicast, and warm
+	// the pools (first transits populate the scheduler free list and the
+	// transit pool).
+	f01 := uni(st[0].nic.MAC(), st[1].nic.MAC())
+	f10 := uni(st[1].nic.MAC(), st[0].nic.MAC())
+	st[0].nic.Send(f01)
+	st[1].nic.Send(f10)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		st[0].nic.Send(f01)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unicast switch transit: %v allocs/op, want 0", allocs)
+	}
+}

@@ -18,6 +18,103 @@ import (
 	"repro/internal/telemetry/causal"
 )
 
+// transitCache is the per-scheduler recycling store for transit and
+// floodTransit task shells. It lives in the scheduler's scratch slot
+// (sim.Scheduler.Scratch), which survives scheduler Reset: experiments
+// build thousands of short-lived LANs on pooled schedulers, and homing the
+// free lists on the one object that outlives a trial means the next LAN
+// starts with a warm list instead of re-carving one. Everything on the
+// cache belongs to one single-threaded scheduler, so — unlike a
+// process-wide sync.Pool, whose per-Get pin/unpin is an order of magnitude
+// more than this pop — the lists need no synchronization at all.
+type transitCache struct {
+	free  *transit
+	flood *floodTransit
+}
+
+// cacheOf returns the scheduler's transit cache, installing one on first
+// use. Called at Attach/NewSwitch time only; the hot path reaches the
+// cache through the pointer captured there.
+func cacheOf(s *sim.Scheduler) *transitCache {
+	if c, ok := s.Scratch(sim.ScratchTasks).(*transitCache); ok {
+		return c
+	}
+	c := &transitCache{}
+	s.SetScratch(sim.ScratchTasks, c)
+	return c
+}
+
+// transit is one frame's scheduled traversal of a link, recycled through
+// the scheduler's transitCache so the NIC→Link→Switch→NIC hot path
+// allocates nothing per hop: instead of capturing the frame and its
+// destination into a fresh closure per transmission, the link pops a
+// transit off the free list, points it at the frame and the receiving
+// side, and hands it to the scheduler as a sim.Task. Exactly one of nic
+// and port is set. uses counts scheduled deliveries (a duplication fault
+// schedules the same transit twice); the last delivery parks the transit
+// back on the list.
+type transit struct {
+	cache *transitCache // owner; recycle destination
+	next  *transit
+	nic   *NIC  // deliver toward the attached NIC
+	port  *Port // ingress into the switch/hub fabric
+	f     *frame.Frame
+	sp    *causal.ActiveSpan // open link span; finished at delivery
+	uses  int
+}
+
+// Run implements sim.Task: finish the link span, deliver the frame, and
+// recycle the transit once its last scheduled delivery has run.
+func (t *transit) Run() {
+	nic, port, f, sp := t.nic, t.port, t.f, t.sp
+	if t.uses--; t.uses == 0 {
+		// Drop every reference before parking: the cache outlives the
+		// trial, so a parked transit must not pin the frame, the span, or
+		// the previous LAN's topology.
+		t.nic, t.port, t.f, t.sp = nil, nil, nil, nil
+		c := t.cache
+		t.next = c.free
+		c.free = t
+	}
+	sp.Finish()
+	if nic != nil {
+		nic.deliver(f)
+		return
+	}
+	port.ingress(f)
+}
+
+// floodTransit is one batched broadcast fan-out: a single scheduled task
+// that delivers the shared read-only frame to every flood target at once,
+// replacing one event per egress port. Switch.flood only builds one when
+// every target link is a plain pipe with one common delay, so the single
+// delivery instant is exact, and the delivery loop runs in port order —
+// the same order the per-port events would have executed in. Recycled
+// through the scheduler's transitCache, keeping the grown NIC slice
+// capacity across trials.
+type floodTransit struct {
+	cache *transitCache // owner; recycle destination
+	next  *floodTransit
+	f     *frame.Frame
+	nics  []*NIC
+}
+
+// Run implements sim.Task: deliver to every batched NIC, then recycle.
+func (ft *floodTransit) Run() {
+	f := ft.f
+	for _, n := range ft.nics {
+		n.deliver(f)
+	}
+	ft.f = nil
+	for i := range ft.nics {
+		ft.nics[i] = nil // don't pin the previous LAN's NICs across trials
+	}
+	ft.nics = ft.nics[:0]
+	c := ft.cache
+	ft.next = c.flood
+	c.flood = ft
+}
+
 // TapEvent is one frame observed at a monitoring point (a mirror port or an
 // inline tap). Detectors consume streams of these.
 type TapEvent struct {
@@ -143,14 +240,16 @@ func (n *NIC) Send(f *frame.Frame) {
 	n.stats.TxBytes += uint64(f.WireLen())
 	// A tx span anchors the frame in the causal graph: a root when nothing
 	// is active (ordinary host traffic), a child of the attack or
-	// resolution span otherwise.
-	sp := n.rec.Begin("tx", f.Type.String())
-	if sp != nil {
+	// resolution span otherwise. The whole block is gated so the untraced
+	// hot path never evaluates the type/address strings.
+	if n.rec != nil {
+		sp := n.rec.Begin("tx", f.Type.String())
 		sp.Attr("src", f.Src.String()).Attr("dst", f.Dst.String())
+		n.link.transmit(f, nil, n.port)
+		sp.End()
+		return
 	}
-	port, link := n.port, n.link
-	link.transmit(f.WireLen(), func() { port.ingress(f) })
-	sp.End()
+	n.link.transmit(f, nil, n.port)
 }
 
 // deliver is the link-side entry point for frames arriving at the NIC.
@@ -217,6 +316,7 @@ type Link struct {
 	impair  Impairment
 	stats   LinkStats
 	rec     *causal.Recorder // causal tracing; nil (no-op) when disabled
+	cache   *transitCache    // scheduler-wide transit recycling store
 }
 
 // SetDown administratively raises or lowers the link. While down, every
@@ -233,12 +333,14 @@ func (l *Link) SetImpairment(imp Impairment) { l.impair = imp }
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
-// transmit schedules deliver after the link's delay, honouring the
-// administrative state, any installed impairment, serialization rate,
-// jitter, and loss.
-func (l *Link) transmit(wireLen int, deliver func()) {
+// transmit schedules delivery of f toward nic (link egress) or port
+// (fabric ingress) after the link's delay, honouring the administrative
+// state, any installed impairment, serialization rate, jitter, and loss.
+// The frame is carried by a pooled transit task, so a transmission costs no
+// allocation.
+func (l *Link) transmit(f *frame.Frame, nic *NIC, port *Port) {
 	// The transit span stays open across the scheduled delay and is finished
-	// by the delivery-side wrapper, so its extent is the frame's actual time
+	// by the delivery-side task, so its extent is the frame's actual time
 	// on the wire; a dropped frame closes it immediately with the reason.
 	sp := l.rec.Begin("link", "transit")
 	if l.down {
@@ -246,6 +348,7 @@ func (l *Link) transmit(wireLen int, deliver func()) {
 		sp.Attr("drop", "down").End()
 		return
 	}
+	wireLen := f.WireLen()
 	var v Verdict
 	if l.impair != nil {
 		v = l.impair.Judge(wireLen)
@@ -266,22 +369,37 @@ func (l *Link) transmit(wireLen int, deliver func()) {
 		d += time.Duration(int64(wireLen) * 8 * int64(time.Second) / p.bps)
 	}
 	if p.jitter > 0 {
-		d += time.Duration(l.sched.Rand().Int63n(int64(p.jitter)))
+		d += time.Duration(l.sched.Int63n(int64(p.jitter)))
 	}
 	if v.Delay > 0 {
 		l.stats.Reordered++
 		d += v.Delay
 	}
 	l.stats.Delivered++
-	if sp != nil {
-		inner := deliver
-		deliver = func() { sp.Finish(); inner() }
+	c := l.cache
+	t := c.free
+	if t != nil {
+		c.free = t.next
+		t.next = nil
+	} else {
+		// Carve a slab: amortizes ramp-up eight transits at a time the
+		// first time this scheduler's traffic reaches a new peak.
+		slab := make([]transit, 8)
+		for i := 1; i < len(slab); i++ {
+			slab[i].cache = c
+			slab[i].next = c.free
+			c.free = &slab[i]
+		}
+		t = &slab[0]
+		t.cache = c
 	}
-	l.sched.After(d, deliver)
+	t.nic, t.port, t.f, t.sp, t.uses = nic, port, f, sp, 1
+	l.sched.AfterTask(d, t)
 	if v.Duplicate {
 		l.stats.Duplicated++
 		l.stats.Delivered++
-		l.sched.After(d+v.DuplicateDelay, deliver)
+		t.uses = 2
+		l.sched.AfterTask(d+v.DuplicateDelay, t)
 	}
 	sp.Detach()
 }

@@ -92,6 +92,7 @@ type Switch struct {
 	evictRandom bool
 	stats       SwitchStats
 	rec         *causal.Recorder // causal tracing; nil (no-op) when disabled
+	cache       *transitCache    // scheduler-wide transit recycling store
 
 	// Telemetry handles; nil (no-op) unless Instrument is called.
 	reg            *telemetry.Registry
@@ -112,6 +113,7 @@ func NewSwitch(s *sim.Scheduler, opts ...SwitchOption) *Switch {
 	sw := &Switch{
 		sched:   s,
 		rec:     causal.Of(s),
+		cache:   cacheOf(s),
 		cam:     make(map[camKey]camEntry),
 		camCap:  1024,
 		camTTL:  300 * time.Second,
@@ -132,7 +134,13 @@ type Port struct {
 	id      int
 	vlan    uint16
 	ingress func(*frame.Frame)
-	egress  func(*frame.Frame) // deliver toward the attached NIC
+	nic     *NIC // attached station; nil before Attach
+}
+
+// send transmits a frame out the port toward the attached NIC.
+func (p *Port) send(f *frame.Frame) {
+	n := p.nic
+	n.link.transmit(f, n, nil)
 }
 
 // ID returns the port number, stable for the life of the device.
@@ -154,7 +162,7 @@ func (p *Port) Attach(n *NIC, opts ...LinkOption) *Link {
 	for _, opt := range opts {
 		opt(&params)
 	}
-	l := &Link{sched: n.sched, params: params, rec: causal.Of(n.sched)}
+	l := &Link{sched: n.sched, params: params, rec: causal.Of(n.sched), cache: cacheOf(n.sched)}
 	if params.loss > 0 {
 		// The loss stream is assigned in attach order, a construction-time
 		// property, so traffic on one link never re-keys another's stream.
@@ -162,9 +170,7 @@ func (p *Port) Attach(n *NIC, opts ...LinkOption) *Link {
 	}
 	n.port = p
 	n.link = l
-	p.egress = func(f *frame.Frame) {
-		l.transmit(f.WireLen(), func() { n.deliver(f) })
-	}
+	p.nic = n
 	return l
 }
 
@@ -342,14 +348,14 @@ func (sw *Switch) forward(id int, f *frame.Frame) {
 	for _, tap := range sw.taps {
 		tap(ev)
 	}
-	mirrorWanted := sw.mirror != nil && sw.mirror.egress != nil &&
+	mirrorWanted := sw.mirror != nil && sw.mirror.nic != nil &&
 		(sw.mirrSrc == nil || sw.mirrSrc[id]) && sw.mirror.id != id
 
 	if sw.filter != nil && sw.filter(id, f) == VerdictDrop {
 		sw.stats.Filtered++
 		sw.mFiltered.Inc()
 		if mirrorWanted { // the monitor still sees what the filter ate
-			sw.mirror.egress(f.Clone())
+			sw.mirror.send(f)
 		}
 		return
 	}
@@ -375,7 +381,7 @@ func (sw *Switch) forward(id int, f *frame.Frame) {
 		}
 	}
 	if mirrorWanted && !reachedMirror {
-		sw.mirror.egress(f.Clone())
+		sw.mirror.send(f)
 	}
 }
 
@@ -429,31 +435,94 @@ func (sw *Switch) learn(id int, vlan uint16, src ethaddr.MAC, now time.Duration)
 // flood replicates the frame to every port in the ingress port's VLAN,
 // except the ingress port itself. It reports whether a copy egressed the
 // mirror port.
+//
+// When every egress link is a plain pipe — up, no impairment, loss or
+// jitter, untraced — with the same delivery delay (the common uniform-LAN
+// topology), the replicas collapse into one scheduled floodTransit instead
+// of one event per port: one heap push, one pop, one task dispatch for the
+// whole fan-out, with the delivery loop walking the shared read-only frame
+// across every NIC. The per-port deliveries were consecutive events at one
+// instant, so folding them into one task preserves the execution order
+// exactly. Any port that fails the plain-pipe test sends the whole flood
+// down the per-port transmit path, which handles the general case.
 func (sw *Switch) flood(ingress int, f *frame.Frame) bool {
 	sw.stats.Flooded++
 	sw.mFlooded.Inc()
 	wire := uint64(f.WireLen())
 	vlan := sw.ports[ingress].vlan
-	reachedMirror := false
+
+	batchable := true
+	var d time.Duration
+	n := 0
 	for _, p := range sw.ports {
-		if p.id == ingress || p.egress == nil || p.vlan != vlan {
+		if p.id == ingress || p.nic == nil || p.vlan != vlan {
+			continue
+		}
+		l := p.nic.link
+		if l.down || l.impair != nil || l.lossRng != nil || l.params.jitter > 0 || l.rec != nil {
+			batchable = false
+			break
+		}
+		ld := l.params.latency
+		if l.params.bps > 0 {
+			ld += time.Duration(int64(wire) * 8 * int64(time.Second) / l.params.bps)
+		}
+		if n == 0 {
+			d = ld
+		} else if ld != d {
+			batchable = false
+			break
+		}
+		n++
+	}
+
+	reachedMirror := false
+	if batchable && n > 0 {
+		c := sw.cache
+		ft := c.flood
+		if ft != nil {
+			c.flood = ft.next
+			ft.next = nil
+		} else {
+			ft = &floodTransit{cache: c}
+		}
+		ft.f = f
+		for _, p := range sw.ports {
+			if p.id == ingress || p.nic == nil || p.vlan != vlan {
+				continue
+			}
+			if sw.mirror != nil && p.id == sw.mirror.id {
+				reachedMirror = true
+			}
+			p.nic.link.stats.Delivered++
+			ft.nics = append(ft.nics, p.nic)
+		}
+		sw.stats.BytesOutByType[f.Type] += wire * uint64(len(ft.nics))
+		sw.sched.AfterTask(d, ft)
+		return reachedMirror
+	}
+
+	replicas := uint64(0)
+	for _, p := range sw.ports {
+		if p.id == ingress || p.nic == nil || p.vlan != vlan {
 			continue
 		}
 		if sw.mirror != nil && p.id == sw.mirror.id {
 			reachedMirror = true
 		}
-		sw.stats.BytesOutByType[f.Type] += wire
-		p.egress(f.Clone())
+		replicas++
+		p.send(f)
 	}
+	sw.stats.BytesOutByType[f.Type] += wire * replicas
 	return reachedMirror
 }
 
 // egressTo sends the frame out one port.
 func (sw *Switch) egressTo(id int, f *frame.Frame) {
 	p := sw.ports[id]
-	if p.egress != nil {
+	if p.nic != nil {
 		sw.stats.BytesOutByType[f.Type] += uint64(f.WireLen())
-		p.egress(f)
+		p.send(f)
 	}
 }
 
@@ -487,9 +556,9 @@ func (h *Hub) ingress(id int, f *frame.Frame) {
 		tap(ev)
 	}
 	for _, p := range h.ports {
-		if p.id == id || p.egress == nil {
+		if p.id == id || p.nic == nil {
 			continue
 		}
-		p.egress(f.Clone())
+		p.send(f)
 	}
 }

@@ -135,7 +135,7 @@ func (p *Prober) Observe(ev netsim.TapEvent) {
 	if ev.Frame.Type != frame.TypeARP {
 		return
 	}
-	pkt, err := arppkt.Decode(ev.Frame.Payload)
+	pkt, err := arppkt.DecodeFrame(ev.Frame)
 	if err != nil {
 		return
 	}
@@ -188,7 +188,9 @@ func (p *Prober) verify(ip ethaddr.IPv4, claimed, old ethaddr.MAC, detail string
 		oldMAC:     old,
 		startedAt:  p.sched.Now(),
 		repliers:   make(map[ethaddr.MAC]bool),
-		span:       p.tracer.Start("verify", ip.String()),
+	}
+	if p.tracer != nil { // don't render ip for a no-op tracer
+		sess.span = p.tracer.Start("verify", ip.String())
 	}
 	p.sessions[ip] = sess
 	p.sendProbe(ip)
@@ -204,10 +206,7 @@ func (p *Prober) sendProbe(ip ethaddr.IPv4) {
 		sess.span.Phase("probe")
 	}
 	probe := arppkt.NewProbe(p.host.MAC(), ip)
-	p.host.SendFrame(&frame.Frame{
-		Dst: ethaddr.BroadcastMAC, Src: p.host.MAC(),
-		Type: frame.TypeARP, Payload: probe.Encode(),
-	})
+	p.host.SendFrame(p.host.NewARPFrame(probe, ethaddr.BroadcastMAC))
 }
 
 // handleDirectARP collects answers to our probes. A probe answer is a reply

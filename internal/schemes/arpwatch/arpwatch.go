@@ -157,7 +157,7 @@ func (w *Watcher) Observe(ev netsim.TapEvent) {
 	if ev.Frame.Type != frame.TypeARP {
 		return
 	}
-	p, err := arppkt.Decode(ev.Frame.Payload)
+	p, err := arppkt.DecodeFrame(ev.Frame)
 	if err != nil {
 		return
 	}

@@ -131,7 +131,7 @@ func (i *Inspector) Filter() netsim.FilterFunc {
 			return netsim.VerdictAllow
 		}
 		i.stats.Inspected++
-		p, err := arppkt.Decode(f.Payload)
+		p, err := arppkt.DecodeFrame(f)
 		if err != nil {
 			return i.drop(port, nil, f, "undecodable arp")
 		}

@@ -112,12 +112,23 @@ func (det *Detector) Stop() {
 	det.ticker.Stop()
 }
 
-// reset clears the per-window state.
+// reset clears the per-window state. The maps are cleared in place rather
+// than reallocated: a detector rolls windows for the whole run, and reusing
+// the buckets keeps the per-window cost off the steady-state allocation
+// profile. The inner per-source target sets are likewise kept and emptied.
 func (det *Detector) reset() {
 	det.packets = 0
-	det.bindings = make(map[ethaddr.IPv4]ethaddr.MAC)
-	det.targets = make(map[ethaddr.MAC]map[ethaddr.IPv4]bool)
-	det.alerted = make(map[ethaddr.MAC]bool)
+	if det.bindings == nil {
+		det.bindings = make(map[ethaddr.IPv4]ethaddr.MAC)
+		det.targets = make(map[ethaddr.MAC]map[ethaddr.IPv4]bool)
+		det.alerted = make(map[ethaddr.MAC]bool)
+		return
+	}
+	clear(det.bindings)
+	for _, set := range det.targets {
+		clear(set)
+	}
+	clear(det.alerted)
 }
 
 // rollWindow closes the current window.
@@ -131,7 +142,7 @@ func (det *Detector) Observe(ev netsim.TapEvent) {
 	if ev.Frame.Type != frame.TypeARP {
 		return
 	}
-	p, err := arppkt.Decode(ev.Frame.Payload)
+	p, err := arppkt.DecodeFrame(ev.Frame)
 	if err != nil {
 		return
 	}

@@ -160,10 +160,7 @@ func (g *Guard) inspect(p *arppkt.Packet, f *frame.Frame) bool {
 		// Stay protocol-correct: answer the requester immediately even
 		// though we are not yet willing to cache its binding.
 		reply := arppkt.NewReply(g.host.MAC(), g.host.IP(), p.SenderMAC, p.SenderIP)
-		g.host.SendFrame(&frame.Frame{
-			Dst: p.SenderMAC, Src: g.host.MAC(),
-			Type: frame.TypeARP, Payload: reply.Encode(),
-		})
+		g.host.SendFrame(g.host.NewARPFrame(reply, p.SenderMAC))
 	}
 	g.quarantine(p)
 	return false
@@ -181,11 +178,14 @@ func (g *Guard) quarantine(p *arppkt.Packet) {
 	}
 	g.stats.Quarantined++
 	g.mQuarantined.Inc()
-	g.sessions[ip] = &session{
+	sess := &session{
 		packet:   p,
 		repliers: make(map[ethaddr.MAC]bool),
-		span:     g.tracer.Start("verify", ip.String()),
 	}
+	if g.tracer != nil { // don't render ip for a no-op tracer
+		sess.span = g.tracer.Start("verify", ip.String())
+	}
+	g.sessions[ip] = sess
 	// Probe immediately and then every retry interval until the window
 	// closes: longer windows buy loss tolerance, which is exactly the
 	// trade the window-ablation experiment measures.
@@ -212,10 +212,7 @@ func (g *Guard) sendProbe(ip ethaddr.IPv4) {
 		sess.span.Phase("probe")
 	}
 	probe := arppkt.NewProbe(g.host.MAC(), ip)
-	g.host.SendFrame(&frame.Frame{
-		Dst: ethaddr.BroadcastMAC, Src: g.host.MAC(),
-		Type: frame.TypeARP, Payload: probe.Encode(),
-	})
+	g.host.SendFrame(g.host.NewARPFrame(probe, ethaddr.BroadcastMAC))
 }
 
 // conclude decides a session: commit on confirmation, reject otherwise.

@@ -86,7 +86,7 @@ func (p *Preprocessor) Observe(ev netsim.TapEvent) {
 	if ev.Frame.Type != frame.TypeARP {
 		return
 	}
-	pkt, err := arppkt.Decode(ev.Frame.Payload)
+	pkt, err := arppkt.DecodeFrame(ev.Frame)
 	if err != nil {
 		return
 	}

@@ -14,14 +14,16 @@
 // probe window is one event. To keep it allocation-free in steady state the
 // scheduler recycles executed events through a free list and hands out Timer
 // handles by value; a per-event generation counter keeps stale handles inert
-// after their event has been recycled.
+// after their event has been recycled. The queue itself is a hand-rolled
+// 4-ary heap: compared to container/heap it halves the tree depth, drops
+// the interface dispatch per sift step, and pops in exactly the same
+// (time, sequence) order — the comparator is a total order, so replay
+// determinism is untouched.
 package sim
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"errors"
-	"hash/fnv"
 	"math/rand"
 	"time"
 
@@ -32,59 +34,150 @@ import (
 // with Stop before the horizon or event budget was reached.
 var ErrStopped = errors.New("simulation stopped")
 
-// maxFreeEvents bounds the scheduler's event free list so a one-off burst
-// (a flood scenario draining thousands of queued frames) does not pin that
-// much memory for the rest of the run. Steady-state workloads cycle through
-// far fewer live events than this.
-const maxFreeEvents = 1024
+// Events are allocated in slabs of 2^eventSlabShift and addressed by a
+// compact uint32 ref (slab index · slab size + offset). Slab allocation
+// amortizes the ramp-up cost (one allocation per 64 in-flight events
+// instead of one each) and keeps a scheduler's event population on
+// contiguous memory; the refs let the heap and the free list hold plain
+// integers instead of pointers, so the scheduler's two hottest loops (heap
+// sifts, event recycling) write no pointers at all — no GC write barriers,
+// and nothing in either structure for the garbage collector to scan.
+const (
+	eventSlabShift = 6
+	eventSlabSize  = 1 << eventSlabShift
+	eventSlabMask  = eventSlabSize - 1
+)
+
+// Task is a unit of work scheduled without a closure allocation: holders of
+// a reusable object (netsim's pooled frame transits) implement Run and pass
+// the object itself to AtTask/AfterTask, so the hot path schedules by
+// storing one pointer instead of capturing variables into a fresh closure.
+type Task interface {
+	Run()
+}
 
 // event is a scheduled callback. Events are pooled: once executed (or
 // drained after cancellation) an event returns to the scheduler's free list
 // and a later At/After/Every call may reuse it. gen is bumped on every
 // recycle so Timer handles created for a previous incarnation no-op.
+// Exactly one of fn and task is set.
 type event struct {
 	at     time.Duration
 	seq    uint64 // tiebreaker: FIFO among events at the same instant
 	fn     func()
+	task   Task          // closure-free alternative to fn
+	ref    uint32        // this event's slot in the scheduler's slab table
 	dead   bool          // cancelled
-	idx    int           // heap index, -1 when popped
+	queued bool          // in the heap (not yet popped)
 	gen    uint64        // incarnation counter, bumped on recycle
 	period time.Duration // >0: re-arm after each firing (Every)
 	cause  uint64        // causal span active when the event was scheduled
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// run invokes the event's work, whichever form it was scheduled in.
+func (ev *event) run() {
+	if ev.fn != nil {
+		ev.fn()
+		return
 	}
-	return q[i].seq < q[j].seq
+	ev.task.Run()
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+// heapEntry is one heap slot: the (at, seq) ordering key is stored inline
+// so sift comparisons touch only the contiguous heap slice, never the
+// events themselves — on flood-heavy workloads the pointer chase per
+// comparison was the single largest CPU line. seq and the event's slab ref
+// pack into one word (seq in the high bits, so comparing the packed word
+// compares seq), keeping entries at 16 bytes and the whole heap
+// pointer-free: sift steps move two words and the GC never scans the
+// queue. schedule guards the 32-bit seq bound — at ~100ns of simulated
+// work per event a single trial would need days of wall time to reach it.
+type heapEntry struct {
+	at     time.Duration
+	seqRef uint64 // seq<<32 | ref
 }
 
-func (q *eventQueue) Push(x any) {
-	ev, _ := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
+// less orders entries by (at, seq); seq is unique, so this is a total
+// order and heap pops are deterministic regardless of heap shape.
+func (a heapEntry) less(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seqRef < b.seqRef
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
+// eventQueue is a 4-ary min-heap of events ordered by (at, seq). Four
+// children per node halves the depth of the equivalent binary heap, and the
+// inline keys keep sifts on one cache-resident array.
+type eventQueue []heapEntry
+
+// push inserts ev (whose at/seq are already set) and sifts it up.
+func (q *eventQueue) push(ev *event) {
+	h := *q
+	e := heapEntry{at: ev.at, seqRef: ev.seq<<32 | uint64(ev.ref)}
+	i := len(h)
+	h = append(h, e)
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+	*q = h
+	ev.queued = true
+}
+
+// pop removes and returns the ref of the minimum event.
+func (q *eventQueue) pop() uint32 {
+	h := *q
+	top := uint32(h[0].seqRef)
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	*q = h
+	if n == 0 {
+		return top
+	}
+	// Bottom-up sift (Wegener): walk the hole from the root to a leaf along
+	// the min-child path — 3 compares per level instead of 4, because the
+	// refill element is never compared on the way down — then bubble the
+	// refill up from the leaf. The refill comes from the array's tail, which
+	// under a time-ordered workload holds the latest keys, so the upward
+	// pass almost always stops immediately. Keys are strictly totally
+	// ordered ((at, seq), seq unique), so the pop sequence is identical to
+	// the top-down variant's.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h[c].less(h[min]) {
+				min = c
+			}
+		}
+		h[i] = h[min]
+		i = min
+	}
+	for i > 0 {
+		p := (i - 1) / 4
+		if !last.less(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = last
+	return top
 }
 
 // Timer is a handle to a scheduled event that can be cancelled. It is a
@@ -103,7 +196,7 @@ func (t Timer) Stop() bool {
 	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
-	pending := t.ev.idx != -1
+	pending := t.ev.queued
 	t.ev.dead = true
 	return pending
 }
@@ -116,10 +209,27 @@ type Scheduler struct {
 	seq       uint64
 	seed      int64
 	rng       *rand.Rand
+	rootSrc   *lazySource       // rng's source, typed for the Int63n fast path
 	streamSeq map[string]uint64 // per-name DeriveRand call counters
-	stopped   bool
-	executed  uint64
-	free      []*event // recycled events awaiting reuse
+
+	// Derived stream objects, recycled across Reset: a reset scheduler
+	// re-derives the same construction-ordered streams, so the rand.Rand
+	// wrappers (and their ALFG registers, via lazySource.spare) are reused
+	// by call order and only ever allocated on first growth.
+	streams    []*rand.Rand
+	streamUsed int
+	stopped    bool
+	executed   uint64
+	slabs      [][]event // all events ever carved, addressed by event.ref
+	free       []uint32  // refs of recycled events awaiting reuse
+
+	// scratch holds opaque per-layer recycling caches owned by the layers
+	// built on this scheduler (netsim parks its transit free lists in one
+	// slot, arppkt its frame arena in another). Unlike every other field
+	// it survives Reset: the caches hold only inert recycled shells, and
+	// carrying them across trials is the point — a pooled scheduler's next
+	// LAN starts with warm free lists instead of re-carving them.
+	scratch [numScratchSlots]any
 
 	// Causal context: the span ID under which the current event runs.
 	// schedule captures it into each new event and the run loops restore it
@@ -137,7 +247,51 @@ type Scheduler struct {
 // NewScheduler returns a scheduler whose clock starts at zero and whose
 // random stream is derived from seed.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	src := &lazySource{seed: seed}
+	return &Scheduler{
+		seed:    seed,
+		rootSrc: src,
+		rng:     rand.New(src),
+		queue:   make(eventQueue, 0, 512),
+	}
+}
+
+// Reset returns the scheduler to its just-constructed state for a new seed,
+// keeping the event slabs and the queue/free-list capacity it has already
+// grown. Experiments run thousands of short trials, each on a fresh
+// scheduler; recycling one through Reset skips re-carving the event
+// population and re-growing the queue, which together dominated trial
+// setup allocation. A reset scheduler is observationally identical to
+// NewScheduler(seed): the clock, sequence counter, random streams and
+// causal state all restart, and every parked event has its generation
+// bumped so Timer handles from the previous life stay inert.
+func (s *Scheduler) Reset(seed int64) {
+	s.now = 0
+	s.queue = s.queue[:0]
+	s.seq = 0
+	s.seed = seed
+	s.rng.Seed(seed) // re-lazies the root source in place
+	clear(s.streamSeq)
+	s.streamUsed = 0
+	s.stopped = false
+	s.executed = 0
+	s.cause = 0
+	s.traceRec = nil
+	s.mExecuted, s.mCancelled, s.mQueueHigh = nil, nil, nil
+	s.free = s.free[:0]
+	for _, slab := range s.slabs {
+		for i := range slab {
+			ev := &slab[i]
+			ev.gen++
+			ev.fn = nil
+			ev.task = nil
+			ev.dead = false
+			ev.queued = false
+			ev.period = 0
+			ev.cause = 0
+			s.free = append(s.free, ev.ref)
+		}
+	}
 }
 
 // Instrument attaches the scheduler to a telemetry registry: events
@@ -154,9 +308,50 @@ func (s *Scheduler) Instrument(reg *telemetry.Registry) {
 // Now returns the current virtual time (elapsed since simulation start).
 func (s *Scheduler) Now() time.Duration { return s.now }
 
+// ScratchKey names one of the scheduler's opaque recycling-cache slots.
+// Each layer that pools objects across Reset owns exactly one key.
+type ScratchKey uint8
+
+const (
+	// ScratchTasks is netsim's slot: transit/flood task free lists.
+	ScratchTasks ScratchKey = iota
+	// ScratchFrames is arppkt's slot: the ARP frame arena.
+	ScratchFrames
+
+	numScratchSlots
+)
+
+// Scratch returns the opaque recycling-cache slot for k (nil until
+// SetScratch).
+func (s *Scheduler) Scratch(k ScratchKey) any { return s.scratch[k] }
+
+// SetScratch installs the opaque recycling-cache slot for k. Slots survive
+// Reset so recycled shells carry over to the scheduler's next life; the
+// installing layer must therefore never park anything trial-specific in one.
+func (s *Scheduler) SetScratch(k ScratchKey, v any) { s.scratch[k] = v }
+
 // Rand exposes the scheduler's seeded random stream so that every stochastic
 // choice in a scenario flows from the one seed.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Int63n draws from the same stream as Rand().Int63n(n), bypassing the
+// rand.Rand wrapper's two interface dispatches — it replicates math/rand's
+// rejection algorithm over the scheduler's own source, so the consumed
+// draws (and therefore every later value on the stream) are identical.
+// It exists for per-frame jitter, the single hottest draw site. n must be
+// positive.
+func (s *Scheduler) Int63n(n int64) int64 {
+	src := s.rootSrc
+	if n&(n-1) == 0 { // n is a power of two
+		return src.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := src.Int63()
+	for v > max {
+		v = src.Int63()
+	}
+	return v % n
+}
 
 // DeriveRand returns an independent deterministic random stream for the
 // named consumer, derived from the scheduler's seed. Repeated calls with the
@@ -172,13 +367,82 @@ func (s *Scheduler) DeriveRand(name string) *rand.Rand {
 	}
 	n := s.streamSeq[name]
 	s.streamSeq[name]++
-	h := fnv.New64a()
+	// FNV-1a over seed||n||name, inlined: hash.Hash64 would escape and
+	// stream derivation runs once per link and injector per trial.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
 	var buf [16]byte
 	binary.LittleEndian.PutUint64(buf[:8], uint64(s.seed))
 	binary.LittleEndian.PutUint64(buf[8:], n)
-	h.Write(buf[:])
-	h.Write([]byte(name))
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	h := uint64(offset64)
+	for _, b := range buf {
+		h = (h ^ uint64(b)) * prime64
+	}
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	seed := int64(h)
+	if s.streamUsed < len(s.streams) {
+		// Recycle a stream object from a previous life of this scheduler
+		// (see Reset). Seed restarts the rand.Rand and re-lazies the
+		// source, so the draw sequence matches a fresh stream exactly.
+		r := s.streams[s.streamUsed]
+		s.streamUsed++
+		r.Seed(seed)
+		return r
+	}
+	r := rand.New(&lazySource{seed: seed})
+	s.streams = append(s.streams, r)
+	s.streamUsed++
+	return r
+}
+
+// lazySource defers the lagged-Fibonacci seeding of a random source until
+// the first draw (and takes the seeded register from alfg.go's seed cache
+// when the seed has been used before). Stream derivation is a construction-time
+// property (every link and fault injector gets one), but many derived
+// streams are never drawn from — a lossy link that carries no traffic, an
+// injector whose window never opens — and seeding those dominated
+// scheduler construction in the fault-sweep experiments. The draw sequence
+// is identical to an eagerly seeded source, just paid for on first use.
+// It implements rand.Source64 so rand.Rand consumes draws through exactly
+// the same code path as with rand.NewSource.
+type lazySource struct {
+	seed  int64
+	src   *alfgSource // typed, not rand.Source64: draws skip a dispatch
+	spare *alfgSource // register retired by Seed, reused by the next init
+}
+
+func (l *lazySource) init() {
+	src := l.spare
+	if src == nil {
+		src = new(alfgSource)
+	} else {
+		l.spare = nil
+	}
+	alfgSeed(src, l.seed)
+	l.src = src
+}
+
+func (l *lazySource) Int63() int64 {
+	if l.src == nil {
+		l.init()
+	}
+	return l.src.Int63()
+}
+
+func (l *lazySource) Uint64() uint64 {
+	if l.src == nil {
+		l.init()
+	}
+	return l.src.Uint64()
+}
+
+func (l *lazySource) Seed(seed int64) {
+	l.seed = seed
+	if l.src != nil {
+		l.spare = l.src // keep the ~5KB register for reuse
+		l.src = nil
+	}
 }
 
 // Cause returns the causal span ID the currently executing event carries
@@ -213,36 +477,55 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // have been cancelled but not yet drained).
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
-// alloc takes an event off the free list, or heap-allocates when empty.
+// eventAt resolves a slab ref to its event. Slab backing arrays are never
+// reallocated, so the returned pointer is stable for the scheduler's life.
+func (s *Scheduler) eventAt(ref uint32) *event {
+	return &s.slabs[ref>>eventSlabShift][ref&eventSlabMask]
+}
+
+// alloc takes an event off the free list, carving a fresh slab when empty.
 func (s *Scheduler) alloc() *event {
 	if n := len(s.free) - 1; n >= 0 {
-		ev := s.free[n]
-		s.free[n] = nil
+		ref := s.free[n]
 		s.free = s.free[:n]
-		return ev
+		return s.eventAt(ref)
 	}
-	return &event{}
+	base := uint32(len(s.slabs)) << eventSlabShift
+	slab := make([]event, eventSlabSize)
+	for i := range slab {
+		slab[i].ref = base + uint32(i)
+	}
+	s.slabs = append(s.slabs, slab)
+	for i := eventSlabSize - 1; i >= 1; i-- {
+		s.free = append(s.free, base+uint32(i))
+	}
+	return &slab[0]
 }
 
 // release recycles a finished event onto the free list. The generation bump
 // comes first so every outstanding Timer for this incarnation goes inert.
+// fn and task are cleared so a parked event retains no transient objects
+// (closures capture frames; a stale reference kept live until reuse
+// inflates the GC mark set).
 func (s *Scheduler) release(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.task = nil
 	ev.dead = false
 	ev.period = 0
 	ev.cause = 0
-	if len(s.free) < maxFreeEvents {
-		s.free = append(s.free, ev)
-	}
+	s.free = append(s.free, ev.ref)
 }
 
-// schedule queues fn at the (already clamped) absolute instant at.
-func (s *Scheduler) schedule(at, period time.Duration, fn func()) Timer {
+// schedule queues fn (or task) at the (already clamped) absolute instant at.
+func (s *Scheduler) schedule(at, period time.Duration, fn func(), task Task) Timer {
 	s.seq++
+	if s.seq >= 1<<32 {
+		panic("sim: event sequence exceeded 2^32 (heap key packing bound)")
+	}
 	ev := s.alloc()
-	ev.at, ev.seq, ev.fn, ev.period, ev.cause = at, s.seq, fn, period, s.cause
-	heap.Push(&s.queue, ev)
+	ev.at, ev.seq, ev.fn, ev.task, ev.period, ev.cause = at, s.seq, fn, task, period, s.cause
+	s.queue.push(ev)
 	if s.mQueueHigh != nil {
 		s.mQueueHigh.SetMax(float64(len(s.queue)))
 	}
@@ -256,7 +539,7 @@ func (s *Scheduler) At(at time.Duration, fn func()) Timer {
 	if at < s.now {
 		at = s.now
 	}
-	return s.schedule(at, 0, fn)
+	return s.schedule(at, 0, fn, nil)
 }
 
 // After schedules fn to run d after the current virtual instant.
@@ -264,7 +547,18 @@ func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.schedule(s.now+d, 0, fn)
+	return s.schedule(s.now+d, 0, fn, nil)
+}
+
+// AfterTask schedules t.Run d after the current virtual instant. It is
+// After without the closure: callers that already own a reusable object
+// (netsim's pooled frame transits) schedule it directly, so the frame hot
+// path allocates nothing per hop.
+func (s *Scheduler) AfterTask(d time.Duration, t Task) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now+d, 0, nil, t)
 }
 
 // Every schedules fn to run every period, starting one period from now,
@@ -275,7 +569,7 @@ func (s *Scheduler) Every(period time.Duration, fn func()) Timer {
 	if period <= 0 {
 		period = time.Nanosecond
 	}
-	return s.schedule(s.now+period, period, fn)
+	return s.schedule(s.now+period, period, fn, nil)
 }
 
 // finish recycles a just-executed event, or re-arms it if it is periodic
@@ -283,9 +577,12 @@ func (s *Scheduler) Every(period time.Duration, fn func()) Timer {
 func (s *Scheduler) finish(ev *event) {
 	if ev.period > 0 && !ev.dead {
 		s.seq++
+		if s.seq >= 1<<32 {
+			panic("sim: event sequence exceeded 2^32 (heap key packing bound)")
+		}
 		ev.at = s.now + ev.period
 		ev.seq = s.seq
-		heap.Push(&s.queue, ev)
+		s.queue.push(ev)
 		if s.mQueueHigh != nil {
 			s.mQueueHigh.SetMax(float64(len(s.queue)))
 		}
@@ -310,7 +607,8 @@ func (s *Scheduler) RunUntil(horizon time.Duration) error {
 		if next.at > horizon {
 			break
 		}
-		popped, _ := heap.Pop(&s.queue).(*event)
+		popped := s.eventAt(s.queue.pop())
+		popped.queued = false
 		if popped.dead {
 			s.mCancelled.Inc()
 			s.release(popped)
@@ -320,7 +618,7 @@ func (s *Scheduler) RunUntil(horizon time.Duration) error {
 		s.executed++
 		s.mExecuted.Inc()
 		s.cause = popped.cause
-		popped.fn()
+		popped.run()
 		s.cause = 0
 		s.finish(popped)
 	}
@@ -337,7 +635,8 @@ func (s *Scheduler) Run() error {
 		if s.stopped {
 			return ErrStopped
 		}
-		popped, _ := heap.Pop(&s.queue).(*event)
+		popped := s.eventAt(s.queue.pop())
+		popped.queued = false
 		if popped.dead {
 			s.mCancelled.Inc()
 			s.release(popped)
@@ -347,7 +646,7 @@ func (s *Scheduler) Run() error {
 		s.executed++
 		s.mExecuted.Inc()
 		s.cause = popped.cause
-		popped.fn()
+		popped.run()
 		s.cause = 0
 		s.finish(popped)
 	}

@@ -322,17 +322,30 @@ func TestEventReuseKeepsDeterminism(t *testing.T) {
 	}
 }
 
-// TestFreeListBounded guards the memory cap on the recycle pool.
-func TestFreeListBounded(t *testing.T) {
+// TestFreeListTracksPeak guards the recycle pool's memory bound: the free
+// list holds every event ever carved (rounded up to whole slabs), so it
+// must track the peak number of in-flight events, not the total scheduled.
+func TestFreeListTracksPeak(t *testing.T) {
+	const n = 10 * eventSlabSize
 	s := NewScheduler(1)
-	for i := 0; i < 10*maxFreeEvents; i++ {
+	for i := 0; i < n; i++ {
 		s.After(time.Duration(i), func() {})
 	}
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.free) > maxFreeEvents {
-		t.Fatalf("free list grew to %d, cap is %d", len(s.free), maxFreeEvents)
+	if len(s.free) < n || len(s.free) > n+eventSlabSize {
+		t.Fatalf("free list holds %d events after %d concurrent, want ~%d", len(s.free), n, n)
+	}
+	// Re-running the same load must reuse the carved slabs, not grow.
+	for i := 0; i < n; i++ {
+		s.After(time.Duration(i), func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.free) > n+eventSlabSize {
+		t.Fatalf("free list grew to %d on reuse, want at most %d", len(s.free), n+eventSlabSize)
 	}
 }
 

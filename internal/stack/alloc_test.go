@@ -1,0 +1,53 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/sim"
+)
+
+// Allocation gates for the cache hot path (PR 7). Every ARP packet a host
+// receives ends in Cache.Update, so both the steady-state refresh and the
+// insert of a previously seen key must be allocation-free. (First-ever
+// inserts may grow the map; that cost is amortized and not gated.)
+
+func TestCacheRefreshAllocFree(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, time.Minute)
+	p := arppkt.NewReply(
+		ethaddr.MAC{0x02, 0, 0, 0, 0, 1}, ethaddr.MustParseIPv4("10.0.0.1"),
+		ethaddr.MAC{0x02, 0, 0, 0, 0, 2}, ethaddr.MustParseIPv4("10.0.0.2"),
+	)
+	c.Update(p, true)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if kind := c.Update(p, true); kind != EventRefreshed {
+			t.Fatalf("kind = %v, want refresh", kind)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache refresh: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestCacheInsertAllocFree(t *testing.T) {
+	s := sim.NewScheduler(1)
+	c := NewCache(s, PolicyNaive, time.Minute)
+	p := arppkt.NewReply(
+		ethaddr.MAC{0x02, 0, 0, 0, 0, 1}, ethaddr.MustParseIPv4("10.0.0.1"),
+		ethaddr.MAC{0x02, 0, 0, 0, 0, 2}, ethaddr.MustParseIPv4("10.0.0.2"),
+	)
+	ip, _ := p.Binding()
+	c.Update(p, true) // size the map bucket once
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Delete(ip)
+		if kind := c.Update(p, true); kind != EventCreated {
+			t.Fatalf("kind = %v, want create", kind)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache insert: %v allocs/op, want 0", allocs)
+	}
+}

@@ -137,12 +137,22 @@ type Event struct {
 	Solicited bool // a matching request was outstanding
 }
 
-// Cache is a policy-guarded ARP cache.
+// cacheSlot is one IP→Entry binding in the cache's flat table.
+type cacheSlot struct {
+	ip ethaddr.IPv4
+	e  Entry
+}
+
+// Cache is a policy-guarded ARP cache. Bindings live in a flat slice
+// scanned linearly: a LAN host resolves at most a few dozen peers, and at
+// that size a 4-byte linear probe beats map hashing on the Update/Lookup
+// hot path while keeping iteration allocation-free. Slot order is an
+// implementation artifact and never observable (Snapshot returns a map).
 type Cache struct {
 	sched   *sim.Scheduler
 	policy  Policy
 	ttl     time.Duration
-	entries map[ethaddr.IPv4]Entry
+	slots   []cacheSlot
 	onEvent func(Event)
 	rec     *causal.Recorder // causal tracing; nil (no-op) when disabled
 
@@ -158,13 +168,42 @@ type Cache struct {
 // NewCache creates a cache. TTL is the entry lifetime (default on hosts is
 // typically 60s–20min; experiments set it explicitly).
 func NewCache(s *sim.Scheduler, policy Policy, ttl time.Duration) *Cache {
-	return &Cache{
-		sched:   s,
-		policy:  policy,
-		ttl:     ttl,
-		entries: make(map[ethaddr.IPv4]Entry),
-		rec:     causal.Of(s),
+	return newCache(s, policy, ttl, 8)
+}
+
+// newCache creates a cache with the slot array pre-sized for capacity
+// entries (a full-mesh LAN would otherwise grow it through repeated
+// doublings; see WithCacheCapacity).
+func newCache(s *sim.Scheduler, policy Policy, ttl time.Duration, capacity int) *Cache {
+	if capacity < 8 {
+		capacity = 8
 	}
+	return &Cache{
+		sched:  s,
+		policy: policy,
+		ttl:    ttl,
+		slots:  make([]cacheSlot, 0, capacity),
+		rec:    causal.Of(s),
+	}
+}
+
+// slot returns the binding for ip, or nil when absent.
+func (c *Cache) slot(ip ethaddr.IPv4) *cacheSlot {
+	for i := range c.slots {
+		if c.slots[i].ip == ip {
+			return &c.slots[i]
+		}
+	}
+	return nil
+}
+
+// put stores e under ip, reusing the existing slot when present.
+func (c *Cache) put(ip ethaddr.IPv4, e Entry) {
+	if s := c.slot(ip); s != nil {
+		s.e = e
+		return
+	}
+	c.slots = append(c.slots, cacheSlot{ip: ip, e: e})
 }
 
 // OnEvent installs an observer invoked for every mutation attempt. The
@@ -190,31 +229,33 @@ func (c *Cache) Policy() Policy { return c.policy }
 // Lookup returns the live binding for ip, treating expired entries as
 // misses. Static entries never expire.
 func (c *Cache) Lookup(ip ethaddr.IPv4) (ethaddr.MAC, bool) {
-	e, ok := c.entries[ip]
-	if !ok {
+	s := c.slot(ip)
+	if s == nil {
 		c.mMisses.Inc()
 		return ethaddr.MAC{}, false
 	}
-	if !e.Static && e.Expires <= c.sched.Now() {
+	if !s.e.Static && s.e.Expires <= c.sched.Now() {
 		c.mMisses.Inc()
 		return ethaddr.MAC{}, false
 	}
 	c.mHits.Inc()
-	return e.MAC, true
+	return s.e.MAC, true
 }
 
 // Get returns the raw entry (including expired ones) for inspection.
 func (c *Cache) Get(ip ethaddr.IPv4) (Entry, bool) {
-	e, ok := c.entries[ip]
-	return e, ok
+	if s := c.slot(ip); s != nil {
+		return s.e, true
+	}
+	return Entry{}, false
 }
 
 // Len returns the number of live entries.
 func (c *Cache) Len() int {
 	now := c.sched.Now()
 	n := 0
-	for _, e := range c.entries {
-		if e.Static || e.Expires > now {
+	for i := range c.slots {
+		if e := &c.slots[i].e; e.Static || e.Expires > now {
 			n++
 		}
 	}
@@ -224,10 +265,11 @@ func (c *Cache) Len() int {
 // Snapshot returns a copy of the live entries, for detectors and reports.
 func (c *Cache) Snapshot() map[ethaddr.IPv4]Entry {
 	now := c.sched.Now()
-	out := make(map[ethaddr.IPv4]Entry, len(c.entries))
-	for ip, e := range c.entries {
-		if e.Static || e.Expires > now {
-			out[ip] = e
+	out := make(map[ethaddr.IPv4]Entry, len(c.slots))
+	for i := range c.slots {
+		s := &c.slots[i]
+		if s.e.Static || s.e.Expires > now {
+			out[s.ip] = s.e
 		}
 	}
 	return out
@@ -236,19 +278,30 @@ func (c *Cache) Snapshot() map[ethaddr.IPv4]Entry {
 // SetStatic installs an immutable binding; dynamic traffic can never alter
 // it. This is the static-ARP prevention scheme's primitive.
 func (c *Cache) SetStatic(ip ethaddr.IPv4, mac ethaddr.MAC) {
-	c.entries[ip] = Entry{MAC: mac, State: StateReachable, Static: true}
+	c.put(ip, Entry{MAC: mac, State: StateReachable, Static: true})
 }
 
 // Delete removes a binding (administrative action).
-func (c *Cache) Delete(ip ethaddr.IPv4) { delete(c.entries, ip) }
+func (c *Cache) Delete(ip ethaddr.IPv4) {
+	for i := range c.slots {
+		if c.slots[i].ip == ip {
+			last := len(c.slots) - 1
+			c.slots[i] = c.slots[last]
+			c.slots = c.slots[:last]
+			return
+		}
+	}
+}
 
 // Flush removes all dynamic bindings, keeping static ones.
 func (c *Cache) Flush() {
-	for ip, e := range c.entries {
-		if !e.Static {
-			delete(c.entries, ip)
+	kept := c.slots[:0]
+	for i := range c.slots {
+		if c.slots[i].e.Static {
+			kept = append(kept, c.slots[i])
 		}
 	}
+	c.slots = kept
 }
 
 // emit reports a mutation attempt to the observer and, when tracing is
@@ -285,15 +338,15 @@ func (c *Cache) Update(p *arppkt.Packet, solicited bool) EventKind {
 		return EventRejected
 	}
 
-	prior, havePrior := c.entries[ip]
+	prior := c.slot(ip)
 	now := c.sched.Now()
-	live := havePrior && (prior.Static || prior.Expires > now)
+	live := prior != nil && (prior.e.Static || prior.e.Expires > now)
 
 	// Static entries are immutable, full stop.
-	if live && prior.Static {
-		if prior.MAC != mac {
+	if live && prior.e.Static {
+		if prior.e.MAC != mac {
 			c.mRejects.Inc()
-			c.emit(EventRejected, ip, prior.MAC, mac, p.Op, solicited)
+			c.emit(EventRejected, ip, prior.e.MAC, mac, p.Op, solicited)
 		}
 		return EventRejected
 	}
@@ -302,7 +355,7 @@ func (c *Cache) Update(p *arppkt.Packet, solicited bool) EventKind {
 	if !admitted {
 		var old ethaddr.MAC
 		if live {
-			old = prior.MAC
+			old = prior.e.MAC
 		}
 		c.mRejects.Inc()
 		c.emit(EventRejected, ip, old, mac, p.Op, solicited)
@@ -311,25 +364,29 @@ func (c *Cache) Update(p *arppkt.Packet, solicited bool) EventKind {
 
 	switch {
 	case !live:
-		c.entries[ip] = Entry{MAC: mac, State: StateReachable, Expires: now + c.ttl}
+		e := Entry{MAC: mac, State: StateReachable, Expires: now + c.ttl}
+		if prior != nil {
+			prior.e = e // reclaim the expired slot
+		} else {
+			c.slots = append(c.slots, cacheSlot{ip: ip, e: e})
+		}
 		c.mCreated.Inc()
 		c.emit(EventCreated, ip, ethaddr.MAC{}, mac, p.Op, solicited)
 		return EventCreated
-	case prior.MAC == mac:
-		prior.Expires = now + c.ttl
-		prior.State = StateReachable
-		c.entries[ip] = prior
+	case prior.e.MAC == mac:
+		prior.e.Expires = now + c.ttl
+		prior.e.State = StateReachable
 		c.mRefreshed.Inc()
-		c.emit(EventRefreshed, ip, prior.MAC, mac, p.Op, solicited)
+		c.emit(EventRefreshed, ip, prior.e.MAC, mac, p.Op, solicited)
 		return EventRefreshed
 	default:
 		if !c.mayOverwrite(p) {
 			c.mRejects.Inc()
-			c.emit(EventRejected, ip, prior.MAC, mac, p.Op, solicited)
+			c.emit(EventRejected, ip, prior.e.MAC, mac, p.Op, solicited)
 			return EventRejected
 		}
-		old := prior.MAC
-		c.entries[ip] = Entry{MAC: mac, State: StateReachable, Expires: now + c.ttl}
+		old := prior.e.MAC
+		prior.e = Entry{MAC: mac, State: StateReachable, Expires: now + c.ttl}
 		c.mOverwrites.Inc()
 		c.emit(EventChanged, ip, old, mac, p.Op, solicited)
 		return EventChanged

@@ -24,14 +24,30 @@ type Stats struct {
 	Defenses           uint64 // gratuitous reassertions sent in response
 }
 
-// pending tracks one in-flight resolution.
+// pending tracks one in-flight resolution. It doubles as the retry timer's
+// sim.Task (host and ip identify the resolution), so arming a retry stores
+// the pending itself instead of allocating a closure per attempt.
 type pending struct {
+	host      *Host
+	ip        ethaddr.IPv4
 	queue     []queuedPacket
 	retries   int
 	timer     sim.Timer
 	waiters   []func(ethaddr.MAC, bool)
 	startedAt time.Duration
 	span      *telemetry.Span // nil (no-op) when the host is uninstrumented
+}
+
+// Run fires one resolution retry; implements sim.Task for the retry timer.
+func (pd *pending) Run() {
+	h := pd.host
+	pd.retries++
+	if pd.retries >= h.resolveRetries {
+		h.failResolution(pd.ip, pd)
+		return
+	}
+	h.mRetries.Inc()
+	h.sendRequest(pd.ip, pd)
 }
 
 type queuedPacket struct {
@@ -57,6 +73,13 @@ func WithPolicy(p Policy) Option {
 // WithCacheTTL sets the ARP entry lifetime (default 60s).
 func WithCacheTTL(d time.Duration) Option {
 	return func(h *Host) { h.cacheTTL = d }
+}
+
+// WithCacheCapacity pre-sizes the ARP cache for the expected number of
+// peers. Purely an allocation hint: a full-mesh LAN otherwise grows each
+// host's cache through repeated slot-array doublings.
+func WithCacheCapacity(n int) Option {
+	return func(h *Host) { h.cacheCap = n }
 }
 
 // WithResolveRetry sets the request retry count and spacing (default 3
@@ -100,9 +123,11 @@ type Host struct {
 	nic   *netsim.NIC
 	ip    ethaddr.IPv4
 	cache *Cache
+	arena *arppkt.Arena
 
 	policy          Policy
 	cacheTTL        time.Duration
+	cacheCap        int
 	resolveRetries  int
 	resolveInterval time.Duration
 	announce        bool
@@ -141,6 +166,7 @@ func NewHost(s *sim.Scheduler, name string, nic *netsim.NIC, ip ethaddr.IPv4, op
 		sched:           s,
 		nic:             nic,
 		ip:              ip,
+		arena:           arppkt.ArenaOf(s),
 		policy:          PolicyNaive,
 		cacheTTL:        60 * time.Second,
 		resolveRetries:  3,
@@ -154,7 +180,7 @@ func NewHost(s *sim.Scheduler, name string, nic *netsim.NIC, ip ethaddr.IPv4, op
 	for _, opt := range opts {
 		opt(h)
 	}
-	h.cache = NewCache(s, h.policy, h.cacheTTL)
+	h.cache = newCache(s, h.policy, h.cacheTTL, h.cacheCap)
 	nic.SetHandler(h.handleFrame)
 	return h
 }
@@ -249,7 +275,15 @@ func (h *Host) SendGratuitous() {
 // sendARP encapsulates and transmits an ARP packet.
 func (h *Host) sendARP(p *arppkt.Packet, dst ethaddr.MAC) {
 	h.stats.ARPTx++
-	h.nic.Send(&frame.Frame{Dst: dst, Src: h.MAC(), Type: frame.TypeARP, Payload: p.Encode()})
+	h.nic.Send(h.arena.NewFrame(p, h.MAC(), dst))
+}
+
+// NewARPFrame wraps p in an ARP frame from this host (src = host MAC)
+// using the host's frame arena. Schemes that transmit their own ARP —
+// probes, protocol-correct replies — should build frames here rather than
+// with arppkt.NewFrame so their traffic shares the recycled backing store.
+func (h *Host) NewARPFrame(p *arppkt.Packet, dst ethaddr.MAC) *frame.Frame {
+	return h.arena.NewFrame(p, h.MAC(), dst)
 }
 
 // Resolve initiates (or joins) resolution of ip and calls done with the
@@ -331,8 +365,10 @@ func (h *Host) ensurePending(ip ethaddr.IPv4) *pending {
 	if pd, ok := h.pendings[ip]; ok {
 		return pd
 	}
-	pd := &pending{startedAt: h.sched.Now()}
-	pd.span = h.tracer.Start("resolve", ip.String())
+	pd := &pending{host: h, ip: ip, startedAt: h.sched.Now()}
+	if h.tracer != nil { // don't render ip for a no-op tracer
+		pd.span = h.tracer.Start("resolve", ip.String())
+	}
 	h.pendings[ip] = pd
 	h.sendRequest(ip, pd)
 	return pd
@@ -342,15 +378,7 @@ func (h *Host) ensurePending(ip ethaddr.IPv4) *pending {
 func (h *Host) sendRequest(ip ethaddr.IPv4, pd *pending) {
 	pd.span.Phase("request")
 	h.sendARP(arppkt.NewRequest(h.MAC(), h.ip, ip), ethaddr.BroadcastMAC)
-	pd.timer = h.sched.After(h.resolveInterval, func() {
-		pd.retries++
-		if pd.retries >= h.resolveRetries {
-			h.failResolution(ip, pd)
-			return
-		}
-		h.mRetries.Inc()
-		h.sendRequest(ip, pd)
-	})
+	pd.timer = h.sched.AfterTask(h.resolveInterval, pd)
 }
 
 // failResolution drops the queue and notifies waiters of failure.
@@ -360,8 +388,10 @@ func (h *Host) failResolution(ip ethaddr.IPv4, pd *pending) {
 	h.stats.QueuedDropped += uint64(len(pd.queue))
 	h.mResolveFail.Inc()
 	pd.span.Finish("fail")
-	h.events.Warnf("stack", "%s: resolution of %s failed after %d tries, %d queued packets dropped",
-		h.name, ip, pd.retries, len(pd.queue))
+	if h.events != nil { // don't box Warnf args for a no-op log
+		h.events.Warnf("stack", "%s: resolution of %s failed after %d tries, %d queued packets dropped",
+			h.name, ip, pd.retries, len(pd.queue))
+	}
 	for _, w := range pd.waiters {
 		w(ethaddr.MAC{}, false)
 	}
@@ -426,7 +456,7 @@ func (h *Host) handleARP(f *frame.Frame) {
 	if h.arpDisabled {
 		return
 	}
-	p, err := arppkt.Decode(f.Payload)
+	p, err := arppkt.DecodeFrame(f)
 	if err != nil {
 		return
 	}
@@ -444,7 +474,10 @@ func (h *Host) handleARP(f *frame.Frame) {
 // It is exported so interceptors (middleware) can re-inject packets they
 // have verified.
 func (h *Host) ProcessARP(p *arppkt.Packet) {
-	_, solicited := h.pendings[p.SenderIP]
+	solicited := false
+	if len(h.pendings) > 0 { // skip the hash when nothing is being resolved
+		_, solicited = h.pendings[p.SenderIP]
+	}
 
 	// A foreign station asserting our own address is an address conflict
 	// (RFC 5227), never a cache update: no stack maps its own IP to
@@ -452,8 +485,10 @@ func (h *Host) ProcessARP(p *arppkt.Packet) {
 	if p.SenderIP == h.ip && p.SenderMAC != h.MAC() {
 		h.stats.ConflictsSeen++
 		h.mConflicts.Inc()
-		h.events.Warnf("stack", "%s: foreign station %s asserts our address %s",
-			h.name, p.SenderMAC, h.ip)
+		if h.events != nil { // don't box Warnf args for a no-op log
+			h.events.Warnf("stack", "%s: foreign station %s asserts our address %s",
+				h.name, p.SenderMAC, h.ip)
+		}
 		if h.defend {
 			now := h.sched.Now()
 			if !h.defendedOnce || now-h.lastDefense >= h.defendInterval {

@@ -96,7 +96,7 @@ func (c *Capture) observe(ev netsim.TapEvent) {
 		c.stats.Broadcast++
 	}
 	if ev.Frame.Type == frame.TypeARP {
-		if p, err := arppkt.Decode(ev.Frame.Payload); err == nil {
+		if p, err := arppkt.DecodeFrame(ev.Frame); err == nil {
 			r.ARP = p
 			r.Info = p.String()
 			c.stats.ARPOps[p.Op.String()]++

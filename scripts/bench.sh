@@ -1,22 +1,26 @@
 #!/bin/sh
 # bench.sh — record the perf trajectory.
 #
-# Runs every table/figure experiment benchmark plus the scheduler and MITM
-# hot-path micro-benchmarks once (-benchtime=1x keeps it cheap enough for
-# CI) and writes (name, ns/op, allocs/op) to BENCH_PR6.json so later PRs
-# can diff against this PR's numbers (BENCH_PR2.json and BENCH_PR5.json
-# hold the earlier recorded trajectory points).
+# Runs every table/figure experiment benchmark once (-benchtime=1x: each
+# iteration is a whole experiment, so one is representative and cheap
+# enough for CI) and the scheduler/MITM hot-path micro-benchmarks at a
+# fixed high iteration count (single iterations of a nanosecond-scale loop
+# measure timer noise, not the loop — the PR6 trajectory point recorded
+# Table1/SchedulerThroughput "regressions" that were exactly this artifact).
+# Writes (name, ns/op, allocs/op) to BENCH_PR7.json so later PRs can diff
+# against this PR's numbers (BENCH_PR2/PR5/PR6.json hold earlier recorded
+# trajectory points), then prints a delta table against the previous point.
 #
-#   ./scripts/bench.sh                  # writes BENCH_PR6.json
+#   ./scripts/bench.sh                  # writes BENCH_PR7.json
 #   ./scripts/bench.sh out.json        # custom output path
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR6.json}
+out=${1:-BENCH_PR7.json}
+prev=BENCH_PR6.json
 
-go test -run '^$' -bench 'Table|Figure|Scheduler|MITM16' -benchtime=1x -benchmem . |
-	awk '
+tojson='
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
@@ -32,6 +36,46 @@ go test -run '^$' -bench 'Table|Figure|Scheduler|MITM16' -benchtime=1x -benchmem
 	END {
 		if (n == 0) exit 1 # no benchmarks ran: fail loudly
 		print "\n]"
-	}' >"$out"
+	}'
+
+{
+	go test -run '^$' -bench 'Table|Figure|MITM16' -benchtime=1x -benchmem .
+	go test -run '^$' -bench 'Scheduler' -benchtime=100000x -benchmem .
+} | awk "$tojson" >"$out"
 
 echo "wrote $out"
+
+# Delta table against the previous trajectory point. Best-effort: skipped
+# when the previous point is absent (fresh checkout).
+if [ -f "$prev" ]; then
+	echo
+	echo "delta vs $prev (ratio = previous/current; >1 is faster/leaner now)"
+	awk '
+	function flat(file, dest,    line, name, ns, al) {
+		while ((getline line <file) > 0) {
+			if (match(line, /"name": "[^"]*"/)) {
+				name = substr(line, RSTART + 9, RLENGTH - 10)
+				ns = ""; al = ""
+				if (match(line, /"nsPerOp": [0-9.e+]*/))
+					ns = substr(line, RSTART + 11, RLENGTH - 11)
+				if (match(line, /"allocsPerOp": [0-9]*/))
+					al = substr(line, RSTART + 15, RLENGTH - 15)
+				dest[name] = ns "|" al
+			}
+		}
+		close(file)
+	}
+	BEGIN {
+		flat(ARGV[1], old); flat(ARGV[2], cur)
+		printf "%-40s %12s %12s %8s %10s %10s %8s\n",
+			"benchmark", "ns/op(prev)", "ns/op(now)", "speedup", "ac(prev)", "ac(now)", "ratio"
+		for (name in cur) {
+			split(cur[name], c, "|")
+			if (!(name in old)) { printf "%-40s %12s %12s (new)\n", name, "-", c[1]; continue }
+			split(old[name], o, "|")
+			spd = (c[1] + 0 > 0) ? sprintf("%.2fx", o[1] / c[1]) : "-"
+			ar = (c[2] + 0 > 0) ? sprintf("%.2fx", o[2] / c[2]) : (o[2] + 0 > 0 ? "inf" : "-")
+			printf "%-40s %12s %12s %8s %10s %10s %8s\n", name, o[1], c[1], spd, o[2], c[2], ar
+		}
+	}' "$prev" "$out"
+fi

@@ -3,9 +3,10 @@
 #
 # Runs, in order: formatting check, vet, build, the full test suite, a
 # race-detector pass over the packages that exercise the whole stack at
-# once, and an experiment-registry completeness leg (a small-trial pass of
-# every experiment, diffed against the arpbench -list catalogue). Any
-# failure stops the run with a non-zero exit.
+# once, the hot-path allocation gates (encode/decode, cache, CAM, unicast
+# transit must stay at 0 allocs/op), and an experiment-registry completeness
+# leg (a small-trial pass of every experiment, diffed against the arpbench
+# -list catalogue). Any failure stops the run with a non-zero exit.
 #
 #   ./scripts/check.sh          # the full gate
 #   make check                  # same, via the Makefile
@@ -46,6 +47,11 @@ if [ "$allocs" != "0" ]; then
 	echo "scheduler steady state allocates with tracing disabled: ${allocs:-?} allocs/op" >&2
 	exit 1
 fi
+
+echo "==> frame hot path allocation gates (encode/decode, cache, CAM, unicast transit)"
+go test -run 'AllocFree$' -count=1 -v \
+	./internal/frame ./internal/arppkt ./internal/stack ./internal/netsim |
+	grep -E '^(--- |ok|FAIL)' || { echo "allocation gates failed" >&2; exit 1; }
 
 echo "==> experiment registry completeness (-list vs a -trials 1 pass of every experiment)"
 tmpdir=$(mktemp -d)
