@@ -40,12 +40,18 @@ func run(w io.Writer, args []string) error {
 	useDHCP := fs.Bool("dhcp", false, "assign addresses via a simulated DHCP server")
 	jsonPath := fs.String("json", "", "write the packet capture to this file as JSON")
 	pcapPath := fs.String("pcap", "", "write the packet capture to this file as a Wireshark-compatible pcap")
+	ndjsonPath := fs.String("ndjson", "", "write the packet capture as an NDJSON stream (\"-\" for stdout, pipeable into arpanalyze)")
 	metricsPath := fs.String("metrics", "", "write the telemetry snapshot to this file (JSON, or Prometheus text with a .prom suffix)")
 	httpAddr := fs.String("http", "", "serve /metrics, /healthz, /debug/pprof and /debug/flight on this address for the run (e.g. localhost:6060)")
 	verbose := fs.Bool("v", false, "stream telemetry events to stderr as NDJSON")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ndjsonPath == "-" {
+		// The capture stream owns stdout; keep the human summary legible
+		// on stderr so `arpsim -ndjson - | arpanalyze ...` stays clean.
+		w = os.Stderr
 	}
 
 	reg := telemetry.New()
@@ -76,6 +82,7 @@ func run(w io.Writer, args []string) error {
 		}()
 	}
 	cap := trace.NewCapture(0)
+	cap.Instrument(reg)
 	l.Switch.AddTap(cap.Tap())
 
 	if *useDHCP {
@@ -139,6 +146,23 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 		fmt.Fprintf(w, "pcap written to %s\n", *pcapPath)
+	}
+	if *ndjsonPath != "" {
+		out := io.Writer(os.Stdout)
+		if *ndjsonPath != "-" {
+			f, err := os.Create(*ndjsonPath)
+			if err != nil {
+				return fmt.Errorf("create %s: %w", *ndjsonPath, err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := cap.WriteNDJSON(out); err != nil {
+			return err
+		}
+		if *ndjsonPath != "-" {
+			fmt.Fprintf(w, "ndjson capture written to %s\n", *ndjsonPath)
+		}
 	}
 	if *metricsPath != "" {
 		if err := reg.WriteFile(*metricsPath); err != nil {

@@ -1,0 +1,64 @@
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/schemes"
+)
+
+// AlertRecord is the NDJSON line schema of the replay alert stream: one
+// line per correlated alert, in detection order, with virtual capture time.
+// This is the service's primary output; the golden replay tests pin it
+// byte-for-byte, which is also what enforces worker-width determinism.
+type AlertRecord struct {
+	At     time.Duration `json:"at"`
+	Scheme string        `json:"scheme"`
+	Kind   string        `json:"kind"`
+	IP     string        `json:"ip"`
+	OldMAC string        `json:"oldMac,omitempty"`
+	NewMAC string        `json:"newMac,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// alertLog buffers the NDJSON alert stream; errors are sticky and surfaced
+// by flush so the hot path never branches on I/O.
+type alertLog struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+func newAlertLog(w io.Writer) *alertLog {
+	bw := bufio.NewWriter(w)
+	return &alertLog{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (l *alertLog) emit(a schemes.Alert) {
+	if l.err != nil {
+		return
+	}
+	rec := AlertRecord{
+		At:     a.At,
+		Scheme: a.Scheme,
+		Kind:   a.Kind.String(),
+		IP:     a.IP.String(),
+		Detail: a.Detail,
+	}
+	if !a.OldMAC.IsZero() {
+		rec.OldMAC = a.OldMAC.String()
+	}
+	if !a.NewMAC.IsZero() {
+		rec.NewMAC = a.NewMAC.String()
+	}
+	l.err = l.enc.Encode(&rec)
+}
+
+func (l *alertLog) flush() error {
+	if l.err != nil {
+		return l.err
+	}
+	return l.bw.Flush()
+}

@@ -1,0 +1,72 @@
+package replay
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/schemes/registry"
+	_ "repro/internal/schemes/registry/all"
+)
+
+// TestReplaySteadyStateAllocFree gates the steady-state inject loop: after
+// one warmup pass has attached every injector NIC, grown the CAM, carved
+// the first arena epochs, and sized the scheme's state, replaying further
+// traffic from the same stations must stay near allocation-free. The
+// budget (0.5 allocs/frame) leaves room for the amortized costs that are
+// inherent to unbounded streaming — fresh arena slabs on rotation and
+// occasional map growth — while catching any per-frame allocation
+// regression outright.
+func TestReplaySteadyStateAllocFree(t *testing.T) {
+	const (
+		warmFrames = 20000
+		hotFrames  = 40000
+		sources    = 32
+		// 1ms spacing puts epoch boundaries ≥ arenaRetention apart, so
+		// arena rotation actually recycles instead of degrading to heap.
+		spacing = time.Millisecond
+	)
+	warm := synthPCAP(t, warmFrames, sources, 0, spacing)
+	// The hot capture resumes past the warm horizon (warm end + drain) so
+	// its timestamps keep the virtual clock monotonic.
+	hot := synthPCAP(t, hotFrames, sources, time.Duration(warmFrames)*spacing+15*time.Second, spacing)
+
+	st, err := registry.ParseStack(registry.NameArpwatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{Stack: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSrc, err := NewPCAPSource(bytes.NewReader(warm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(warmSrc); err != nil {
+		t.Fatal(err)
+	}
+	hotSrc, err := NewPCAPSource(bytes.NewReader(hot))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	stats, err := eng.Run(hotSrc)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames != warmFrames+hotFrames {
+		t.Fatalf("injected %d frames, want %d", stats.Frames, warmFrames+hotFrames)
+	}
+	perFrame := float64(m1.Mallocs-m0.Mallocs) / hotFrames
+	t.Logf("steady state: %.3f allocs/frame (%d allocs / %d frames)",
+		perFrame, m1.Mallocs-m0.Mallocs, hotFrames)
+	if perFrame > 0.5 {
+		t.Fatalf("steady-state replay: %.3f allocs/frame, budget 0.5", perFrame)
+	}
+}

@@ -1,0 +1,267 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/labnet"
+	"repro/internal/schemes/registry"
+	_ "repro/internal/schemes/registry/all"
+	"repro/internal/trace"
+)
+
+// detectionSchemes are the five detection schemes the golden replay pins —
+// the same set the eval detection experiments sweep.
+var detectionSchemes = []string{
+	registry.NameArpwatch,
+	registry.NameSnortLike,
+	registry.NameActiveProbe,
+	registry.NameMiddleware,
+	registry.NameHybridGuard,
+}
+
+// buildMITMCapture runs the standard workbench gateway-MITM scenario and
+// returns its capture: warmup announcements and mutual cache seeding, a
+// victim→gateway ping stream from 5s, and from 20s the periodic
+// bidirectional poison plus relay — the poisoned exchange the checked-in
+// testdata files pin.
+func buildMITMCapture() *trace.Capture {
+	l := labnet.New(labnet.Config{Seed: 1, Hosts: 4, WithAttacker: true, WithMonitor: true})
+	cap := trace.NewCapture(0)
+	l.Switch.AddTap(cap.Tap())
+
+	for _, h := range l.Hosts {
+		h := h
+		l.Sched.Every(15*time.Second, h.SendGratuitous)
+	}
+	l.SeedMutualCaches()
+
+	victim, gw := l.Victim(), l.Gateway()
+	l.Sched.At(5*time.Second, func() {
+		seq := uint16(0)
+		l.Sched.Every(time.Second, func() {
+			seq++
+			victim.Ping(gw.IP(), 7, seq, nil)
+		})
+	})
+	l.Sched.At(20*time.Second, func() {
+		l.Attacker.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+		l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
+	})
+	if err := l.Sched.RunUntil(60 * time.Second); err != nil {
+		panic(err)
+	}
+	return cap
+}
+
+// replayCapture replays the pcap (or NDJSON) bytes through one scheme at
+// the given worker width and returns the NDJSON alert stream plus stats.
+func replayCapture(t *testing.T, blob []byte, format, scheme string, workers int) ([]byte, Stats) {
+	t.Helper()
+	st, err := registry.ParseStack(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts bytes.Buffer
+	eng, err := New(Config{Stack: st, Workers: workers, Alerts: &alerts})
+	if err != nil {
+		t.Fatalf("New(%s): %v", scheme, err)
+	}
+	var src Source
+	switch format {
+	case "pcap":
+		src, err = NewPCAPSource(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+	case "ndjson":
+		src = NewNDJSONSource(bytes.NewReader(blob))
+	default:
+		t.Fatalf("unknown format %q", format)
+	}
+	stats, err := eng.Run(src)
+	if err != nil {
+		t.Fatalf("Run(%s, %s, workers=%d): %v", scheme, format, workers, err)
+	}
+	return alerts.Bytes(), stats
+}
+
+// TestGoldenMITMReplay is the end-to-end contract: the checked-in poisoned
+// exchange replayed through each detection scheme produces exactly the
+// pinned alert stream, byte-identical at every worker width, from both
+// capture formats. Regenerate testdata with UPDATE_GOLDEN=1.
+func TestGoldenMITMReplay(t *testing.T) {
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		cap := buildMITMCapture()
+		var pcap, ndjson bytes.Buffer
+		if err := cap.WritePCAP(&pcap); err != nil {
+			t.Fatal(err)
+		}
+		if err := cap.WriteNDJSON(&ndjson); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join("testdata", "mitm.pcap"), pcap.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join("testdata", "mitm.ndjson"), ndjson.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range detectionSchemes {
+			alerts, _ := replayCapture(t, pcap.Bytes(), "pcap", scheme, 1)
+			if err := os.WriteFile(alertGolden(scheme), alerts, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", alertGolden(scheme), len(alerts))
+		}
+		return
+	}
+
+	pcap, err := os.ReadFile(filepath.Join("testdata", "mitm.pcap"))
+	if err != nil {
+		t.Fatalf("read capture (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	ndjson, err := os.ReadFile(filepath.Join("testdata", "mitm.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, scheme := range detectionSchemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			want, err := os.ReadFile(alertGolden(scheme))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				for _, format := range []string{"pcap", "ndjson"} {
+					blob := pcap
+					if format == "ndjson" {
+						blob = ndjson
+					}
+					got, stats := replayCapture(t, blob, format, scheme, workers)
+					if !bytes.Equal(got, want) {
+						t.Errorf("%s workers=%d: alert stream diverged from golden\ngot:\n%s\nwant:\n%s",
+							format, workers, got, want)
+					}
+					if stats.Malformed != 0 {
+						t.Errorf("%s workers=%d: %d malformed records", format, workers, stats.Malformed)
+					}
+					if stats.Frames == 0 || stats.ARP == 0 {
+						t.Errorf("%s workers=%d: empty replay (stats %+v)", format, workers, stats)
+					}
+				}
+			}
+			assertDetectsMITM(t, scheme, want)
+		})
+	}
+}
+
+func alertGolden(scheme string) string {
+	return filepath.Join("testdata", "alerts_"+scheme+".golden")
+}
+
+// assertDetectsMITM checks the pinned stream actually reports the attack:
+// at least one alert after the 20s attack start naming the poisoned
+// gateway or victim address.
+func assertDetectsMITM(t *testing.T, scheme string, stream []byte) {
+	t.Helper()
+	attacked := map[string]bool{"192.168.88.254": true, "192.168.88.2": true}
+	n := 0
+	for _, line := range bytes.Split(stream, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec AlertRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("golden line %q: %v", line, err)
+		}
+		n++
+		if rec.At >= 20*time.Second && attacked[rec.IP] {
+			return
+		}
+	}
+	t.Errorf("%s: no alert names the poisoned binding after attack start (%d alerts total):\n%s", scheme, n, stream)
+}
+
+// TestReplayStackCorrelation replays through a multi-member stack and
+// checks the correlator is in the path (cross-scheme duplicates get
+// suppressed rather than double-paged).
+func TestReplayStackCorrelation(t *testing.T) {
+	pcap, err := os.ReadFile(filepath.Join("testdata", "mitm.pcap"))
+	if err != nil {
+		t.Skip("golden capture missing; run UPDATE_GOLDEN=1 first")
+	}
+	st, err := registry.ParseStack(registry.NameArpwatch + "+" + registry.NameSnortLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts bytes.Buffer
+	eng, err := New(Config{Stack: st, Alerts: &alerts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewPCAPSource(bytes.NewReader(pcap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Alerts == 0 {
+		t.Fatal("stack replay produced no alerts")
+	}
+	corr := eng.Correlation()
+	if corr.Forwarded == 0 {
+		t.Errorf("correlator forwarded nothing: %+v", corr)
+	}
+	if corr.Forwarded != stats.Alerts {
+		t.Errorf("forwarded %d != emitted %d", corr.Forwarded, stats.Alerts)
+	}
+}
+
+// TestWorkbenchStationsMatchLabnet pins the identity contract: the default
+// replay stations are exactly the labnet workbench's gateway and victim,
+// so workbench captures replay against hosted stations without flags.
+func TestWorkbenchStationsMatchLabnet(t *testing.T) {
+	l := labnet.New(labnet.Config{Seed: 1, Hosts: 2})
+	gw, v := WorkbenchStations(1)
+	if gw.MAC != l.Gateway().MAC() || gw.IP != l.Gateway().IP() {
+		t.Errorf("gateway %v/%v, labnet has %v/%v", gw.IP, gw.MAC, l.Gateway().IP(), l.Gateway().MAC())
+	}
+	if v.MAC != l.Victim().MAC() || v.IP != l.Victim().IP() {
+		t.Errorf("victim %v/%v, labnet has %v/%v", v.IP, v.MAC, l.Victim().IP(), l.Victim().MAC())
+	}
+}
+
+// TestReplayMalformedRecords pins that undecodable records are counted and
+// skipped, never injected or fatal.
+func TestReplayMalformedRecords(t *testing.T) {
+	var stream strings.Builder
+	fmt.Fprintln(&stream, `{"at":1000,"src":"02:00:00:00:00:01","wire":"AAAA"}`) // 3 bytes: not Ethernet
+	fmt.Fprintln(&stream, `not json at all`)
+	st, err := registry.ParseStack(registry.NameArpwatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{Stack: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run(NewNDJSONSource(strings.NewReader(stream.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Malformed != 2 || stats.Frames != 0 {
+		t.Errorf("stats = %+v, want 2 malformed / 0 injected", stats)
+	}
+}

@@ -1,0 +1,97 @@
+package replay
+
+import (
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+)
+
+// Frame pooling for the steady-state inject loop. Simulation trials reset
+// the arppkt arena wholesale between trials; a replay has no trial
+// boundary, so the engine rotates a small ring of arenas instead, retiring
+// each epoch and reusing an arena only once every frame carved from it is
+// provably dead.
+//
+// The liveness proof rests on one contract: no scheme retains a pointer to
+// an injected frame (or its arppkt memo) for longer than arenaRetention of
+// virtual time. The longest retainer in the tree today is the middleware
+// guard, which quarantines a *Packet for its verify window (default 300ms,
+// window-ablation experiments go to low single-digit seconds); 5s clears
+// all of them with margin. A scheme that held frames longer would need this
+// constant raised.
+const (
+	// arenaRetention is the virtual-time age an arena must reach after
+	// retirement before Reset may recycle it.
+	arenaRetention = 5 * time.Second
+	// arenaEpochFrames is the rotation point. Well under the arena's own
+	// 65536-frame heap-fallback cap, so a rotation that has to wait for
+	// the next slot to age out has headroom before allocations start.
+	arenaEpochFrames = 16384
+	arenaRingSize    = 4
+)
+
+// arenaRing rotates arenas so ARP frame memory is recycled mid-stream.
+type arenaRing struct {
+	arenas  [arenaRingSize]*arppkt.Arena
+	retired [arenaRingSize]time.Duration // when each arena left service
+	cur     int
+	n       int // frames carved in the current epoch
+}
+
+func (r *arenaRing) init() {
+	for i := range r.arenas {
+		r.arenas[i] = &arppkt.Arena{}
+		// Eligible immediately: a never-used arena holds no live frames.
+		r.retired[i] = -arenaRetention
+	}
+}
+
+// newFrame carves a pooled ARP frame, rotating arenas at epoch boundaries.
+// If the next arena has not aged out yet the current one simply keeps
+// carving — past its cap it degrades to heap frames, trading allocations
+// for correctness until the rotation can proceed.
+func (r *arenaRing) newFrame(now time.Duration, p *arppkt.Packet, src, dst ethaddr.MAC) *frame.Frame {
+	if r.n >= arenaEpochFrames {
+		next := (r.cur + 1) % arenaRingSize
+		if now-r.retired[next] >= arenaRetention {
+			r.retired[r.cur] = now
+			r.arenas[next].Reset()
+			r.cur, r.n = next, 0
+		}
+	}
+	r.n++
+	return r.arenas[r.cur].NewFrame(p, src, dst)
+}
+
+// ringFrames sizes the non-ARP frame ring. A slot may be overwritten only
+// after ringFrames further non-ARP injections; the engine flushes the
+// scheduler every flushEvery (= ringFrames/2) injections, and flushing
+// delivers every in-flight frame on the zero-latency replay links, so a
+// slot is always dead before reuse. Non-ARP frames are transit-only — no
+// scheme inspects past the EtherType, so nothing retains them.
+const ringFrames = 256
+
+type frameSlot struct {
+	f   frame.Frame
+	buf []byte
+}
+
+// frameRing recycles frames for non-ARP records (and ARP records whose
+// payload does not decode, which are injected verbatim so inspection
+// schemes can flag them).
+type frameRing struct {
+	slots [ringFrames]frameSlot
+	i     int
+}
+
+// next fills the next slot with a copy of src (whose payload aliases the
+// reader's buffer and must not escape) and returns its frame.
+func (r *frameRing) next(src *frame.Frame) *frame.Frame {
+	s := &r.slots[r.i%ringFrames]
+	r.i++
+	s.buf = append(s.buf[:0], src.Payload...)
+	s.f = frame.Frame{Dst: src.Dst, Src: src.Src, Type: src.Type, Payload: s.buf}
+	return &s.f
+}

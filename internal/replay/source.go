@@ -1,0 +1,127 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/trace"
+)
+
+// Source is a capture stream split at the seam sharded ingest needs: a
+// strictly sequential raw read (one item = one undecoded record) and a
+// pure, concurrency-safe parse. ReadRaw runs on the reader goroutine only;
+// Parse may run on any worker, on distinct items, concurrently.
+type Source interface {
+	// ReadRaw appends the next raw item to buf and returns the extended
+	// slice, plus the record timestamp when the framing carries it outside
+	// the item (pcap does; NDJSON returns 0 and parses it from the item).
+	// io.EOF marks a clean end of stream.
+	ReadRaw(buf []byte) ([]byte, time.Duration, error)
+	// Parse decodes one raw item (as returned by ReadRaw) into rec,
+	// reusing rec.Wire. It must not retain item or touch Source state.
+	Parse(item []byte, at time.Duration, rec *trace.WireRecord) error
+	// ShardKey assigns the item to a worker; items from the same source
+	// station must map to the same key so per-station parse state (none
+	// today) would stay worker-local. It must not retain item.
+	ShardKey(item []byte) uint64
+}
+
+// macHash is FNV-1a over a MAC (or any short byte string) — the shard key.
+func macHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// PCAPSource adapts a classic pcap stream. The raw item is the frame bytes
+// (the 16-octet record header is consumed by ReadRaw, which is where the
+// timestamp lives), so Parse is a copy and sharding only buys overlap of
+// that copy with injection — pcap replays are decode-bound, not
+// parse-bound.
+type PCAPSource struct {
+	r *trace.PCAPReader
+}
+
+// NewPCAPSource opens a classic pcap stream (both endiannesses, µs or ns
+// timestamps).
+func NewPCAPSource(r io.Reader) (*PCAPSource, error) {
+	pr, err := trace.NewPCAPReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &PCAPSource{r: pr}, nil
+}
+
+// ReadRaw appends the next frame's bytes and returns its timestamp.
+func (s *PCAPSource) ReadRaw(buf []byte) ([]byte, time.Duration, error) {
+	return s.r.ReadAppend(buf)
+}
+
+// Parse copies the frame bytes into rec at the framing-provided timestamp.
+func (s *PCAPSource) Parse(item []byte, at time.Duration, rec *trace.WireRecord) error {
+	if len(item) < frame.HeaderLen {
+		return fmt.Errorf("pcap record: %d bytes is shorter than an Ethernet header", len(item))
+	}
+	rec.At = at
+	rec.Wire = append(rec.Wire[:0], item...)
+	return nil
+}
+
+// ShardKey hashes the source MAC straight out of the Ethernet header.
+func (s *PCAPSource) ShardKey(item []byte) uint64 {
+	if len(item) < 12 {
+		return 0
+	}
+	return macHash(item[6:12])
+}
+
+// NDJSONSource adapts the trace NDJSON capture stream. The raw item is one
+// line; Parse is the JSON decode plus base64 — the expensive half of
+// ingestion, which is exactly what sharding parallelizes.
+type NDJSONSource struct {
+	r *trace.NDJSONReader
+}
+
+// NewNDJSONSource opens an NDJSON capture stream.
+func NewNDJSONSource(r io.Reader) *NDJSONSource {
+	return &NDJSONSource{r: trace.NewNDJSONReader(r)}
+}
+
+// ReadRaw appends the next non-empty line; NDJSON carries the timestamp
+// inside the line, so the framing timestamp is always 0.
+func (s *NDJSONSource) ReadRaw(buf []byte) ([]byte, time.Duration, error) {
+	line, err := s.r.ReadLine()
+	if err != nil {
+		return buf, 0, err
+	}
+	return append(buf, line...), 0, nil
+}
+
+// Parse decodes one stream line.
+func (s *NDJSONSource) Parse(item []byte, _ time.Duration, rec *trace.WireRecord) error {
+	return trace.ParseNDJSONLine(item, rec)
+}
+
+// ShardKey hashes the "src" field's value without decoding the line: a
+// substring scan is enough because the writer emits canonical JSON. Lines
+// where the scan fails (foreign producer, unusual escaping) all land on
+// worker 0 — correct, just unbalanced.
+func (s *NDJSONSource) ShardKey(item []byte) uint64 {
+	i := bytes.Index(item, srcField)
+	if i < 0 {
+		return 0
+	}
+	v := item[i+len(srcField):]
+	if j := bytes.IndexByte(v, '"'); j >= 0 {
+		return macHash(v[:j])
+	}
+	return 0
+}
+
+var srcField = []byte(`"src":"`)

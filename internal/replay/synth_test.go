@@ -1,0 +1,72 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// synthStations returns a stable station set for synthetic captures,
+// disjoint from the workbench subnet so no hosted station is involved.
+func synthStations(n int) (macs []ethaddr.MAC, ips []ethaddr.IPv4) {
+	gen := ethaddr.NewGen(7)
+	subnet := ethaddr.MustParseSubnet("10.0.7.0/24")
+	for i := 0; i < n; i++ {
+		macs = append(macs, gen.SeqMAC())
+		ips = append(ips, subnet.Host(i+1))
+	}
+	return macs, ips
+}
+
+// synthCapture builds an ARP-only benign storm: n frames from `sources`
+// stations cycling through gratuitous announcements, requests, and replies
+// — every assertion consistent with the station's own identity, so passive
+// schemes settle after the first cycle and the steady state is pure ingest.
+func synthCapture(tb testing.TB, n, sources int, start, spacing time.Duration) *trace.Capture {
+	tb.Helper()
+	macs, ips := synthStations(sources)
+	c := trace.NewCapture(n)
+	tap := c.Tap()
+	for j := 0; j < n; j++ {
+		src := j % sources
+		next := (src + 1) % sources
+		var p *arppkt.Packet
+		dst := ethaddr.BroadcastMAC
+		switch j % 3 {
+		case 0:
+			p = arppkt.NewGratuitousRequest(macs[src], ips[src])
+		case 1:
+			p = arppkt.NewRequest(macs[src], ips[src], ips[next])
+		default:
+			p = arppkt.NewReply(macs[src], ips[src], macs[next], ips[next])
+			dst = macs[next]
+		}
+		f := &frame.Frame{Dst: dst, Src: macs[src], Type: frame.TypeARP, Payload: p.Encode()}
+		tap(netsim.TapEvent{At: start + time.Duration(j)*spacing, Frame: f, WireLen: f.WireLen()})
+	}
+	return c
+}
+
+func synthPCAP(tb testing.TB, n, sources int, start, spacing time.Duration) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := synthCapture(tb, n, sources, start, spacing).WritePCAP(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func synthNDJSON(tb testing.TB, n, sources int, start, spacing time.Duration) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := synthCapture(tb, n, sources, start, spacing).WriteNDJSON(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WireRecord is one undecoded capture record: a timestamp and the raw
+// Ethernet frame bytes. It is the normalized unit the replay engine
+// consumes; readers fill a caller-provided record so steady-state reads
+// reuse one buffer.
+type WireRecord struct {
+	At   time.Duration
+	Wire []byte
+}
+
+// pcap magic numbers in file byte order. The classic format stores the
+// magic in the writer's native endianness; a reader that sees the swapped
+// value byte-swaps every header field. The 0xa1b23c4d variant stores
+// nanosecond (rather than microsecond) timestamp fractions.
+const (
+	pcapMagicNanos = 0xa1b23c4d
+	// maxPCAPRecord bounds a record's captured length; anything larger is
+	// a corrupt header, not a frame (Ethernet tops out at 65535 with the
+	// classic snaplen).
+	maxPCAPRecord = 1 << 18
+)
+
+// PCAPReader streams records from a classic libpcap capture — the format
+// WritePCAP emits, and what tcpdump -w produces on an Ethernet interface.
+// Both endiannesses and both timestamp resolutions (microsecond 0xa1b2c3d4,
+// nanosecond 0xa1b23c4d) are accepted.
+type PCAPReader struct {
+	r     *bufio.Reader
+	order binary.ByteOrder
+	nanos bool
+	n     int // records returned so far, for error positions
+	// hdr is the record-header scratch; a local would escape through the
+	// io.ReadFull interface call and cost one heap allocation per record.
+	hdr [16]byte
+}
+
+// NewPCAPReader consumes the 24-octet global header and returns a reader
+// positioned at the first record.
+func NewPCAPReader(r io.Reader) (*PCAPReader, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap header: %w", err)
+	}
+	p := &PCAPReader{r: br}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	switch magic {
+	case pcapMagic:
+		p.order = binary.LittleEndian
+	case pcapMagicNanos:
+		p.order, p.nanos = binary.LittleEndian, true
+	default:
+		switch binary.BigEndian.Uint32(hdr[0:4]) {
+		case pcapMagic:
+			p.order = binary.BigEndian
+		case pcapMagicNanos:
+			p.order, p.nanos = binary.BigEndian, true
+		default:
+			return nil, fmt.Errorf("pcap header: bad magic %#x", magic)
+		}
+	}
+	if link := p.order.Uint32(hdr[20:24]); link != pcapEthernet {
+		return nil, fmt.Errorf("pcap header: link type %d (want Ethernet)", link)
+	}
+	return p, nil
+}
+
+// Next fills rec with the next record, reusing rec.Wire's backing array
+// when it is large enough. It returns io.EOF at a clean end of capture.
+func (p *PCAPReader) Next(rec *WireRecord) error {
+	var err error
+	rec.Wire, rec.At, err = p.ReadAppend(rec.Wire[:0])
+	return err
+}
+
+// ReadAppend reads the next record, appending its frame bytes to buf and
+// returning the extended slice plus the record timestamp. This is the
+// zero-copy seam for batched readers that pack many records into one
+// arena buffer; Next is a convenience over it. io.EOF marks a clean end;
+// a record truncated mid-header or mid-frame is an ErrUnexpectedEOF.
+func (p *PCAPReader) ReadAppend(buf []byte) ([]byte, time.Duration, error) {
+	hdr := p.hdr[:]
+	if _, err := io.ReadFull(p.r, hdr[:1]); err != nil {
+		return buf, 0, io.EOF // clean end before any header byte
+	}
+	if _, err := io.ReadFull(p.r, hdr[1:]); err != nil {
+		return buf, 0, fmt.Errorf("pcap record %d header: %w", p.n, noEOF(err))
+	}
+	sec := p.order.Uint32(hdr[0:4])
+	frac := p.order.Uint32(hdr[4:8])
+	capLen := p.order.Uint32(hdr[8:12])
+	if capLen > maxPCAPRecord {
+		return buf, 0, fmt.Errorf("pcap record %d: captured length %d exceeds %d", p.n, capLen, maxPCAPRecord)
+	}
+	at := time.Duration(sec) * time.Second
+	if p.nanos {
+		at += time.Duration(frac) * time.Nanosecond
+	} else {
+		at += time.Duration(frac) * time.Microsecond
+	}
+	off := len(buf)
+	if cap(buf)-off < int(capLen) {
+		grown := make([]byte, off, off+int(capLen))
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:off+int(capLen)]
+	if _, err := io.ReadFull(p.r, buf[off:]); err != nil {
+		return buf[:off], 0, fmt.Errorf("pcap record %d: %w", p.n, noEOF(err))
+	}
+	p.n++
+	return buf, at, nil
+}
+
+// noEOF maps a bare EOF inside a record to ErrUnexpectedEOF so callers can
+// reserve io.EOF for the clean between-records end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

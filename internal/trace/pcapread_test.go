@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/arppkt"
+	"repro/internal/ethaddr"
+	"repro/internal/frame"
+)
+
+// fixtureCapture builds a small deterministic capture: a resolution
+// exchange, a gratuitous announcement, and an IPv4 datagram, spread over
+// distinct timestamps so reader tests can verify times as well as bytes.
+func fixtureCapture() *Capture {
+	c := NewCapture(0)
+	tap := c.Tap()
+	evs := []struct {
+		at time.Duration
+		f  *frame.Frame
+	}{
+		{10 * time.Millisecond, arpFrame(arppkt.NewRequest(macA, ipA, ipB), macA, ethaddr.BroadcastMAC)},
+		{10*time.Millisecond + 150*time.Microsecond, arpFrame(arppkt.NewReply(macB, ipB, macA, ipA), macB, macA)},
+		{2 * time.Second, arpFrame(arppkt.NewGratuitousRequest(macA, ipA), macA, ethaddr.BroadcastMAC)},
+		{3*time.Second + 42*time.Microsecond, &frame.Frame{Dst: macB, Src: macA, Type: frame.TypeIPv4, Payload: make([]byte, 100)}},
+	}
+	for _, ev := range evs {
+		e := tapEvent(ev.f, 0)
+		e.At = ev.at
+		tap(e)
+	}
+	return c
+}
+
+// TestPCAPRoundTrip pins that the reader consumes exactly what the writer
+// produces: same record count, same microsecond-truncated timestamps, and
+// byte-identical frames (the writer pads to the Ethernet minimum, so the
+// comparison re-encodes the originals the same way).
+func TestPCAPRoundTrip(t *testing.T) {
+	c := fixtureCapture()
+	var buf bytes.Buffer
+	if err := c.WritePCAP(&buf); err != nil {
+		t.Fatalf("WritePCAP: %v", err)
+	}
+	r, err := NewPCAPReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewPCAPReader: %v", err)
+	}
+	recs := c.Records()
+	var rec WireRecord
+	for i, want := range recs {
+		if err := r.Next(&rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		wantAt := want.At.Truncate(time.Microsecond)
+		if rec.At != wantAt {
+			t.Errorf("record %d: at %v, want %v", i, rec.At, wantAt)
+		}
+		wire, err := want.Frame.Encode()
+		if err != nil {
+			t.Fatalf("encode record %d: %v", i, err)
+		}
+		if !bytes.Equal(rec.Wire, wire) {
+			t.Errorf("record %d: wire bytes differ\ngot  %x\nwant %x", i, rec.Wire, wire)
+		}
+	}
+	if err := r.Next(&rec); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+}
+
+// TestPCAPReaderBigEndianNanos exercises the foreign-capture path: a
+// big-endian nanosecond-resolution file (what a tcpdump on a big-endian
+// box with --time-stamp-precision=nano writes).
+func TestPCAPReaderBigEndianNanos(t *testing.T) {
+	f := arpFrame(arppkt.NewGratuitousReply(macA, ipA), macA, ethaddr.BroadcastMAC)
+	wire, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], pcapMagicNanos)
+	binary.BigEndian.PutUint16(hdr[4:6], pcapVersionM)
+	binary.BigEndian.PutUint16(hdr[6:8], pcapVersionN)
+	binary.BigEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.BigEndian.PutUint32(hdr[20:24], pcapEthernet)
+	buf.Write(hdr[:])
+	var rh [16]byte
+	binary.BigEndian.PutUint32(rh[0:4], 7)         // seconds
+	binary.BigEndian.PutUint32(rh[4:8], 123456789) // nanoseconds
+	binary.BigEndian.PutUint32(rh[8:12], uint32(len(wire)))
+	binary.BigEndian.PutUint32(rh[12:16], uint32(len(wire)))
+	buf.Write(rh[:])
+	buf.Write(wire)
+
+	r, err := NewPCAPReader(&buf)
+	if err != nil {
+		t.Fatalf("NewPCAPReader: %v", err)
+	}
+	var rec WireRecord
+	if err := r.Next(&rec); err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if want := 7*time.Second + 123456789*time.Nanosecond; rec.At != want {
+		t.Errorf("at = %v, want %v", rec.At, want)
+	}
+	if !bytes.Equal(rec.Wire, wire) {
+		t.Errorf("wire bytes differ")
+	}
+}
+
+// TestPCAPReaderErrors pins the failure modes ingestion relies on: bad
+// magic and mid-record truncation are errors, not silent EOFs.
+func TestPCAPReaderErrors(t *testing.T) {
+	if _, err := NewPCAPReader(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Error("zero magic: want error")
+	}
+
+	c := fixtureCapture()
+	var buf bytes.Buffer
+	if err := c.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate inside the last record's frame bytes.
+	blob := buf.Bytes()[:buf.Len()-10]
+	r, err := NewPCAPReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec WireRecord
+	var last error
+	for {
+		if last = r.Next(&rec); last != nil {
+			break
+		}
+	}
+	if last == io.EOF {
+		t.Fatal("truncated capture ended with clean EOF, want ErrUnexpectedEOF")
+	}
+}
+
+// TestPCAPReaderReusesBuffer pins the allocation contract: after the first
+// record grows the buffer, subsequent same-size reads must not allocate a
+// new one.
+func TestPCAPReaderReusesBuffer(t *testing.T) {
+	c := fixtureCapture()
+	var buf bytes.Buffer
+	if err := c.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewPCAPReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := WireRecord{Wire: make([]byte, 0, frame.MaxFrameLen)}
+	p0 := &rec.Wire[:1][0]
+	for {
+		if err := r.Next(&rec); err != nil {
+			break
+		}
+		if &rec.Wire[0] != p0 {
+			t.Fatal("reader reallocated a sufficient buffer")
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/arppkt"
 	"repro/internal/frame"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // Record is one captured frame with decoded summaries.
@@ -40,6 +41,9 @@ type Capture struct {
 	n       int      // records currently retained (≤ max)
 	dropped uint64
 	stats   Stats
+
+	// Telemetry handles; nil (no-op) unless Instrument is called.
+	cFrames, cBytes, cDropped *telemetry.Counter
 }
 
 // Stats summarizes a capture.
@@ -63,6 +67,17 @@ func NewCapture(max int) *Capture {
 		max:   max,
 		stats: Stats{ByType: make(map[string]uint64), ARPOps: make(map[string]uint64)},
 	}
+}
+
+// Instrument exposes the capture as telemetry: capture_frames_total and
+// capture_bytes_total count what the tap observed, and
+// capture_dropped_total counts records the ring bound discarded — the
+// counter that makes a lossy (undersized) capture visible on /metrics
+// instead of silently truncating what the analysis downstream sees.
+func (c *Capture) Instrument(reg *telemetry.Registry) {
+	c.cFrames = reg.Counter("capture_frames_total")
+	c.cBytes = reg.Counter("capture_bytes_total")
+	c.cDropped = reg.Counter("capture_dropped_total")
 }
 
 // Tap returns a netsim.TapFunc that feeds this capture; install it on a
@@ -91,6 +106,10 @@ func (c *Capture) observe(ev netsim.TapEvent) {
 	}
 	c.stats.Frames++
 	c.stats.Bytes += uint64(ev.WireLen)
+	if c.cFrames != nil {
+		c.cFrames.Inc()
+		c.cBytes.Add(uint64(ev.WireLen))
+	}
 	c.stats.ByType[r.Type]++
 	if ev.Frame.IsBroadcast() {
 		c.stats.Broadcast++
@@ -117,6 +136,9 @@ func (c *Capture) observe(ev netsim.TapEvent) {
 	c.buf[c.head] = r
 	c.head = (c.head + 1) % c.max
 	c.dropped++
+	if c.cDropped != nil {
+		c.cDropped.Inc()
+	}
 }
 
 // Len returns the number of retained records.

@@ -6,19 +6,21 @@
 # enough for CI) and the scheduler/MITM hot-path micro-benchmarks at a
 # fixed high iteration count (single iterations of a nanosecond-scale loop
 # measure timer noise, not the loop — the PR6 trajectory point recorded
-# Table1/SchedulerThroughput "regressions" that were exactly this artifact).
-# Writes (name, ns/op, allocs/op) to BENCH_PR7.json so later PRs can diff
-# against this PR's numbers (BENCH_PR2/PR5/PR6.json hold earlier recorded
+# Table1/SchedulerThroughput "regressions" that were exactly this artifact),
+# plus the replay-engine ingest benchmarks (single-thread and sharded, both
+# capture formats) at a fixed frame count.
+# Writes (name, ns/op, allocs/op) to BENCH_PR8.json so later PRs can diff
+# against this PR's numbers (BENCH_PR2/PR5/PR6/PR7.json hold earlier recorded
 # trajectory points), then prints a delta table against the previous point.
 #
-#   ./scripts/bench.sh                  # writes BENCH_PR7.json
+#   ./scripts/bench.sh                  # writes BENCH_PR8.json
 #   ./scripts/bench.sh out.json        # custom output path
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR7.json}
-prev=BENCH_PR6.json
+out=${1:-BENCH_PR8.json}
+prev=BENCH_PR7.json
 
 tojson='
 	/^Benchmark/ {
@@ -41,6 +43,7 @@ tojson='
 {
 	go test -run '^$' -bench 'Table|Figure|MITM16' -benchtime=1x -benchmem .
 	go test -run '^$' -bench 'Scheduler' -benchtime=100000x -benchmem .
+	go test -run '^$' -bench 'BenchmarkReplay' -benchtime=2x -benchmem ./internal/replay
 } | awk "$tojson" >"$out"
 
 echo "wrote $out"

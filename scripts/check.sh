@@ -31,8 +31,11 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops"
-go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops
+echo "==> go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops ./internal/trace ./internal/replay"
+# internal/replay under -race covers the golden MITM replay at shard widths
+# 1/2/8 — the byte-identical-at-any-width determinism contract — with the
+# sharded reader/worker/merger pipeline actually racing.
+go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops ./internal/trace ./internal/replay
 
 echo "==> bench smoke (sequential vs parallel Table 3, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkTable3(Sequential|Parallel)$' -benchtime=1x .
@@ -48,9 +51,9 @@ if [ "$allocs" != "0" ]; then
 	exit 1
 fi
 
-echo "==> frame hot path allocation gates (encode/decode, cache, CAM, unicast transit)"
+echo "==> frame hot path allocation gates (encode/decode, cache, CAM, unicast transit, replay steady state)"
 go test -run 'AllocFree$' -count=1 -v \
-	./internal/frame ./internal/arppkt ./internal/stack ./internal/netsim |
+	./internal/frame ./internal/arppkt ./internal/stack ./internal/netsim ./internal/replay |
 	grep -E '^(--- |ok|FAIL)' || { echo "allocation gates failed" >&2; exit 1; }
 
 echo "==> experiment registry completeness (-list vs a -trials 1 pass of every experiment)"
