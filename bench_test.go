@@ -219,6 +219,26 @@ func BenchmarkFigure5CamFlood(b *testing.B) {
 	}
 }
 
+// benchmarkFigure9Scale regenerates one campus-scaling point per
+// iteration: assemble the routed multi-LAN campus at the given population,
+// run the 30s MITM trial on the sharded engine, render the figure.
+func benchmarkFigure9Scale(b *testing.B, hosts int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := eval.Figure9CampusScaling([]int{hosts}, 1, 0, 30*time.Second)
+		if len(f.Series) != 2 {
+			b.Fatal("unexpected figure shape")
+		}
+	}
+}
+
+// BenchmarkFigure9Scale1e2/1e4/1e6 price the sharded engine across four
+// orders of magnitude of campus population; the 1e6 point is the ISSUE's
+// CI budget gate.
+func BenchmarkFigure9Scale1e2(b *testing.B) { benchmarkFigure9Scale(b, 100) }
+func BenchmarkFigure9Scale1e4(b *testing.B) { benchmarkFigure9Scale(b, 10_000) }
+func BenchmarkFigure9Scale1e6(b *testing.B) { benchmarkFigure9Scale(b, 1_000_000) }
+
 // --- micro-benchmarks: the costs the analysis prices ---
 
 func BenchmarkARPEncode(b *testing.B) {

@@ -132,7 +132,7 @@ func TestUnknownIDs(t *testing.T) {
 	if err := run(&buf, []string{"-table", "42"}); err == nil {
 		t.Fatal("unknown table accepted")
 	}
-	if err := run(&buf, []string{"-figure", "9"}); err == nil {
+	if err := run(&buf, []string{"-figure", "42"}); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }

@@ -32,6 +32,16 @@ type FloodParams struct {
 	HorizonSeconds float64   `json:"horizonSeconds"`
 }
 
+// CampusParams parameterizes Figure 9: campus population sizes, trials per
+// point, the shard worker width (0 = engine default), and the per-trial
+// horizon.
+type CampusParams struct {
+	Sizes          []int   `json:"sizes"`
+	Trials         int     `json:"trials"`
+	Workers        int     `json:"workers"`
+	HorizonSeconds float64 `json:"horizonSeconds"`
+}
+
 // seconds converts a JSON horizon to a duration.
 func seconds(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))
@@ -112,6 +122,22 @@ func init() {
 		ApplyTrials:   scaleTrials(1),
 		Produce: func(p any) (eval.Artifact, error) {
 			return eval.Figure8FaultIntensitySweep(p.(*TrialsParams).Trials), nil
+		},
+	})
+	Register(Descriptor{
+		ID: "figure9", Kind: KindFigure, Num: 9,
+		Title: "Campus scaling: detection latency + fabric throughput, 10² to 10⁶ hosts",
+		DefaultParams: func() any {
+			return &CampusParams{
+				Sizes:          []int{100, 1_000, 10_000, 100_000, 1_000_000},
+				Trials:         3,
+				HorizonSeconds: 30,
+			}
+		},
+		ApplyTrials: func(p any, trials int) { p.(*CampusParams).Trials = trials },
+		Produce: func(p any) (eval.Artifact, error) {
+			cp := p.(*CampusParams)
+			return eval.Figure9CampusScaling(cp.Sizes, cp.Trials, cp.Workers, seconds(cp.HorizonSeconds)), nil
 		},
 	})
 }

@@ -26,9 +26,20 @@ import (
 type Config struct {
 	// Seed drives every stochastic choice (default 1).
 	Seed int64
+	// Sched, when non-nil, builds the LAN on this scheduler instead of one
+	// from the trial pool — how the campus assembler places each access LAN
+	// on its own shard. Externally owned schedulers are never pooled:
+	// Recycle leaves them untouched. Seed still drives MAC generation and
+	// should match the scheduler's seed for reproducibility.
+	Sched *sim.Scheduler
 	// Hosts is the number of regular stations (default 4). Host 0 plays
 	// the gateway in gateway-centric scenarios.
 	Hosts int
+	// RouterGateway drops the gateway-station convention: host 0 becomes a
+	// plain "host0" at .1 and the subnet's .254 gateway address is left for
+	// a netsim.RouterIface to claim. Campus LANs set this — their gateway
+	// is the router fabric, not a peer station.
+	RouterGateway bool
 	// Policy is applied to every host's ARP cache (default naive).
 	Policy stack.Policy
 	// CacheTTL overrides the hosts' ARP entry lifetime (default 60s).
@@ -88,7 +99,7 @@ func acquireScheduler(seed int64) *sim.Scheduler {
 // built on it — afterwards the scheduler may restart at any moment under a
 // different seed.
 func (l *LAN) Recycle() {
-	if l.Sched == nil {
+	if l.Sched == nil || l.external {
 		return
 	}
 	// The trial's ARP frames all came from the scheduler's arena and nothing
@@ -119,6 +130,9 @@ type LAN struct {
 	MonitorPort *netsim.Port
 	MonitorLink *netsim.Link
 	Gen         *ethaddr.Gen
+	// external marks a caller-owned scheduler (Config.Sched); Recycle must
+	// not pool it.
+	external bool
 }
 
 // New assembles a LAN per cfg.
@@ -145,7 +159,10 @@ func New(cfg Config) *LAN {
 		cfg.LinkLatency = 50 * time.Microsecond
 	}
 
-	s := acquireScheduler(cfg.Seed)
+	s := cfg.Sched
+	if s == nil {
+		s = acquireScheduler(cfg.Seed)
+	}
 	if cfg.Telemetry != nil {
 		s.Instrument(cfg.Telemetry)
 		if cfg.Tracing {
@@ -157,10 +174,11 @@ func New(cfg Config) *LAN {
 	}
 	sw := netsim.NewSwitch(s, netsim.WithCAMCapacity(cfg.CAMCapacity))
 	l := &LAN{
-		Sched:  s,
-		Switch: sw,
-		Subnet: cfg.Subnet,
-		Gen:    ethaddr.NewGen(cfg.Seed),
+		Sched:    s,
+		Switch:   sw,
+		Subnet:   cfg.Subnet,
+		Gen:      ethaddr.NewGen(cfg.Seed),
+		external: cfg.Sched != nil,
 	}
 	if cfg.Telemetry != nil {
 		sw.Instrument(cfg.Telemetry)
@@ -185,7 +203,7 @@ func New(cfg Config) *LAN {
 	for i := 0; i < cfg.Hosts; i++ {
 		name := fmt.Sprintf("host%d", i)
 		ip := cfg.Subnet.Host(i + 1)
-		if i == 0 {
+		if i == 0 && !cfg.RouterGateway {
 			name = "gateway"
 			ip = cfg.Subnet.Host(254)
 		}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -86,6 +88,83 @@ func TestMetricsServesPublishedExposition(t *testing.T) {
 	_, body = get(t, s.Handler(), "/metrics")
 	if !strings.Contains(body, "ops_test_counter_total") {
 		t.Fatal("republished document missing new counter")
+	}
+}
+
+// shardSample is the strict exposition grammar for one sample line of a
+// shard-engine family — name, optional {k="v",...} block with only valid
+// escapes in values, then the value. Scrapers parse with exactly this
+// grammar, so any drift is a hard fail.
+var shardSample = regexp.MustCompile(
+	`^(shard_rounds_total|shard_sync_waits_total|cross_lan_frames_total|` +
+		`shard_lookahead_stall_seconds(?:_bucket|_sum|_count))` +
+		`(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\n|\\")*"` +
+		`(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\n|\\")*")*\})?` +
+		` (\+Inf|[0-9eE.+-]+)$`)
+
+// TestMetricsExposeShardEngineFamilies publishes a sharded campus run and
+// checks the engine's synchronization metrics come out of /metrics as
+// well-formed exposition text: a TYPE line per family, every sample
+// matching the label grammar, le-labelled stall buckets, and a cross-LAN
+// counter that proves the backbone actually carried frames.
+func TestMetricsExposeShardEngineFamilies(t *testing.T) {
+	reg := telemetry.New()
+	c := labnet.NewCampus(labnet.CampusConfig{
+		Seed: 5, LANs: 4, HostsPerLAN: 32, Telemetry: reg,
+	})
+	defer c.Recycle()
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.Publish(reg)
+	_, body := get(t, s.Handler(), "/metrics")
+
+	sawType := map[string]bool{
+		"shard_rounds_total":            false,
+		"shard_sync_waits_total":        false,
+		"cross_lan_frames_total":        false,
+		"shard_lookahead_stall_seconds": false,
+	}
+	sawBucketLE := false
+	var crossFrames float64
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			if f := strings.Fields(line); len(f) == 4 {
+				if _, ok := sawType[f[2]]; ok {
+					sawType[f[2]] = true
+				}
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") ||
+			(!strings.HasPrefix(line, "shard_") && !strings.HasPrefix(line, "cross_lan_")) {
+			continue
+		}
+		m := shardSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("shard metric line fails the exposition grammar: %q", line)
+		}
+		if strings.HasPrefix(line, "shard_lookahead_stall_seconds_bucket") {
+			if !strings.Contains(m[2], `le="`) {
+				t.Fatalf("bucket sample without le label: %q", line)
+			}
+			sawBucketLE = true
+		}
+		if m[1] == "cross_lan_frames_total" {
+			crossFrames, _ = strconv.ParseFloat(m[3], 64)
+		}
+	}
+	for fam, seen := range sawType {
+		if !seen {
+			t.Errorf("/metrics missing TYPE line for %s", fam)
+		}
+	}
+	if !sawBucketLE {
+		t.Error("stall histogram rendered no le-labelled buckets")
+	}
+	if crossFrames == 0 {
+		t.Error("cross_lan_frames_total is zero: the campus backbone carried nothing")
 	}
 }
 

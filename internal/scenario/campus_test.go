@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestCampusSectionStrictlyValidated: the campus schema is held to the same
+// load-time strictness as everything else — unknown keys (top-level and
+// nested), impossible topologies, and unsupported section combinations all
+// fail before anything runs.
+func TestCampusSectionStrictlyValidated(t *testing.T) {
+	cases := map[string]string{
+		"unknown top-level key": `{"campu": {"lans": 4}}`,
+		"unknown campus key":    `{"campus": {"bogus": 1}}`,
+		"addressing plan":       `{"campus": {"lans": 300}}`,
+		"lonely victim":         `{"campus": {"lans": 4, "activeHostsPerLAN": 1}}`,
+		"faults on a campus":    `{"campus": {"lans": 4}, "faults": {"events": [{"type": "duplicate", "atSeconds": 0, "prob": 0.1}]}}`,
+		"stacks on a campus":    `{"campus": {"lans": 4}, "stacks": [{"schemes": [{"name": "dai"}, {"name": "arpwatch"}]}]}`,
+	}
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestCampusScenarioDetectsMITM runs a small routed campus end to end: the
+// per-LAN arpwatch deployment must catch the LAN-0 router MITM, the fabric
+// must demonstrably carry cross-LAN traffic, and the campus figures must
+// surface in both the structured result and the rendering.
+func TestCampusScenarioDetectsMITM(t *testing.T) {
+	spec := load(t, `{
+		"seed": 1, "durationSeconds": 30,
+		"campus": {"lans": 4, "hostsPerLAN": 64},
+		"schemes": [{"name": "arpwatch", "params": {"seedGateway": false}}],
+		"attacks": [{"atSeconds": 10, "type": "mitm"}]
+	}`)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Campus == nil {
+		t.Fatal("campus run returned no campus figures")
+	}
+	if res.Campus.LANs != 4 || res.Campus.Hosts != 4*64 {
+		t.Fatalf("campus shape: %+v", res.Campus)
+	}
+	if res.Campus.FabricFrames == 0 || res.Campus.CrossLANFrames == 0 {
+		t.Fatalf("fabric idle: %+v", res.Campus)
+	}
+	if res.AlertsByScheme["arpwatch"] == 0 {
+		t.Fatalf("MITM undetected: %+v", res.AlertsByScheme)
+	}
+	if res.PoisonedHosts == 0 {
+		t.Fatal("detection-only scenario should leave the victim poisoned")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "campus: 4 LANs, 256 hosts") {
+		t.Fatalf("render missing the campus line:\n%s", out)
+	}
+	if !strings.Contains(out, "lan0 ") {
+		t.Fatalf("first alerts not LAN-attributed:\n%s", out)
+	}
+}
+
+// TestCampusScenarioWidthParity is the determinism contract at the scenario
+// level: the whole Result — merged alerts, poisoning census, fabric and
+// capture figures — is identical whether the shards run under 1, 2, or 8
+// workers. Only the telemetry snapshot is excluded: engine counters like
+// sync waits legitimately depend on worker interleaving.
+func TestCampusScenarioWidthParity(t *testing.T) {
+	run := func(workers int) (*Result, string) {
+		spec := load(t, `{
+			"seed": 3, "durationSeconds": 30,
+			"campus": {"lans": 4, "hostsPerLAN": 48},
+			"schemes": [{"name": "arpwatch", "params": {"seedGateway": false}}],
+			"attacks": [{"atSeconds": 7, "type": "mitm"}]
+		}`)
+		spec.Campus.Workers = workers
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Telemetry = telemetry.Snapshot{}
+		var buf bytes.Buffer
+		if err := res.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	ref, refOut := run(1)
+	if ref.AlertsByScheme["arpwatch"] == 0 {
+		t.Fatalf("reference run detected nothing: %+v", ref.AlertsByScheme)
+	}
+	for _, w := range []int{2, 8} {
+		got, gotOut := run(w)
+		if gotOut != refOut {
+			t.Fatalf("render differs at workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				w, refOut, w, gotOut)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("result differs at workers=%d:\n%+v\n%+v", w, ref, got)
+		}
+	}
+}
+
+// TestCampusMillionScenarioShape pins the bundled campus-million.json to
+// what its name promises: a full million-station campus. (The bundled
+// round-trip test actually runs it.)
+func TestCampusMillionScenarioShape(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "scenarios", "campus-million.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Campus == nil {
+		t.Fatal("campus-million.json has no campus section")
+	}
+	if got := spec.Campus.LANs * spec.Campus.HostsPerLAN; got != 1_000_000 {
+		t.Fatalf("campus-million.json describes %d hosts", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/schemes/kernelpolicy"
 	"repro/internal/schemes/registry"
 	_ "repro/internal/schemes/registry/all" // link every scheme factory
+	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -51,6 +52,31 @@ type Spec struct {
 	// the monitor's link, when deployed, is index hosts. The dhcp-outage
 	// fault is not available here — scenarios deploy no DHCP server.
 	Faults *faults.Plan `json:"faults,omitempty"`
+	// Campus, when present, replaces the single flat LAN with a routed
+	// multi-LAN campus on the sharded engine: one access LAN per shard
+	// behind a full trunk mesh, schemes deployed per-LAN, the attack
+	// timeline running inside LAN 0 against the LAN-0 router gateway.
+	// Hosts is ignored (the campus fields size the topology) and Faults /
+	// Stacks are rejected at validation.
+	Campus *CampusSpec `json:"campus,omitempty"`
+}
+
+// CampusSpec sizes the routed campus topology.
+type CampusSpec struct {
+	// LANs is the number of routed access LANs — and scheduler shards
+	// (default 4, max 250 from the 10.<lan>.0.0/16 addressing plan).
+	LANs int `json:"lans"`
+	// HostsPerLAN is the per-LAN population: active protocol stacks plus
+	// the flyweight station bank (default 16).
+	HostsPerLAN int `json:"hostsPerLAN"`
+	// ActiveHostsPerLAN is how many stations run full stacks (default 4,
+	// minimum 2 — the victim and one bystander).
+	ActiveHostsPerLAN int `json:"activeHostsPerLAN,omitempty"`
+	// TrunkLatencyMicros is the backbone one-way delay in microseconds —
+	// the sharded engine's conservative lookahead bound (default 1000).
+	TrunkLatencyMicros float64 `json:"trunkLatencyMicros,omitempty"`
+	// Workers caps the shard worker pool (default: engine-chosen).
+	Workers int `json:"workers,omitempty"`
 }
 
 // SchemeSpec deploys one defense.
@@ -112,6 +138,20 @@ func (spec *Spec) Validate() error {
 			return err
 		}
 	}
+	if spec.Campus != nil {
+		if spec.Campus.LANs > 250 {
+			return fmt.Errorf("campus: %d LANs exceeds the 10.<lan>.0.0/16 addressing plan (max 250)", spec.Campus.LANs)
+		}
+		if spec.Campus.ActiveHostsPerLAN == 1 {
+			return fmt.Errorf("campus: activeHostsPerLAN must be at least 2 (the victim and one bystander)")
+		}
+		if spec.Faults != nil {
+			return fmt.Errorf("campus scenarios do not support fault plans: fault link indices address a flat LAN's attachments, which have no meaning across a routed backbone")
+		}
+		if len(spec.Stacks) > 0 {
+			return fmt.Errorf("campus scenarios do not support stacks yet; list the schemes individually")
+		}
+	}
 	if spec.Policy != "" {
 		if _, ok := kernelpolicy.Find(spec.Policy); !ok {
 			names := make([]string, 0, len(kernelpolicy.Profiles()))
@@ -145,11 +185,26 @@ type Result struct {
 	// declared no faults.
 	FaultStats *faults.Stats `json:"faultStats,omitempty"`
 	// CaptureStats summarizes the frames a full-mirror capture saw during
-	// the run: totals, type and ARP-op breakdowns, ring drops.
+	// the run: totals, type and ARP-op breakdowns, ring drops. Campus runs
+	// mirror LAN 0 only (the instrumented segment).
 	CaptureStats trace.Stats `json:"captureStats"`
+	// Campus reports the routed-topology figures; nil for flat-LAN runs.
+	Campus *CampusResult `json:"campus,omitempty"`
 	// Telemetry is the end-of-run metrics snapshot covering the scheduler,
 	// switch, hosts, and every deployed scheme.
 	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// CampusResult is the campus-wide view of a routed multi-LAN run.
+type CampusResult struct {
+	// LANs and Hosts size the topology that actually ran (active stacks
+	// plus bank stations).
+	LANs  int `json:"lans"`
+	Hosts int `json:"hosts"`
+	// FabricFrames is the total the campus switches carried; CrossLAN
+	// counts the subset that crossed the backbone between shards.
+	FabricFrames   uint64 `json:"fabricFrames"`
+	CrossLANFrames uint64 `json:"crossLANFrames"`
 }
 
 // StackResult is one stack's correlation summary.
@@ -188,6 +243,10 @@ func WithEventStream(w io.Writer, min telemetry.Severity) RunOption {
 // Render writes a human-readable summary.
 func (r *Result) Render(w io.Writer) error {
 	fmt.Fprintf(w, "scenario finished after %v simulated\n", r.Duration)
+	if r.Campus != nil {
+		fmt.Fprintf(w, "  campus: %d LANs, %d hosts, %d fabric frames (%d cross-LAN)\n",
+			r.Campus.LANs, r.Campus.Hosts, r.Campus.FabricFrames, r.Campus.CrossLANFrames)
+	}
 	fmt.Fprintf(w, "  hosts poisoned at end: %d\n", r.PoisonedHosts)
 	fmt.Fprintf(w, "  attacker: %d forged packets, %d payload bytes captured\n",
 		r.AttackerForged, r.AttackerSniffed)
@@ -232,6 +291,10 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 	reg := rc.registry
 	if rc.eventStream != nil {
 		reg.Events().StreamTo(rc.eventStream, rc.eventMin)
+	}
+
+	if spec.Campus != nil {
+		return runCampus(spec, &rc)
 	}
 
 	if spec.Hosts == 0 {
@@ -313,64 +376,11 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 		}
 	}
 
-	for _, a := range spec.Attacks {
-		a := a
-		at := time.Duration(a.AtSeconds * float64(time.Second))
-		period := 2 * time.Second
-		if a.PeriodSeconds > 0 {
-			period = time.Duration(a.PeriodSeconds * float64(time.Second))
-		}
-		count := a.Count
-		if count == 0 {
-			count = 500
-		}
-		var action func()
-		switch a.Type {
-		case "poison":
-			variant, err := parseVariant(a.Variant)
-			if err != nil {
-				return nil, err
-			}
-			action = func() {
-				if variant == attack.VariantReplyRace {
-					l.Attacker.ArmReplyRace(gw.IP(), victim.IP(), 0)
-					victim.Cache().Delete(gw.IP())
-					victim.Resolve(gw.IP(), nil)
-					return
-				}
-				l.Attacker.Poison(variant, gw.IP(), l.Attacker.MAC(), victim.MAC(), victim.IP())
-			}
-		case "mitm":
-			action = func() {
-				l.Attacker.PoisonPeriodically(period, victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
-				l.Attacker.RelayBetween(victim.MAC(), victim.IP(), gw.MAC(), gw.IP())
-			}
-		case "blackhole":
-			action = func() {
-				l.Attacker.Poison(attack.VariantUnsolicitedReply, gw.IP(), l.Attacker.MAC(),
-					victim.MAC(), victim.IP())
-				l.Attacker.BlackholeTraffic(gw.IP())
-			}
-		case "cam-flood":
-			action = func() {
-				l.Attacker.FloodCAM(ethaddr.NewGen(spec.Seed+13), count, time.Millisecond)
-			}
-		case "cache-flood":
-			action = func() {
-				l.Attacker.FloodCache(ethaddr.NewGen(spec.Seed+17), l.Subnet, count, time.Millisecond)
-			}
-		case "scan":
-			action = func() {
-				l.Attacker.Scan(l.Subnet, 1, count%255, 10*time.Millisecond)
-			}
-		case "port-steal":
-			action = func() {
-				l.Attacker.StealPort(victim.MAC(), victim.IP(), period, true)
-			}
-		default:
-			return nil, fmt.Errorf("unknown attack type %q", a.Type)
-		}
-		l.Sched.At(at, action)
+	if err := armAttacks(spec, attackTargets{
+		sched: l.Sched, atk: l.Attacker, victim: victim,
+		gwIP: gw.IP(), gwMAC: gw.MAC(), subnet: l.Subnet,
+	}); err != nil {
+		return nil, err
 	}
 
 	// Faults are armed after scheme deployment so injector streams never
@@ -436,6 +446,82 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 		res.FaultStats = &fs
 	}
 	return res, nil
+}
+
+// attackTargets binds the attack timeline to a concrete segment: the flat
+// topology's gateway host, or a campus's LAN 0 with its router interface
+// standing in as the gateway.
+type attackTargets struct {
+	sched  *sim.Scheduler
+	atk    *attack.Attacker
+	victim *stack.Host
+	gwIP   ethaddr.IPv4
+	gwMAC  ethaddr.MAC
+	subnet ethaddr.Subnet
+}
+
+// armAttacks schedules the spec's attack timeline against the targets.
+func armAttacks(spec *Spec, t attackTargets) error {
+	for _, a := range spec.Attacks {
+		a := a
+		at := time.Duration(a.AtSeconds * float64(time.Second))
+		period := 2 * time.Second
+		if a.PeriodSeconds > 0 {
+			period = time.Duration(a.PeriodSeconds * float64(time.Second))
+		}
+		count := a.Count
+		if count == 0 {
+			count = 500
+		}
+		var action func()
+		switch a.Type {
+		case "poison":
+			variant, err := parseVariant(a.Variant)
+			if err != nil {
+				return err
+			}
+			action = func() {
+				if variant == attack.VariantReplyRace {
+					t.atk.ArmReplyRace(t.gwIP, t.victim.IP(), 0)
+					t.victim.Cache().Delete(t.gwIP)
+					t.victim.Resolve(t.gwIP, nil)
+					return
+				}
+				t.atk.Poison(variant, t.gwIP, t.atk.MAC(), t.victim.MAC(), t.victim.IP())
+			}
+		case "mitm":
+			action = func() {
+				t.atk.PoisonPeriodically(period, t.victim.MAC(), t.victim.IP(), t.gwMAC, t.gwIP)
+				t.atk.RelayBetween(t.victim.MAC(), t.victim.IP(), t.gwMAC, t.gwIP)
+			}
+		case "blackhole":
+			action = func() {
+				t.atk.Poison(attack.VariantUnsolicitedReply, t.gwIP, t.atk.MAC(),
+					t.victim.MAC(), t.victim.IP())
+				t.atk.BlackholeTraffic(t.gwIP)
+			}
+		case "cam-flood":
+			action = func() {
+				t.atk.FloodCAM(ethaddr.NewGen(spec.Seed+13), count, time.Millisecond)
+			}
+		case "cache-flood":
+			action = func() {
+				t.atk.FloodCache(ethaddr.NewGen(spec.Seed+17), t.subnet, count, time.Millisecond)
+			}
+		case "scan":
+			action = func() {
+				t.atk.Scan(t.subnet, 1, count%255, 10*time.Millisecond)
+			}
+		case "port-steal":
+			action = func() {
+				t.atk.StealPort(t.victim.MAC(), t.victim.IP(), period, true)
+			}
+		default:
+			return fmt.Errorf("unknown attack type %q", a.Type)
+		}
+		t.sched.At(at, action)
+	}
+	return nil
 }
 
 // parseVariant maps a JSON variant name to the attack enum.

@@ -1,0 +1,379 @@
+// Sharded parallel discrete-event execution: many Schedulers — one time
+// domain per LAN shard — advanced together under conservative-lookahead
+// synchronization, so a routed multi-LAN campus runs its access LANs on
+// every core while producing byte-identical results at any worker width.
+//
+// The model is classic conservative parallel DES specialized to this
+// framework's topology. Shards interact only through CrossLinks (the
+// inter-LAN trunks), each carrying a fixed positive latency; the global
+// lookahead L is the minimum of those latencies. The coordinator runs
+// window rounds: it finds Tmin, the earliest pending event across all
+// shards, and lets every shard with work execute its events in
+// [Tmin, Tmin+L) — in parallel, each shard single-threaded on its own
+// Scheduler. Any message a shard sends across a link during the window is
+// timestamped sender-now + link latency ≥ Tmin + L, i.e. at or beyond the
+// window's end, so no in-window event can be affected by another shard's
+// in-window execution: the windows are provably safe to run concurrently.
+//
+// Determinism at any worker width follows from two properties. First, each
+// shard's own execution is sequential on its private Scheduler, so its
+// event order never depends on what other shards do concurrently. Second,
+// cross-shard messages are not delivered directly: they are staged in
+// per-source outboxes (each appended only by its own shard), and at the
+// round barrier the coordinator — alone, single-threaded — merges them in
+// the fixed order (timestamp, source shard, send order within source) and
+// injects them into the destination schedulers, which assign their event
+// sequence numbers in that merge order. The merged order is a pure
+// function of per-shard execution, so the whole simulation is a pure
+// function of the seed: widths 1, 2 and 8 produce the same bytes.
+package sim
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ShardSeed derives the scheduler seed for shard i of a sharded run from
+// the campus seed — the same FNV-1a construction DeriveRand uses, so shard
+// streams are decorrelated from each other and from every single-LAN
+// experiment run at the same seed.
+func ShardSeed(seed int64, shard int) int64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(shard))
+	h := uint64(offset64)
+	for _, b := range buf {
+		h = (h ^ uint64(b)) * prime64
+	}
+	for _, b := range []byte("shard") {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return int64(h)
+}
+
+// crossMsg is one staged cross-shard delivery: fn runs on the destination
+// shard at virtual instant at.
+type crossMsg struct {
+	at  time.Duration
+	dst int
+	fn  func()
+}
+
+// mergeKey orders staged messages at the barrier: (timestamp, source
+// shard, send order within source). idx is the message's position in its
+// source outbox, which the source appended sequentially, so the full key
+// is unique and the merge order is a total order independent of how many
+// workers executed the window.
+type mergeKey struct {
+	msg      crossMsg
+	src, idx int
+}
+
+// CrossLink is the one legal channel between shards: a unidirectional
+// edge with a fixed positive latency, created by ShardedScheduler.Link.
+// Send may only be called from code running on the source shard (inside
+// one of its events); the callback runs on the destination shard after
+// the link latency, never earlier than the current window's end.
+type CrossLink struct {
+	ss       *ShardedScheduler
+	src, dst int
+	latency  time.Duration
+}
+
+// Latency returns the link's one-way delay (the lookahead it contributes).
+func (cl *CrossLink) Latency() time.Duration { return cl.latency }
+
+// Send stages fn for execution on the destination shard at source-now +
+// latency. It appends to the source shard's private outbox — no lock, no
+// shared state — and the coordinator injects it at the next barrier.
+func (cl *CrossLink) Send(fn func()) {
+	ss := cl.ss
+	at := ss.shards[cl.src].Now() + cl.latency
+	ss.outbox[cl.src] = append(ss.outbox[cl.src], crossMsg{at: at, dst: cl.dst, fn: fn})
+}
+
+// ShardedScheduler coordinates a set of per-shard Schedulers through
+// conservative-lookahead window rounds. Construct with NewSharded (fresh
+// shard schedulers) or NewShardedOf (caller-provided, e.g. pooled ones).
+type ShardedScheduler struct {
+	shards    []*Scheduler
+	outbox    [][]crossMsg // staged cross messages, one slice per source shard
+	lookahead time.Duration
+	workers   int
+	stopped   bool
+
+	// Round state reused across rounds to keep the coordinator
+	// allocation-free in steady state.
+	active   []int
+	errs     []error
+	merged   []mergeKey
+	nextIdx  atomic.Int64
+	runLimit time.Duration
+
+	// Engine statistics, kept unconditionally (cheap integer adds) and
+	// mirrored to telemetry when Instrument was called.
+	rounds    uint64
+	syncWaits uint64
+	crossSent uint64
+
+	mRounds    *telemetry.Counter
+	mSyncWaits *telemetry.Counter
+	mCross     *telemetry.Counter
+	hStall     *telemetry.Histogram
+}
+
+// NewSharded builds a coordinator over n fresh shard schedulers seeded
+// with ShardSeed(seed, i).
+func NewSharded(seed int64, n int) *ShardedScheduler {
+	shards := make([]*Scheduler, n)
+	for i := range shards {
+		shards[i] = NewScheduler(ShardSeed(seed, i))
+	}
+	return NewShardedOf(shards)
+}
+
+// NewShardedOf builds a coordinator over caller-provided shard schedulers
+// (already seeded — see ShardSeed). The caller must not run the schedulers
+// itself while the coordinator owns them.
+func NewShardedOf(shards []*Scheduler) *ShardedScheduler {
+	if len(shards) == 0 {
+		panic("sim: sharded scheduler needs at least one shard")
+	}
+	return &ShardedScheduler{
+		shards:  shards,
+		outbox:  make([][]crossMsg, len(shards)),
+		workers: 1,
+	}
+}
+
+// Shards returns the number of shards.
+func (ss *ShardedScheduler) Shards() int { return len(ss.shards) }
+
+// Shard returns shard i's scheduler. Components of LAN i are built on it;
+// they must never touch another shard's scheduler.
+func (ss *ShardedScheduler) Shard(i int) *Scheduler { return ss.shards[i] }
+
+// SetWorkers sets how many OS-level workers execute each window's active
+// shards (clamped to [1, shards]). Purely a wall-clock knob: results are
+// byte-identical at every width.
+func (ss *ShardedScheduler) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ss.shards) {
+		n = len(ss.shards)
+	}
+	ss.workers = n
+}
+
+// Workers returns the configured execution width.
+func (ss *ShardedScheduler) Workers() int { return ss.workers }
+
+// Link registers a cross-shard edge from src to dst with the given
+// latency and returns its CrossLink. Latency must be positive: it is the
+// lookahead bound that makes parallel windows safe, so a zero-latency
+// inter-shard link would serialize the engine — construct such topologies
+// as one shard instead.
+func (ss *ShardedScheduler) Link(src, dst int, latency time.Duration) *CrossLink {
+	if latency <= 0 {
+		panic("sim: cross-shard link latency must be positive (it is the lookahead bound)")
+	}
+	if src == dst {
+		panic("sim: cross-shard link endpoints must differ")
+	}
+	if ss.lookahead == 0 || latency < ss.lookahead {
+		ss.lookahead = latency
+	}
+	return &CrossLink{ss: ss, src: src, dst: dst, latency: latency}
+}
+
+// Lookahead returns the conservative window length: the minimum registered
+// link latency (zero when no links exist and shards are independent).
+func (ss *ShardedScheduler) Lookahead() time.Duration { return ss.lookahead }
+
+// Instrument attaches the engine's synchronization metrics to reg:
+// round and wait counters plus the lookahead-stall histogram (how much
+// virtual slack the conservative bound imposed on each waiting shard,
+// per round). The per-shard schedulers are instrumented separately by
+// whoever owns their registries.
+func (ss *ShardedScheduler) Instrument(reg *telemetry.Registry) {
+	ss.mRounds = reg.Counter("shard_rounds_total")
+	ss.mSyncWaits = reg.Counter("shard_sync_waits_total")
+	ss.mCross = reg.Counter("cross_lan_frames_total")
+	ss.hStall = reg.Histogram("shard_lookahead_stall_seconds",
+		[]float64{1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 1e-1})
+}
+
+// Rounds returns how many window rounds have executed.
+func (ss *ShardedScheduler) Rounds() uint64 { return ss.rounds }
+
+// SyncWaits returns how many shard-rounds ended with the shard still
+// holding pending work it was not allowed to run — the count of barrier
+// waits the conservative window bound imposed.
+func (ss *ShardedScheduler) SyncWaits() uint64 { return ss.syncWaits }
+
+// CrossMessages returns how many cross-shard messages (trunk frames) have
+// been merged and injected.
+func (ss *ShardedScheduler) CrossMessages() uint64 { return ss.crossSent }
+
+// Executed sums executed events across all shards.
+func (ss *ShardedScheduler) Executed() uint64 {
+	var n uint64
+	for _, sh := range ss.shards {
+		n += sh.Executed()
+	}
+	return n
+}
+
+// Stop halts the run at the next round barrier.
+func (ss *ShardedScheduler) Stop() { ss.stopped = true }
+
+// runShard is one worker's claim loop: pull the next active shard index
+// and run its window. Shards are claimed with an atomic counter (the same
+// shape as eval's trial pool); which worker runs which shard varies, what
+// each shard executes does not.
+func (ss *ShardedScheduler) runShard() {
+	for {
+		i := int(ss.nextIdx.Add(1)) - 1
+		if i >= len(ss.active) {
+			return
+		}
+		shard := ss.active[i]
+		ss.errs[shard] = ss.shards[shard].runBefore(ss.runLimit)
+	}
+}
+
+// RunUntil advances every shard to horizon, executing all events with
+// timestamps ≤ horizon in conservative-lookahead windows. Events a shard
+// schedules beyond the horizon stay queued. Returns ErrStopped if the
+// coordinator or any shard was stopped.
+func (ss *ShardedScheduler) RunUntil(horizon time.Duration) error {
+	ss.stopped = false
+	for {
+		if ss.stopped {
+			return ErrStopped
+		}
+		// Tmin: the earliest pending event anywhere.
+		var tmin time.Duration
+		found := false
+		for _, sh := range ss.shards {
+			if t, ok := sh.NextEventAt(); ok && (!found || t < tmin) {
+				tmin, found = t, true
+			}
+		}
+		if !found || tmin > horizon {
+			break
+		}
+		// Window end, exclusive. With no cross links the shards are fully
+		// independent and one window runs everything; otherwise the
+		// lookahead bounds it. Events exactly at the horizon must run
+		// (RunUntil's inclusive contract), hence horizon+1ns.
+		end := horizon + time.Nanosecond
+		if ss.lookahead > 0 && tmin+ss.lookahead < end {
+			end = tmin + ss.lookahead
+		}
+		ss.active = ss.active[:0]
+		for i, sh := range ss.shards {
+			if t, ok := sh.NextEventAt(); ok && t < end {
+				ss.active = append(ss.active, i)
+			}
+		}
+		ss.runWindow(end)
+		for _, i := range ss.active {
+			if ss.errs[i] != nil {
+				return ss.errs[i]
+			}
+		}
+		ss.barrier(end)
+	}
+	for _, sh := range ss.shards {
+		sh.advanceTo(horizon)
+	}
+	return nil
+}
+
+// runWindow executes the active shards' events in [their-now, end),
+// spreading shards over the configured workers. Width 1 short-circuits to
+// a plain loop — no goroutines, no atomics.
+func (ss *ShardedScheduler) runWindow(end time.Duration) {
+	if cap(ss.errs) < len(ss.shards) {
+		ss.errs = make([]error, len(ss.shards))
+	}
+	ss.errs = ss.errs[:len(ss.shards)]
+	w := ss.workers
+	if w > len(ss.active) {
+		w = len(ss.active)
+	}
+	if w <= 1 {
+		for _, i := range ss.active {
+			ss.errs[i] = ss.shards[i].runBefore(end)
+		}
+		return
+	}
+	ss.runLimit = end
+	ss.nextIdx.Store(0)
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for k := 1; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			ss.runShard()
+		}()
+	}
+	ss.runShard()
+	wg.Wait()
+}
+
+// barrier runs after every window: merge the staged cross messages in
+// their canonical order, inject them into the destination shards, and
+// update the synchronization statistics. Single-threaded by construction —
+// the window's workers have all joined.
+func (ss *ShardedScheduler) barrier(end time.Duration) {
+	ss.rounds++
+	ss.mRounds.Inc()
+	ss.merged = ss.merged[:0]
+	for src := range ss.outbox {
+		for idx, m := range ss.outbox[src] {
+			ss.merged = append(ss.merged, mergeKey{msg: m, src: src, idx: idx})
+		}
+		ss.outbox[src] = ss.outbox[src][:0]
+	}
+	if len(ss.merged) > 0 {
+		m := ss.merged
+		sort.Slice(m, func(a, b int) bool {
+			if m[a].msg.at != m[b].msg.at {
+				return m[a].msg.at < m[b].msg.at
+			}
+			if m[a].src != m[b].src {
+				return m[a].src < m[b].src
+			}
+			return m[a].idx < m[b].idx
+		})
+		for i := range m {
+			ss.shards[m[i].msg.dst].At(m[i].msg.at, m[i].msg.fn)
+			m[i].msg.fn = nil // don't pin the closure past injection
+		}
+		ss.crossSent += uint64(len(m))
+		ss.mCross.Add(uint64(len(m)))
+	}
+	// A shard that still holds work below some future window had to stop
+	// at the conservative bound and wait; the stall is the virtual slack
+	// between its last executed event and the bound.
+	if ss.lookahead > 0 {
+		for _, i := range ss.active {
+			if _, ok := ss.shards[i].NextEventAt(); ok {
+				ss.syncWaits++
+				ss.mSyncWaits.Inc()
+				if ss.hStall != nil {
+					ss.hStall.Observe((end - ss.shards[i].Now()).Seconds())
+				}
+			}
+		}
+	}
+}

@@ -628,6 +628,56 @@ func (s *Scheduler) RunUntil(horizon time.Duration) error {
 	return nil
 }
 
+// NextEventAt returns the virtual instant of the earliest queued event and
+// whether one exists. Cancelled-but-undrained events count: their position
+// is deterministic, so a window bound computed from them is too.
+func (s *Scheduler) NextEventAt() (time.Duration, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
+// runBefore executes events strictly before limit — the sharded engine's
+// window primitive. Unlike RunUntil it treats the bound as exclusive and
+// does not advance the clock to it: the clock stays at the last executed
+// event, so a later window (or advanceTo) owns the remaining span.
+func (s *Scheduler) runBefore(limit time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if next.at >= limit {
+			break
+		}
+		popped := s.eventAt(s.queue.pop())
+		popped.queued = false
+		if popped.dead {
+			s.mCancelled.Inc()
+			s.release(popped)
+			continue
+		}
+		s.now = popped.at
+		s.executed++
+		s.mExecuted.Inc()
+		s.cause = popped.cause
+		popped.run()
+		s.cause = 0
+		s.finish(popped)
+	}
+	return nil
+}
+
+// advanceTo moves the clock forward to t (never backwards), mirroring what
+// RunUntil does at its horizon once a sharded run's final window has drained.
+func (s *Scheduler) advanceTo(t time.Duration) {
+	if s.now < t {
+		s.now = t
+	}
+}
+
 // Run executes events until the queue drains or Stop is called.
 func (s *Scheduler) Run() error {
 	s.stopped = false

@@ -31,11 +31,14 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops ./internal/trace ./internal/replay"
+echo "==> go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops ./internal/trace ./internal/replay ./internal/sim ./internal/labnet ./internal/scenario"
 # internal/replay under -race covers the golden MITM replay at shard widths
 # 1/2/8 — the byte-identical-at-any-width determinism contract — with the
-# sharded reader/worker/merger pipeline actually racing.
-go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops ./internal/trace ./internal/replay
+# sharded reader/worker/merger pipeline actually racing. internal/sim,
+# internal/labnet, and internal/scenario put the sharded campus engine's
+# worker pool under the detector the same way: figure9 and the campus MITM
+# scenario assert byte-identical output at shard widths 1/2/8.
+go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops ./internal/trace ./internal/replay ./internal/sim ./internal/labnet ./internal/scenario
 
 echo "==> bench smoke (sequential vs parallel Table 3, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkTable3(Sequential|Parallel)$' -benchtime=1x .
@@ -51,9 +54,9 @@ if [ "$allocs" != "0" ]; then
 	exit 1
 fi
 
-echo "==> frame hot path allocation gates (encode/decode, cache, CAM, unicast transit, replay steady state)"
+echo "==> frame hot path allocation gates (encode/decode, cache, CAM, unicast transit, replay steady state, campus bytes/host)"
 go test -run 'AllocFree$' -count=1 -v \
-	./internal/frame ./internal/arppkt ./internal/stack ./internal/netsim ./internal/replay |
+	./internal/frame ./internal/arppkt ./internal/stack ./internal/netsim ./internal/replay ./internal/labnet |
 	grep -E '^(--- |ok|FAIL)' || { echo "allocation gates failed" >&2; exit 1; }
 
 echo "==> experiment registry completeness (-list vs a -trials 1 pass of every experiment)"
