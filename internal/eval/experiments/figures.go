@@ -140,4 +140,29 @@ func init() {
 			return eval.Figure9CampusScaling(cp.Sizes, cp.Trials, cp.Workers, seconds(cp.HorizonSeconds)), nil
 		},
 	})
+	Register(Descriptor{
+		ID: "figure10", Kind: KindFigure, Num: 10,
+		Title: "Faulted campus: per-deployment detection latency under partition + flush, 10² to 10⁶ hosts",
+		DefaultParams: func() any {
+			return &CampusParams{
+				Sizes:          []int{100, 1_000, 10_000, 100_000, 1_000_000},
+				Trials:         1,
+				HorizonSeconds: 30,
+			}
+		},
+		// Six deployments share every population point, so the trials knob
+		// scales down 5×: a -trials 10 regen runs 2 trials per cell instead
+		// of drowning the sweep in million-host campuses.
+		ApplyTrials: func(p any, trials int) {
+			n := trials / 5
+			if n < 1 {
+				n = 1
+			}
+			p.(*CampusParams).Trials = n
+		},
+		Produce: func(p any) (eval.Artifact, error) {
+			cp := p.(*CampusParams)
+			return eval.Figure10FaultedCampus(cp.Sizes, cp.Trials, cp.Workers, seconds(cp.HorizonSeconds)), nil
+		},
+	})
 }

@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/labnet"
+	"repro/internal/schemes/registry"
+	"repro/internal/stats"
+)
+
+// figure10Deployment is one compared deployment: a single detection scheme
+// or the best Table 9 defense-in-depth stack.
+type figure10Deployment struct {
+	label  string
+	scheme string
+	stack  registry.Stack
+}
+
+// figure10Deployments lists the deployments Figure 10 stress-tests: every
+// detection scheme from the Table 3 comparison plus the strongest Table 9
+// composition (switch enforcement backed by a passive monitor).
+func figure10Deployments() []figure10Deployment {
+	var out []figure10Deployment
+	for _, s := range DetectionSchemes() {
+		out = append(out, figure10Deployment{label: s, scheme: s})
+	}
+	best := table9Stacks()[0] // dai+arpwatch+port-security
+	out = append(out, figure10Deployment{label: best.Label(), stack: best})
+	return out
+}
+
+// figure10FaultPlan is the adverse-conditions script every Figure 10 trial
+// runs under, expressed in the same hierarchical fault grammar scenarios
+// use: a bursty-loss window across the attacked segment's access links, a
+// backbone partition that cuts the attacked LAN off from every peer while
+// the MITM is live, and a campus-wide router CAM flush during recovery.
+func figure10FaultPlan() *faults.Plan {
+	return &faults.Plan{Events: []faults.Event{
+		{Type: faults.TypeGilbertElliott, AtSeconds: 5, DurationSeconds: 20,
+			PGoodBad: 0.05, PBadGood: 0.2, LossBad: 0.6, LinkAt: "lan:0/link:*"},
+		{Type: faults.TypeTrunkPartition, AtSeconds: 12, DurationSeconds: 10,
+			Trunk: "trunk:0-*"},
+		{Type: faults.TypeRouterFlush, AtSeconds: 20, Lan: "lan:*"},
+	}}
+}
+
+// figure10TrialConfig parameterizes one faulted-campus trial.
+type figure10TrialConfig struct {
+	scheme  string         // single-scheme deployments
+	stack   registry.Stack // non-empty: deploy the stack instead
+	size    int
+	seed    int64
+	workers int
+	horizon time.Duration
+}
+
+// figure10TrialResult is one trial's outcome.
+type figure10TrialResult struct {
+	hosts    int
+	detected bool
+	latency  time.Duration
+	faults   uint64 // fault events the plan demonstrably injected
+}
+
+// runFigure10Trial assembles a campus sized for cfg.size hosts, installs
+// the deployment on every LAN, arms the standard LAN-0 gateway MITM, arms
+// the fault plan, and reports first-detection latency under adversity.
+func runFigure10Trial(cfg figure10TrialConfig) figure10TrialResult {
+	lans, perLAN := labnet.SizeCampus(cfg.size)
+	fanout := perLAN / 256
+	if fanout < 4 {
+		fanout = 4
+	}
+	campusCfg := labnet.CampusConfig{
+		Seed:             cfg.seed,
+		LANs:             lans,
+		HostsPerLAN:      perLAN,
+		Workers:          cfg.workers,
+		BackgroundFanout: fanout,
+		WithAttacker:     true,
+	}
+	if len(cfg.stack.Schemes) > 0 {
+		opts, err := registry.StackHostOptions(cfg.stack)
+		if err != nil {
+			panic(fmt.Sprintf("eval: stack host options: %v", err)) // a bug, not a result
+		}
+		campusCfg.HostOptions = opts
+	}
+	c := labnet.NewCampus(campusCfg)
+	defer c.Recycle()
+	if len(cfg.stack.Schemes) > 0 {
+		if _, err := c.DeployStack(cfg.stack); err != nil {
+			panic(fmt.Sprintf("eval: campus deploy stack: %v", err)) // a bug, not a result
+		}
+	} else if _, err := c.Deploy(cfg.scheme, detectionParams[cfg.scheme]); err != nil {
+		panic(fmt.Sprintf("eval: campus deploy %s: %v", cfg.scheme, err)) // a bug, not a result
+	}
+
+	lan0 := c.LANs[0]
+	atk, victim := lan0.Attacker, lan0.Victim()
+	gwIP, gwMAC := lan0.Router.IP(), lan0.Router.MAC()
+	// The same phase randomization as Figure 9's trials; the attack lands
+	// inside the impairment window and just before the backbone partition.
+	attackAt := 10*time.Second + time.Duration(lan0.Sched.Rand().Int63n(int64(5*time.Second)))
+	lan0.Sched.At(attackAt, func() {
+		atk.PoisonPeriodically(2*time.Second, victim.MAC(), victim.IP(), gwMAC, gwIP)
+		atk.RelayBetween(victim.MAC(), victim.IP(), gwMAC, gwIP)
+	})
+
+	// Same ordering contract as the scenario engine: faults arm after
+	// scheme deployment and attack arming.
+	ctl, err := faults.Apply(figure10FaultPlan(), c.FaultEnv())
+	if err != nil {
+		panic(fmt.Sprintf("eval: figure 10 fault plan rejected: %v", err)) // a bug, not a result
+	}
+
+	_ = c.Run(cfg.horizon)
+
+	res := figure10TrialResult{hosts: c.TotalHosts(), faults: ctl.Stats().Total()}
+	for _, a := range c.MergedAlerts() {
+		if a.LAN == 0 && (a.IP == gwIP || a.IP == victim.IP()) && a.At >= attackAt {
+			res.detected = true
+			res.latency = a.At - attackAt
+			break
+		}
+	}
+	if !res.detected {
+		// Censored at the observation bound, like every latency experiment.
+		res.latency = cfg.horizon - attackAt
+	}
+	return res
+}
+
+// Figure10FaultedCampus sweeps the campus population from hundreds to a
+// million stations and plots, per deployment, the median detection latency
+// under a fixed adversity script: a lossy access segment, a backbone
+// partition isolating the attacked LAN, and a campus-wide router flush.
+// Figure 9 argued the per-LAN vantage scales; this figure argues it also
+// degrades gracefully — detection is a segment-local property, so cutting
+// the backbone or flushing the routed core must not blind it.
+func Figure10FaultedCampus(sizes []int, trialsPerPoint, workers int, horizon time.Duration) *Figure {
+	f := &Figure{
+		ID: "Figure 10",
+		Title: fmt.Sprintf("Faulted campus: detection latency per deployment vs population (%d trials/point, %v horizon; lossy LAN 0 + backbone partition + router flush)",
+			trialsPerPoint, horizon),
+		XLabel: "hosts",
+		YLabel: "latency_ms",
+		XFmt:   "%.0f",
+		YFmt:   "%.1f",
+	}
+	deployments := figure10Deployments()
+	var cfgs []figure10TrialConfig
+	for _, d := range deployments {
+		for _, size := range sizes {
+			for seed := int64(1); seed <= int64(trialsPerPoint); seed++ {
+				cfgs = append(cfgs, figure10TrialConfig{
+					scheme:  d.scheme,
+					stack:   d.stack,
+					size:    size,
+					seed:    seed + 12000, // distinct seed space from Figure 9
+					workers: workers,
+					horizon: horizon,
+				})
+			}
+		}
+	}
+	scope := Scope{Experiment: "figure10", Params: fmt.Sprintf("horizon=%v", horizon)}
+	results := CachedMap(scope, cfgs, runFigure10Trial)
+	cell := 0
+	for _, d := range deployments {
+		for _, size := range sizes {
+			var latencies []float64
+			for _, res := range results[cell*trialsPerPoint : (cell+1)*trialsPerPoint] {
+				latencies = append(latencies, res.latency.Seconds()*1000)
+			}
+			cell++
+			f.AddPoint(d.label, float64(size), stats.Quantile(latencies, 0.5))
+		}
+	}
+	return f
+}

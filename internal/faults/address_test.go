@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLinkAddr(t *testing.T) {
+	good := []struct {
+		in   string
+		want linkAddr
+	}{
+		{"lan:3/link:7", linkAddr{lan: 3, link: 7}},
+		{"lan:*/link:7", linkAddr{lan: wildcard, link: 7}},
+		{"lan:3/link:*", linkAddr{lan: 3, link: wildcard}},
+		{"lan:3", linkAddr{lan: 3, link: wildcard}},
+		{"lan:*", linkAddr{lan: wildcard, link: wildcard}},
+		{"lan:0/link:0", linkAddr{lan: 0, link: 0}},
+	}
+	for _, tc := range good {
+		got, err := parseLinkAddr(tc.in)
+		if err != nil {
+			t.Fatalf("parseLinkAddr(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("parseLinkAddr(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	bad := []string{
+		"", "link:3", "lan:3/port:2", "lan:-1/link:0", "lan:x/link:0",
+		"lan:3/link:", "lan:/link:2", "lan:3/link:2/extra:1", "switch:0",
+	}
+	for _, in := range bad {
+		if _, err := parseLinkAddr(in); err == nil {
+			t.Fatalf("parseLinkAddr(%q): want error", in)
+		}
+	}
+}
+
+func TestParseHostAddr(t *testing.T) {
+	got, err := parseHostAddr("lan:3/host:2")
+	if err != nil || got != (hostAddr{lan: 3, host: 2}) {
+		t.Fatalf("lan:3/host:2 = %+v, %v", got, err)
+	}
+	got, err = parseHostAddr("lan:*/host:1")
+	if err != nil || got != (hostAddr{lan: wildcard, host: 1}) {
+		t.Fatalf("lan:*/host:1 = %+v, %v", got, err)
+	}
+	bad := []string{"", "lan:3", "host:2", "lan:3/host:*", "lan:3/link:2", "lan:*/host:-4"}
+	for _, in := range bad {
+		if _, err := parseHostAddr(in); err == nil {
+			t.Fatalf("parseHostAddr(%q): want error", in)
+		}
+	}
+	if _, err := parseHostAddr("lan:3/host:*"); err == nil || !strings.Contains(err.Error(), "concrete") {
+		t.Fatalf("wildcard host should explain itself, got %v", err)
+	}
+}
+
+func TestParseTrunkAddr(t *testing.T) {
+	good := []struct {
+		in   string
+		want trunkAddr
+	}{
+		{"trunk:2-5", trunkAddr{from: 2, to: 5}},
+		{"trunk:2-*", trunkAddr{from: 2, to: wildcard}},
+		{"trunk:*-5", trunkAddr{from: wildcard, to: 5}},
+		{"trunk:*", trunkAddr{from: wildcard, to: wildcard}},
+	}
+	for _, tc := range good {
+		got, err := parseTrunkAddr(tc.in)
+		if err != nil {
+			t.Fatalf("parseTrunkAddr(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("parseTrunkAddr(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	bad := []string{"", "trunk:", "trunk:2", "trunk:2-x", "lan:2-5", "trunk:2+5"}
+	for _, in := range bad {
+		if _, err := parseTrunkAddr(in); err == nil {
+			t.Fatalf("parseTrunkAddr(%q): want error", in)
+		}
+	}
+}
+
+func TestParseLanAddr(t *testing.T) {
+	if got, err := parseLanAddr("lan:4"); err != nil || got != 4 {
+		t.Fatalf("lan:4 = %v, %v", got, err)
+	}
+	if got, err := parseLanAddr("lan:*"); err != nil || got != wildcard {
+		t.Fatalf("lan:* = %v, %v", got, err)
+	}
+	for _, in := range []string{"", "4", "lan:", "lan:-2", "trunk:4"} {
+		if _, err := parseLanAddr(in); err == nil {
+			t.Fatalf("parseLanAddr(%q): want error", in)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -58,7 +59,24 @@ const (
 	// TypeDHCPOutage takes every DHCP server in the environment out of
 	// service for the event window.
 	TypeDHCPOutage = "dhcp-outage"
+	// TypeTrunkPartition takes the selected backbone trunks down for the
+	// event window: every frame offered to them is dropped at the source
+	// edge. Only meaningful on routed topologies (Env.Trunks); requires a
+	// positive duration.
+	TypeTrunkPartition = "trunk-partition"
+	// TypeRouterFlush clears the selected segments' edge-router learned ARP
+	// tables at AtSeconds — the routed-campus analogue of a CAM flush.
+	TypeRouterFlush = "router-flush"
 )
+
+// Types lists every fault type Apply understands, in documentation order.
+func Types() []string {
+	return []string{
+		TypeGilbertElliott, TypeDuplicate, TypeReorder, TypeLinkFlap,
+		TypeHostChurn, TypeCAMFlush, TypeDHCPOutage,
+		TypeTrunkPartition, TypeRouterFlush,
+	}
+}
 
 // Plan is a schedule of fault events, loadable from JSON (a scenario file's
 // "faults" section). The zero plan is valid and injects nothing.
@@ -79,10 +97,28 @@ type Event struct {
 	// a misconfiguration, not a fault model).
 	DurationSeconds float64 `json:"durationSeconds,omitempty"`
 	// Link targets one link by index (see Env.Links); nil targets every
-	// link in the environment. Ignored by host/switch/DHCP faults.
+	// link in the environment. Ignored by host/switch/DHCP faults. On a
+	// routed topology a bare index addresses LAN 0; use LinkAt to reach
+	// other segments.
 	Link *int `json:"link,omitempty"`
-	// Host targets one station by index for host-churn.
+	// LinkAt targets links hierarchically on any topology: "lan:3/link:7",
+	// "lan:*/link:0", "lan:2/link:*", or "lan:*". A flat LAN is the
+	// single-site topology lan 0, so "lan:0/link:3" means exactly
+	// `"link": 3`. Mutually exclusive with Link.
+	LinkAt string `json:"linkAt,omitempty"`
+	// Host targets one station by index for host-churn (LAN 0 on a routed
+	// topology).
 	Host *int `json:"host,omitempty"`
+	// HostAt targets one station hierarchically for host-churn:
+	// "lan:3/host:2", or "lan:*/host:2" for that index on every segment.
+	// Mutually exclusive with Host.
+	HostAt string `json:"hostAt,omitempty"`
+	// Trunk selects backbone edges for trunk-partition: "trunk:2-5",
+	// "trunk:2-*", "trunk:*-5", or "trunk:*". Empty partitions every edge.
+	Trunk string `json:"trunk,omitempty"`
+	// Lan scopes cam-flush and router-flush to segments: "lan:3" or
+	// "lan:*". Empty targets every segment that has the flushed object.
+	Lan string `json:"lan,omitempty"`
 
 	// Gilbert-Elliott channel parameters: per-frame transition
 	// probabilities between the Good and Bad states and the loss
@@ -149,6 +185,32 @@ func (e *Event) validate(i int) error {
 		}
 		return nil
 	}
+	if e.Link != nil && e.LinkAt != "" {
+		return fail("link and linkAt are mutually exclusive")
+	}
+	if e.LinkAt != "" {
+		if _, err := parseLinkAddr(e.LinkAt); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if e.Host != nil && e.HostAt != "" {
+		return fail("host and hostAt are mutually exclusive")
+	}
+	if e.HostAt != "" {
+		if _, err := parseHostAddr(e.HostAt); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if e.Trunk != "" {
+		if _, err := parseTrunkAddr(e.Trunk); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if e.Lan != "" {
+		if _, err := parseLanAddr(e.Lan); err != nil {
+			return fail("%v", err)
+		}
+	}
 	switch e.Type {
 	case TypeGilbertElliott:
 		for _, p := range []struct {
@@ -172,17 +234,18 @@ func (e *Event) validate(i int) error {
 		if e.Prob == 0 {
 			return fail("prob is zero; the event would never fire")
 		}
-	case TypeLinkFlap, TypeHostChurn:
+	case TypeLinkFlap, TypeHostChurn, TypeTrunkPartition:
 		if e.DurationSeconds <= 0 {
 			return fail("requires a positive durationSeconds")
 		}
-		if e.Type == TypeHostChurn && e.Host == nil {
-			return fail("requires a host index")
+		if e.Type == TypeHostChurn && e.Host == nil && e.HostAt == "" {
+			return fail("requires a host index (host or hostAt)")
 		}
-	case TypeCAMFlush, TypeDHCPOutage:
+	case TypeCAMFlush, TypeDHCPOutage, TypeRouterFlush:
 		// No extra fields.
 	default:
-		return fmt.Errorf("fault event %d: unknown type %q", i, e.Type)
+		return fmt.Errorf("fault event %d: unknown type %q (valid types: %s)",
+			i, e.Type, strings.Join(Types(), ", "))
 	}
 	return nil
 }

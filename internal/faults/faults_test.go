@@ -347,3 +347,87 @@ func TestTelemetryCountersAndEvents(t *testing.T) {
 		t.Fatal("no structured events from the faults component")
 	}
 }
+
+// TestHierarchicalAddressValidation pins the strict-decode behavior of the
+// hierarchical selectors: malformed addresses fail at Apply with an error
+// naming the event, and the unknown-type error lists every valid type.
+func TestHierarchicalAddressValidation(t *testing.T) {
+	l := labnet.New(labnet.Config{Seed: 11, Hosts: 4, WithAttacker: false, WithMonitor: false})
+	env := l.FaultEnv()
+	cases := []struct {
+		name string
+		ev   faults.Event
+		want string
+	}{
+		{"bad linkAt", faults.Event{Type: faults.TypeLinkFlap, DurationSeconds: 1, LinkAt: "lan:0/port:3"}, "bad selector part"},
+		{"garbage linkAt", faults.Event{Type: faults.TypeReorder, Prob: 0.5, LinkAt: "everything"}, `link address "everything"`},
+		{"negative lan", faults.Event{Type: faults.TypeReorder, Prob: 0.5, LinkAt: "lan:-2/link:0"}, "non-negative"},
+		{"link and linkAt", faults.Event{Type: faults.TypeLinkFlap, DurationSeconds: 1, Link: intp(0), LinkAt: "lan:0"}, "mutually exclusive"},
+		{"bad hostAt", faults.Event{Type: faults.TypeHostChurn, DurationSeconds: 1, HostAt: "lan:0"}, "want lan:<i>/host:<j>"},
+		{"wildcard host", faults.Event{Type: faults.TypeHostChurn, DurationSeconds: 1, HostAt: "lan:*/host:*"}, "concrete"},
+		{"host and hostAt", faults.Event{Type: faults.TypeHostChurn, DurationSeconds: 1, Host: intp(1), HostAt: "lan:0/host:1"}, "mutually exclusive"},
+		{"bad trunk", faults.Event{Type: faults.TypeTrunkPartition, DurationSeconds: 1, Trunk: "trunk:2"}, "want trunk:<from>-<to>"},
+		{"bad lan", faults.Event{Type: faults.TypeCAMFlush, Lan: "site:3"}, "bad selector part"},
+		{"linkAt lan out of range", faults.Event{Type: faults.TypeReorder, Prob: 0.5, LinkAt: "lan:7/link:0"}, "lan 7 out of range"},
+		{"linkAt link out of range", faults.Event{Type: faults.TypeReorder, Prob: 0.5, LinkAt: "lan:0/link:99"}, "out of range"},
+		{"hostAt out of range", faults.Event{Type: faults.TypeHostChurn, DurationSeconds: 1, HostAt: "lan:0/host:99"}, "out of range"},
+		{"trunks on flat", faults.Event{Type: faults.TypeTrunkPartition, DurationSeconds: 1, Trunk: "trunk:*"}, "routed campus topology"},
+		{"router flush on flat", faults.Event{Type: faults.TypeRouterFlush}, "routed campus topology"},
+	}
+	for _, tc := range cases {
+		_, err := faults.Apply(&faults.Plan{Events: []faults.Event{tc.ev}}, env)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	_, err := faults.Apply(&faults.Plan{Events: []faults.Event{{Type: "meteor-strike"}}}, env)
+	if err == nil || !strings.Contains(err.Error(), "valid types") ||
+		!strings.Contains(err.Error(), faults.TypeTrunkPartition) {
+		t.Fatalf("unknown-type error should list valid types, got: %v", err)
+	}
+}
+
+// TestFlatPlanEqualsLanZeroPlan pins the single-site equivalence at the
+// faults layer: on the same flat LAN, a plan addressing "link": i behaves
+// byte-identically to one addressing "lan:0/link:<i>" (same injector
+// streams, same targets), and a bare-index host-churn matches its
+// "lan:0/host:<i>" spelling.
+func TestFlatPlanEqualsLanZeroPlan(t *testing.T) {
+	run := func(p *faults.Plan) (faults.Stats, uint64) {
+		l := labnet.New(labnet.Config{Seed: 21, Hosts: 5, WithAttacker: false, WithMonitor: false})
+		l.SeedMutualCaches()
+		chatter(l, 50*time.Millisecond)
+		ctl, err := faults.Apply(p, l.FaultEnv())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Run(40 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		var rx uint64
+		for _, h := range l.Hosts {
+			rx += h.Stats().IPv4Rx
+		}
+		return ctl.Stats(), rx
+	}
+	flat := &faults.Plan{Events: []faults.Event{
+		{Type: faults.TypeGilbertElliott, AtSeconds: 2, DurationSeconds: 20, PGoodBad: 0.1, PBadGood: 0.2, LossBad: 0.9, Link: intp(1)},
+		{Type: faults.TypeLinkFlap, AtSeconds: 10, DurationSeconds: 3, Link: intp(2)},
+		{Type: faults.TypeHostChurn, AtSeconds: 20, DurationSeconds: 2, Host: intp(3)},
+		{Type: faults.TypeReorder, Prob: 0.2, MaxDelayMillis: 4},
+	}}
+	prefixed := &faults.Plan{Events: []faults.Event{
+		{Type: faults.TypeGilbertElliott, AtSeconds: 2, DurationSeconds: 20, PGoodBad: 0.1, PBadGood: 0.2, LossBad: 0.9, LinkAt: "lan:0/link:1"},
+		{Type: faults.TypeLinkFlap, AtSeconds: 10, DurationSeconds: 3, LinkAt: "lan:0/link:2"},
+		{Type: faults.TypeHostChurn, AtSeconds: 20, DurationSeconds: 2, HostAt: "lan:0/host:3"},
+		{Type: faults.TypeReorder, Prob: 0.2, MaxDelayMillis: 4, LinkAt: "lan:*"},
+	}}
+	s1, rx1 := run(flat)
+	s2, rx2 := run(prefixed)
+	if !reflect.DeepEqual(s1, s2) || rx1 != rx2 {
+		t.Fatalf("flat plan and lan:0-prefixed plan diverged:\n%+v (rx %d)\n%+v (rx %d)", s1, rx1, s2, rx2)
+	}
+	if s1.Total() == 0 {
+		t.Fatal("plan injected nothing")
+	}
+}

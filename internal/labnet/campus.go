@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arppkt"
 	"repro/internal/ethaddr"
+	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/ipv4pkt"
 	"repro/internal/netsim"
@@ -49,9 +50,15 @@ type CampusConfig struct {
 	CacheTTL    time.Duration
 	HostOptions []stack.Option
 	CAMCapacity int
-	// WithAttacker attaches an attacker station to LAN 0 only — the
+	// WithAttacker attaches an attacker station to exactly one LAN — the
 	// evaluation convention: one compromised machine inside one segment.
 	WithAttacker bool
+	// AttackerLAN selects which segment hosts that station (default 0).
+	AttackerLAN int
+	// LANHostOptions appends per-LAN construction-time host options after
+	// the shared HostOptions — how construction-only schemes (secure-arp
+	// variants) deploy onto a subset of segments.
+	LANHostOptions map[int][]stack.Option
 	// BackgroundPeriod is the bank traffic tick (default 1s, 0 keeps the
 	// default; negative disables background traffic).
 	BackgroundPeriod time.Duration
@@ -75,11 +82,22 @@ type CampusLAN struct {
 	Sink *schemes.Sink
 }
 
+// CampusTrunk is one backbone edge: the unidirectional trunk carrying
+// LAN From's router traffic toward LAN To. Fault plans address it as
+// "trunk:<from>-<to>".
+type CampusTrunk struct {
+	From, To int
+	Trunk    *netsim.Trunk
+}
+
 // Campus is the assembled multi-LAN topology.
 type Campus struct {
 	Sharded *sim.ShardedScheduler
 	LANs    []*CampusLAN
-	cfg     CampusConfig
+	// Trunks lists the backbone edges in deterministic (From, To) order —
+	// the trunk-partition fault targets.
+	Trunks []CampusTrunk
+	cfg    CampusConfig
 }
 
 // CampusSubnet returns LAN i's prefix under the 10.<lan>.0.0/16 plan.
@@ -137,6 +155,9 @@ func NewCampus(cfg CampusConfig) *Campus {
 	if cfg.BackgroundFanout == 0 {
 		cfg.BackgroundFanout = 4
 	}
+	if cfg.AttackerLAN < 0 || cfg.AttackerLAN >= cfg.LANs {
+		panic(fmt.Sprintf("labnet: attacker LAN %d outside [0, %d)", cfg.AttackerLAN, cfg.LANs))
+	}
 	if cfg.CAMCapacity == 0 {
 		// Room for every speaking station: actives, router, attacker, and
 		// the bank MACs the background traffic rotates through.
@@ -166,6 +187,10 @@ func NewCampus(cfg CampusConfig) *Campus {
 		if i == 0 {
 			reg = cfg.Telemetry
 		}
+		hostOpts := cfg.HostOptions
+		if extra := cfg.LANHostOptions[i]; len(extra) > 0 {
+			hostOpts = append(append([]stack.Option(nil), cfg.HostOptions...), extra...)
+		}
 		lan := New(Config{
 			Seed:          lanSeed,
 			Sched:         sh,
@@ -174,10 +199,10 @@ func NewCampus(cfg CampusConfig) *Campus {
 			Policy:        cfg.Policy,
 			CacheTTL:      cfg.CacheTTL,
 			Subnet:        CampusSubnet(i),
-			WithAttacker:  cfg.WithAttacker && i == 0,
+			WithAttacker:  cfg.WithAttacker && i == cfg.AttackerLAN,
 			WithMonitor:   true,
 			CAMCapacity:   cfg.CAMCapacity,
-			HostOptions:   cfg.HostOptions,
+			HostOptions:   hostOpts,
 			Telemetry:     reg,
 		})
 		rtrNIC := netsim.NewNIC(sh, lan.Gen.SeqMAC())
@@ -200,6 +225,7 @@ func NewCampus(cfg CampusConfig) *Campus {
 			}
 			trunk := netsim.NewTrunk(ss.Link(i, j, cfg.TrunkLatency), c.LANs[j].Router)
 			c.LANs[i].Router.AddRoute(c.LANs[j].Subnet, trunk)
+			c.Trunks = append(c.Trunks, CampusTrunk{From: i, To: j, Trunk: trunk})
 		}
 	}
 
@@ -228,8 +254,50 @@ func (c *Campus) TotalHosts() int {
 // Run drains the campus to the horizon across all shards.
 func (c *Campus) Run(horizon time.Duration) error { return c.Sharded.RunUntil(horizon) }
 
-// Attacker returns LAN 0's attacker station (nil without WithAttacker).
-func (c *Campus) Attacker() *CampusLAN { return c.LANs[0] }
+// Attacker returns the attacker's LAN (nil station without WithAttacker).
+func (c *Campus) Attacker() *CampusLAN { return c.LANs[c.cfg.AttackerLAN] }
+
+// AttackerLAN returns the index of the segment hosting the attacker.
+func (c *Campus) AttackerLAN() int { return c.cfg.AttackerLAN }
+
+// Sites renders the campus as the deployment plane's ordered site list:
+// one per LAN, each carrying its router, sink, and (site 0 only) the
+// telemetry registry. The attacker's identity rides along to every remote
+// segment so inline schemes can whitelist the genuine binding when its
+// traffic crosses the backbone.
+func (c *Campus) Sites() []*Site {
+	out := make([]*Site, len(c.LANs))
+	for i, cl := range c.LANs {
+		s := &Site{Index: i, LAN: cl.LAN, Router: cl.Router, Sink: cl.Sink}
+		if i == 0 {
+			s.Telemetry = c.cfg.Telemetry
+		}
+		if c.cfg.WithAttacker {
+			atk := c.LANs[c.cfg.AttackerLAN].Attacker
+			s.attackerMAC = atk.MAC()
+			s.attackerIP = atk.IP()
+			s.remoteAttacker = true
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// FaultEnv renders the campus for faults.Apply: one site view per LAN
+// (each armed on its own shard) and one trunk view per backbone edge
+// (armed on the sending LAN's shard, which owns the partition flag).
+func (c *Campus) FaultEnv() faults.Env {
+	env := faults.Env{Sched: c.LANs[0].Sched, Registry: c.cfg.Telemetry}
+	for _, s := range c.Sites() {
+		env.Sites = append(env.Sites, s.faultView())
+	}
+	for _, t := range c.Trunks {
+		env.Trunks = append(env.Trunks, faults.TrunkEnv{
+			From: t.From, To: t.To, Sched: c.LANs[t.From].Sched, Trunk: t.Trunk,
+		})
+	}
+	return env
+}
 
 // Deploy installs a registry scheme on every LAN, each instance reporting
 // into its LAN's sink. Per-LAN cost schemes (appliances, switch features)
@@ -237,22 +305,24 @@ func (c *Campus) Attacker() *CampusLAN { return c.LANs[0] }
 // them; per-host schemes touch each LAN's active stations.
 func (c *Campus) Deploy(name string, params any) ([]*registry.Instance, error) {
 	insts := make([]*registry.Instance, 0, len(c.LANs))
-	for _, cl := range c.LANs {
-		var reg *telemetry.Registry
-		if cl.Index == 0 {
-			reg = c.cfg.Telemetry
-		}
-		env := cl.LAN.Env(cl.Sink, reg)
-		if cl.Attacker == nil && c.cfg.WithAttacker {
-			// Remote LANs never see the attacker station, but inline
-			// schemes still need its identity to whitelist the genuine
-			// binding if its traffic ever crosses the backbone.
-			env.AttackerMAC = c.LANs[0].Attacker.MAC()
-			env.AttackerIP = c.LANs[0].Attacker.IP()
-		}
-		inst, err := registry.Deploy(env, name, params)
+	for _, s := range c.Sites() {
+		inst, err := registry.Deploy(s.Env(), name, params)
 		if err != nil {
-			return nil, fmt.Errorf("lan %d: %w", cl.Index, err)
+			return nil, fmt.Errorf("lan %d: %w", s.Index, err)
+		}
+		insts = append(insts, inst)
+	}
+	return insts, nil
+}
+
+// DeployStack installs an a+b+c stack on every LAN, one correlated
+// StackInstance per segment reporting into that segment's sink.
+func (c *Campus) DeployStack(st registry.Stack) ([]*registry.StackInstance, error) {
+	insts := make([]*registry.StackInstance, 0, len(c.LANs))
+	for _, s := range c.Sites() {
+		inst, err := registry.DeployStack(s.Env(), st)
+		if err != nil {
+			return nil, fmt.Errorf("lan %d: %w", s.Index, err)
 		}
 		insts = append(insts, inst)
 	}

@@ -1,0 +1,101 @@
+// The topology-neutral deployment plane. Schemes, stacks, and fault plans
+// used to care which world they ran in: registry deployment took a flat
+// LAN's Env, faults.Apply took a flat LAN's FaultEnv, and the campus had
+// its own duplicated arming paths. Site and Topology collapse the two
+// worlds into one surface — a flat LAN is simply the one-site topology
+// "lan 0", a campus is N sites plus a trunk mesh — so the scenario engine
+// and the eval experiments deploy onto either through identical code.
+package labnet
+
+import (
+	"time"
+
+	"repro/internal/ethaddr"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/schemes"
+	"repro/internal/schemes/registry"
+	"repro/internal/telemetry"
+)
+
+// Site is one deployable segment of a topology: the LAN itself, its alert
+// sink, the segment's edge router when routed (nil on flat LANs), and the
+// telemetry registry (nil on uninstrumented shards — registries are not
+// goroutine-safe, so only site 0 carries one). A Site renders the views
+// registry.Deploy/DeployStack and faults.Apply consume.
+type Site struct {
+	Index     int
+	LAN       *LAN
+	Router    *netsim.RouterIface
+	Sink      *schemes.Sink
+	Telemetry *telemetry.Registry
+
+	// Attacker identity for segments that don't host the station: campus
+	// deployments whitelist the genuine binding fabric-wide so inline
+	// schemes don't flag its legitimate cross-backbone traffic.
+	attackerMAC    ethaddr.MAC
+	attackerIP     ethaddr.IPv4
+	remoteAttacker bool
+}
+
+// Env renders the segment as a scheme-deployment environment.
+func (s *Site) Env() *registry.Env {
+	env := s.LAN.Env(s.Sink, s.Telemetry)
+	if s.remoteAttacker && s.LAN.Attacker == nil {
+		env.AttackerMAC = s.attackerMAC
+		env.AttackerIP = s.attackerIP
+	}
+	return env
+}
+
+// faultView renders the segment as one faults site.
+func (s *Site) faultView() faults.SiteEnv {
+	fe := s.LAN.FaultEnv()
+	return faults.SiteEnv{
+		Sched:  s.LAN.Sched,
+		Links:  fe.Links,
+		Switch: fe.Switch,
+		Hosts:  fe.Hosts,
+		Router: s.Router,
+	}
+}
+
+// Topology is the deployment-neutral surface shared by flat LANs (via
+// Single) and the routed Campus: an ordered site list, a fault environment
+// covering every segment and trunk, and the run loop.
+type Topology interface {
+	Sites() []*Site
+	FaultEnv() faults.Env
+	Run(horizon time.Duration) error
+}
+
+// Single wraps a flat LAN as the one-site topology "lan 0". Hierarchical
+// fault addresses like "lan:0/link:3" resolve to exactly the objects their
+// bare-index spellings target, and scheme deployment lands on the LAN's
+// single site.
+type Single struct {
+	LAN      *LAN
+	Sink     *schemes.Sink
+	Registry *telemetry.Registry
+}
+
+// Sites returns the LAN as site 0.
+func (s *Single) Sites() []*Site {
+	return []*Site{{Index: 0, LAN: s.LAN, Sink: s.Sink, Telemetry: s.Registry}}
+}
+
+// FaultEnv returns the LAN's flat fault environment (which faults.Apply
+// treats as the implicit site 0), carrying the registry when instrumented.
+func (s *Single) FaultEnv() faults.Env {
+	env := s.LAN.FaultEnv()
+	env.Registry = s.Registry
+	return env
+}
+
+// Run drains the LAN to the horizon.
+func (s *Single) Run(horizon time.Duration) error { return s.LAN.Run(horizon) }
+
+var (
+	_ Topology = (*Single)(nil)
+	_ Topology = (*Campus)(nil)
+)

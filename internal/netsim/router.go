@@ -125,6 +125,19 @@ func (r *RouterIface) Lookup(ip ethaddr.IPv4) (ethaddr.MAC, bool) {
 	return mac, ok
 }
 
+// FlushBindings clears the interface's learned ARP table — the router-side
+// analogue of a switch CAM flush, exposed as a campus fault hook. Queued
+// packets and in-flight resolutions are left alone: the next delivery simply
+// re-resolves, exactly what a real cache wipe causes. Returns how many
+// bindings were dropped.
+func (r *RouterIface) FlushBindings() int {
+	n := len(r.arp)
+	for ip := range r.arp {
+		delete(r.arp, ip)
+	}
+	return n
+}
+
 // route finds the trunk covering dst, nil when no route matches.
 func (r *RouterIface) route(dst ethaddr.IPv4) *Trunk {
 	for i := range r.routes {
@@ -279,8 +292,17 @@ func (r *RouterIface) emitLocal(mac ethaddr.MAC, buf []byte) {
 // backbone from one router interface's shard to another's. Send carries
 // only freshly encoded bytes, so the two shards share no frame memory.
 type Trunk struct {
-	cl  *sim.CrossLink
-	dst *RouterIface
+	cl   *sim.CrossLink
+	dst  *RouterIface
+	down bool
+	stat TrunkStats
+}
+
+// TrunkStats counts one trunk edge's fault behavior.
+type TrunkStats struct {
+	// PartitionDropped counts packets offered to the trunk while it was
+	// administratively partitioned.
+	PartitionDropped uint64
 }
 
 // NewTrunk wires a trunk over a cross-shard link toward dst. The link's
@@ -290,9 +312,27 @@ func NewTrunk(cl *sim.CrossLink, dst *RouterIface) *Trunk {
 	return &Trunk{cl: cl, dst: dst}
 }
 
+// SetDown administratively partitions (or restores) the trunk. The flag is
+// owned by the sending shard — it is read only inside Send, which runs in
+// the source LAN's time domain — so fault plans toggle it from there. The
+// underlying CrossLink stays wired either way: a partitioned trunk still
+// bounds the sharded engine's lookahead, it just carries nothing.
+func (t *Trunk) SetDown(v bool) { t.down = v }
+
+// Down reports whether the trunk is partitioned.
+func (t *Trunk) Down() bool { return t.down }
+
+// Stats returns a copy of the trunk's fault counters.
+func (t *Trunk) Stats() TrunkStats { return t.stat }
+
 // Send ships an encoded IPv4 packet for dst across the trunk; it arrives
-// at the far interface after the trunk latency.
+// at the far interface after the trunk latency. A partitioned trunk eats
+// the packet — the backbone edge is simply gone for its duration.
 func (t *Trunk) Send(dst ethaddr.IPv4, buf []byte) {
+	if t.down {
+		t.stat.PartitionDropped++
+		return
+	}
 	dstIface := t.dst
 	t.cl.Send(func() { dstIface.injectFromTrunk(dst, buf) })
 }

@@ -29,6 +29,7 @@ type twoLAN struct {
 	ss     *sim.ShardedScheduler
 	hosts  [2]*stack.Host
 	ifaces [2]*netsim.RouterIface
+	trunks [2]*netsim.Trunk // trunks[i] leaves LAN i
 }
 
 func buildTwoLAN(seed int64, workers int) *twoLAN {
@@ -57,6 +58,7 @@ func buildTwoLAN(seed int64, workers int) *twoLAN {
 	for i := 0; i < 2; i++ {
 		j := 1 - i
 		trunk := netsim.NewTrunk(ss.Link(i, j, time.Millisecond), tl.ifaces[j])
+		tl.trunks[i] = trunk
 		tl.ifaces[i].AddRoute(tl.ifaces[j].Subnet(), trunk)
 	}
 	return tl
@@ -215,5 +217,59 @@ func TestRouterWidthParity(t *testing.T) {
 	}
 	if got := run(2); got != want {
 		t.Fatalf("width 2 diverged\nwidth1:\n%s\nwidth2:\n%s", want, got)
+	}
+}
+
+// TestTrunkPartitionDropsCrossLAN: a partitioned trunk eats everything
+// offered to it — counted, not delivered — and restoring it lets traffic
+// flow again. The CrossLink stays wired throughout, so the sharded
+// engine's lookahead bound is untouched.
+func TestTrunkPartitionDropsCrossLAN(t *testing.T) {
+	tl := buildTwoLAN(9, 1)
+	var got int
+	tl.hosts[1].HandleUDP(9999, func(ethaddr.IPv4, uint16, []byte) { got++ })
+	send := func() {
+		tl.hosts[0].SendUDP(tl.hosts[1].IP(), 1234, 9999, []byte("probe"))
+	}
+	tl.ss.Shard(0).At(100*time.Millisecond, send) // before the partition
+	tl.ss.Shard(0).At(500*time.Millisecond, func() { tl.trunks[0].SetDown(true) })
+	tl.ss.Shard(0).At(600*time.Millisecond, send) // into the partition
+	tl.ss.Shard(0).At(900*time.Millisecond, func() { tl.trunks[0].SetDown(false) })
+	tl.ss.Shard(0).At(time.Second, send) // after restoration
+	if err := tl.ss.RunUntil(3 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d datagrams, want 2 (one eaten by the partition)", got)
+	}
+	if st := tl.trunks[0].Stats(); st.PartitionDropped != 1 {
+		t.Fatalf("PartitionDropped = %d, want 1", st.PartitionDropped)
+	}
+}
+
+// TestRouterFlushBindings: flushing wipes the learned table and reports the
+// count; the next delivery re-resolves and repopulates it.
+func TestRouterFlushBindings(t *testing.T) {
+	tl := buildTwoLAN(10, 1)
+	var got int
+	tl.hosts[1].HandleUDP(9999, func(ethaddr.IPv4, uint16, []byte) { got++ })
+	send := func() {
+		tl.hosts[0].SendUDP(tl.hosts[1].IP(), 1234, 9999, []byte("probe"))
+	}
+	tl.ss.Shard(0).At(100*time.Millisecond, send)
+	flushed := -1
+	tl.ss.Shard(1).At(2*time.Second, func() { flushed = tl.ifaces[1].FlushBindings() })
+	tl.ss.Shard(0).At(3*time.Second, send)
+	if err := tl.ss.RunUntil(6 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if flushed < 1 {
+		t.Fatalf("FlushBindings dropped %d bindings, want >= 1", flushed)
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d datagrams, want 2 (flush must only force re-resolution)", got)
+	}
+	if mac, ok := tl.ifaces[1].Lookup(tl.hosts[1].IP()); !ok || mac != tl.hosts[1].MAC() {
+		t.Fatalf("binding not relearned after flush: %v ok=%v", mac, ok)
 	}
 }

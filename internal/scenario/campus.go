@@ -1,15 +1,17 @@
 // Campus scenarios: the same JSON front end, run on the sharded engine
-// over a routed multi-LAN topology instead of one flat segment. Schemes
-// deploy per-LAN (the paper's per-LAN cost vantage), the attack timeline
-// plays out inside LAN 0 against its router gateway, and the per-LAN alert
-// sinks merge into one deterministically ordered campus view.
+// over a routed multi-LAN topology instead of one flat segment. Schemes,
+// stacks, and fault plans ride the same deployment plane as flat runs —
+// top-level entries land on every LAN, Deployments scope them to segment
+// subsets — the attack timeline plays out inside the attacker's LAN
+// against its router gateway, and the per-LAN alert sinks merge into one
+// deterministically ordered campus view.
 package scenario
 
 import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/labnet"
 	"repro/internal/schemes/kernelpolicy"
 	"repro/internal/schemes/registry"
@@ -17,8 +19,55 @@ import (
 	"repro/internal/trace"
 )
 
-// runCampus executes a Spec whose Campus section is present. Validate has
-// already rejected the combinations that cannot work here (faults, stacks).
+// campusHostOptions folds the spec's construction-time host options: the
+// fabric-wide set from top-level schemes and stacks, plus the per-LAN sets
+// from scoped deployments.
+func campusHostOptions(spec *Spec, lans int) (shared []stack.Option, perLAN map[int][]stack.Option, err error) {
+	for _, s := range spec.Schemes {
+		opts, err := registry.HostOptions(s.Name, s.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		shared = append(shared, opts...)
+	}
+	for _, st := range spec.Stacks {
+		opts, err := registry.StackHostOptions(st)
+		if err != nil {
+			return nil, nil, err
+		}
+		shared = append(shared, opts...)
+	}
+	for di, d := range spec.Campus.Deployments {
+		var opts []stack.Option
+		for _, s := range d.Schemes {
+			o, err := registry.HostOptions(s.Name, s.Params)
+			if err != nil {
+				return nil, nil, fmt.Errorf("campus deployment %d: %w", di, err)
+			}
+			opts = append(opts, o...)
+		}
+		for _, st := range d.Stacks {
+			o, err := registry.StackHostOptions(st)
+			if err != nil {
+				return nil, nil, fmt.Errorf("campus deployment %d: %w", di, err)
+			}
+			opts = append(opts, o...)
+		}
+		if len(opts) == 0 {
+			continue
+		}
+		targets, _ := parseLANSelector(d.LANs, lans) // Validate vouched
+		if perLAN == nil {
+			perLAN = make(map[int][]stack.Option)
+		}
+		for _, li := range targets {
+			perLAN[li] = append(perLAN[li], opts...)
+		}
+	}
+	return shared, perLAN, nil
+}
+
+// runCampus executes a Spec whose Campus section is present.
 func runCampus(spec *Spec, rc *runConfig) (*Result, error) {
 	reg := rc.registry
 	if spec.DurationSeconds == 0 {
@@ -32,16 +81,16 @@ func runCampus(spec *Spec, rc *runConfig) (*Result, error) {
 	}
 	prof, _ := kernelpolicy.Find(spec.Policy) // Validate vouched for the name
 
-	var hostOpts []stack.Option
-	for _, s := range spec.Schemes {
-		opts, err := registry.HostOptions(s.Name, s.Params)
-		if err != nil {
-			return nil, err
-		}
-		hostOpts = append(hostOpts, opts...)
+	cs := spec.Campus
+	lans := cs.LANs
+	if lans == 0 {
+		lans = 4 // labnet's default, needed here to resolve selectors
+	}
+	hostOpts, lanOpts, err := campusHostOptions(spec, lans)
+	if err != nil {
+		return nil, err
 	}
 
-	cs := spec.Campus
 	trunk := time.Millisecond
 	if cs.TrunkLatencyMicros > 0 {
 		trunk = time.Duration(cs.TrunkLatencyMicros * float64(time.Microsecond))
@@ -55,7 +104,9 @@ func runCampus(spec *Spec, rc *runConfig) (*Result, error) {
 		Workers:           cs.Workers,
 		Policy:            prof.Policy,
 		HostOptions:       hostOpts,
+		LANHostOptions:    lanOpts,
 		WithAttacker:      true,
+		AttackerLAN:       cs.AttackerLAN,
 		Telemetry:         reg,
 	})
 	defer c.Recycle()
@@ -65,35 +116,42 @@ func runCampus(spec *Spec, rc *runConfig) (*Result, error) {
 	lan0.Switch.AddTap(capture.Tap())
 	lan0.Sink.Instrument(reg)
 
-	var guards []*core.Guard
-	for _, s := range spec.Schemes {
-		f, ok := registry.Lookup(s.Name)
-		if !ok {
-			return nil, registry.UnknownSchemeError(s.Name)
+	sites := c.Sites()
+	var dep deployment
+	if err := deployOnto(sites, spec.Schemes, spec.Stacks, &dep); err != nil {
+		return nil, err
+	}
+	for di, d := range cs.Deployments {
+		targets, _ := parseLANSelector(d.LANs, len(sites)) // Validate vouched
+		sub := make([]*labnet.Site, 0, len(targets))
+		for _, li := range targets {
+			sub = append(sub, sites[li])
 		}
-		if f.ConstructionOnly() {
-			continue // already applied through hostOpts
-		}
-		insts, err := c.Deploy(s.Name, s.Params)
-		if err != nil {
-			return nil, err
-		}
-		for _, inst := range insts {
-			if g, ok := inst.Handle.(*core.Guard); ok {
-				guards = append(guards, g)
-			}
+		if err := deployOnto(sub, d.Schemes, d.Stacks, &dep); err != nil {
+			return nil, fmt.Errorf("campus deployment %d: %w", di, err)
 		}
 	}
 
+	atkLAN := c.Attacker()
 	if err := armAttacks(spec, attackTargets{
-		sched:  lan0.Sched,
-		atk:    lan0.Attacker,
-		victim: lan0.Victim(),
-		gwIP:   lan0.Router.IP(),
-		gwMAC:  lan0.Router.MAC(),
-		subnet: lan0.Subnet,
+		sched:  atkLAN.Sched,
+		atk:    atkLAN.Attacker,
+		victim: atkLAN.Victim(),
+		gwIP:   atkLAN.Router.IP(),
+		gwMAC:  atkLAN.Router.MAC(),
+		subnet: atkLAN.Subnet,
 	}); err != nil {
 		return nil, err
+	}
+
+	// Same ordering contract as the flat path: faults arm after scheme
+	// deployment and attack arming, before background traffic.
+	var faultCtl *faults.Controller
+	if spec.Faults != nil {
+		var err error
+		if faultCtl, err = faults.Apply(spec.Faults, c.FaultEnv()); err != nil {
+			return nil, err
+		}
 	}
 
 	// The flat topology's background cadence, per LAN: every active station
@@ -116,9 +174,9 @@ func runCampus(spec *Spec, rc *runConfig) (*Result, error) {
 		Duration:        duration,
 		AlertsByScheme:  make(map[string]int),
 		AlertsByKind:    make(map[string]int),
-		PoisonedHosts:   c.PoisonedCount(lan0.Router.IP(), lan0.Attacker.MAC()),
-		AttackerForged:  lan0.Attacker.Stats().Forged,
-		AttackerSniffed: lan0.Attacker.Stats().Sniffed,
+		PoisonedHosts:   c.PoisonedCount(atkLAN.Router.IP(), atkLAN.Attacker.MAC()),
+		AttackerForged:  atkLAN.Attacker.Stats().Forged,
+		AttackerSniffed: atkLAN.Attacker.Stats().Sniffed,
 		CaptureStats:    capture.Stats(),
 		Telemetry:       reg.Snapshot(),
 		Campus: &CampusResult{
@@ -141,9 +199,11 @@ func runCampus(spec *Spec, rc *runConfig) (*Result, error) {
 			res.FirstAlerts = append(res.FirstAlerts, fmt.Sprintf("lan%d %s", a.LAN, a.String()))
 		}
 	}
-	for _, g := range guards {
-		res.GuardIncidents += len(g.Incidents())
-		res.GuardConfirmed += g.ConfirmedCount()
+	dep.guardResults(res)
+	res.StackStats = dep.stackResults()
+	if faultCtl != nil {
+		fs := faultCtl.Stats()
+		res.FaultStats = &fs
 	}
 	return res, nil
 }

@@ -13,20 +13,40 @@ import (
 
 // TestCampusSectionStrictlyValidated: the campus schema is held to the same
 // load-time strictness as everything else — unknown keys (top-level and
-// nested), impossible topologies, and unsupported section combinations all
-// fail before anything runs.
+// nested), impossible topologies, and malformed deployment scoping all fail
+// before anything runs, with errors that list the valid alternatives.
 func TestCampusSectionStrictlyValidated(t *testing.T) {
-	cases := map[string]string{
-		"unknown top-level key": `{"campu": {"lans": 4}}`,
-		"unknown campus key":    `{"campus": {"bogus": 1}}`,
-		"addressing plan":       `{"campus": {"lans": 300}}`,
-		"lonely victim":         `{"campus": {"lans": 4, "activeHostsPerLAN": 1}}`,
-		"faults on a campus":    `{"campus": {"lans": 4}, "faults": {"events": [{"type": "duplicate", "atSeconds": 0, "prob": 0.1}]}}`,
-		"stacks on a campus":    `{"campus": {"lans": 4}, "stacks": [{"schemes": [{"name": "dai"}, {"name": "arpwatch"}]}]}`,
+	cases := map[string]struct{ js, want string }{
+		"unknown top-level key": {`{"campu": {"lans": 4}}`, "campu"},
+		"unknown campus key":    {`{"campus": {"bogus": 1}}`, "bogus"},
+		"addressing plan":       {`{"campus": {"lans": 300}}`, "max 250"},
+		"lonely victim":         {`{"campus": {"lans": 4, "activeHostsPerLAN": 1}}`, "at least 2"},
+		"attacker off the map":  {`{"campus": {"lans": 4, "attackerLan": 7}}`, "attackerLan 7 outside"},
+		"bad selector":          {`{"campus": {"lans": 4, "deployments": [{"lans": "everywhere", "schemes": [{"name": "dai"}]}]}}`, `valid: "*"`},
+		"selector off the map":  {`{"campus": {"lans": 4, "deployments": [{"lans": "2-9", "schemes": [{"name": "dai"}]}]}}`, "outside the campus"},
+		"empty deployment":      {`{"campus": {"lans": 4, "deployments": [{"lans": "*"}]}}`, "deploys nothing"},
+		"bad deployment scheme": {`{"campus": {"lans": 4, "deployments": [{"lans": "*", "schemes": [{"name": "nope"}]}]}}`, "unknown scheme"},
 	}
-	for name, js := range cases {
-		if _, err := Load(strings.NewReader(js)); err == nil {
+	for name, tc := range cases {
+		_, err := Load(strings.NewReader(tc.js))
+		if err == nil {
 			t.Errorf("%s accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.want)
+		}
+	}
+	// The PR 9 rejections are gone: stacks and fault plans are first-class
+	// on a campus now.
+	accepted := []string{
+		`{"campus": {"lans": 4}, "faults": {"events": [{"type": "duplicate", "atSeconds": 0, "prob": 0.1}]}}`,
+		`{"campus": {"lans": 4}, "stacks": [{"schemes": [{"name": "dai"}, {"name": "arpwatch"}]}]}`,
+		`{"campus": {"lans": 4}, "faults": {"events": [{"type": "trunk-partition", "atSeconds": 1, "durationSeconds": 5, "trunk": "trunk:2-*"}]}}`,
+	}
+	for _, js := range accepted {
+		if _, err := Load(strings.NewReader(js)); err != nil {
+			t.Errorf("valid campus spec rejected: %v\n%s", err, js)
 		}
 	}
 }
@@ -100,6 +120,118 @@ func TestCampusScenarioWidthParity(t *testing.T) {
 		return res, buf.String()
 	}
 	ref, refOut := run(1)
+	if ref.AlertsByScheme["arpwatch"] == 0 {
+		t.Fatalf("reference run detected nothing: %+v", ref.AlertsByScheme)
+	}
+	for _, w := range []int{2, 8} {
+		got, gotOut := run(w)
+		if gotOut != refOut {
+			t.Fatalf("render differs at workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				w, refOut, w, gotOut)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("result differs at workers=%d:\n%+v\n%+v", w, ref, got)
+		}
+	}
+}
+
+// TestCampusFaultedStacksScenario round-trips the bundled
+// campus-faulted-stacks.json and runs it end to end: 16 LANs with two
+// different per-segment stacks, a trunk partition isolating the attacker's
+// LAN, an impaired segment, and a campus-wide router flush — all through
+// the same JSON front end a flat run uses.
+func TestCampusFaultedStacksScenario(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "scenarios", "campus-faulted-stacks.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Campus == nil || spec.Campus.LANs != 16 {
+		t.Fatalf("campus shape: %+v", spec.Campus)
+	}
+	if spec.Campus.AttackerLAN != 3 {
+		t.Fatalf("attackerLan = %d, want 3", spec.Campus.AttackerLAN)
+	}
+	if len(spec.Campus.Deployments) != 2 {
+		t.Fatalf("deployments: %+v", spec.Campus.Deployments)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Campus == nil || res.Campus.LANs != 16 {
+		t.Fatalf("campus figures: %+v", res.Campus)
+	}
+	fs := res.FaultStats
+	if fs == nil {
+		t.Fatal("fault plan ran but Result has no FaultStats")
+	}
+	if fs.TrunkPartitions == 0 || fs.TrunkDropped == 0 {
+		t.Fatalf("trunk partition left no trace: %+v", fs)
+	}
+	if fs.RouterFlushes != 16 {
+		t.Fatalf("router-flush on lan:* flushed %d routers, want 16", fs.RouterFlushes)
+	}
+	if res.AlertsByScheme["arpwatch"] == 0 {
+		t.Fatalf("MITM undetected: %+v", res.AlertsByScheme)
+	}
+	labels := make(map[string]bool)
+	for _, st := range res.StackStats {
+		labels[st.Stack] = true
+	}
+	if len(labels) != 2 {
+		t.Fatalf("want the two per-segment stacks in StackStats, got %+v", res.StackStats)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "campus faults:") {
+		t.Fatalf("render missing the campus faults line:\n%s", buf.String())
+	}
+}
+
+// TestCampusFaultedWidthParity extends the scenario-level determinism
+// contract to the faulted, stack-laden case: the whole Result — fault
+// accounting included — is identical whether the shards run under 1, 2,
+// or 8 workers. Only the telemetry snapshot is excluded: engine counters
+// like sync waits legitimately depend on worker interleaving.
+func TestCampusFaultedWidthParity(t *testing.T) {
+	run := func(workers int) (*Result, string) {
+		spec := load(t, `{
+			"seed": 5, "durationSeconds": 30,
+			"campus": {"lans": 4, "hostsPerLAN": 48, "attackerLan": 1,
+				"deployments": [
+					{"lans": "0-1", "stacks": [{"schemes": [{"name": "dai"}, {"name": "arpwatch", "params": {"seedGateway": false}}]}]},
+					{"lans": "2-3", "schemes": [{"name": "snort-like"}]}
+				]},
+			"attacks": [{"atSeconds": 7, "type": "mitm"}],
+			"faults": {"events": [
+				{"type": "gilbert-elliott", "atSeconds": 3, "durationSeconds": 20, "pGoodBad": 0.05, "pBadGood": 0.2, "lossBad": 0.6, "linkAt": "lan:2/link:*"},
+				{"type": "trunk-partition", "atSeconds": 12, "durationSeconds": 8, "trunk": "trunk:1-*"},
+				{"type": "router-flush", "atSeconds": 20, "lan": "lan:*"}
+			]}
+		}`)
+		spec.Campus.Workers = workers
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Telemetry = telemetry.Snapshot{}
+		var buf bytes.Buffer
+		if err := res.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	ref, refOut := run(1)
+	if ref.FaultStats == nil || ref.FaultStats.TrunkPartitions == 0 {
+		t.Fatalf("reference run armed no trunk partitions: %+v", ref.FaultStats)
+	}
 	if ref.AlertsByScheme["arpwatch"] == 0 {
 		t.Fatalf("reference run detected nothing: %+v", ref.AlertsByScheme)
 	}

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestFlatFaultPlanLanZeroEquivalence is the compatibility contract for
+// hierarchical fault addressing, stated at the Result level: a flat-LAN
+// scenario driven by a bare-index fault plan and the same scenario driven
+// by the plan's "lan:0/..." spelling produce byte-identical output —
+// structurally equal Results and character-identical renders. A flat LAN
+// really is the one-site special case of a campus, not a parallel code
+// path.
+func TestFlatFaultPlanLanZeroEquivalence(t *testing.T) {
+	base := `{
+		"seed": 11, "hosts": 6, "durationSeconds": 60,
+		"schemes": [{"name": "arpwatch", "params": {"seedGateway": false}}],
+		"attacks": [{"atSeconds": 20, "type": "mitm"}],
+		"faults": {"events": [%s]}
+	}`
+	flat := `
+		{"type": "gilbert-elliott", "atSeconds": 0, "pGoodBad": 0.03, "pBadGood": 0.25, "lossBad": 0.8},
+		{"type": "link-flap", "atSeconds": 25, "durationSeconds": 8, "link": 3},
+		{"type": "host-churn", "atSeconds": 35, "durationSeconds": 3, "host": 4},
+		{"type": "cam-flush", "atSeconds": 45}`
+	addressed := `
+		{"type": "gilbert-elliott", "atSeconds": 0, "pGoodBad": 0.03, "pBadGood": 0.25, "lossBad": 0.8, "linkAt": "lan:*"},
+		{"type": "link-flap", "atSeconds": 25, "durationSeconds": 8, "linkAt": "lan:0/link:3"},
+		{"type": "host-churn", "atSeconds": 35, "durationSeconds": 3, "hostAt": "lan:0/host:4"},
+		{"type": "cam-flush", "atSeconds": 45, "lan": "lan:*"}`
+
+	run := func(events string) (*Result, string) {
+		spec := load(t, fmt.Sprintf(base, events))
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	refRes, refOut := run(flat)
+	if refRes.FaultStats == nil || refRes.FaultStats.Total() == 0 {
+		t.Fatal("reference run injected no faults")
+	}
+	gotRes, gotOut := run(addressed)
+	if gotOut != refOut {
+		t.Fatalf("render differs:\n--- bare indices ---\n%s--- lan:0 addressed ---\n%s", refOut, gotOut)
+	}
+	if !reflect.DeepEqual(refRes, gotRes) {
+		t.Fatalf("result differs:\n%+v\n%+v", refRes, gotRes)
+	}
+}

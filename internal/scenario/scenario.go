@@ -10,11 +10,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/attack"
-	"repro/internal/core"
 	"repro/internal/ethaddr"
 	"repro/internal/faults"
 	"repro/internal/labnet"
@@ -48,16 +48,20 @@ type Spec struct {
 	Attacks []AttackSpec `json:"attacks"`
 	// Faults is the optional network-failure timeline, injected beneath the
 	// schemes (burst loss, duplication, reordering, link flaps, host churn,
-	// CAM flushes). Link index i targets host i's attachment (0 = gateway);
-	// the monitor's link, when deployed, is index hosts. The dhcp-outage
-	// fault is not available here — scenarios deploy no DHCP server.
+	// CAM flushes — plus trunk partitions and router flushes on a campus).
+	// Link index i targets host i's attachment (0 = gateway); the monitor's
+	// link, when deployed, is index hosts. On a campus, hierarchical
+	// addresses ("lan:3/link:7", "lan:*", "trunk:2-5") reach any segment;
+	// bare indices keep addressing LAN 0. The dhcp-outage fault is not
+	// available here — scenarios deploy no DHCP server.
 	Faults *faults.Plan `json:"faults,omitempty"`
 	// Campus, when present, replaces the single flat LAN with a routed
 	// multi-LAN campus on the sharded engine: one access LAN per shard
-	// behind a full trunk mesh, schemes deployed per-LAN, the attack
-	// timeline running inside LAN 0 against the LAN-0 router gateway.
-	// Hosts is ignored (the campus fields size the topology) and Faults /
-	// Stacks are rejected at validation.
+	// behind a full trunk mesh. Schemes, stacks, and faults deploy through
+	// the same topology-neutral plane as flat runs — top-level Schemes and
+	// Stacks land on every LAN, Deployments scope them to segments, and the
+	// attack timeline runs inside the attacker's LAN against that segment's
+	// router gateway. Hosts is ignored (the campus fields size the topology).
 	Campus *CampusSpec `json:"campus,omitempty"`
 }
 
@@ -77,6 +81,62 @@ type CampusSpec struct {
 	TrunkLatencyMicros float64 `json:"trunkLatencyMicros,omitempty"`
 	// Workers caps the shard worker pool (default: engine-chosen).
 	Workers int `json:"workers,omitempty"`
+	// AttackerLAN places the attacker's segment (default 0); the attack
+	// timeline targets that LAN's router gateway and victim station.
+	AttackerLAN int `json:"attackerLan,omitempty"`
+	// Deployments scope schemes and stacks to segment subsets; top-level
+	// Schemes and Stacks deploy fabric-wide.
+	Deployments []LANDeployment `json:"deployments,omitempty"`
+}
+
+// LANDeployment deploys schemes and stacks onto a subset of campus
+// segments — how heterogeneous defenses (DAI on the server LANs, arpwatch
+// everywhere else) are described.
+type LANDeployment struct {
+	// LANs selects segments: "*" (every LAN, the default), a single index
+	// like "3", or an inclusive range like "2-5".
+	LANs string `json:"lans,omitempty"`
+	// Schemes deploy standalone on each selected segment.
+	Schemes []SchemeSpec `json:"schemes,omitempty"`
+	// Stacks deploy correlated a+b+c composites on each selected segment.
+	Stacks []registry.Stack `json:"stacks,omitempty"`
+}
+
+// parseLANSelector resolves a deployment's segment selector against n LANs.
+func parseLANSelector(sel string, n int) ([]int, error) {
+	bad := func() error {
+		return fmt.Errorf("bad lan selector %q (valid: \"*\" for every LAN, a single index like \"3\", or an inclusive range like \"2-5\")", sel)
+	}
+	if sel == "" || sel == "*" {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	lo, hi := 0, 0
+	if a, b, ok := strings.Cut(sel, "-"); ok {
+		la, errA := strconv.Atoi(a)
+		lb, errB := strconv.Atoi(b)
+		if errA != nil || errB != nil || la > lb {
+			return nil, bad()
+		}
+		lo, hi = la, lb
+	} else {
+		v, err := strconv.Atoi(sel)
+		if err != nil {
+			return nil, bad()
+		}
+		lo, hi = v, v
+	}
+	if lo < 0 || hi >= n {
+		return nil, fmt.Errorf("lan selector %q outside the campus's [0, %d) segments", sel, n)
+	}
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out, nil
 }
 
 // SchemeSpec deploys one defense.
@@ -139,17 +199,37 @@ func (spec *Spec) Validate() error {
 		}
 	}
 	if spec.Campus != nil {
-		if spec.Campus.LANs > 250 {
-			return fmt.Errorf("campus: %d LANs exceeds the 10.<lan>.0.0/16 addressing plan (max 250)", spec.Campus.LANs)
+		cs := spec.Campus
+		if cs.LANs > 250 {
+			return fmt.Errorf("campus: %d LANs exceeds the 10.<lan>.0.0/16 addressing plan (max 250)", cs.LANs)
 		}
-		if spec.Campus.ActiveHostsPerLAN == 1 {
+		if cs.ActiveHostsPerLAN == 1 {
 			return fmt.Errorf("campus: activeHostsPerLAN must be at least 2 (the victim and one bystander)")
 		}
-		if spec.Faults != nil {
-			return fmt.Errorf("campus scenarios do not support fault plans: fault link indices address a flat LAN's attachments, which have no meaning across a routed backbone")
+		lans := cs.LANs
+		if lans == 0 {
+			lans = 4
 		}
-		if len(spec.Stacks) > 0 {
-			return fmt.Errorf("campus scenarios do not support stacks yet; list the schemes individually")
+		if cs.AttackerLAN < 0 || cs.AttackerLAN >= lans {
+			return fmt.Errorf("campus: attackerLan %d outside the campus's [0, %d) segments", cs.AttackerLAN, lans)
+		}
+		for di, d := range cs.Deployments {
+			if _, err := parseLANSelector(d.LANs, lans); err != nil {
+				return fmt.Errorf("campus deployment %d: %w", di, err)
+			}
+			for _, s := range d.Schemes {
+				if err := registry.ValidateParams(s.Name, s.Params); err != nil {
+					return fmt.Errorf("campus deployment %d: %w", di, err)
+				}
+			}
+			for i := range d.Stacks {
+				if err := d.Stacks[i].Validate(); err != nil {
+					return fmt.Errorf("campus deployment %d: %w", di, err)
+				}
+			}
+			if len(d.Schemes) == 0 && len(d.Stacks) == 0 {
+				return fmt.Errorf("campus deployment %d: deploys nothing (add schemes or stacks, or drop the entry)", di)
+			}
 		}
 	}
 	if spec.Policy != "" {
@@ -263,6 +343,10 @@ func (r *Result) Render(w io.Writer) error {
 		fs := r.FaultStats
 		fmt.Fprintf(w, "  faults: %d burst-dropped, %d duplicated, %d reordered, %d flap-dropped, %d churns, %d CAM flushes\n",
 			fs.BurstDropped, fs.Duplicated, fs.Reordered, fs.FlapDropped, fs.HostChurns, fs.CAMFlushes)
+		if fs.TrunkPartitions > 0 || fs.RouterFlushes > 0 {
+			fmt.Fprintf(w, "  campus faults: %d trunk partitions (%d frames dropped), %d router flushes\n",
+				fs.TrunkPartitions, fs.TrunkDropped, fs.RouterFlushes)
+		}
 	}
 	schemesSorted := make([]string, 0, len(r.AlertsByScheme))
 	for s := range r.AlertsByScheme {
@@ -343,37 +427,10 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 	sink.Instrument(reg)
 	gw, victim := l.Gateway(), l.Victim()
 
-	env := l.Env(sink, reg)
-	var guard *core.Guard
-	noteGuard := func(inst *registry.Instance) {
-		if g, ok := inst.Handle.(*core.Guard); ok {
-			guard = g
-		}
-	}
-	for _, s := range spec.Schemes {
-		f, ok := registry.Lookup(s.Name)
-		if !ok {
-			return nil, registry.UnknownSchemeError(s.Name)
-		}
-		if f.ConstructionOnly() {
-			continue // already applied through hostOpts
-		}
-		inst, err := registry.Deploy(env, s.Name, s.Params)
-		if err != nil {
-			return nil, err
-		}
-		noteGuard(inst)
-	}
-	var stackInsts []*registry.StackInstance
-	for _, st := range spec.Stacks {
-		si, err := registry.DeployStack(env, st)
-		if err != nil {
-			return nil, err
-		}
-		stackInsts = append(stackInsts, si)
-		for _, m := range si.Members {
-			noteGuard(m)
-		}
+	top := &labnet.Single{LAN: l, Sink: sink, Registry: reg}
+	var dep deployment
+	if err := deployOnto(top.Sites(), spec.Schemes, spec.Stacks, &dep); err != nil {
+		return nil, err
 	}
 
 	if err := armAttacks(spec, attackTargets{
@@ -388,10 +445,8 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 	// window edge lands on the timeline. Schemes get no say and no notice.
 	var faultCtl *faults.Controller
 	if spec.Faults != nil {
-		env := l.FaultEnv()
-		env.Registry = reg
 		var err error
-		if faultCtl, err = faults.Apply(spec.Faults, env); err != nil {
+		if faultCtl, err = faults.Apply(spec.Faults, top.FaultEnv()); err != nil {
 			return nil, err
 		}
 	}
@@ -428,19 +483,8 @@ func Run(spec *Spec, opts ...RunOption) (*Result, error) {
 			res.FirstAlerts = append(res.FirstAlerts, a.String())
 		}
 	}
-	if guard != nil {
-		res.GuardIncidents = len(guard.Incidents())
-		res.GuardConfirmed = guard.ConfirmedCount()
-	}
-	for _, si := range stackInsts {
-		cs := si.Correlation()
-		res.StackStats = append(res.StackStats, StackResult{
-			Stack:       si.Stack.Label(),
-			Forwarded:   cs.Forwarded,
-			Suppressed:  cs.Suppressed,
-			CrossScheme: cs.CrossScheme,
-		})
-	}
+	dep.guardResults(res)
+	res.StackStats = dep.stackResults()
 	if faultCtl != nil {
 		fs := faultCtl.Stats()
 		res.FaultStats = &fs

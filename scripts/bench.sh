@@ -10,19 +10,19 @@
 # plus the replay-engine ingest benchmarks (single-thread and sharded, both
 # capture formats) at a fixed frame count and the Figure9 campus-scaling
 # points (10², 10⁴, 10⁶ hosts — each one full sharded campus trial).
-# Writes (name, ns/op, allocs/op) to BENCH_PR9.json so later PRs can diff
-# against this PR's numbers (BENCH_PR2/PR5/PR6/PR7/PR8.json hold earlier
-# recorded trajectory points), then prints a delta table against the
-# previous point.
+# Writes (name, ns/op, allocs/op) to BENCH_PR10.json so later PRs can diff
+# against this PR's numbers (BENCH_PR2/PR5/PR6/PR7/PR8/PR9.json hold
+# earlier recorded trajectory points), then prints a delta table against
+# the previous point.
 #
-#   ./scripts/bench.sh                  # writes BENCH_PR9.json
+#   ./scripts/bench.sh                  # writes BENCH_PR10.json
 #   ./scripts/bench.sh out.json        # custom output path
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR9.json}
-prev=BENCH_PR8.json
+out=${1:-BENCH_PR10.json}
+prev=BENCH_PR9.json
 
 tojson='
 	/^Benchmark/ {

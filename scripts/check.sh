@@ -36,8 +36,11 @@ echo "==> go test -race ./internal/eval ./internal/integration ./internal/faults
 # 1/2/8 — the byte-identical-at-any-width determinism contract — with the
 # sharded reader/worker/merger pipeline actually racing. internal/sim,
 # internal/labnet, and internal/scenario put the sharded campus engine's
-# worker pool under the detector the same way: figure9 and the campus MITM
-# scenario assert byte-identical output at shard widths 1/2/8.
+# worker pool under the detector the same way: figure9, figure10 (the
+# faulted per-deployment sweep), the campus MITM scenario, and the
+# faulted+stacked campus scenario all assert byte-identical output at
+# shard widths 1/2/8, with trunk partitions and router flushes armed
+# across shard boundaries.
 go test -race ./internal/eval ./internal/integration ./internal/faults ./internal/schemes/registry ./internal/telemetry/causal ./internal/ops ./internal/trace ./internal/replay ./internal/sim ./internal/labnet ./internal/scenario
 
 echo "==> bench smoke (sequential vs parallel Table 3, 1 iteration)"
